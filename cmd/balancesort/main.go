@@ -1,0 +1,227 @@
+// Command balancesort sorts a generated workload on a simulated parallel
+// disk array or parallel memory hierarchy and reports the model costs —
+// the quickest way to poke at the system from a shell.
+//
+//	go run ./cmd/balancesort -n 1000000 -d 16 -b 64 -m 65536
+//	go run ./cmd/balancesort -algo stripedmerge -d 32
+//	go run ./cmd/balancesort -hier hmm-log -H 16 -ic hypercube
+//	go run ./cmd/balancesort -workload bucketskew -placement random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"balancesort"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1<<18, "records to sort")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		workload  = flag.String("workload", "uniform", "uniform|fewdistinct|nearlysorted|reversed|bucketskew|zipf")
+		d         = flag.Int("d", 8, "disks (D)")
+		b         = flag.Int("b", 64, "block size in records (B)")
+		m         = flag.Int("m", 0, "internal memory in records (M); 0 = 8*D*B")
+		p         = flag.Int("p", 1, "PRAM processors (P)")
+		v         = flag.Int("v", 0, "virtual disks for partial striping; 0 = D")
+		algo      = flag.String("algo", "balancesort", "balancesort|stripedmerge|forecastmerge|columnsort|greedsort")
+		placement = flag.String("placement", "balanced", "balanced|random|roundrobin")
+		match     = flag.String("match", "derandomized", "derandomized|randomized|greedy")
+		hierM     = flag.String("hier", "", "run on a hierarchy instead: hmm-log|hmm-power|bt-log|bt-power|umh")
+		hcount    = flag.Int("H", 8, "hierarchies (H) for -hier")
+		alpha     = flag.Float64("alpha", 1, "α for the power-law hierarchy models")
+		ic        = flag.String("ic", "pram", "interconnect for -hier: pram|hypercube|hypercube-bitonic")
+		inFile    = flag.String("infile", "", "sort this 16-byte-record file instead of a generated workload")
+		outFile   = flag.String("outfile", "", "write the sorted records here (required with -infile)")
+		scratch   = flag.String("scratch", "", "directory for the file-backed disks (default: a temp dir)")
+		genFile   = flag.String("genfile", "", "just generate -n records of -workload into this file and exit")
+		verify    = flag.String("verify", "", "just check that this record file is sorted and exit")
+	)
+	flag.Parse()
+
+	if *verify != "" {
+		recs, err := balancesort.ReadRecordFile(*verify)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Less(recs[i-1]) {
+				fmt.Printf("%s: NOT sorted (inversion at record %d)\n", *verify, i)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("%s: sorted (%d records)\n", *verify, len(recs))
+		return
+	}
+
+	w, err := parseWorkload(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *genFile != "" {
+		recs := balancesort.NewWorkload(w, *n, *seed)
+		if err := balancesort.WriteRecordFile(*genFile, recs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d %s records (%d bytes) to %s\n",
+			*n, w, *n*balancesort.RecordSize, *genFile)
+		return
+	}
+
+	if *inFile != "" {
+		if *outFile == "" {
+			log.Fatal("-infile requires -outfile")
+		}
+		cfg := balancesort.Config{
+			Disks: *d, BlockSize: *b, Memory: *m, Processors: *p,
+			VirtualDisks: *v, Seed: *seed,
+		}
+		res, err := balancesort.SortFile(*inFile, *outFile, *scratch, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("externally sorted %s -> %s (D=%d B=%d M=%d)\n", *inFile, *outFile, cfg.Disks, cfg.BlockSize, cfg.Memory)
+		fmt.Printf("  parallel I/Os:         %d\n", res.IOs)
+		fmt.Printf("  Theorem 1 lower bound: %.0f  (ratio %.2fx)\n",
+			res.IOLowerBound, float64(res.IOs)/res.IOLowerBound)
+		fmt.Printf("  bucket read balance:   %.2fx of optimal\n", res.MaxBucketReadRatio)
+		fmt.Println("  verification:          OK (checked while streaming out)")
+		return
+	}
+
+	recs := balancesort.NewWorkload(w, *n, *seed)
+
+	if *hierM != "" {
+		runHierarchy(recs, *hierM, *hcount, *alpha, *ic, *seed)
+		return
+	}
+
+	cfg := balancesort.Config{
+		Disks: *d, BlockSize: *b, Memory: *m, Processors: *p,
+		VirtualDisks: *v, Seed: *seed,
+	}
+	switch strings.ToLower(*placement) {
+	case "balanced":
+		cfg.Placement = balancesort.PlacementBalanced
+	case "random":
+		cfg.Placement = balancesort.PlacementRandom
+	case "roundrobin":
+		cfg.Placement = balancesort.PlacementRoundRobin
+	default:
+		log.Fatalf("unknown placement %q", *placement)
+	}
+	switch strings.ToLower(*match) {
+	case "derandomized":
+		cfg.Match = balancesort.MatchDerandomized
+	case "randomized":
+		cfg.Match = balancesort.MatchRandomized
+	case "greedy":
+		cfg.Match = balancesort.MatchGreedy
+	default:
+		log.Fatalf("unknown match strategy %q", *match)
+	}
+
+	var a balancesort.Algorithm
+	switch strings.ToLower(*algo) {
+	case "balancesort":
+		a = balancesort.AlgoBalanceSort
+	case "stripedmerge":
+		a = balancesort.AlgoStripedMerge
+	case "forecastmerge":
+		a = balancesort.AlgoForecastMerge
+	case "columnsort":
+		a = balancesort.AlgoColumnSort
+	case "greedsort":
+		a = balancesort.AlgoGreedSort
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	res, err := balancesort.SortWith(a, recs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !balancesort.Verify(recs, res.Records) {
+		log.Fatal("FAILED: output is not the sorted permutation of the input")
+	}
+
+	fmt.Printf("%s: sorted %d %s records (D=%d B=%d M=%d P=%d)\n",
+		*algo, *n, w, cfg.Disks, cfg.BlockSize, cfg.Memory, cfg.Processors)
+	fmt.Printf("  parallel I/Os:         %d\n", res.IOs)
+	fmt.Printf("  Theorem 1 lower bound: %.0f  (ratio %.2fx)\n",
+		res.IOLowerBound, float64(res.IOs)/res.IOLowerBound)
+	fmt.Printf("  PRAM time / work:      %.4g / %.4g\n", res.PRAMTime, res.PRAMWork)
+	if a == balancesort.AlgoBalanceSort {
+		fmt.Printf("  bucket read balance:   %.2fx of optimal (Theorem 4 ≈ 2)\n", res.MaxBucketReadRatio)
+		fmt.Printf("  max bucket size:       %.2fx of even share (guarantee ≈ 2)\n", res.MaxBucketFrac)
+		fmt.Printf("  recursion depth:       %d (%d distribution passes)\n", res.Depth, res.Passes)
+		fmt.Printf("  memory peak:           %d of %d records\n", res.MemPeak, cfg.Memory)
+	}
+	fmt.Println("  verification:          OK")
+}
+
+func runHierarchy(recs []balancesort.Record, model string, h int, alpha float64, ic string, seed uint64) {
+	cfg := balancesort.HierConfig{Hierarchies: h, Alpha: alpha, Seed: seed}
+	switch strings.ToLower(model) {
+	case "hmm-log":
+		cfg.Model = balancesort.HMMLog
+	case "hmm-power":
+		cfg.Model = balancesort.HMMPower
+	case "bt-log":
+		cfg.Model = balancesort.BTLog
+	case "bt-power":
+		cfg.Model = balancesort.BTPower
+	case "umh":
+		cfg.Model = balancesort.UMH
+	default:
+		log.Fatalf("unknown hierarchy model %q", model)
+	}
+	switch strings.ToLower(ic) {
+	case "pram":
+		cfg.Interconnect = balancesort.EREWPRAM
+	case "hypercube":
+		cfg.Interconnect = balancesort.Hypercube
+	case "hypercube-bitonic":
+		cfg.Interconnect = balancesort.HypercubeBitonic
+	default:
+		log.Fatalf("unknown interconnect %q", ic)
+	}
+	res, err := balancesort.SortHierarchy(recs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !balancesort.Verify(recs, res.Records) {
+		log.Fatal("FAILED: output is not the sorted permutation of the input")
+	}
+	fmt.Printf("%s on H=%d (%s): sorted %d records\n", model, h, ic, len(recs))
+	fmt.Printf("  parallel time:   %.4g (access %.4g + interconnect %.4g)\n",
+		res.Time, res.AccessTime, res.NetTime)
+	fmt.Printf("  Θ-bound:         %.4g  (ratio %.2fx)\n", res.Bound, res.Time/res.Bound)
+	fmt.Printf("  bucket balance:  %.2fx even share; log skew %.2fx\n", res.MaxBucketFrac, res.MaxLogSkew)
+	fmt.Printf("  recursion depth: %d (%d distribution passes)\n", res.Depth, res.Passes)
+	fmt.Println("  verification:    OK")
+}
+
+func parseWorkload(s string) (balancesort.Workload, error) {
+	switch strings.ToLower(s) {
+	case "uniform":
+		return balancesort.Uniform, nil
+	case "fewdistinct":
+		return balancesort.FewDistinct, nil
+	case "nearlysorted":
+		return balancesort.NearlySorted, nil
+	case "reversed":
+		return balancesort.Reversed, nil
+	case "bucketskew":
+		return balancesort.BucketSkew, nil
+	case "zipf":
+		return balancesort.Zipf, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q", s)
+	}
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates the measurement tables of EXPERIMENTS.md:
+// one table per experiment ID of DESIGN.md (E1-E15), each reproducing one
+// of the paper's theorems, lemmas, invariants, or model figures.
+//
+//	go run ./cmd/experiments            # all experiments, full scale
+//	go run ./cmd/experiments -quick     # reduced sizes (seconds, not minutes)
+//	go run ./cmd/experiments -e e1,e3   # a subset
+//	go run ./cmd/experiments -out EXPERIMENTS.tables.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"balancesort/internal/experiments"
+	"balancesort/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	only := flag.String("e", "", "comma-separated experiment ids (e1..e15); empty = all")
+	out := flag.String("out", "", "also write the tables to this file")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	type exp struct {
+		id  string
+		run func(experiments.Scale) *stats.Table
+	}
+	all := []exp{
+		{"e1", experiments.E1}, {"e2", experiments.E2}, {"e3", experiments.E3},
+		{"e4", experiments.E4}, {"e5", experiments.E5}, {"e6", experiments.E6},
+		{"e7", experiments.E7}, {"e8", experiments.E8}, {"e9", experiments.E9},
+		{"e10", experiments.E10}, {"e11", experiments.E11}, {"e12", experiments.E12},
+		{"e13", experiments.E13}, {"e14", experiments.E14}, {"e15", experiments.E15}, {"e16", experiments.E16}, {"e17", experiments.E17},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *out != "" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.id)
+		e.run(scale).Render(w)
+	}
+}

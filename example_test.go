@@ -1,0 +1,79 @@
+package balancesort_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"balancesort"
+)
+
+// ExampleSort sorts a generated workload on a simulated 8-disk array and
+// checks the result against Theorem 1's guarantees.
+func ExampleSort() {
+	recs := balancesort.NewWorkload(balancesort.Uniform, 100_000, 42)
+	res, err := balancesort.Sort(recs, balancesort.Config{
+		Disks: 8, BlockSize: 32, Memory: 1 << 13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sorted:", balancesort.Verify(recs, res.Records))
+	fmt.Println("I/O ratio under 12x:", float64(res.IOs) < 12*res.IOLowerBound)
+	fmt.Println("bucket balance under 2x:", res.MaxBucketReadRatio < 2)
+	// Output:
+	// sorted: true
+	// I/O ratio under 12x: true
+	// bucket balance under 2x: true
+}
+
+// ExampleSortHierarchy runs Balance Sort on a P-BT hierarchy with a
+// sub-linear cost function and compares against Lemma 4's Θ((N/H) log N).
+func ExampleSortHierarchy() {
+	recs := balancesort.NewWorkload(balancesort.Zipf, 20_000, 7)
+	res, err := balancesort.SortHierarchy(recs, balancesort.HierConfig{
+		Hierarchies: 8,
+		Model:       balancesort.BTPower,
+		Alpha:       0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sorted:", balancesort.Verify(recs, res.Records))
+	fmt.Println("within 40x of the bound:", res.Time < 40*res.Bound)
+	// Output:
+	// sorted: true
+	// within 40x of the bound: true
+}
+
+// ExampleSortFile externally sorts a binary record file through a
+// file-backed disk array, holding only O(Memory) records in RAM.
+func ExampleSortFile() {
+	dir, err := os.MkdirTemp("", "balancesort-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	recs := balancesort.NewWorkload(balancesort.Reversed, 30_000, 3)
+	if err := balancesort.WriteRecordFile(in, recs); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := balancesort.SortFile(in, out, "", balancesort.Config{
+		Disks: 4, BlockSize: 32, Memory: 1 << 12,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	sorted, err := balancesort.ReadRecordFile(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sorted:", balancesort.Verify(recs, sorted))
+	// Output:
+	// sorted: true
+}

@@ -1,0 +1,66 @@
+// dbsort models the workload the paper's introduction motivates: an
+// external sort of database records far larger than memory, on a disk farm.
+// Keys are duplicate-heavy (customer IDs following a Zipf law), so the run
+// also exercises the paper's tie-breaking device (appending each record's
+// initial location to its key).
+//
+// The example races Balance Sort against the two merge-based comparators —
+// disk-striped merge sort (the industry-simple strawman of Section 1) and a
+// Greed-Sort-style forecasting merge — on the identical disk geometry, then
+// shows the striping penalty growing as D rises while M stays fixed: the
+// Θ(log(M/B)/log(M/DB)) factor.
+//
+//	go run ./examples/dbsort
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"balancesort"
+)
+
+func main() {
+	const (
+		n = 1 << 19 // half a million records
+		b = 64
+		m = 1 << 14 // 16Ki records of memory — small, like a real buffer pool
+	)
+
+	recs := balancesort.NewWorkload(balancesort.Zipf, n, 7)
+
+	fmt.Printf("database sort: N=%d Zipf-keyed records, B=%d, M=%d\n\n", n, b, m)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "D\talgorithm\tparallel I/Os\tvs lower bound\t")
+
+	for _, d := range []int{4, 8, 16, 32} {
+		if 4*d*b > m {
+			continue
+		}
+		for _, algo := range []balancesort.Algorithm{
+			balancesort.AlgoBalanceSort,
+			balancesort.AlgoGreedSort,
+			balancesort.AlgoForecastMerge,
+			balancesort.AlgoStripedMerge,
+		} {
+			res, err := balancesort.SortWith(algo, recs, balancesort.Config{
+				Disks: d, BlockSize: b, Memory: m,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !balancesort.Verify(recs, res.Records) {
+				log.Fatalf("%v on D=%d failed verification", algo, d)
+			}
+			fmt.Fprintf(tw, "%d\t%v\t%d\t%.2fx\t\n", d, algo, res.IOs,
+				float64(res.IOs)/res.IOLowerBound)
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nas D grows with fixed M, the striped merge's merge arity M/(2DB) collapses and its")
+	fmt.Println("ratio to the lower bound climbs pass by pass, while Balance Sort's ratio stays flat —")
+	fmt.Println("the Θ(log(M/B)/log(M/DB)) gap of Section 1. (At small D striping's constant is still")
+	fmt.Println("competitive; the theorem is about the trend as DB approaches M.)")
+}

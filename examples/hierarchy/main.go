@@ -1,0 +1,62 @@
+// hierarchy runs Balance Sort across the paper's parallel memory-hierarchy
+// models (Figure 3 / Figure 4): P-HMM and P-BT under both cost functions,
+// with EREW-PRAM and hypercube interconnects, and reports measured parallel
+// time against the Theorem 2/3 Θ-expressions. The ratio column staying flat
+// as models and interconnects vary is the reproduction of those theorems'
+// upper bounds.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"balancesort"
+)
+
+func main() {
+	const n = 1 << 16
+
+	recs := balancesort.NewWorkload(balancesort.Uniform, n, 5)
+
+	fmt.Printf("parallel hierarchy sort: N=%d, H=16 hierarchies\n\n", n)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tinterconnect\tmeasured time\tΘ-bound\tratio\t")
+
+	type row struct {
+		name  string
+		model balancesort.HierarchyModel
+		alpha float64
+	}
+	models := []row{
+		{"P-HMM f=log x", balancesort.HMMLog, 0},
+		{"P-HMM f=x^0.5", balancesort.HMMPower, 0.5},
+		{"P-BT  f=log x", balancesort.BTLog, 0},
+		{"P-BT  f=x^0.5", balancesort.BTPower, 0.5},
+		{"P-BT  f=x^1", balancesort.BTPower, 1},
+		{"P-UMH ρ=2", balancesort.UMH, 1},
+	}
+	for _, mr := range models {
+		for _, ic := range []struct {
+			name string
+			i    balancesort.Interconnect
+		}{{"EREW PRAM", balancesort.EREWPRAM}, {"hypercube", balancesort.Hypercube}} {
+			res, err := balancesort.SortHierarchy(recs, balancesort.HierConfig{
+				Hierarchies: 16, Model: mr.model, Alpha: mr.alpha, Interconnect: ic.i,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !balancesort.Verify(recs, res.Records) {
+				log.Fatalf("%s/%s failed verification", mr.name, ic.name)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3g\t%.3g\t%.2f\t\n",
+				mr.name, ic.name, res.Time, res.Bound, res.Time/res.Bound)
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nmeasured/bound ratios are constants per model — the Theorem 2/3 shapes.")
+}

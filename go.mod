@@ -1,0 +1,3 @@
+module balancesort
+
+go 1.22

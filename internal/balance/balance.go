@@ -1,0 +1,390 @@
+// Package balance implements the paper's deterministic load-balancing core
+// (Section 4.1, Algorithms 3-6): the histogram matrix X, the auxiliary
+// matrix A, and the track-by-track placement discipline that keeps every
+// bucket spread almost evenly over the virtual disks/hierarchies.
+//
+// The Balancer is deliberately I/O-free: it decides *where* each formed
+// virtual block may be written and which blocks must be carried to the next
+// track, while the callers in internal/core perform the actual transfers on
+// the parallel-disk or hierarchy substrate. That is what lets the same
+// machinery drive Theorem 1 (disks) and Theorems 2-3 (hierarchies).
+//
+// Terminology follows the paper: there are S buckets and H virtual
+// disks/hierarchies (the paper's H'), X[b][h] counts the virtual blocks of
+// bucket b resident on h, m_b is the ⌈H/2⌉-th smallest entry of row b, and
+// A[b][h] = max(0, X[b][h] - m_b). The two invariants maintained are:
+//
+//	Invariant 1: every row of A has at least ⌈H/2⌉ zeros.
+//	Invariant 2: after each track is processed (with unprocessed blocks
+//	             conceptually returned to the input), A is 0/1-valued,
+//	             hence X[b][h] <= m_b + 1.
+//
+// Invariant 2 is what yields Theorem 4: bucket b occupies at most m_b + 1
+// blocks on any virtual disk, and since at least ⌈H/2⌉ disks hold >= m_b
+// blocks, m_b + 1 is at most about twice the even share N_b/(H·VB).
+package balance
+
+import (
+	"fmt"
+
+	"balancesort/internal/matching"
+	"balancesort/internal/record"
+	"balancesort/internal/selection"
+)
+
+// AuxRule selects how the auxiliary matrix is derived from the histogram.
+type AuxRule int
+
+const (
+	// AuxMedian is the paper's rule: A[b][h] = max(0, X[b][h] - m_b) with
+	// m_b the ⌈H/2⌉-th smallest entry of row b.
+	AuxMedian AuxRule = iota
+	// AuxTwiceAverage is the alternative attributed to Arge (Section 4.1):
+	// an entry is overloaded (treated like a 2) when the block count
+	// exceeds twice the evenly-balanced share, and balanced (0) otherwise.
+	AuxTwiceAverage
+)
+
+// MatchStrategy selects the partial-matching algorithm used by Rearrange.
+type MatchStrategy int
+
+const (
+	// MatchDerandomized is the paper's deterministic Fast-Partial-Match.
+	MatchDerandomized MatchStrategy = iota
+	// MatchRandomized is Algorithm 7 as stated, with an explicit seed; the
+	// paper's Section 6 notes it is "even simpler to implement in practice".
+	MatchRandomized
+	// MatchGreedy is sequential maximal matching — the quality ceiling that
+	// is too slow in the parallel model (experiment E12).
+	MatchGreedy
+)
+
+// Config parameterizes a Balancer.
+type Config struct {
+	S     int           // buckets
+	H     int           // virtual disks / virtual hierarchies
+	Rule  AuxRule       // auxiliary matrix definition
+	Match MatchStrategy // Rearrange matching algorithm
+	Seed  uint64        // seed for MatchRandomized
+	TCost matching.TCost
+}
+
+// Stats counts the balancing work performed, for experiments E4/E12/E13/E15.
+type Stats struct {
+	Tracks          int // PlaceTrack calls
+	BlocksPlaced    int // blocks finally written
+	BlocksCarried   int // blocks returned to the input ("conceptual" 2s)
+	TwosIntroduced  int // entries that reached 2 at tentative placement
+	RearrangeCalls  int
+	RearrangeMoves  int     // blocks moved by matching
+	MatchTime       float64 // simulated parallel time spent matching
+	ExtraWriteSteps int     // additional parallel write references from Rearrange rounds
+}
+
+// Placement directs the caller to write its block index Block to virtual
+// disk VDisk. Writes within one Round can share a parallel I/O; distinct
+// rounds are distinct parallel memory references (the good-column write plus
+// one per Rearrange call).
+type Placement struct {
+	Block int
+	VDisk int
+	Round int
+}
+
+// Balancer tracks placement state for one distribution pass.
+type Balancer struct {
+	cfg Config
+	x   [][]int
+	rot int
+	rng *record.RNG
+
+	stats Stats
+}
+
+// New creates a Balancer for S buckets over H virtual disks.
+func New(cfg Config) *Balancer {
+	if cfg.S < 1 || cfg.H < 1 {
+		panic(fmt.Sprintf("balance: S=%d H=%d", cfg.S, cfg.H))
+	}
+	if cfg.TCost == nil {
+		cfg.TCost = matching.PRAMCost
+	}
+	b := &Balancer{cfg: cfg, rng: record.NewRNG(cfg.Seed)}
+	b.x = make([][]int, cfg.S)
+	for i := range b.x {
+		b.x[i] = make([]int, cfg.H)
+	}
+	return b
+}
+
+// S returns the bucket count.
+func (bl *Balancer) S() int { return bl.cfg.S }
+
+// H returns the virtual disk count.
+func (bl *Balancer) H() int { return bl.cfg.H }
+
+// Stats returns a copy of the accumulated counters.
+func (bl *Balancer) Stats() Stats { return bl.stats }
+
+// Histogram returns a copy of X, for tests and experiments.
+func (bl *Balancer) Histogram() [][]int {
+	out := make([][]int, len(bl.x))
+	for i, row := range bl.x {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// MemoryWords returns the internal-memory footprint of the balance state in
+// machine words (X, A, and L are each S x H; the paper keeps all three
+// resident).
+func (bl *Balancer) MemoryWords() int { return 3 * bl.cfg.S * bl.cfg.H }
+
+// rowMedian returns m_b for the current X.
+func (bl *Balancer) rowMedian(b int) int {
+	return selection.RowMedian(bl.x[b])
+}
+
+// Aux computes the auxiliary matrix for the current histogram (Algorithm 4
+// under AuxMedian; the Arge variant under AuxTwiceAverage, scaled so that
+// "overloaded" entries read 2 and balanced entries 0, which lets the rest
+// of the machinery treat both rules uniformly).
+func (bl *Balancer) Aux() [][]int {
+	a := make([][]int, bl.cfg.S)
+	switch bl.cfg.Rule {
+	case AuxMedian:
+		for b := range a {
+			m := bl.rowMedian(b)
+			row := make([]int, bl.cfg.H)
+			for h, x := range bl.x[b] {
+				if x > m {
+					row[h] = x - m
+				}
+			}
+			a[b] = row
+		}
+	case AuxTwiceAverage:
+		for b := range a {
+			total := 0
+			for _, x := range bl.x[b] {
+				total += x
+			}
+			// Twice the evenly-balanced number, rounded up; +1 keeps the
+			// rule permissive when a bucket holds almost nothing yet.
+			limit := 2*((total+bl.cfg.H-1)/bl.cfg.H) + 1
+			row := make([]int, bl.cfg.H)
+			for h, x := range bl.x[b] {
+				if x > limit {
+					row[h] = 2
+				}
+			}
+			a[b] = row
+		}
+	default:
+		panic("balance: unknown aux rule")
+	}
+	return a
+}
+
+// CheckInvariant1 verifies that every row of A has at least ⌈H/2⌉ zeros.
+func (bl *Balancer) CheckInvariant1() error {
+	a := bl.Aux()
+	need := (bl.cfg.H + 1) / 2
+	for b, row := range a {
+		zeros := 0
+		for _, v := range row {
+			if v == 0 {
+				zeros++
+			}
+		}
+		if zeros < need {
+			return fmt.Errorf("balance: row %d has %d zeros, invariant 1 needs %d", b, zeros, need)
+		}
+	}
+	return nil
+}
+
+// CheckInvariant2 verifies that A is 0/1-valued, i.e. X[b][h] <= m_b + 1.
+// It must hold after every PlaceTrack call returns.
+func (bl *Balancer) CheckInvariant2() error {
+	a := bl.Aux()
+	for b, row := range a {
+		for h, v := range row {
+			if v > 1 {
+				return fmt.Errorf("balance: A[%d][%d] = %d after track, invariant 2 violated", b, h, v)
+			}
+		}
+	}
+	return nil
+}
+
+// PlaceTrack processes one track of formed virtual blocks. buckets[j] is the
+// bucket of block j; len(buckets) must be at most H. It returns the final
+// placements (grouped into parallel write rounds) and the indices of blocks
+// that could not be placed without unbalancing their buckets — the caller
+// must return those records to its input pool, exactly the paper's
+// "conceptually written back to the input".
+func (bl *Balancer) PlaceTrack(buckets []int) (writes []Placement, carry []int) {
+	if len(buckets) > bl.cfg.H {
+		panic(fmt.Sprintf("balance: track of %d blocks exceeds H = %d", len(buckets), bl.cfg.H))
+	}
+	for _, b := range buckets {
+		if b < 0 || b >= bl.cfg.S {
+			panic(fmt.Sprintf("balance: bucket %d of %d", b, bl.cfg.S))
+		}
+	}
+	bl.stats.Tracks++
+
+	// Line (2-3) of Algorithm 3: tentatively assign block j to virtual disk
+	// (j + rot) mod H — distinct disks within the track — and update X.
+	// The rotation spreads the formation order across columns over time.
+	assigned := make([]int, len(buckets)) // block -> vdisk
+	for j, b := range buckets {
+		h := (j + bl.rot) % bl.cfg.H
+		assigned[j] = h
+		bl.x[b][h]++
+	}
+	bl.rot = (bl.rot + len(buckets)) % bl.cfg.H
+
+	// Line (4): A := ComputeAux(X). Only incremented entries can have
+	// become 2 (medians never decrease), so each overloaded column carries
+	// exactly one of this track's blocks.
+	a := bl.Aux()
+	overloaded := func(j int) bool { return a[buckets[j]][assigned[j]] >= 2 }
+
+	// Line (5-6): write out blocks on columns free of 2s (round 0).
+	twoCols := make(map[int]int) // vdisk -> block index with the 2
+	for j := range buckets {
+		if overloaded(j) {
+			bl.stats.TwosIntroduced++
+			twoCols[assigned[j]] = j
+		}
+	}
+	for j := range buckets {
+		if !overloaded(j) {
+			writes = append(writes, Placement{Block: j, VDisk: assigned[j], Round: 0})
+		}
+	}
+
+	// Lines (7-8), Algorithm 5 (Rebalance): while at least ⌊H/2⌋ columns
+	// still hold 2s, run Rearrange on ⌊H/2⌋ of them; each call removes at
+	// least ⌈H/4⌉, so the loop runs at most twice.
+	round := 1
+	for len(twoCols) >= bl.cfg.H/2 && bl.cfg.H >= 2 {
+		moved := bl.rearrange(buckets, assigned, twoCols, round)
+		writes = append(writes, moved...)
+		if len(moved) == 0 {
+			break // degenerate instance; remaining blocks will be carried
+		}
+		round++
+	}
+
+	// Remaining 2s become unprocessed blocks: decrement X (line 7's
+	// compensation) and report them as carry.
+	for _, j := range sortedValues(twoCols) {
+		bl.x[buckets[j]][assigned[j]]--
+		carry = append(carry, j)
+	}
+
+	bl.stats.BlocksPlaced += len(writes)
+	bl.stats.BlocksCarried += len(carry)
+	bl.stats.ExtraWriteSteps += round - 1
+	return writes, carry
+}
+
+// rearrange is Algorithm 6: build the bipartite instance over the columns
+// in twoCols, match, and move each matched block to its zero column. Matched
+// entries are deleted from twoCols. The returned placements share one write
+// round (one parallel memory reference).
+func (bl *Balancer) rearrange(buckets, assigned []int, twoCols map[int]int, round int) []Placement {
+	cols := sortedKeys(twoCols)
+	// U is at most ⌊H/2⌋ columns ("the next ⌊H'/2⌋ 2s").
+	if len(cols) > bl.cfg.H/2 {
+		cols = cols[:bl.cfg.H/2]
+	}
+	a := bl.Aux()
+	g := matching.NewGraph(bl.cfg.H, len(cols))
+	for i, h := range cols {
+		g.U[i] = h
+		b := buckets[twoCols[h]]
+		for v := 0; v < bl.cfg.H; v++ {
+			if a[b][v] == 0 {
+				g.Adj[i][v] = true
+			}
+		}
+	}
+
+	var res matching.Result
+	switch bl.cfg.Match {
+	case MatchDerandomized:
+		res = matching.Derandomized(g, bl.cfg.TCost)
+	case MatchRandomized:
+		res = matching.Randomized(g, bl.rng, bl.cfg.TCost)
+	case MatchGreedy:
+		res = matching.Greedy(g, bl.cfg.TCost)
+	default:
+		panic("balance: unknown match strategy")
+	}
+	bl.stats.RearrangeCalls++
+	bl.stats.MatchTime += res.ParallelTime
+
+	var moved []Placement
+	for _, pr := range res.Pairs {
+		h := g.U[pr.I]
+		j := twoCols[h]
+		b := buckets[j]
+		// Swap the placement: the 2 at (b, h) moves to the 0 at (b, pr.V).
+		bl.x[b][h]--
+		bl.x[b][pr.V]++
+		moved = append(moved, Placement{Block: j, VDisk: pr.V, Round: round})
+		delete(twoCols, h)
+		bl.stats.RearrangeMoves++
+	}
+	return moved
+}
+
+// sortedKeys returns the map's keys in increasing order (deterministic
+// iteration for the deterministic algorithm).
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	insertionSortInts(out)
+	return out
+}
+
+// sortedValues returns the map's values ordered by key.
+func sortedValues(m map[int]int) []int {
+	keys := sortedKeys(m)
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+func insertionSortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// MaxRowSpread returns, for each bucket, the maximum number of blocks on
+// any single virtual disk and the bucket's total block count — the inputs
+// to Theorem 4's read-cost bound.
+func (bl *Balancer) MaxRowSpread() (maxPer []int, totals []int) {
+	maxPer = make([]int, bl.cfg.S)
+	totals = make([]int, bl.cfg.S)
+	for b, row := range bl.x {
+		for _, x := range row {
+			totals[b] += x
+			if x > maxPer[b] {
+				maxPer[b] = x
+			}
+		}
+	}
+	return maxPer, totals
+}

@@ -1,0 +1,74 @@
+// Package bt models the Block Transfer hierarchy of Aggarwal, Chandra and
+// Snir (reference [ACSa]; Figure 3b of the paper): like HMM it has an
+// access-cost function f(x), but the t+1 consecutive locations x, x-1, …,
+// x-t can be fetched in one operation of cost f(x) + t. Long transfers
+// therefore amortize the latency of deep memory, which is why Theorem 3's
+// bounds beat Theorem 2's for the same f.
+//
+// The package also provides the "touch" pass the paper invokes for the
+// P-BT analysis (Section 4.4): streaming an n-record array through the base
+// level in order, which [ACSa] shows costs O(n log log n) for f(x) = x^α
+// with α < 1 when done with recursively doubled transfer lengths.
+package bt
+
+import (
+	"math"
+
+	"balancesort/internal/hmm"
+)
+
+// Model is the BT access-cost model for internal/hier's machine: touching
+// the contiguous range [lo, hi) is one block transfer of length hi-lo
+// ending at depth hi, costing f(hi) + (hi - lo).
+type Model struct {
+	Cost hmm.CostFunc
+}
+
+// AccessCost returns f(hi) + (hi-lo) for the range [lo, hi).
+func (m Model) AccessCost(lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return m.Cost.F(float64(hi)) + float64(hi-lo)
+}
+
+// Name labels the model.
+func (m Model) Name() string { return "BT(" + m.Cost.Name() + ")" }
+
+// TouchCost returns the cost of the [ACSa] touch pass over an n-record
+// array stored at depth [0, n): the array is pulled through the base level
+// in order using transfer lengths that double with depth, so segment
+// [2^k, 2^{k+1}) moves in one transfer of cost f(2^{k+1}) + 2^k. For
+// f(x) = x^α, α < 1, the sum is dominated by the linear term once k exceeds
+// log log n doubling rounds — the O(n log log n) bound the paper uses.
+func (m Model) TouchCost(n int) float64 {
+	if n <= 1 {
+		return float64(n)
+	}
+	total := m.Cost.F(1) // address 0
+	for lo := 1; lo < n; lo *= 2 {
+		hi := lo * 2
+		if hi > n {
+			hi = n
+		}
+		total += m.Cost.F(float64(hi)) + float64(hi-lo)
+	}
+	return total
+}
+
+// TouchBound evaluates the paper's stated touch complexity n·log log n
+// (with the max(1,·) floors), for comparing measured against stated shape.
+func TouchBound(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	lg := math.Log2(float64(n))
+	if lg < 2 {
+		lg = 2
+	}
+	llg := math.Log2(lg)
+	if llg < 1 {
+		llg = 1
+	}
+	return float64(n) * llg
+}

@@ -1,0 +1,73 @@
+package bt
+
+import (
+	"testing"
+
+	"balancesort/internal/hmm"
+)
+
+func TestAccessCostIsBlockTransfer(t *testing.T) {
+	m := Model{Cost: hmm.LogCost{}}
+	// Range [100, 356): f(356) + 256.
+	want := hmm.LogCost{}.F(356) + 256
+	if got := m.AccessCost(100, 356); got != want {
+		t.Fatalf("AccessCost = %v, want %v", got, want)
+	}
+	if m.AccessCost(5, 5) != 0 {
+		t.Fatal("empty transfer must cost 0")
+	}
+}
+
+func TestBTBeatsHMMOnLongTransfers(t *testing.T) {
+	// The whole point of BT: one long transfer costs f(hi)+len instead of
+	// HMM's per-location sum.
+	btm := Model{Cost: hmm.PowerCost{Alpha: 1}}
+	hmmm := hmm.Model{Cost: hmm.PowerCost{Alpha: 1}}
+	if btm.AccessCost(0, 10000) >= hmmm.AccessCost(0, 10000) {
+		t.Fatal("BT transfer not cheaper than HMM scan")
+	}
+}
+
+func TestTouchCostShape(t *testing.T) {
+	// For f(x)=x^α, α<1, touch cost is O(n log log n): the ratio to
+	// TouchBound must stay bounded as n grows.
+	m := Model{Cost: hmm.PowerCost{Alpha: 0.5}}
+	prevRatio := 0.0
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
+		ratio := m.TouchCost(n) / TouchBound(n)
+		if ratio > 3 {
+			t.Fatalf("touch(%d)/bound = %v, not O(n log log n)-shaped", n, ratio)
+		}
+		prevRatio = ratio
+	}
+	_ = prevRatio
+}
+
+func TestTouchCostMonotone(t *testing.T) {
+	m := Model{Cost: hmm.PowerCost{Alpha: 0.5}}
+	prev := 0.0
+	for n := 1; n < 1<<16; n *= 2 {
+		c := m.TouchCost(n)
+		if c <= prev {
+			t.Fatalf("TouchCost(%d) = %v not increasing", n, c)
+		}
+		prev = c
+	}
+}
+
+func TestTouchTiny(t *testing.T) {
+	m := Model{Cost: hmm.LogCost{}}
+	if m.TouchCost(0) != 0 {
+		t.Fatal("touch of nothing must be free")
+	}
+	if m.TouchCost(1) != 1 {
+		t.Fatal("touch of one record costs one access")
+	}
+}
+
+func TestName(t *testing.T) {
+	m := Model{Cost: hmm.LogCost{}}
+	if m.Name() != "BT(log)" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}

@@ -1,0 +1,128 @@
+// Package columnsort implements Leighton's Columnsort (reference [Lei],
+// Introduction to Parallel Algorithms and Architectures §3.4; the machinery
+// behind Cypher–Plaxton-style deterministic sorting and the cleanup pass of
+// Greed Sort [NoV]). Columnsort sorts an r×s matrix, stored column-major
+// and read out in column-major order, using eight steps — four column-sort
+// steps interleaved with four fixed permutations — provided
+//
+//	r >= 2(s-1)²  and  s | r.
+//
+// Its significance for this repository: every data-dependent operation is a
+// sort of one column (r records that fit in memory), and every data
+// movement is a fixed permutation — so it is an external/parallel sorting
+// recipe with *oblivious* I/O, the same design point as the paper's
+// deterministic ambitions, and the standard tool for cleaning up
+// nearly-sorted output.
+package columnsort
+
+import (
+	"fmt"
+	"sort"
+
+	"balancesort/internal/record"
+)
+
+// MinRows returns the smallest legal row count for s columns: the least
+// multiple of s that is >= 2(s-1)².
+func MinRows(s int) int {
+	if s < 1 {
+		panic("columnsort: s must be >= 1")
+	}
+	need := 2 * (s - 1) * (s - 1)
+	if need < s {
+		need = s
+	}
+	if rem := need % s; rem != 0 {
+		need += s - rem
+	}
+	return need
+}
+
+// Valid reports whether an r×s Columnsort is within Leighton's conditions.
+func Valid(r, s int) bool {
+	return s >= 1 && r >= 2*(s-1)*(s-1) && r%s == 0 && r >= 1
+}
+
+// Sort sorts rs (viewed as an r×s matrix in column-major order: column j is
+// rs[j*r:(j+1)*r]) in place; afterwards reading the columns in order yields
+// all records in nondecreasing order. It panics unless len(rs) = r·s and
+// Valid(r, s).
+//
+// ColumnSorts counts the column-sort steps performed (for cost accounting
+// by callers: each is one memoryload sort plus a scan-shaped permutation).
+func Sort(rs []record.Record, r, s int) (columnSorts int) {
+	if len(rs) != r*s {
+		panic(fmt.Sprintf("columnsort: %d records is not %d x %d", len(rs), r, s))
+	}
+	if !Valid(r, s) {
+		panic(fmt.Sprintf("columnsort: r=%d s=%d violates r >= 2(s-1)^2 and s|r", r, s))
+	}
+	if s == 1 {
+		sortColumn(rs)
+		return 1
+	}
+
+	// Step 1: sort each column.        Step 2: "transpose": read the matrix
+	// in column-major order, write it back in row-major order (records
+	// redistribute round-robin over the columns).
+	// Step 3: sort each column.        Step 4: inverse of step 2.
+	// Step 5: sort each column.        Step 6: shift down by r/2 (the first
+	// half-column of -inf and trailing +inf are conceptual).
+	// Step 7: sort each column.        Step 8: unshift.
+	sortAll := func() {
+		for j := 0; j < s; j++ {
+			sortColumn(rs[j*r : (j+1)*r])
+			columnSorts++
+		}
+	}
+
+	buf := make([]record.Record, len(rs))
+
+	transpose := func() {
+		// "Transpose and reshape": the column-major stream is dealt
+		// round-robin across the s columns — stream slot t lands in column
+		// t mod s at row t div s.
+		for t := range rs {
+			buf[(t%s)*r+t/s] = rs[t]
+		}
+		copy(rs, buf)
+	}
+	untranspose := func() {
+		for t := range rs {
+			buf[t] = rs[(t%s)*r+t/s]
+		}
+		copy(rs, buf)
+	}
+
+	// Steps 6-8: shift the matrix down by r/2 into s+1 columns (the first
+	// half-column padded with -inf, the last with +inf), sort the shifted
+	// columns, and unshift. Because the pads are contiguous extremes, the
+	// shifted-column sorts are exactly in-place sorts of the
+	// boundary-straddling windows of the *unshifted* array: positions
+	// [0, r/2), the windows [j·r - r/2, j·r + r/2) for 0 < j < s, and
+	// [n - r/2, n). No data actually moves for the shift itself.
+	shiftSort := func() {
+		n := len(rs)
+		sortColumn(rs[:r/2])
+		columnSorts++
+		for j := 1; j < s; j++ {
+			sortColumn(rs[j*r-r/2 : j*r+r/2])
+			columnSorts++
+		}
+		sortColumn(rs[n-r/2:])
+		columnSorts++
+	}
+
+	sortAll()     // step 1
+	transpose()   // step 2
+	sortAll()     // step 3
+	untranspose() // step 4
+	sortAll()     // step 5
+	shiftSort()   // steps 6-8
+	return columnSorts
+}
+
+// sortColumn sorts one column in memory.
+func sortColumn(col []record.Record) {
+	sort.Slice(col, func(i, j int) bool { return col[i].Less(col[j]) })
+}

@@ -1,0 +1,124 @@
+package columnsort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"balancesort/internal/record"
+)
+
+func TestMinRows(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 9, 4: 20}
+	for s, want := range cases {
+		got := MinRows(s)
+		if got != want {
+			t.Fatalf("MinRows(%d) = %d, want %d", s, got, want)
+		}
+		if !Valid(got, s) {
+			t.Fatalf("MinRows(%d) = %d is not Valid", s, got)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid(8, 2) || !Valid(9, 3) {
+		t.Fatal("legal shapes rejected")
+	}
+	if Valid(7, 3) { // 7 not divisible by 3
+		t.Fatal("non-divisible rows accepted")
+	}
+	if Valid(6, 3) { // 6 < 2*(3-1)^2 = 8
+		t.Fatal("too-short columns accepted")
+	}
+}
+
+func TestSortAllShapes(t *testing.T) {
+	for s := 1; s <= 8; s++ {
+		for _, extra := range []int{0, 1, 3} {
+			r := MinRows(s) + extra*s
+			rs := record.Generate(record.Uniform, r*s, uint64(s*100+extra))
+			want := append([]record.Record(nil), rs...)
+			sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+			Sort(rs, r, s)
+			for i := range want {
+				if rs[i] != want[i] {
+					t.Fatalf("r=%d s=%d: mismatch at %d", r, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSortAllWorkloads(t *testing.T) {
+	s := 4
+	r := MinRows(s) * 2
+	for _, w := range record.AllWorkloads {
+		rs := record.Generate(w, r*s, 7)
+		Sort(rs, r, s)
+		if !record.IsSorted(rs) {
+			t.Fatalf("%v: columnsort failed", w)
+		}
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	f := func(seed uint64, sRaw, extraRaw uint8) bool {
+		s := 1 + int(sRaw%6)
+		r := MinRows(s) + int(extraRaw%4)*s
+		rs := record.Generate(record.Uniform, r*s, seed)
+		Sort(rs, r, s)
+		return record.IsSorted(rs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortRejectsIllegalShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("illegal shape accepted")
+		}
+	}()
+	Sort(make([]record.Record, 18), 6, 3)
+}
+
+func TestSortRejectsWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong length accepted")
+		}
+	}()
+	Sort(make([]record.Record, 10), 8, 2)
+}
+
+func TestColumnSortCount(t *testing.T) {
+	// Steps 1, 3, 5 sort s columns each; the shifted step 7 sorts s+1
+	// (two half-columns plus the straddling windows).
+	s := 3
+	r := MinRows(s)
+	rs := record.Generate(record.Uniform, r*s, 1)
+	got := Sort(rs, r, s)
+	want := 3*s + s + 1
+	if got != want {
+		t.Fatalf("columnSorts = %d, want %d", got, want)
+	}
+	one := record.Generate(record.Uniform, 16, 2)
+	if Sort(one, 16, 1) != 1 {
+		t.Fatal("single column should cost one sort")
+	}
+}
+
+func TestSortIsObliviousPermutationSchedule(t *testing.T) {
+	// The data movement must not depend on the values: two different
+	// inputs of the same shape must produce the same count of column
+	// sorts (the only data-dependent work is inside the column sorts).
+	s := 4
+	r := MinRows(s)
+	a := record.Generate(record.Uniform, r*s, 3)
+	b := record.Generate(record.Reversed, r*s, 4)
+	if Sort(a, r, s) != Sort(b, r, s) {
+		t.Fatal("schedule depended on data")
+	}
+}

@@ -1,0 +1,533 @@
+// Package core implements Balance Sort itself: Algorithm 1 (the recursive
+// distribution sort), Algorithm 2 (partition-element computation), and the
+// drivers that run the balancing discipline of internal/balance on the two
+// substrates — the parallel disk model of Section 5 (this file) and the
+// parallel memory hierarchies of Section 4 (hierarchy.go).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"balancesort/internal/balance"
+	"balancesort/internal/matching"
+	"balancesort/internal/pdm"
+	"balancesort/internal/pram"
+	"balancesort/internal/record"
+)
+
+// DiskConfig tunes the parallel-disk sorter. The zero value asks for the
+// paper's defaults.
+type DiskConfig struct {
+	// V is the number of virtual disks for partial striping; 0 selects D
+	// (no striping), the paper's default for the disk model.
+	V int
+	// S overrides the bucket count; 0 selects the paper's S = (M/B)^{1/4},
+	// floored at 2.
+	S int
+	// P is the number of PRAM processors doing the internal work; 0 means 1.
+	P int
+	// PRAM selects the PRAM variant (EREW default; Section 5 requires CRCW
+	// when log(M/B) = o(log M) and P approaches M).
+	PRAM pram.Variant
+	// Match selects the Rearrange matching strategy (default deterministic).
+	Match balance.MatchStrategy
+	// Rule selects the auxiliary-matrix definition (default the paper's
+	// median rule).
+	Rule balance.AuxRule
+	// Seed feeds MatchRandomized and PlacementRandom.
+	Seed uint64
+	// TCost is the interconnect sort-time model used to price matching
+	// rounds; nil selects the EREW PRAM cost.
+	TCost matching.TCost
+	// Placement selects how formed blocks are assigned to virtual disks.
+	Placement Placement
+	// Internal selects the memoryload sorting algorithm.
+	Internal InternalSort
+}
+
+// InternalSort selects how memoryloads are sorted in internal memory.
+type InternalSort int
+
+const (
+	// SortComparison uses the Cole-cost parallel merge sort (default).
+	SortComparison InternalSort = iota
+	// SortRadix uses the Rajasekaran–Reif-style parallel radix sort that
+	// Section 5 invokes for the Θ((N/P) log N) internal bound.
+	SortRadix
+)
+
+// Placement selects the block-placement discipline of the distribution
+// pass. PlacementBalanced is the paper's contribution; the other two are the
+// algorithms it is measured against.
+type Placement int
+
+const (
+	// PlacementBalanced uses the histogram/auxiliary-matrix machinery with
+	// matching-based rebalancing (Balance Sort proper).
+	PlacementBalanced Placement = iota
+	// PlacementRandom assigns each track's blocks to a uniformly random
+	// permutation of the virtual disks — the randomized placement of
+	// Vitter–Shriver's distribution sort [ViSa], which Balance Sort
+	// derandomizes.
+	PlacementRandom
+	// PlacementRoundRobin assigns each bucket's blocks to consecutive
+	// virtual disks with a per-bucket cursor — the naive deterministic
+	// strategy. Blocks of different buckets that collide on a virtual disk
+	// within a track are pushed to extra write rounds, inflating the I/O
+	// count (the failure mode the balance matrices exist to avoid).
+	PlacementRoundRobin
+)
+
+// Region names n records stored block-aligned and striped over all D disks
+// starting at block offset Off (the layout of pdm.WriteStripe).
+type Region struct {
+	Off int
+	N   int
+}
+
+// Metrics reports what one Sort call did, in model units.
+type Metrics struct {
+	N          int
+	IOs        int64
+	ReadIOs    int64
+	WriteIOs   int64
+	BlocksRead int64
+	BlocksWrit int64
+
+	PRAMTime float64
+	PRAMWork float64
+
+	Balance balance.Stats
+
+	// MaxBucketReadRatio is the worst observed (parallel reads needed for a
+	// bucket) / (optimal ⌈N_b/(H·VB)⌉) — Theorem 4 bounds it near 2.
+	MaxBucketReadRatio float64
+	// MaxBucketFrac is the worst observed N_b / (N/S) over all distribution
+	// passes — the partition-element guarantee bounds it near 2.
+	MaxBucketFrac float64
+	// Depth is the deepest recursion level reached (0 = no distribution).
+	Depth int
+	// Passes counts distribution passes performed.
+	Passes int
+	// MemPeak is the high-water internal memory use in records.
+	MemPeak int
+}
+
+// LowerBoundIOs evaluates the paper's I/O lower bound (Theorem 1),
+// (N/(DB)) · log(N/B)/log(M/B), with log x = max(1, log2 x). Balance Sort's
+// measured I/Os divided by this should be a flat constant (experiment E1).
+func LowerBoundIOs(n int, p pdm.Params) float64 {
+	if n == 0 {
+		return 0
+	}
+	lg := func(x float64) float64 {
+		if x <= 2 {
+			return 1
+		}
+		return math.Log2(x)
+	}
+	fn := float64(n)
+	return fn / float64(p.D*p.B) * lg(fn/float64(p.B)) / lg(float64(p.M)/float64(p.B))
+}
+
+// DiskSorter runs Balance Sort on a simulated disk array.
+type DiskSorter struct {
+	arr *pdm.Array
+	vd  *pdm.Virtual
+	cpu *pram.Machine
+	cfg DiskConfig
+
+	s       int // buckets per pass
+	memload int // records per memoryload (phase-1 unit), B-aligned
+
+	met Metrics
+}
+
+// NewDiskSorter prepares a sorter over the array. The array's parameters
+// must satisfy the model constraints; cfg.V must divide D.
+func NewDiskSorter(arr *pdm.Array, cfg DiskConfig) *DiskSorter {
+	p := arr.Params()
+	if cfg.V == 0 {
+		cfg.V = p.D
+	}
+	if cfg.P == 0 {
+		cfg.P = 1
+	}
+	if cfg.TCost == nil {
+		cfg.TCost = matching.PRAMCost
+	}
+	s := cfg.S
+	if s == 0 {
+		s = int(math.Floor(math.Pow(float64(p.M)/float64(p.B), 0.25)))
+	}
+	if s < 2 {
+		s = 2
+	}
+	ds := &DiskSorter{
+		arr: arr,
+		vd:  pdm.NewVirtual(arr, cfg.V),
+		cpu: pram.NewVariant(cfg.P, cfg.PRAM),
+		cfg: cfg,
+		s:   s,
+	}
+	// The distribution pass keeps one track, the pending/carried blocks of
+	// the previous track, and the partial per-bucket pools resident at
+	// once, so the sorter wants DB <= M/4 (a constant factor tighter than
+	// the model's DB <= M/2).
+	if 4*p.D*p.B > p.M {
+		panic(fmt.Sprintf("core: DB = %d exceeds M/4 = %d; the sorter needs that headroom", p.D*p.B, p.M/4))
+	}
+	ds.memload = (p.M / 2 / p.B) * p.B
+	if ds.memload < ds.vd.V()*ds.vd.VB() {
+		panic(fmt.Sprintf("core: memoryload %d smaller than one track %d", ds.memload, ds.vd.V()*ds.vd.VB()))
+	}
+	if ds.s*ds.vd.VB() > p.M/4 {
+		panic(fmt.Sprintf("core: S*VB = %d exceeds M/4 = %d; lower S or V", ds.s*ds.vd.VB(), p.M/4))
+	}
+	return ds
+}
+
+// CPU exposes the PRAM cost model (for experiment harnesses).
+func (ds *DiskSorter) CPU() *pram.Machine { return ds.cpu }
+
+// internalSort sorts an in-memory slice with the configured algorithm.
+func (ds *DiskSorter) internalSort(rs []record.Record) {
+	if ds.cfg.Internal == SortRadix {
+		ds.cpu.SortRadix(rs)
+		return
+	}
+	ds.cpu.Sort(rs)
+}
+
+// S returns the bucket count per distribution pass.
+func (ds *DiskSorter) S() int { return ds.s }
+
+// Metrics returns the metrics of the last Sort call.
+func (ds *DiskSorter) Metrics() Metrics { return ds.met }
+
+// Sort sorts the n records striped at block offset off and returns the
+// sorted output as an ordered list of striped segments (reading the
+// segments in order yields the records in nondecreasing order).
+func (ds *DiskSorter) Sort(off, n int) []Region {
+	ds.met = Metrics{N: n, MaxBucketFrac: 0}
+	ds.arr.ResetStats()
+	ds.cpu.Reset()
+
+	segs := ds.sortSource(newStripedSource(ds.arr, off, n), 0)
+
+	st := ds.arr.Stats()
+	ds.met.IOs = st.IOs
+	ds.met.ReadIOs = st.ReadIOs
+	ds.met.WriteIOs = st.WriteIOs
+	ds.met.BlocksRead = st.BlocksRead
+	ds.met.BlocksWrit = st.BlocksWritten
+	ds.met.PRAMTime = ds.cpu.Time()
+	ds.met.PRAMWork = ds.cpu.Work()
+	ds.met.MemPeak = ds.arr.Mem.Peak()
+	return segs
+}
+
+const maxDepth = 64 // runaway-recursion guard; log_S(N) never approaches this
+
+func (ds *DiskSorter) sortSource(src source, depth int) []Region {
+	if depth > maxDepth {
+		panic("core: recursion depth exceeded — distribution is not making progress")
+	}
+	if depth > ds.met.Depth {
+		ds.met.Depth = depth
+	}
+	n := src.Total()
+	if n == 0 {
+		return nil
+	}
+	if n <= ds.memload {
+		return ds.baseCase(src)
+	}
+	return ds.distribute(src, depth)
+}
+
+// baseCase reads the remaining records, sorts them internally, and writes
+// them out as one striped segment (Algorithm 1's N <= M branch, with the
+// memoryload as the threshold so one buffer fits alongside bookkeeping).
+func (ds *DiskSorter) baseCase(src source) []Region {
+	n := src.Total()
+	ds.arr.Mem.Use(n)
+	recs := src.ReadSome(n)
+	if len(recs) != n {
+		panic(fmt.Sprintf("core: source yielded %d of %d records", len(recs), n))
+	}
+	ds.internalSort(recs)
+	seg := ds.writeStriped(recs)
+	ds.arr.Mem.Release(n)
+	return []Region{seg}
+}
+
+// writeStriped allocates a fresh aligned region and writes recs to it.
+func (ds *DiskSorter) writeStriped(recs []record.Record) Region {
+	p := ds.arr.Params()
+	blocks := (len(recs) + p.B - 1) / p.B
+	perDisk := (blocks + p.D - 1) / p.D
+	off := ds.arr.AllocStripe(perDisk)
+	ds.arr.WriteStripe(off, recs)
+	return Region{Off: off, N: len(recs)}
+}
+
+// formedBlock is a virtual block assembled in memory, waiting for the
+// balancer to place it.
+type formedBlock struct {
+	bucket int
+	recs   []record.Record // len <= VB; padded at write time
+	count  int
+}
+
+// distribute is one pass of Algorithm 1's else-branch on the disk model:
+// form sorted runs while sampling (phase 1), pick partition elements
+// (phase 2), stream the runs through the balancer into per-bucket block
+// chains (phase 3), then recurse per bucket.
+func (ds *DiskSorter) distribute(src source, depth int) []Region {
+	n := src.Total()
+	ds.met.Passes++
+
+	// --- Phase 1: memoryload runs + evenly spaced sampling ---------------
+	stride := (4*n + ds.arr.M() - 1) / ds.arr.M() // sample size <= M/4
+	if stride < 4 {
+		stride = 4
+	}
+	if stride > ds.memload {
+		// Tiny-memory regime: the one-level stride would skip whole
+		// memoryloads and leave the sample empty. Sample every load and
+		// thin below instead (multi-level sampling).
+		stride = ds.memload
+	}
+	var sample []record.Record
+	var runs []Region
+	for src.Total() > 0 {
+		want := ds.memload
+		if t := src.Total(); t < want {
+			want = t
+		}
+		ds.arr.Mem.Use(want)
+		load := src.ReadSome(want)
+		ds.internalSort(load)
+		step := stride
+		if step > len(load) {
+			step = len(load) // at least one sample per sorted run
+		}
+		for i := step - 1; i < len(load); i += step {
+			sample = append(sample, load[i])
+			ds.arr.Mem.Use(1)
+		}
+		// Keep the sample within its M/4 budget: halve it whenever it
+		// overflows. Thinning coarsens the pivots (buckets may exceed
+		// 2N/S), which only deepens the recursion — correctness is
+		// unaffected.
+		for len(sample) > ds.arr.M()/4 {
+			kept := sample[:0]
+			for k := 1; k < len(sample); k += 2 {
+				kept = append(kept, sample[k])
+			}
+			ds.arr.Mem.Release(len(sample) - len(kept))
+			sample = kept
+		}
+		runs = append(runs, ds.writeStriped(load))
+		ds.arr.Mem.Release(want)
+	}
+
+	// --- Phase 2: partition elements from the sample ---------------------
+	ds.internalSort(sample)
+	s := ds.s
+	pivots := make([]record.Record, 0, s-1)
+	for j := 1; j < s; j++ {
+		idx := j*len(sample)/s - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		pivots = append(pivots, sample[idx])
+	}
+	ds.arr.Mem.Release(len(sample))
+	sample = nil
+	ds.arr.Mem.Use(len(pivots))
+
+	// --- Phase 3: balanced distribution into block chains ----------------
+	h := ds.vd.V()
+	vb := ds.vd.VB()
+	pl := ds.newPlacer(s, h)
+	matrixWords := 3 * s * h
+	ds.arr.Mem.Use(matrixWords / 2) // X, A, L matrices; 2 words per record-equivalent
+
+	buckets := make([]*chains, s)
+	for b := range buckets {
+		buckets[b] = newChains(h)
+	}
+	pools := make([][]record.Record, s)
+	var pending []formedBlock
+	counts := make([]int, s)
+
+	// Records are charged against internal memory exactly once, when their
+	// track is read; flushWrites releases a block's records when they reach
+	// disk, so pools, pending blocks, and carried blocks stay charged for
+	// as long as they are resident.
+	placeTracks := func(final bool) {
+		idle := 0
+		for (len(pending) >= h) || (final && len(pending) > 0) {
+			take := len(pending)
+			if take > h {
+				take = h
+			}
+			track := pending[:take]
+			labels := make([]int, take)
+			for i, fb := range track {
+				labels[i] = fb.bucket
+			}
+			writes, carry := pl.placeTrack(labels)
+			if len(writes) == 0 {
+				idle++
+				if idle > 10*h {
+					panic("core: balancer made no progress on tail blocks")
+				}
+			} else {
+				idle = 0
+			}
+			ds.flushWrites(track, writes, buckets)
+			rest := append([]formedBlock(nil), pending[take:]...)
+			for _, c := range carry {
+				rest = append(rest, track[c])
+			}
+			pending = rest
+		}
+	}
+
+	trackRecs := h * vb
+	for _, run := range runs {
+		rsrc := newStripedSource(ds.arr, run.Off, run.N)
+		for rsrc.Total() > 0 {
+			want := trackRecs
+			if t := rsrc.Total(); t < want {
+				want = t
+			}
+			ds.arr.Mem.Use(want)
+			recs := rsrc.ReadSome(want)
+			labels := ds.cpu.Partition(recs, pivots)
+			ds.cpu.ChargeScan(len(recs))
+			for i, r := range recs {
+				b := labels[i]
+				counts[b]++
+				pools[b] = append(pools[b], r)
+				if len(pools[b]) == vb {
+					pending = append(pending, formedBlock{bucket: b, recs: pools[b], count: vb})
+					pools[b] = nil
+				}
+			}
+			placeTracks(false)
+		}
+	}
+
+	// Flush leftovers as (possibly partial) blocks and drain the queue.
+	for b, pool := range pools {
+		if len(pool) > 0 {
+			pending = append(pending, formedBlock{bucket: b, recs: pool, count: len(pool)})
+			pools[b] = nil
+		}
+	}
+	placeTracks(true)
+
+	ds.arr.Mem.Release(len(pivots))
+	ds.arr.Mem.Release(matrixWords / 2)
+
+	// Bookkeeping for the paper's guarantees.
+	bs := pl.stats()
+	ds.met.Balance.Tracks += bs.Tracks
+	ds.met.Balance.BlocksPlaced += bs.BlocksPlaced
+	ds.met.Balance.BlocksCarried += bs.BlocksCarried
+	ds.met.Balance.TwosIntroduced += bs.TwosIntroduced
+	ds.met.Balance.RearrangeCalls += bs.RearrangeCalls
+	ds.met.Balance.RearrangeMoves += bs.RearrangeMoves
+	ds.met.Balance.MatchTime += bs.MatchTime
+	ds.met.Balance.ExtraWriteSteps += bs.ExtraWriteSteps
+	ds.cpu.Charge(0, bs.MatchTime)
+
+	for b := 0; b < s; b++ {
+		if counts[b] > 0 {
+			frac := float64(counts[b]) * float64(s) / float64(n)
+			if frac > ds.met.MaxBucketFrac {
+				ds.met.MaxBucketFrac = frac
+			}
+			if counts[b] >= n {
+				panic("core: distribution made no progress (one bucket holds everything)")
+			}
+			opt := (buckets[b].total + h*vb - 1) / (h * vb)
+			if opt > 0 {
+				ratio := float64(buckets[b].rounds()) / float64(opt)
+				if ratio > ds.met.MaxBucketReadRatio {
+					ds.met.MaxBucketReadRatio = ratio
+				}
+			}
+		}
+	}
+
+	// --- Recurse bucket by bucket, appending sorted segments -------------
+	var segs []Region
+	for b := 0; b < s; b++ {
+		if buckets[b].total == 0 {
+			continue
+		}
+		segs = append(segs, ds.sortSource(newChainSource(ds.vd, buckets[b]), depth+1)...)
+	}
+	return segs
+}
+
+// flushWrites performs the parallel write I/Os for one track's placements,
+// one ParallelVIO per balancer round, and records the chain entries.
+func (ds *DiskSorter) flushWrites(track []formedBlock, writes []balance.Placement, buckets []*chains) {
+	if len(writes) == 0 {
+		return
+	}
+	maxRound := 0
+	for _, w := range writes {
+		if w.Round > maxRound {
+			maxRound = w.Round
+		}
+	}
+	vb := ds.vd.VB()
+	for r := 0; r <= maxRound; r++ {
+		var ops []pdm.VOp
+		for _, w := range writes {
+			if w.Round != r {
+				continue
+			}
+			fb := track[w.Block]
+			data := fb.recs
+			if len(data) < vb {
+				padded := make([]record.Record, vb)
+				copy(padded, data)
+				for i := len(data); i < vb; i++ {
+					padded[i] = record.Record{Key: ^uint64(0), Loc: ^uint64(0)}
+				}
+				data = padded
+			}
+			off := ds.vd.Alloc(w.VDisk, 1)
+			ops = append(ops, pdm.VOp{VDisk: w.VDisk, Off: off, Write: true, Data: data})
+			buckets[fb.bucket].add(w.VDisk, off, fb.count)
+			ds.arr.Mem.Release(fb.count)
+		}
+		ds.vd.ParallelVIO(ops)
+	}
+}
+
+// ReadRegion reads a striped segment back into memory (verification and
+// facade use; counts I/Os like any other access).
+func (ds *DiskSorter) ReadRegion(r Region) []record.Record {
+	dst := make([]record.Record, r.N)
+	ds.arr.ReadStripe(r.Off, dst)
+	return dst
+}
+
+// WriteInput stripes the given records onto the array and returns the
+// region, for loading workloads before sorting.
+func (ds *DiskSorter) WriteInput(recs []record.Record) Region {
+	return ds.writeStriped(recs)
+}

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"balancesort/internal/balance"
+	"balancesort/internal/hier"
+	"balancesort/internal/record"
+)
+
+// HierConfig tunes the parallel-memory-hierarchy sorter of Section 4.
+type HierConfig struct {
+	// HPrime is the number of virtual hierarchies H'; 0 selects the
+	// paper's H^{1/3} (rounded to a divisor of H).
+	HPrime int
+	// Match, Rule, Seed configure the balancing exactly as in DiskConfig.
+	Match balance.MatchStrategy
+	Rule  balance.AuxRule
+	Seed  uint64
+	// NetSorter, when set, executes base-level sorts on a real interconnect
+	// simulator instead of charging the machine's T(H) formula: it must
+	// sort recs in place and return the parallel time to charge. The
+	// hypercube-bitonic interconnect is wired this way, so its charges are
+	// measured network steps rather than a closed form.
+	NetSorter func(recs []record.Record) float64
+}
+
+// Segment names n records striped over all H hierarchies: record i lives on
+// hierarchy i mod H at address Base + i/H.
+type Segment struct {
+	Base int
+	N    int
+}
+
+// HierMetrics reports one hierarchy sort in model units.
+type HierMetrics struct {
+	N          int
+	Time       float64 // total parallel time (access + interconnect)
+	AccessTime float64
+	NetTime    float64
+	Steps      int64
+
+	Balance       balance.Stats
+	Depth         int
+	Passes        int
+	MaxBucketFrac float64
+	// MaxLogSkew is the worst ratio of a virtual hierarchy's append-log
+	// length to the even share within one distribution pass — what the
+	// balancing keeps near 1 so that bucket gathering parallelizes.
+	MaxLogSkew float64
+}
+
+// HierSorter runs Balance Sort on a parallel memory hierarchy machine.
+type HierSorter struct {
+	m   *hier.Machine
+	cfg HierConfig
+	hp  int // H'
+	vb  int // records per virtual block = H/H' (one per member hierarchy)
+
+	met HierMetrics
+}
+
+// NewHierSorter prepares a sorter on the machine. cfg.HPrime must divide H
+// when set.
+func NewHierSorter(m *hier.Machine, cfg HierConfig) *HierSorter {
+	h := m.H()
+	hp := cfg.HPrime
+	if hp == 0 {
+		hp = divisorNear(h, int(math.Cbrt(float64(h))))
+	}
+	if hp < 1 || h%hp != 0 {
+		panic(fmt.Sprintf("core: H' = %d does not divide H = %d", hp, h))
+	}
+	return &HierSorter{m: m, cfg: cfg, hp: hp, vb: h / hp}
+}
+
+// divisorNear returns the largest divisor of h that is <= max(1, want).
+func divisorNear(h, want int) int {
+	if want < 1 {
+		want = 1
+	}
+	best := 1
+	for d := 1; d <= want && d <= h; d++ {
+		if h%d == 0 {
+			best = d
+		}
+	}
+	return best
+}
+
+// HPrime returns the virtual hierarchy count in use.
+func (hs *HierSorter) HPrime() int { return hs.hp }
+
+// Machine returns the underlying hierarchy machine.
+func (hs *HierSorter) Machine() *hier.Machine { return hs.m }
+
+// Metrics returns the metrics of the last Sort call.
+func (hs *HierSorter) Metrics() HierMetrics { return hs.met }
+
+// WriteInput stripes recs onto the hierarchies as a fresh segment.
+func (hs *HierSorter) WriteInput(recs []record.Record) Segment {
+	return hs.writeSegment(recs)
+}
+
+// ReadSegment reads a segment back (costs model time like any access).
+func (hs *HierSorter) ReadSegment(seg Segment) []record.Record {
+	h := hs.m.H()
+	depth := (seg.N + h - 1) / h
+	var ops []hier.Op
+	for hh := 0; hh < h; hh++ {
+		d := rowsOf(seg.N, h, hh)
+		if d > 0 {
+			ops = append(ops, hier.Op{H: hh, Addr: seg.Base, N: d, Base: seg.Base})
+		}
+	}
+	data := hs.m.ParallelRead(ops)
+	out := make([]record.Record, seg.N)
+	for i, op := range ops {
+		for r := 0; r < op.N; r++ {
+			out[r*h+op.H] = data[i][r]
+		}
+	}
+	_ = depth
+	return out
+}
+
+// rowsOf returns how many rows of an n-record segment hierarchy hh holds.
+func rowsOf(n, h, hh int) int {
+	full := n / h
+	if hh < n%h {
+		return full + 1
+	}
+	return full
+}
+
+func (hs *HierSorter) writeSegment(recs []record.Record) Segment {
+	h := hs.m.H()
+	n := len(recs)
+	depth := (n + h - 1) / h
+	base := hs.m.AllocAligned(0, h, depth)
+	var ops []hier.Op
+	for hh := 0; hh < h; hh++ {
+		d := rowsOf(n, h, hh)
+		if d == 0 {
+			continue
+		}
+		data := make([]record.Record, d)
+		for r := 0; r < d; r++ {
+			data[r] = recs[r*h+hh]
+		}
+		ops = append(ops, hier.Op{H: hh, Addr: base, N: d, Base: base, Data: data})
+	}
+	hs.m.ParallelWrite(ops)
+	return Segment{Base: base, N: n}
+}
+
+// Sort sorts the segment and returns a fresh segment holding the records in
+// nondecreasing order.
+func (hs *HierSorter) Sort(seg Segment) Segment {
+	hs.met = HierMetrics{N: seg.N}
+	hs.m.ResetCost()
+	out := hs.sortSegment(seg, 0)
+	hs.met.Time = hs.m.Time()
+	hs.met.AccessTime = hs.m.AccessTime()
+	hs.met.NetTime = hs.m.NetTime()
+	hs.met.Steps = hs.m.Steps()
+	return out
+}
+
+func (hs *HierSorter) sortSegment(seg Segment, depth int) Segment {
+	if depth > maxDepth {
+		panic("core: hierarchy recursion depth exceeded")
+	}
+	if depth > hs.met.Depth {
+		hs.met.Depth = depth
+	}
+	h := hs.m.H()
+	n := seg.N
+	if n <= 3*h {
+		return hs.baseCaseSegment(seg)
+	}
+
+	// Parameter choice satisfying the paper's sufficient condition
+	// G log N <= N/S for the 2N/S bucket bound: S ~ sqrt(N/(2 log N)) and
+	// groups of about S log N records.
+	lg := int(math.Max(1, math.Log2(float64(n))))
+	s := int(math.Sqrt(float64(n) / float64(2*lg)))
+	if s < 2 {
+		return hs.binaryMergeSort(seg)
+	}
+	groupRecs := s * lg
+	groupRecs = ((groupRecs + h - 1) / h) * h // row-aligned groups
+	g := (n + groupRecs - 1) / groupRecs
+	if g < 2 {
+		return hs.binaryMergeSort(seg)
+	}
+
+	// Frame discipline: the output segment is allocated first, directly at
+	// the frame mark; everything this level allocates above it (group
+	// results, the sample C, the append logs, the bucket segments, the
+	// children's results) is popped once the output is written, so the
+	// level's net allocation is exactly its output. Without this, garbage
+	// pushes live data ever deeper and the hierarchy charges f(depth) for
+	// it — the antithesis of the paper's algorithms.
+	mark := hs.m.PushOrigin()
+	defer hs.m.PopOrigin()
+	out := newSegWriter(hs, n)
+
+	// --- Algorithm 2, line (1): sort the G groups recursively -----------
+	groups := make([]Segment, 0, g)
+	for r, remaining := 0, n; remaining > 0; {
+		take := groupRecs
+		if take > remaining {
+			take = remaining
+		}
+		sub := Segment{Base: seg.Base + r, N: take}
+		groups = append(groups, hs.sortSegment(sub, depth+1))
+		r += take / h
+		remaining -= take
+	}
+
+	// --- Algorithm 2, lines (2-4): sample, merge-sort C, pick pivots ----
+	var sample []record.Record
+	for _, grp := range groups {
+		sample = append(sample, hs.sampleSegment(grp, lg)...)
+	}
+	cseg := hs.writeSegment(sample)
+	cseg = hs.binaryMergeSort(cseg)
+	sorted := hs.ReadSegment(cseg) // pivot extraction touches all of C once
+	pivots := make([]record.Record, 0, s-1)
+	for j := 1; j < s; j++ {
+		idx := j*len(sorted)/s - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		pivots = append(pivots, sorted[idx])
+	}
+
+	// --- Algorithm 3: balanced distribution ------------------------------
+	buckets, counts := hs.distributeSegments(groups, pivots, s)
+	for b, c := range counts {
+		if c > 0 {
+			frac := float64(c) * float64(s) / float64(n)
+			if frac > hs.met.MaxBucketFrac {
+				hs.met.MaxBucketFrac = frac
+			}
+			if c >= n {
+				panic("core: hierarchy distribution made no progress")
+			}
+		}
+		_ = b
+	}
+
+	// --- Recurse per bucket and concatenate ------------------------------
+	if out.base != mark {
+		panic("core: output segment not at the frame mark")
+	}
+	for b := range buckets {
+		if buckets[b].N == 0 {
+			continue
+		}
+		topBefore := hs.m.MaxTop()
+		sorted := hs.sortSegment(buckets[b], depth+1)
+		rd := newSegReader(hs, sorted)
+		for {
+			recs := rd.next(4 * h)
+			if len(recs) == 0 {
+				break
+			}
+			out.append(recs)
+		}
+		// The child's result has been copied into out; pop it.
+		hs.m.TruncateTo(topBefore)
+	}
+	res := out.close()
+	hs.m.TruncateTo(res.Base + hs.segDepth(res.N))
+	return res
+}
+
+// baseCaseSegment is Algorithm 1's N <= 3H branch: pull the rows to the
+// base level, sort across the interconnect, write back out.
+func (hs *HierSorter) baseCaseSegment(seg Segment) Segment {
+	recs := hs.ReadSegment(seg)
+	hs.netSort(recs)
+	return hs.writeSegment(recs)
+}
+
+// netSort sorts recs across the interconnect: on the executed network when
+// one is configured, otherwise host-side with the machine's T(H) charge
+// (<= 3 rows of H records each means constant sorting rounds).
+func (hs *HierSorter) netSort(recs []record.Record) {
+	if hs.cfg.NetSorter != nil {
+		hs.m.ChargeNet(hs.cfg.NetSorter(recs))
+		return
+	}
+	sortRecords(recs)
+	hs.m.ChargeNetSort(len(recs))
+}
+
+// binaryMergeSort sorts a segment by repeated two-way merging with
+// hierarchy striping — the C-sorting routine of Algorithm 2, line (3), and
+// the fallback when a segment is too small for distribution to pay off.
+func (hs *HierSorter) binaryMergeSort(seg Segment) Segment {
+	h := hs.m.H()
+	n := seg.N
+	if n <= 3*h {
+		return hs.baseCaseSegment(seg)
+	}
+	hs.m.PushOrigin()
+	defer hs.m.PopOrigin()
+
+	// Two ping-pong regions of the segment's depth: every pass reads runs
+	// from one and writes into the other, so the merge never works deeper
+	// than ~2·(N/H) no matter how many passes run. (Letting each pass
+	// allocate fresh space would push later passes log N times deeper —
+	// under BT's f(x) = x^α charges that is a measurable extra factor.)
+	d := hs.segDepth(n) + 1 // +1 absorbs partial-row rounding
+	baseA := hs.m.AllocAligned(0, h, d)
+	baseB := hs.m.AllocAligned(0, h, d)
+
+	// Initial runs: base-case sorted 3H-record chunks written into A.
+	var runs []Segment
+	row := 0
+	for r, remaining := 0, n; remaining > 0; {
+		take := 3 * h
+		if take > remaining {
+			take = remaining
+		}
+		recs := hs.ReadSegment(Segment{Base: seg.Base + r, N: take})
+		hs.netSort(recs)
+		w := newSegWriterAt(hs, baseA+row, take)
+		w.append(recs)
+		runs = append(runs, w.close())
+		row += hs.segDepth(take)
+		r += 3
+		remaining -= take
+	}
+
+	other := baseB
+	for len(runs) > 1 {
+		var next []Segment
+		row := 0
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				// Odd run: stream-copy it across so every live run is in
+				// the destination region before the regions swap roles.
+				w := newSegWriterAt(hs, other+row, runs[i].N)
+				hs.streamCopy(runs[i], w)
+				next = append(next, w.close())
+				row += hs.segDepth(runs[i].N)
+				continue
+			}
+			total := runs[i].N + runs[i+1].N
+			w := newSegWriterAt(hs, other+row, total)
+			hs.mergeInto(runs[i], runs[i+1], w)
+			next = append(next, w.close())
+			row += hs.segDepth(total)
+		}
+		runs = next
+		if other == baseB {
+			other = baseA
+		} else {
+			other = baseB
+		}
+	}
+	res := runs[0]
+	hs.m.TruncateTo(res.Base + hs.segDepth(res.N))
+	return res
+}
+
+// streamCopy moves a segment's records into the writer.
+func (hs *HierSorter) streamCopy(seg Segment, w *segWriter) {
+	rd := newSegReader(hs, seg)
+	for {
+		recs := rd.next(4 * hs.m.H())
+		if len(recs) == 0 {
+			return
+		}
+		w.append(recs)
+	}
+}
+
+// mergeInto two-way merges sorted segments into the writer with streamed
+// reads and writes; the interconnect is charged one scan per merged batch.
+func (hs *HierSorter) mergeInto(a, b Segment, out *segWriter) {
+	h := hs.m.H()
+	ra, rb := newSegReader(hs, a), newSegReader(hs, b)
+	bufA, bufB := ra.next(h), rb.next(h)
+	for len(bufA) > 0 || len(bufB) > 0 {
+		emitted := 0
+		for len(bufA) > 0 && len(bufB) > 0 && emitted < h {
+			if bufB[0].Less(bufA[0]) {
+				out.append(bufB[:1])
+				bufB = bufB[1:]
+			} else {
+				out.append(bufA[:1])
+				bufA = bufA[1:]
+			}
+			emitted++
+		}
+		if len(bufA) == 0 {
+			bufA = ra.next(h)
+			if len(bufA) == 0 && len(bufB) > 0 {
+				out.append(bufB)
+				bufB = rb.next(h)
+				for len(bufB) > 0 {
+					out.append(bufB)
+					bufB = rb.next(h)
+				}
+				break
+			}
+		}
+		if len(bufB) == 0 {
+			bufB = rb.next(h)
+			if len(bufB) == 0 && len(bufA) > 0 {
+				out.append(bufA)
+				bufA = ra.next(h)
+				for len(bufA) > 0 {
+					out.append(bufA)
+					bufA = ra.next(h)
+				}
+				break
+			}
+		}
+		hs.m.ChargeNetScan(emitted)
+	}
+}
+
+// sampleSegment sets aside every k-th record of a (sorted) segment into the
+// sample, Algorithm 2 line (2). The records are streamed through the base
+// level with the same long-transfer discipline as every other pass — the
+// paper gets the sample for free during the group sort's output pass;
+// streaming it separately costs one extra scan, a constant factor. Point
+// reads would be fatal here: under BT with f(x) = x they would cost
+// Θ((N/H)²/log N) and swamp the whole sort.
+func (hs *HierSorter) sampleSegment(seg Segment, k int) []record.Record {
+	h := hs.m.H()
+	rd := newSegReader(hs, seg)
+	var out []record.Record
+	idx := 0
+	for {
+		chunk := rd.next(4 * h)
+		if len(chunk) == 0 {
+			return out
+		}
+		for _, r := range chunk {
+			idx++
+			if idx%k == 0 {
+				out = append(out, r)
+			}
+		}
+	}
+}
+
+func sortRecords(rs []record.Record) {
+	// Host-side mirror of the base-level sort whose model cost the caller
+	// charges; simple insertion-free path via the standard library.
+	quickSortRecords(rs)
+}
+
+func quickSortRecords(rs []record.Record) {
+	if len(rs) < 2 {
+		return
+	}
+	// sort.Slice without the interface overhead matters here because the
+	// hierarchy sorter base-cases millions of tiny chunks.
+	insertionThreshold := 24
+	if len(rs) <= insertionThreshold {
+		for i := 1; i < len(rs); i++ {
+			for j := i; j > 0 && rs[j].Less(rs[j-1]); j-- {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			}
+		}
+		return
+	}
+	p := rs[len(rs)/2]
+	lo, i, hi := 0, 0, len(rs)
+	for i < hi {
+		switch rs[i].Compare(p) {
+		case -1:
+			rs[lo], rs[i] = rs[i], rs[lo]
+			lo++
+			i++
+		case 1:
+			hi--
+			rs[i], rs[hi] = rs[hi], rs[i]
+		default:
+			i++
+		}
+	}
+	quickSortRecords(rs[:lo])
+	quickSortRecords(rs[hi:])
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"balancesort/internal/balance"
+	"balancesort/internal/bt"
+	"balancesort/internal/hier"
+	"balancesort/internal/hmm"
+	"balancesort/internal/matching"
+	"balancesort/internal/record"
+	"balancesort/internal/umh"
+)
+
+func hmmMachine(h int) *hier.Machine {
+	return hier.New(h, hmm.Model{Cost: hmm.LogCost{}}, matching.PRAMCost)
+}
+
+func sortOnHier(t *testing.T, m *hier.Machine, cfg HierConfig, recs []record.Record) ([]record.Record, *HierSorter) {
+	t.Helper()
+	hs := NewHierSorter(m, cfg)
+	seg := hs.WriteInput(recs)
+	out := hs.Sort(seg)
+	return hs.ReadSegment(out), hs
+}
+
+func TestHierBaseCase(t *testing.T) {
+	in := record.Generate(record.Uniform, 20, 1) // <= 3H for H=8
+	out, hs := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+	checkSorted(t, in, out)
+	if hs.Metrics().Passes != 0 {
+		t.Fatalf("base case ran %d distribution passes", hs.Metrics().Passes)
+	}
+}
+
+func TestHierSmallViaMerge(t *testing.T) {
+	// Sizes where S < 2 force the binary-merge fallback.
+	in := record.Generate(record.Uniform, 100, 2)
+	out, _ := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+	checkSorted(t, in, out)
+}
+
+func TestHierDistributionPath(t *testing.T) {
+	in := record.Generate(record.Uniform, 20000, 3)
+	out, hs := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+	checkSorted(t, in, out)
+	if hs.Metrics().Passes < 1 {
+		t.Fatal("large input did not use distribution")
+	}
+	if hs.Metrics().Time <= 0 {
+		t.Fatal("no cost accrued")
+	}
+}
+
+func TestHierAllWorkloads(t *testing.T) {
+	for _, w := range record.AllWorkloads {
+		in := record.Generate(w, 8000, 4)
+		out, _ := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+		checkSorted(t, in, out)
+	}
+}
+
+func TestHierVariousH(t *testing.T) {
+	for _, h := range []int{1, 2, 4, 8, 16, 64} {
+		in := record.Generate(record.Uniform, 6000, uint64(h))
+		out, hs := sortOnHier(t, hmmMachine(h), HierConfig{}, in)
+		checkSorted(t, in, out)
+		if h >= 8 && hs.HPrime() < 2 {
+			t.Fatalf("H=%d: H' = %d, expected >= 2", h, hs.HPrime())
+		}
+	}
+}
+
+func TestHierHPrimeDefaultsToCubeRootDivisor(t *testing.T) {
+	hs := NewHierSorter(hmmMachine(64), HierConfig{})
+	if hs.HPrime() != 4 {
+		t.Fatalf("H'=%d for H=64, want 4", hs.HPrime())
+	}
+	hs2 := NewHierSorter(hmmMachine(27), HierConfig{})
+	if hs2.HPrime() != 3 {
+		t.Fatalf("H'=%d for H=27, want 3", hs2.HPrime())
+	}
+}
+
+func TestHierOnBTModel(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1, 2} {
+		m := hier.New(8, bt.Model{Cost: hmm.PowerCost{Alpha: alpha}}, matching.PRAMCost)
+		in := record.Generate(record.Uniform, 10000, 5)
+		out, _ := sortOnHier(t, m, HierConfig{}, in)
+		checkSorted(t, in, out)
+	}
+}
+
+func TestHierOnBTLog(t *testing.T) {
+	m := hier.New(8, bt.Model{Cost: hmm.LogCost{}}, matching.PRAMCost)
+	in := record.Generate(record.Uniform, 10000, 6)
+	out, _ := sortOnHier(t, m, HierConfig{}, in)
+	checkSorted(t, in, out)
+}
+
+func TestHierOnUMHModel(t *testing.T) {
+	m := hier.New(8, umh.Model{Rho: 2, Alpha: 1}, matching.PRAMCost)
+	in := record.Generate(record.Uniform, 8000, 7)
+	out, _ := sortOnHier(t, m, HierConfig{}, in)
+	checkSorted(t, in, out)
+}
+
+func TestHierHypercubeInterconnect(t *testing.T) {
+	m := hier.New(8, hmm.Model{Cost: hmm.LogCost{}}, matching.HypercubeCost)
+	in := record.Generate(record.Uniform, 10000, 8)
+	out, hs := sortOnHier(t, m, HierConfig{}, in)
+	checkSorted(t, in, out)
+
+	m2 := hmmMachine(8)
+	_, hs2 := sortOnHier(t, m2, HierConfig{}, in)
+	if hs.Metrics().NetTime <= hs2.Metrics().NetTime {
+		t.Fatal("hypercube interconnect should cost more than PRAM")
+	}
+}
+
+func TestHierDeterministic(t *testing.T) {
+	in := record.Generate(record.Uniform, 12000, 9)
+	out1, hs1 := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+	out2, hs2 := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatal("hierarchy sort not deterministic")
+		}
+	}
+	if hs1.Metrics().Time != hs2.Metrics().Time {
+		t.Fatal("hierarchy cost not deterministic")
+	}
+}
+
+func TestHierRandomizedMatching(t *testing.T) {
+	in := record.Generate(record.BucketSkew, 12000, 10)
+	out, _ := sortOnHier(t, hmmMachine(8), HierConfig{Match: balance.MatchRandomized, Seed: 3}, in)
+	checkSorted(t, in, out)
+}
+
+func TestHierBucketFracBounded(t *testing.T) {
+	in := record.Generate(record.Uniform, 30000, 11)
+	out, hs := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+	checkSorted(t, in, out)
+	if f := hs.Metrics().MaxBucketFrac; f > 2.5 {
+		t.Fatalf("max bucket %.2fx even share, pivot guarantee is ~2x", f)
+	}
+}
+
+func TestHierLogSkewBounded(t *testing.T) {
+	for _, w := range []record.Workload{record.Uniform, record.BucketSkew} {
+		in := record.Generate(w, 30000, 12)
+		out, hs := sortOnHier(t, hmmMachine(8), HierConfig{}, in)
+		checkSorted(t, in, out)
+		if sk := hs.Metrics().MaxLogSkew; sk > 2.0 {
+			t.Fatalf("%v: append-log skew %.2f — balancing failed", w, sk)
+		}
+	}
+}
+
+func TestHierEmptyAndSingle(t *testing.T) {
+	out, _ := sortOnHier(t, hmmMachine(4), HierConfig{}, nil)
+	if len(out) != 0 {
+		t.Fatal("empty input produced records")
+	}
+	in := []record.Record{{Key: 3}}
+	out, _ = sortOnHier(t, hmmMachine(4), HierConfig{}, in)
+	checkSorted(t, in, out)
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	m := hmmMachine(4)
+	hs := NewHierSorter(m, HierConfig{})
+	for _, n := range []int{1, 3, 4, 5, 17, 100} {
+		in := record.Generate(record.Uniform, n, uint64(n))
+		seg := hs.WriteInput(in)
+		got := hs.ReadSegment(seg)
+		for i := range in {
+			if got[i] != in[i] {
+				t.Fatalf("n=%d: segment round trip mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSegReaderWriterStream(t *testing.T) {
+	m := hmmMachine(4)
+	hs := NewHierSorter(m, HierConfig{})
+	in := record.Generate(record.Uniform, 1001, 13)
+	w := newSegWriter(hs, len(in))
+	for i := 0; i < len(in); i += 7 {
+		j := i + 7
+		if j > len(in) {
+			j = len(in)
+		}
+		w.append(in[i:j])
+	}
+	seg := w.close()
+	r := newSegReader(hs, seg)
+	var got []record.Record
+	for {
+		chunk := r.next(13)
+		if len(chunk) == 0 {
+			break
+		}
+		got = append(got, chunk...)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("streamed %d of %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("stream mismatch at %d", i)
+		}
+	}
+}
+
+func TestDivisorNear(t *testing.T) {
+	cases := []struct{ h, want, got int }{
+		{64, 4, divisorNear(64, 4)},
+		{32, 3, divisorNear(32, 3)}, // largest divisor <= 3 is 2
+		{27, 3, divisorNear(27, 3)},
+		{7, 1, divisorNear(7, 1)},
+	}
+	if cases[0].got != 4 || cases[1].got != 2 || cases[2].got != 3 || cases[3].got != 1 {
+		t.Fatalf("divisorNear results: %+v", cases)
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+
+	"balancesort/internal/balance"
+	"balancesort/internal/hier"
+	"balancesort/internal/record"
+)
+
+// bucketOf returns the number of pivots <= r — r's bucket index.
+func bucketOf(r record.Record, pivots []record.Record) int {
+	lo, hi := 0, len(pivots)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pivots[mid].Less(r) || pivots[mid] == r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// rowMeta describes one virtual block (= one row of a virtual hierarchy's
+// member group) sitting in a distribution append log.
+type rowMeta struct {
+	bucket int
+	count  int // real records in the row (<= vb; the rest is padding)
+}
+
+// flushRegion is one contiguous run of append-log rows on a virtual
+// hierarchy, written by a single long transfer. base is the region's cost
+// origin: addr-base equals the log's cumulative row depth before it.
+type flushRegion struct {
+	addr int
+	base int
+	rows []rowMeta
+}
+
+// vhierLog accumulates a virtual hierarchy's formed blocks: a base-side
+// buffer of pending rows plus the flushed regions on the member
+// hierarchies. Buffered long flushes are what keep the distribution's write
+// side affordable on BT hierarchies (every flush is one block transfer per
+// member hierarchy).
+type vhierLog struct {
+	pendingRows [][]record.Record // each of length vb (padded)
+	pendingMeta []rowMeta
+	regions     []flushRegion
+	totalRows   int
+}
+
+// distributeSegments streams the sorted groups through the balancing
+// discipline into per-virtual-hierarchy append logs, then gathers each
+// bucket into a fresh contiguous segment (the repositioning step Section
+// 4.4 requires for BT; run for HMM too at a constant-factor cost — see
+// DESIGN.md). It returns the bucket segments and their record counts.
+func (hs *HierSorter) distributeSegments(groups []Segment, pivots []record.Record, s int) ([]Segment, []int) {
+	h := hs.m.H()
+	hp := hs.hp
+	vb := hs.vb
+	hs.met.Passes++
+
+	bal := balance.New(balance.Config{
+		S: s, H: hp,
+		Rule:  hs.cfg.Rule,
+		Match: hs.cfg.Match,
+		Seed:  hs.cfg.Seed,
+		TCost: hs.m.TCost(),
+	})
+
+	logs := make([]*vhierLog, hp)
+	for i := range logs {
+		logs[i] = &vhierLog{}
+	}
+	pools := make([][]record.Record, s)
+	counts := make([]int, s)
+	var pending []formedBlock
+
+	bufferRow := func(vh int, fb formedBlock) {
+		row := fb.recs
+		if len(row) < vb {
+			padded := make([]record.Record, vb)
+			copy(padded, row)
+			for i := len(row); i < vb; i++ {
+				padded[i] = record.Record{Key: ^uint64(0), Loc: ^uint64(0)}
+			}
+			row = padded
+		}
+		logs[vh].pendingRows = append(logs[vh].pendingRows, row)
+		logs[vh].pendingMeta = append(logs[vh].pendingMeta, rowMeta{bucket: fb.bucket, count: fb.count})
+	}
+
+	// flushLogs writes every virtual hierarchy's pending rows in one
+	// parallel step (the member groups are disjoint, so one op per
+	// hierarchy suffices).
+	flushLogs := func() {
+		var ops []hier.Op
+		members := h / hp
+		for vh, lg := range logs {
+			k := len(lg.pendingRows)
+			if k == 0 {
+				continue
+			}
+			addr := hs.m.AllocAligned(vh*members, (vh+1)*members, k)
+			// The region's cost origin is set so that its rows continue at
+			// the log's cumulative depth (the log is one logical stream
+			// even when its flushes land in separate allocations).
+			base := addr - lg.totalRows
+			for mm := 0; mm < members; mm++ {
+				data := make([]record.Record, k)
+				for r := 0; r < k; r++ {
+					data[r] = lg.pendingRows[r][mm]
+				}
+				ops = append(ops, hier.Op{H: vh*members + mm, Addr: addr, N: k, Base: base, Data: data})
+			}
+			lg.regions = append(lg.regions, flushRegion{addr: addr, base: base, rows: lg.pendingMeta})
+			lg.totalRows += k
+			lg.pendingRows, lg.pendingMeta = nil, nil
+		}
+		hs.m.ParallelWrite(ops)
+	}
+
+	maybeFlush := func() {
+		for _, lg := range logs {
+			// Flush when the buffer reaches the transfer length that
+			// amortizes the log's current depth (touch-style growth).
+			threshold := hs.adaptiveLen(1, 1+lg.totalRows)
+			if len(lg.pendingRows) >= threshold {
+				flushLogs()
+				return
+			}
+		}
+	}
+
+	placeTracks := func(final bool) {
+		idle := 0
+		for (len(pending) >= hp) || (final && len(pending) > 0) {
+			take := len(pending)
+			if take > hp {
+				take = hp
+			}
+			track := pending[:take]
+			labels := make([]int, take)
+			for i, fb := range track {
+				labels[i] = fb.bucket
+			}
+			writes, carry := bal.PlaceTrack(labels)
+			if len(writes) == 0 {
+				idle++
+				if idle > 10*hp {
+					panic("core: hierarchy balancer made no progress on tail blocks")
+				}
+			} else {
+				idle = 0
+			}
+			for _, w := range writes {
+				bufferRow(w.VDisk, track[w.Block])
+			}
+			rest := append([]formedBlock(nil), pending[take:]...)
+			for _, c := range carry {
+				rest = append(rest, track[c])
+			}
+			pending = rest
+			maybeFlush()
+		}
+	}
+
+	lgS := math.Log2(float64(s))
+	if lgS < 1 {
+		lgS = 1
+	}
+	for _, grp := range groups {
+		rd := newSegReader(hs, grp)
+		for {
+			batch := rd.next(h)
+			if len(batch) == 0 {
+				break
+			}
+			// Partitioning one batch across the interconnect: a binary
+			// search over the S-1 pivots plus a routing scan.
+			hs.m.ChargeNet(lgS)
+			hs.m.ChargeNetScan(len(batch))
+			for _, r := range batch {
+				b := bucketOf(r, pivots)
+				counts[b]++
+				pools[b] = append(pools[b], r)
+				if len(pools[b]) == vb {
+					pending = append(pending, formedBlock{bucket: b, recs: pools[b], count: vb})
+					pools[b] = nil
+				}
+			}
+			placeTracks(false)
+		}
+	}
+	for b, pool := range pools {
+		if len(pool) > 0 {
+			pending = append(pending, formedBlock{bucket: b, recs: pool, count: len(pool)})
+			pools[b] = nil
+		}
+	}
+	placeTracks(true)
+	flushLogs()
+
+	// Matching time goes to the interconnect; balance stats to metrics.
+	bs := bal.Stats()
+	hs.m.ChargeNet(bs.MatchTime)
+	hs.met.Balance.Tracks += bs.Tracks
+	hs.met.Balance.BlocksPlaced += bs.BlocksPlaced
+	hs.met.Balance.BlocksCarried += bs.BlocksCarried
+	hs.met.Balance.TwosIntroduced += bs.TwosIntroduced
+	hs.met.Balance.RearrangeCalls += bs.RearrangeCalls
+	hs.met.Balance.RearrangeMoves += bs.RearrangeMoves
+	hs.met.Balance.MatchTime += bs.MatchTime
+	hs.met.Balance.ExtraWriteSteps += bs.ExtraWriteSteps
+
+	totalRows := 0
+	maxRows := 0
+	for _, lg := range logs {
+		totalRows += lg.totalRows
+		if lg.totalRows > maxRows {
+			maxRows = lg.totalRows
+		}
+	}
+	if totalRows > 0 {
+		skew := float64(maxRows) * float64(hp) / float64(totalRows)
+		if skew > hs.met.MaxLogSkew {
+			hs.met.MaxLogSkew = skew
+		}
+	}
+
+	return hs.gatherBuckets(logs, counts), counts
+}
+
+// gatherBuckets repositions every bucket into a contiguous striped segment:
+// region-by-region, all virtual hierarchies are read in lockstep rounds
+// (one parallel step per round), and each row's records are routed to its
+// bucket's segment writer.
+func (hs *HierSorter) gatherBuckets(logs []*vhierLog, counts []int) []Segment {
+	h := hs.m.H()
+	hp := hs.hp
+	members := h / hp
+
+	writers := make([]*segWriter, len(counts))
+	for b, c := range counts {
+		if c > 0 {
+			writers[b] = newSegWriter(hs, c)
+		}
+	}
+
+	maxRegions := 0
+	for _, lg := range logs {
+		if len(lg.regions) > maxRegions {
+			maxRegions = len(lg.regions)
+		}
+	}
+	for round := 0; round < maxRegions; round++ {
+		var ops []hier.Op
+		type srcRegion struct {
+			vh  int
+			reg flushRegion
+			ops []int // indices into ops, one per member
+		}
+		var srcs []srcRegion
+		for vh, lg := range logs {
+			if round >= len(lg.regions) {
+				continue
+			}
+			reg := lg.regions[round]
+			sr := srcRegion{vh: vh, reg: reg}
+			for mm := 0; mm < members; mm++ {
+				sr.ops = append(sr.ops, len(ops))
+				ops = append(ops, hier.Op{H: vh*members + mm, Addr: reg.addr, N: len(reg.rows), Base: reg.base})
+			}
+			srcs = append(srcs, sr)
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		data := hs.m.ParallelRead(ops)
+		routed := 0
+		for _, sr := range srcs {
+			for r, meta := range sr.reg.rows {
+				row := make([]record.Record, 0, meta.count)
+				for mm := 0; mm < members && len(row) < meta.count; mm++ {
+					row = append(row, data[sr.ops[mm]][r])
+				}
+				writers[meta.bucket].append(row)
+				routed += meta.count
+			}
+		}
+		hs.m.ChargeNetScan(routed)
+	}
+
+	out := make([]Segment, len(counts))
+	for b, w := range writers {
+		if w != nil {
+			out[b] = w.close()
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"balancesort/internal/hier"
+	"balancesort/internal/record"
+)
+
+// adaptiveLen returns the streaming transfer length (in rows) used at the
+// given absolute address: roughly f(addr), so that a BT block transfer of
+// cost f(addr) + len amortizes to O(1) per row, while HMM costs are
+// unchanged by chunking.
+func (hs *HierSorter) adaptiveLen(base, addr int) int {
+	c := hs.m.CostOfRegion(base, addr, addr+1)
+	l := int(c)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// segReader streams a segment's records in index order with adaptive
+// transfer lengths (the "touch"-style discipline of Section 4.4 that both
+// HMM and BT stream costs correctly under).
+type segReader struct {
+	hs    *HierSorter
+	seg   Segment
+	row   int
+	depth int
+	buf   []record.Record
+}
+
+func newSegReader(hs *HierSorter, seg Segment) *segReader {
+	h := hs.m.H()
+	return &segReader{hs: hs, seg: seg, depth: (seg.N + h - 1) / h}
+}
+
+// next returns up to max records (fewer only at the end of the segment).
+func (r *segReader) next(max int) []record.Record {
+	for len(r.buf) < max && r.row < r.depth {
+		r.refill()
+	}
+	take := max
+	if take > len(r.buf) {
+		take = len(r.buf)
+	}
+	out := r.buf[:take]
+	r.buf = r.buf[take:]
+	return out
+}
+
+func (r *segReader) refill() {
+	h := r.hs.m.H()
+	l := r.hs.adaptiveLen(r.seg.Base, r.seg.Base+r.row)
+	if r.row+l > r.depth {
+		l = r.depth - r.row
+	}
+	var ops []hier.Op
+	for hh := 0; hh < h; hh++ {
+		rows := rowsOf(r.seg.N, h, hh)
+		n := rows - r.row
+		if n > l {
+			n = l
+		}
+		if n > 0 {
+			ops = append(ops, hier.Op{H: hh, Addr: r.seg.Base + r.row, N: n, Base: r.seg.Base})
+		}
+	}
+	data := r.hs.m.ParallelRead(ops)
+	// Reassemble index order: row rr contributes its record from each
+	// hierarchy that has one.
+	for rr := r.row; rr < r.row+l; rr++ {
+		for i, op := range ops {
+			if rr-r.row < op.N {
+				idx := rr*h + op.H
+				if idx < r.seg.N {
+					r.buf = append(r.buf, data[i][rr-r.row])
+				}
+			}
+		}
+	}
+	r.row += l
+}
+
+// segWriter streams records into a freshly allocated segment of known final
+// size, flushing whole row ranges with adaptive transfer lengths.
+type segWriter struct {
+	hs      *HierSorter
+	n       int
+	base    int
+	row     int
+	buf     []record.Record
+	written int
+}
+
+func newSegWriter(hs *HierSorter, n int) *segWriter {
+	h := hs.m.H()
+	depth := (n + h - 1) / h
+	if depth == 0 {
+		depth = 1
+	}
+	base := hs.m.AllocAligned(0, h, depth)
+	return &segWriter{hs: hs, n: n, base: base}
+}
+
+// newSegWriterAt builds a writer over an already-owned address range —
+// used to compact a result downward over a frame's garbage before the
+// frame is popped.
+func newSegWriterAt(hs *HierSorter, base, n int) *segWriter {
+	return &segWriter{hs: hs, n: n, base: base}
+}
+
+// segDepth returns the rows an n-record segment occupies.
+func (hs *HierSorter) segDepth(n int) int {
+	h := hs.m.H()
+	d := (n + h - 1) / h
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+func (w *segWriter) append(recs []record.Record) {
+	w.buf = append(w.buf, recs...)
+	w.written += len(recs)
+	if w.written > w.n {
+		panic(fmt.Sprintf("core: segment writer overflow: %d of %d", w.written, w.n))
+	}
+	h := w.hs.m.H()
+	for {
+		l := w.hs.adaptiveLen(w.base, w.base+w.row)
+		if len(w.buf) < l*h {
+			return
+		}
+		w.flushRows(l)
+	}
+}
+
+// flushRows writes l full rows from the buffer.
+func (w *segWriter) flushRows(l int) {
+	h := w.hs.m.H()
+	var ops []hier.Op
+	for hh := 0; hh < h; hh++ {
+		data := make([]record.Record, l)
+		for rr := 0; rr < l; rr++ {
+			data[rr] = w.buf[rr*h+hh]
+		}
+		ops = append(ops, hier.Op{H: hh, Addr: w.base + w.row, N: l, Base: w.base, Data: data})
+	}
+	w.hs.m.ParallelWrite(ops)
+	w.buf = w.buf[l*h:]
+	w.row += l
+}
+
+// close flushes the tail (including a final partial row) and returns the
+// completed segment.
+func (w *segWriter) close() Segment {
+	if w.written != w.n {
+		panic(fmt.Sprintf("core: segment writer closed with %d of %d records", w.written, w.n))
+	}
+	h := w.hs.m.H()
+	for len(w.buf) >= h {
+		l := len(w.buf) / h
+		if al := w.hs.adaptiveLen(w.base, w.base+w.row); l > al {
+			l = al
+		}
+		w.flushRows(l)
+	}
+	if len(w.buf) > 0 {
+		// Final partial row: one short write per involved hierarchy.
+		var ops []hier.Op
+		for hh := 0; hh < len(w.buf); hh++ {
+			ops = append(ops, hier.Op{H: hh, Addr: w.base + w.row, N: 1, Base: w.base, Data: w.buf[hh : hh+1]})
+		}
+		w.hs.m.ParallelWrite(ops)
+		w.buf = nil
+		w.row++
+	}
+	return Segment{Base: w.base, N: w.n}
+}

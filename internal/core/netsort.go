@@ -1,0 +1,46 @@
+package core
+
+import (
+	"balancesort/internal/hypercube"
+	"balancesort/internal/record"
+)
+
+// HypercubeNetSorter returns a NetSorter that runs every base-level sort on
+// a real simulated H-node hypercube (Batcher bitonic with compare-split for
+// more than one record per node) and charges the measured network steps.
+// h must be a power of two. Inputs are padded to a multiple of h with +inf
+// sentinels that are stripped after the network sorts them to the end.
+func HypercubeNetSorter(h int) func([]record.Record) float64 {
+	net := hypercube.New(h)
+	return func(recs []record.Record) float64 {
+		n := len(recs)
+		if n <= 1 {
+			return 0
+		}
+		padded := recs
+		if n%h != 0 {
+			padded = make([]record.Record, ((n+h-1)/h)*h)
+			copy(padded, recs)
+			for i := n; i < len(padded); i++ {
+				padded[i] = record.Record{Key: ^uint64(0), Loc: ^uint64(0)}
+			}
+		}
+		before := net.Steps()
+		net.SortDistributed(padded)
+		if n%h != 0 {
+			copy(recs, padded[:n])
+		}
+		return float64(net.Steps() - before)
+	}
+}
+
+// BitonicTCost is the executed hypercube's sorting time for H items on H
+// nodes: the exact bitonic step count, Θ(log² H). It is the T(H) to pair
+// with HypercubeNetSorter when evaluating bounds and pricing the matching.
+func BitonicTCost(h int) float64 {
+	c := float64(hypercube.BitonicStepCount(h))
+	if c < 1 {
+		return 1
+	}
+	return c
+}

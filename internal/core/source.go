@@ -1,0 +1,173 @@
+package core
+
+import (
+	"balancesort/internal/pdm"
+	"balancesort/internal/record"
+)
+
+// A source yields the records of one recursion level's input through
+// parallel I/Os. The two layouts that occur are the block-aligned striped
+// region (the original input and every sorted run) and the per-virtual-disk
+// block chains that the balancing pass leaves behind for each bucket.
+type source interface {
+	// Total returns how many records remain unread.
+	Total() int
+	// ReadSome reads up to max records into a fresh slice using parallel
+	// I/Os of the virtual-disk layer and returns them. It returns fewer
+	// records only when the source is exhausted.
+	ReadSome(max int) []record.Record
+}
+
+// stripedSource reads a block-aligned striped region of the physical array.
+type stripedSource struct {
+	arr *pdm.Array
+	off int // block offset of the region start
+	n   int // records remaining
+	pos int // records already consumed
+}
+
+func newStripedSource(arr *pdm.Array, off, n int) *stripedSource {
+	return &stripedSource{arr: arr, off: off, n: n}
+}
+
+func (s *stripedSource) Total() int { return s.n }
+
+func (s *stripedSource) ReadSome(max int) []record.Record {
+	if max > s.n {
+		max = s.n
+	}
+	if max == 0 {
+		return nil
+	}
+	b, d := s.arr.B(), s.arr.D()
+	// Stay block-aligned: the region was written by WriteStripe, so record
+	// i lives in stripe block i/B. We always consume whole blocks; the
+	// caller's track size is a multiple of the virtual block size, which is
+	// a multiple of B.
+	if s.pos%b != 0 {
+		panic("core: striped source consumed off block boundary")
+	}
+	nblocks := (max + b - 1) / b
+	out := make([]record.Record, 0, nblocks*b)
+	firstBlock := s.pos / b
+	for base := 0; base < nblocks; base += d {
+		var ops []pdm.Op
+		bufs := make([][]record.Record, 0, d)
+		for j := 0; j < d && base+j < nblocks; j++ {
+			blk := firstBlock + base + j
+			buf := make([]record.Record, b)
+			bufs = append(bufs, buf)
+			ops = append(ops, pdm.Op{Disk: blk % d, Off: s.off + blk/d, Data: buf})
+		}
+		s.arr.ParallelIO(ops)
+		for _, buf := range bufs {
+			out = append(out, buf...)
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	s.pos += len(out)
+	s.n -= len(out)
+	return out
+}
+
+// chainEntry is one virtual block written during distribution: its offset
+// on its virtual disk and how many of its records are real (the final
+// flushed block of a bucket may be partial; the rest of the block is
+// sentinel padding).
+type chainEntry struct {
+	off   int
+	count int
+}
+
+// chains records where a bucket's blocks live: chains[h] lists the blocks
+// on virtual disk h in write order.
+type chains struct {
+	perDisk [][]chainEntry
+	total   int
+}
+
+func newChains(h int) *chains {
+	return &chains{perDisk: make([][]chainEntry, h)}
+}
+
+func (c *chains) add(h, off, count int) {
+	c.perDisk[h] = append(c.perDisk[h], chainEntry{off: off, count: count})
+	c.total += count
+}
+
+// rounds returns the number of parallel reads needed to fetch the whole
+// chain set: the longest per-disk chain (Theorem 4 bounds this by about
+// twice the optimal ⌈total/(H·VB)⌉).
+func (c *chains) rounds() int {
+	r := 0
+	for _, ch := range c.perDisk {
+		if len(ch) > r {
+			r = len(ch)
+		}
+	}
+	return r
+}
+
+// chainSource reads a bucket's chains, one block per virtual disk per
+// parallel I/O.
+type chainSource struct {
+	vd    *pdm.Virtual
+	ch    *chains
+	round int
+	n     int
+	spill []record.Record // records read but not yet returned
+}
+
+func newChainSource(vd *pdm.Virtual, ch *chains) *chainSource {
+	return &chainSource{vd: vd, ch: ch, n: ch.total}
+}
+
+// Total returns the records not yet returned (buffered spill included,
+// since n is only decremented when records are handed to the caller).
+func (s *chainSource) Total() int { return s.n }
+
+func (s *chainSource) ReadSome(max int) []record.Record {
+	var out []record.Record
+	// Serve buffered records first.
+	if len(s.spill) > 0 {
+		take := len(s.spill)
+		if take > max {
+			take = max
+		}
+		out = append(out, s.spill[:take]...)
+		s.spill = s.spill[take:]
+	}
+	for len(out) < max && s.round < s.maxRound() {
+		var ops []pdm.VOp
+		var metas []chainEntry
+		var bufs [][]record.Record
+		for h, ch := range s.ch.perDisk {
+			if s.round >= len(ch) {
+				continue
+			}
+			e := ch[s.round]
+			buf := make([]record.Record, s.vd.VB())
+			bufs = append(bufs, buf)
+			metas = append(metas, e)
+			ops = append(ops, pdm.VOp{VDisk: h, Off: e.off, Data: buf})
+		}
+		s.round++
+		s.vd.ParallelVIO(ops)
+		for i, buf := range bufs {
+			real := buf[:metas[i].count]
+			room := max - len(out)
+			if room >= len(real) {
+				out = append(out, real...)
+			} else {
+				out = append(out, real[:room]...)
+				s.spill = append(s.spill, real[room:]...)
+			}
+		}
+	}
+	s.n -= len(out)
+	return out
+}
+
+func (s *chainSource) maxRound() int { return s.ch.rounds() }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// flatness asserts max/min of a positive ratio series stays under bound.
+func flatness(t *testing.T, ratios []float64, bound float64, what string) {
+	t.Helper()
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r <= 0 {
+			t.Fatalf("%s: non-positive ratio %v", what, r)
+		}
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi/lo > bound {
+		t.Fatalf("%s: ratios %v vary by %.2fx (> %.1fx) — not a flat constant", what, ratios, hi/lo, bound)
+	}
+}
+
+func TestE1RatioFlat(t *testing.T) {
+	// Theorem 1: measured I/Os / lower bound must be a constant across a
+	// 16x sweep of N.
+	flatness(t, E1Ratios(Quick), 2.5, "E1")
+}
+
+func TestE2RatioFlat(t *testing.T) {
+	// Theorem 1 CPU: PRAM time over (N/P) log N flat across a 16x P sweep.
+	flatness(t, E2Ratios(), 3.0, "E2")
+}
+
+func TestE3Theorem4(t *testing.T) {
+	if worst := E3MaxRatio(); worst > 2.5 {
+		t.Fatalf("Theorem 4 read balance %.2f exceeds ~2", worst)
+	}
+}
+
+func TestE6RatioFlat(t *testing.T) {
+	flatness(t, E6Ratios(), 4.0, "E6 (P-HMM log)")
+}
+
+func TestE7RatioFlat(t *testing.T) {
+	flatness(t, E7Ratios(), 6.0, "E7 (P-HMM power)")
+}
+
+func TestE8RatioFlat(t *testing.T) {
+	flatness(t, E8Ratios(), 6.0, "E8 (P-BT)")
+}
+
+func TestAllTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment")
+	}
+	for i, tb := range All(Quick) {
+		var sb strings.Builder
+		tb.Render(&sb)
+		if !strings.Contains(sb.String(), "|") {
+			t.Fatalf("table %d rendered empty", i)
+		}
+	}
+}
+
+func TestE17SpeedupMonotone(t *testing.T) {
+	sp := E17Speedups()
+	if !(sp[0] == 1 && sp[1] > 1.5 && sp[2] > sp[1]) {
+		t.Fatalf("hierarchy scaling not monotone: %v", sp)
+	}
+}

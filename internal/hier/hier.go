@@ -1,0 +1,313 @@
+// Package hier simulates the parallel multilevel memory hierarchies of
+// Figure 4: H hierarchies of one kind (HMM, BT, or UMH — supplied as an
+// access-cost Model) whose base levels are joined by an interconnect (EREW
+// PRAM or hypercube — supplied as a matching.TCost). The machine executes
+// real data movement and accrues the model's parallel time: hierarchy
+// accesses issued in one parallel step cost the maximum over hierarchies
+// (they proceed simultaneously), and interconnect operations are charged at
+// the supplied T(H) rate.
+//
+// This machine is to Theorems 2 and 3 what internal/pdm is to Theorem 1:
+// the measurement instrument.
+package hier
+
+import (
+	"fmt"
+
+	"balancesort/internal/matching"
+	"balancesort/internal/record"
+)
+
+// Model is the per-hierarchy access-cost model. AccessCost prices one
+// hierarchy touching the contiguous address range [lo, hi) in one
+// operation; hmm.Model sums per-location costs, bt.Model prices one block
+// transfer, umh.Model prices the bus crossings.
+type Model interface {
+	AccessCost(lo, hi int) float64
+	Name() string
+}
+
+// Op names one contiguous access on one hierarchy: N records at address
+// Addr of hierarchy H. For writes, Data supplies the N records.
+//
+// Base is the cost origin of the region being streamed (usually the base
+// address of the segment or append-log region the op belongs to): the
+// access is charged at region-relative depth, f over [Addr-Base,
+// Addr-Base+N). This encodes the touch/transposition fiction of Sections
+// 4.3-4.4 — a region that is streamed sequentially costs as if it had been
+// brought to the top of the hierarchy, the bound [ACSa]'s touch pass and
+// generalized transposition provide. Base = 0 charges at the enclosing
+// recursion frame's origin instead.
+type Op struct {
+	H    int
+	Addr int
+	N    int
+	Base int
+	Data []record.Record
+}
+
+// Machine is a bank of H identical hierarchies plus cost accounting.
+type Machine struct {
+	h     int
+	model Model
+	tcost matching.TCost
+
+	mem [][]record.Record
+	top []int
+
+	// origin is a stack of cost origins. The paper's recurrences assume
+	// each recursive call operates on data occupying the topmost locations
+	// of the hierarchies; the sorter realizes that by streaming every
+	// subproblem into a fresh frame (paying the move as charged passes)
+	// and pushing the frame base as the cost origin, so accesses inside
+	// the frame are priced at frame-relative depth. Without this, a small
+	// subproblem executed late in the run would pay f(absolute address)
+	// for data that the model considers to be at the top.
+	origin []int
+
+	accessTime float64
+	netTime    float64
+	steps      int64
+}
+
+// New creates a machine of h hierarchies with the given access model and
+// interconnect cost. tcost nil selects the EREW PRAM rate.
+func New(h int, model Model, tcost matching.TCost) *Machine {
+	if h < 1 {
+		panic("hier: H must be >= 1")
+	}
+	if tcost == nil {
+		tcost = matching.PRAMCost
+	}
+	return &Machine{
+		h:     h,
+		model: model,
+		tcost: tcost,
+		mem:   make([][]record.Record, h),
+		top:   make([]int, h),
+	}
+}
+
+// H returns the hierarchy count.
+func (m *Machine) H() int { return m.h }
+
+// Model returns the access-cost model.
+func (m *Machine) Model() Model { return m.model }
+
+// TCost returns the interconnect's sort-time function.
+func (m *Machine) TCost() matching.TCost { return m.tcost }
+
+// Time returns the total accrued parallel time (memory + interconnect).
+func (m *Machine) Time() float64 { return m.accessTime + m.netTime }
+
+// AccessTime returns the memory-access part of the accrued time.
+func (m *Machine) AccessTime() float64 { return m.accessTime }
+
+// NetTime returns the interconnect part of the accrued time.
+func (m *Machine) NetTime() float64 { return m.netTime }
+
+// Steps returns the number of parallel memory steps performed.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// ResetCost zeroes the accrued time (memory contents are kept).
+func (m *Machine) ResetCost() {
+	m.accessTime, m.netTime, m.steps = 0, 0, 0
+}
+
+// AllocAligned reserves n fresh addresses at a common offset on every
+// hierarchy in [lo, hi) and returns that offset. Aligned regions are what
+// striped segments and virtual blocks are built from.
+func (m *Machine) AllocAligned(lo, hi, n int) int {
+	if lo < 0 || hi > m.h || lo >= hi {
+		panic(fmt.Sprintf("hier: bad hierarchy range [%d,%d)", lo, hi))
+	}
+	base := 0
+	for h := lo; h < hi; h++ {
+		if m.top[h] > base {
+			base = m.top[h]
+		}
+	}
+	for h := lo; h < hi; h++ {
+		m.top[h] = base + n
+	}
+	return base
+}
+
+// Top returns the bump-allocation high-water mark of hierarchy h (tests and
+// depth accounting).
+func (m *Machine) Top(h int) int { return m.top[h] }
+
+// MaxTop returns the deepest allocation mark across hierarchies — the
+// stack pointer for the sorter's frame discipline.
+func (m *Machine) MaxTop() int {
+	t := 0
+	for _, v := range m.top {
+		if v > t {
+			t = v
+		}
+	}
+	return t
+}
+
+// TruncateTo pops every allocation above addr on all hierarchies, reusing
+// the address space for later frames. The hierarchical cost model makes
+// this essential, not cosmetic: an algorithm that lets garbage push its
+// live data ever deeper pays f(depth) for the garbage too, which is
+// precisely what the paper's algorithms avoid by working in place near the
+// top of the hierarchy.
+func (m *Machine) TruncateTo(addr int) {
+	if addr < 0 {
+		panic("hier: negative truncation")
+	}
+	for h := range m.top {
+		m.top[h] = addr
+	}
+}
+
+// ParallelRead performs the given reads as one parallel memory step and
+// returns the data, op for op. The step costs the maximum, over
+// hierarchies, of the summed access costs issued to that hierarchy.
+func (m *Machine) ParallelRead(ops []Op) [][]record.Record {
+	out := make([][]record.Record, len(ops))
+	perH := make(map[int]float64, m.h)
+	for i, op := range ops {
+		m.checkOp(op)
+		if op.Addr+op.N > len(m.mem[op.H]) {
+			panic(fmt.Sprintf("hier: read of unwritten range [%d,%d) on hierarchy %d", op.Addr, op.Addr+op.N, op.H))
+		}
+		out[i] = append([]record.Record(nil), m.mem[op.H][op.Addr:op.Addr+op.N]...)
+		perH[op.H] += m.model.AccessCost(m.relBase(op))
+	}
+	m.chargeStep(perH)
+	return out
+}
+
+// ParallelWrite performs the given writes as one parallel memory step.
+func (m *Machine) ParallelWrite(ops []Op) {
+	perH := make(map[int]float64, m.h)
+	for _, op := range ops {
+		m.checkOp(op)
+		if len(op.Data) != op.N {
+			panic(fmt.Sprintf("hier: write op carries %d records, declares %d", len(op.Data), op.N))
+		}
+		for op.Addr+op.N > len(m.mem[op.H]) {
+			m.mem[op.H] = append(m.mem[op.H], record.Record{})
+		}
+		copy(m.mem[op.H][op.Addr:op.Addr+op.N], op.Data)
+		perH[op.H] += m.model.AccessCost(m.relBase(op))
+	}
+	m.chargeStep(perH)
+}
+
+func (m *Machine) checkOp(op Op) {
+	if op.H < 0 || op.H >= m.h {
+		panic(fmt.Sprintf("hier: hierarchy %d of %d", op.H, m.h))
+	}
+	if op.Addr < 0 || op.N < 0 {
+		panic("hier: negative address or length")
+	}
+}
+
+func (m *Machine) chargeStep(perH map[int]float64) {
+	if len(perH) == 0 {
+		return
+	}
+	maxc := 0.0
+	for _, c := range perH {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	m.accessTime += maxc
+	m.steps++
+}
+
+// CostOf returns what one access to [lo, hi) would be charged right now
+// (frame-relative), so streaming code can pick matching transfer lengths.
+func (m *Machine) CostOf(lo, hi int) float64 {
+	return m.model.AccessCost(m.rel(lo, hi))
+}
+
+// CostOfRegion is CostOf with an explicit region base, matching relBase.
+func (m *Machine) CostOfRegion(base, lo, hi int) float64 {
+	return m.model.AccessCost(m.relFrom(base, lo, hi))
+}
+
+// PushOrigin makes the current allocation top the cost origin for
+// subsequent accesses (entering a recursion frame). Returns the origin.
+func (m *Machine) PushOrigin() int {
+	o := m.MaxTop()
+	m.origin = append(m.origin, o)
+	return o
+}
+
+// PopOrigin leaves the current recursion frame.
+func (m *Machine) PopOrigin() {
+	if len(m.origin) == 0 {
+		panic("hier: origin stack underflow")
+	}
+	m.origin = m.origin[:len(m.origin)-1]
+}
+
+// rel translates an absolute address range to frame-relative depth for
+// cost purposes, clamping accesses below the origin (the caller's data,
+// which the model fiction places at the top) to depth zero.
+func (m *Machine) rel(lo, hi int) (int, int) {
+	return m.relFrom(0, lo, hi)
+}
+
+// relBase applies the op's own region base when set, else the frame origin.
+func (m *Machine) relBase(op Op) (int, int) {
+	return m.relFrom(op.Base, op.Addr, op.Addr+op.N)
+}
+
+func (m *Machine) relFrom(base, lo, hi int) (int, int) {
+	if base > 0 {
+		// Region-relative charging: the op names its region's cost origin
+		// explicitly. Chained regions (append-log flushes) set base so that
+		// lo-base is the region's cumulative logical depth.
+		l := lo - base
+		if l < 0 {
+			panic(fmt.Sprintf("hier: op at %d below its region base %d", lo, base))
+		}
+		return l, l + (hi - lo)
+	}
+	o := 0
+	if len(m.origin) > 0 {
+		o = m.origin[len(m.origin)-1]
+	}
+	l := lo - o
+	if l < 0 {
+		l = 0
+	}
+	return l, l + (hi - lo)
+}
+
+// ChargeNet charges t units of interconnect time directly.
+func (m *Machine) ChargeNet(t float64) {
+	if t < 0 {
+		panic("hier: negative network charge")
+	}
+	m.netTime += t
+}
+
+// ChargeNetSort charges the interconnect for sorting n items spread over
+// the H base levels: ⌈n/H⌉ rounds at the T(H) sorting rate (Cole's merge
+// sort on a PRAM, Sharesort on a hypercube).
+func (m *Machine) ChargeNetSort(n int) {
+	if n <= 1 {
+		return
+	}
+	rounds := (n + m.h - 1) / m.h
+	m.netTime += float64(rounds) * m.tcost(m.h)
+}
+
+// ChargeNetScan charges a prefix/route-style interconnect operation over n
+// items: ⌈n/H⌉ rounds of log H steps each.
+func (m *Machine) ChargeNetScan(n int) {
+	if n == 0 {
+		return
+	}
+	rounds := (n + m.h - 1) / m.h
+	m.netTime += float64(rounds) * matching.PRAMCost(m.h)
+}

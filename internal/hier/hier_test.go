@@ -1,0 +1,248 @@
+package hier
+
+import (
+	"testing"
+
+	"balancesort/internal/hmm"
+	"balancesort/internal/matching"
+	"balancesort/internal/record"
+)
+
+func newTestMachine(h int) *Machine {
+	return New(h, hmm.Model{Cost: hmm.LogCost{}}, matching.PRAMCost)
+}
+
+func TestWriteThenRead(t *testing.T) {
+	m := newTestMachine(4)
+	data := record.Generate(record.Uniform, 16, 1)
+	base := m.AllocAligned(0, 4, 4)
+	var wops []Op
+	for h := 0; h < 4; h++ {
+		wops = append(wops, Op{H: h, Addr: base, N: 4, Data: data[h*4 : (h+1)*4]})
+	}
+	m.ParallelWrite(wops)
+
+	var rops []Op
+	for h := 0; h < 4; h++ {
+		rops = append(rops, Op{H: h, Addr: base, N: 4})
+	}
+	got := m.ParallelRead(rops)
+	for h := 0; h < 4; h++ {
+		for i := 0; i < 4; i++ {
+			if got[h][i] != data[h*4+i] {
+				t.Fatalf("readback mismatch at h=%d i=%d", h, i)
+			}
+		}
+	}
+}
+
+func TestParallelStepCostsMax(t *testing.T) {
+	m := newTestMachine(2)
+	d := record.Generate(record.Uniform, 100, 2)
+	// Hierarchy 0 writes 100 records deep, hierarchy 1 writes 10: the step
+	// cost is the max (the deep one), not the sum.
+	m.ParallelWrite([]Op{
+		{H: 0, Addr: 0, N: 100, Data: d},
+		{H: 1, Addr: 0, N: 10, Data: d[:10]},
+	})
+	want := hmm.LogCost{}.Range(0, 100)
+	if m.AccessTime() != want {
+		t.Fatalf("step cost = %v, want max %v", m.AccessTime(), want)
+	}
+	if m.Steps() != 1 {
+		t.Fatalf("steps = %d, want 1", m.Steps())
+	}
+}
+
+func TestSequentialStepsAdd(t *testing.T) {
+	m := newTestMachine(1)
+	d := record.Generate(record.Uniform, 10, 3)
+	m.ParallelWrite([]Op{{H: 0, Addr: 0, N: 10, Data: d}})
+	one := m.AccessTime()
+	m.ParallelWrite([]Op{{H: 0, Addr: 0, N: 10, Data: d}})
+	if m.AccessTime() != 2*one {
+		t.Fatalf("costs did not add: %v vs 2*%v", m.AccessTime(), one)
+	}
+}
+
+func TestTwoOpsSameHierarchySum(t *testing.T) {
+	m := newTestMachine(2)
+	d := record.Generate(record.Uniform, 20, 4)
+	m.ParallelWrite([]Op{
+		{H: 0, Addr: 0, N: 10, Data: d[:10]},
+		{H: 0, Addr: 10, N: 10, Data: d[10:]},
+	})
+	want := hmm.LogCost{}.Range(0, 10) + hmm.LogCost{}.Range(10, 20)
+	if m.AccessTime() != want {
+		t.Fatalf("same-hierarchy ops must sum: %v vs %v", m.AccessTime(), want)
+	}
+}
+
+func TestReadUnwrittenPanics(t *testing.T) {
+	m := newTestMachine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unwritten read did not panic")
+		}
+	}()
+	m.ParallelRead([]Op{{H: 0, Addr: 0, N: 1}})
+}
+
+func TestBadHierarchyPanics(t *testing.T) {
+	m := newTestMachine(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad hierarchy did not panic")
+		}
+	}()
+	m.ParallelRead([]Op{{H: 5, Addr: 0, N: 1}})
+}
+
+func TestAllocAligned(t *testing.T) {
+	m := newTestMachine(4)
+	// Disturb hierarchy 1.
+	if m.AllocAligned(1, 2, 7) != 0 {
+		t.Fatal("first alloc not at 0")
+	}
+	base := m.AllocAligned(0, 4, 3)
+	if base != 7 {
+		t.Fatalf("aligned alloc at %d, want 7", base)
+	}
+	for h := 0; h < 4; h++ {
+		if m.Top(h) != 10 {
+			t.Fatalf("top[%d] = %d, want 10", h, m.Top(h))
+		}
+	}
+}
+
+func TestChargeNetAccounting(t *testing.T) {
+	m := newTestMachine(16)
+	m.ChargeNet(5)
+	m.ChargeNetSort(64) // 4 rounds * log2(16)=4 -> 16
+	m.ChargeNetScan(16) // 1 round * 4
+	if m.NetTime() != 5+16+4 {
+		t.Fatalf("net time = %v, want 25", m.NetTime())
+	}
+	if m.Time() != m.AccessTime()+m.NetTime() {
+		t.Fatal("time must be access+net")
+	}
+}
+
+func TestResetCost(t *testing.T) {
+	m := newTestMachine(1)
+	d := record.Generate(record.Uniform, 4, 5)
+	m.ParallelWrite([]Op{{H: 0, Addr: 0, N: 4, Data: d}})
+	m.ChargeNet(3)
+	m.ResetCost()
+	if m.Time() != 0 || m.Steps() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// Data survives a cost reset.
+	got := m.ParallelRead([]Op{{H: 0, Addr: 0, N: 4}})
+	if got[0][0] != d[0] {
+		t.Fatal("reset clobbered memory")
+	}
+}
+
+func TestEmptyStepFree(t *testing.T) {
+	m := newTestMachine(2)
+	m.ParallelWrite(nil)
+	m.ParallelRead(nil)
+	if m.Time() != 0 || m.Steps() != 0 {
+		t.Fatal("empty steps charged")
+	}
+}
+
+func TestMaxTopAndTruncate(t *testing.T) {
+	m := newTestMachine(4)
+	m.AllocAligned(0, 2, 5)
+	m.AllocAligned(2, 4, 9)
+	if m.MaxTop() != 9 {
+		t.Fatalf("MaxTop = %d, want 9", m.MaxTop())
+	}
+	m.TruncateTo(3)
+	for h := 0; h < 4; h++ {
+		if m.Top(h) != 3 {
+			t.Fatalf("top[%d] = %d after truncate", h, m.Top(h))
+		}
+	}
+	// Allocation resumes at the truncated mark.
+	if base := m.AllocAligned(0, 4, 1); base != 3 {
+		t.Fatalf("alloc after truncate at %d", base)
+	}
+}
+
+func TestTruncateNegativePanics(t *testing.T) {
+	m := newTestMachine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative truncate accepted")
+		}
+	}()
+	m.TruncateTo(-1)
+}
+
+func TestOriginsChangeCharges(t *testing.T) {
+	m := newTestMachine(1)
+	d := record.Generate(record.Uniform, 8, 11)
+	// Deep write with no origin: charged at absolute depth.
+	m.ParallelWrite([]Op{{H: 0, Addr: 1000, N: 8, Data: d}})
+	deep := m.AccessTime()
+
+	m.ResetCost()
+	m.AllocAligned(0, 1, 1008)
+	o := m.PushOrigin()
+	if o != 1008 {
+		t.Fatalf("origin at %d", o)
+	}
+	m.ParallelWrite([]Op{{H: 0, Addr: 1008, N: 8, Data: d}})
+	rel := m.AccessTime()
+	m.PopOrigin()
+	if rel >= deep {
+		t.Fatalf("frame-relative charge %v not below absolute %v", rel, deep)
+	}
+
+	// Region base shadows everything, even outside a frame.
+	m.ResetCost()
+	m.ParallelWrite([]Op{{H: 0, Addr: 2000, N: 8, Base: 2000, Data: d}})
+	if m.AccessTime() != rel {
+		t.Fatalf("region-based charge %v != frame-relative %v", m.AccessTime(), rel)
+	}
+}
+
+func TestPopOriginUnderflowPanics(t *testing.T) {
+	m := newTestMachine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("origin underflow accepted")
+		}
+	}()
+	m.PopOrigin()
+}
+
+func TestOpBelowRegionBasePanics(t *testing.T) {
+	m := newTestMachine(1)
+	d := record.Generate(record.Uniform, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("op below its region base accepted")
+		}
+	}()
+	m.ParallelWrite([]Op{{H: 0, Addr: 5, N: 2, Base: 10, Data: d}})
+}
+
+func TestCostOfMatchesCharge(t *testing.T) {
+	m := newTestMachine(2)
+	d := record.Generate(record.Uniform, 4, 7)
+	want := m.CostOf(0, 4)
+	m.ParallelWrite([]Op{{H: 0, Addr: 0, N: 4, Data: d}})
+	if m.AccessTime() != want {
+		t.Fatalf("CostOf = %v but charge = %v", want, m.AccessTime())
+	}
+	if m.CostOfRegion(100, 100, 104) != want {
+		t.Fatal("CostOfRegion at base should equal depth-0 cost")
+	}
+	if m.H() != 2 || m.Model() == nil || m.TCost() == nil {
+		t.Fatal("accessors broken")
+	}
+}

@@ -1,0 +1,110 @@
+// Package hmm models the Hierarchical Memory Model of Aggarwal, Alpern,
+// Chandra and Snir (reference [AAC]; Figure 3a of the paper): a single flat
+// address space in which touching memory location x costs f(x), for a
+// "well-behaved" cost function f such as log x or x^α.
+//
+// The package provides the cost functions used throughout Theorems 2 and 3
+// and the HMM access-cost model consumed by the hierarchy machine in
+// internal/hier. Costs of contiguous range accesses are computed in closed
+// form (exactly for the power laws' integral bound, via the log-Gamma
+// function for logarithms), so that simulating a billion-unit charge does
+// not require a billion float additions.
+package hmm
+
+import (
+	"math"
+	"strconv"
+)
+
+// CostFunc is a well-behaved HMM access-cost function f(x). Addresses are
+// 0-based internally; the cost of touching address a is F(a+1), keeping the
+// paper's convention that the first location costs f(1).
+type CostFunc interface {
+	// F evaluates f(x) for x >= 1, with the paper's log x = max(1, log2 x)
+	// convention applied by the implementations that need it.
+	F(x float64) float64
+	// Range returns the cost of touching every address in [lo, hi), i.e.
+	// the sum of F over that range, evaluated in closed form.
+	Range(lo, hi int) float64
+	// Name labels the function in experiment tables.
+	Name() string
+}
+
+// LogCost is f(x) = max(1, log2 x), the canonical HMM_log x model.
+type LogCost struct{}
+
+// F returns max(1, log2 x).
+func (LogCost) F(x float64) float64 {
+	if x <= 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// Range sums max(1, log2(a+1)) for a in [lo, hi). The sum of log2 over
+// 2..n is (lgΓ(n+1) - lgΓ(2+0))/ln 2; the first address costs 1 by the
+// max(1, ·) floor.
+func (LogCost) Range(lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	total := 0.0
+	// Addresses 0 and 1 (locations 1 and 2) cost exactly 1.
+	if lo < 2 {
+		capped := hi
+		if capped > 2 {
+			capped = 2
+		}
+		total += float64(capped - lo)
+		lo = 2
+		if lo >= hi {
+			return total
+		}
+	}
+	// Σ_{a=lo}^{hi-1} log2(a+1) = (lnΓ(hi+1) - lnΓ(lo+1)) / ln 2.
+	lgHi, _ := math.Lgamma(float64(hi) + 1)
+	lgLo, _ := math.Lgamma(float64(lo) + 1)
+	return total + (lgHi-lgLo)/math.Ln2
+}
+
+// Name returns "log".
+func (LogCost) Name() string { return "log" }
+
+// PowerCost is f(x) = x^Alpha with Alpha > 0 (the BT and HMM polynomial
+// regimes of Theorems 2 and 3).
+type PowerCost struct {
+	Alpha float64
+}
+
+// F returns x^Alpha.
+func (p PowerCost) F(x float64) float64 { return math.Pow(x, p.Alpha) }
+
+// Range integrates x^Alpha over the addressed locations: Σ_{a=lo}^{hi-1}
+// (a+1)^α is evaluated as the midpoint integral ((hi+0.5)^{α+1} -
+// (lo+0.5)^{α+1})/(α+1), exact to second order and monotone in hi.
+func (p PowerCost) Range(lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	a1 := p.Alpha + 1
+	return (math.Pow(float64(hi)+0.5, a1) - math.Pow(float64(lo)+0.5, a1)) / a1
+}
+
+// Name returns e.g. "x^0.5".
+func (p PowerCost) Name() string {
+	return "x^" + strconv.FormatFloat(p.Alpha, 'g', -1, 64)
+}
+
+// Model is the HMM access-cost model for internal/hier's machine: touching
+// a contiguous range costs the sum of per-location costs — HMM has no block
+// transfer.
+type Model struct {
+	Cost CostFunc
+}
+
+// AccessCost returns the HMM cost for one hierarchy to touch the address
+// range [lo, hi).
+func (m Model) AccessCost(lo, hi int) float64 { return m.Cost.Range(lo, hi) }
+
+// Name labels the model.
+func (m Model) Name() string { return "HMM(" + m.Cost.Name() + ")" }

@@ -1,0 +1,113 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogCostF(t *testing.T) {
+	f := LogCost{}
+	if f.F(1) != 1 || f.F(2) != 1 {
+		t.Fatal("log floor of 1 violated")
+	}
+	if f.F(8) != 3 {
+		t.Fatalf("F(8) = %v, want 3", f.F(8))
+	}
+}
+
+func TestLogCostRangeMatchesSum(t *testing.T) {
+	f := LogCost{}
+	for _, c := range []struct{ lo, hi int }{{0, 1}, {0, 2}, {0, 10}, {5, 100}, {0, 1000}, {100, 101}} {
+		want := 0.0
+		for a := c.lo; a < c.hi; a++ {
+			want += f.F(float64(a + 1))
+		}
+		got := f.Range(c.lo, c.hi)
+		if math.Abs(got-want) > 1e-6*want+1e-9 {
+			t.Fatalf("Range(%d,%d) = %v, want %v", c.lo, c.hi, got, want)
+		}
+	}
+	if f.Range(5, 5) != 0 || f.Range(7, 3) != 0 {
+		t.Fatal("empty range must cost 0")
+	}
+}
+
+func TestPowerCostRangeApproximatesSum(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1, 2} {
+		f := PowerCost{Alpha: alpha}
+		for _, c := range []struct{ lo, hi int }{{0, 10}, {0, 1000}, {500, 2000}} {
+			want := 0.0
+			for a := c.lo; a < c.hi; a++ {
+				want += f.F(float64(a + 1))
+			}
+			got := f.Range(c.lo, c.hi)
+			if math.Abs(got-want) > 0.02*want {
+				t.Fatalf("alpha=%v Range(%d,%d) = %v, want ~%v", alpha, c.lo, c.hi, got, want)
+			}
+		}
+	}
+}
+
+func TestRangeAdditive(t *testing.T) {
+	// Range(lo,hi) must equal Range(lo,mid)+Range(mid,hi) exactly, so that
+	// splitting an access never changes the charge.
+	fns := []CostFunc{LogCost{}, PowerCost{Alpha: 0.5}, PowerCost{Alpha: 2}}
+	f := func(loRaw, midRaw, hiRaw uint16) bool {
+		lo, mid, hi := int(loRaw), int(midRaw), int(hiRaw)
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		if mid > hi {
+			mid, hi = hi, mid
+		}
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		for _, fn := range fns {
+			whole := fn.Range(lo, hi)
+			split := fn.Range(lo, mid) + fn.Range(mid, hi)
+			if math.Abs(whole-split) > 1e-6*(whole+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeMonotone(t *testing.T) {
+	fns := []CostFunc{LogCost{}, PowerCost{Alpha: 0.5}}
+	for _, fn := range fns {
+		prev := 0.0
+		for hi := 1; hi < 2000; hi += 37 {
+			c := fn.Range(0, hi)
+			if c < prev {
+				t.Fatalf("%s: Range(0,%d) = %v < previous %v", fn.Name(), hi, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (LogCost{}).Name() != "log" {
+		t.Fatal("log name")
+	}
+	if (PowerCost{Alpha: 0.5}).Name() != "x^0.5" {
+		t.Fatalf("power name = %q", (PowerCost{Alpha: 0.5}).Name())
+	}
+	m := Model{Cost: LogCost{}}
+	if m.Name() != "HMM(log)" {
+		t.Fatalf("model name = %q", m.Name())
+	}
+}
+
+func TestModelAccessCost(t *testing.T) {
+	m := Model{Cost: LogCost{}}
+	if m.AccessCost(0, 4) != (LogCost{}).Range(0, 4) {
+		t.Fatal("model must delegate to Range")
+	}
+}

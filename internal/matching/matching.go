@@ -1,0 +1,299 @@
+// Package matching implements the bipartite partial matching at the heart
+// of the paper's rebalancing step (Section 4.2, Algorithm 7, Theorem 5,
+// Lemma 1).
+//
+// The instance shape is fixed by Invariant 1: U is the set of at most
+// ⌊H'/2⌋ virtual hierarchies carrying a 2 in the auxiliary matrix, V is all
+// H' virtual hierarchies, and u~v iff moving u's overloaded virtual block to
+// v removes the 2 (a_b(u),v = 0). Every u has at least ⌈H'/2⌉ neighbors, so
+// the graph is dense and three strategies are interesting:
+//
+//   - Randomized: the paper's Algorithm 7 — every u picks a uniformly random
+//     vertex of V until it picks a neighbor; the smallest-numbered u wins
+//     each contested v. One shot, expected ≥ H'/4 matches (Lemma 1),
+//     parallel time O(T(H)).
+//   - Derandomized: the same one-shot experiment run over a pairwise-
+//     independent probability space (linear maps over a prime field, the
+//     Luby construction the paper cites); every point of the space is
+//     evaluated and the best kept, so the outcome is deterministic and at
+//     least as good as the space's average. If the best point still falls
+//     short of the ⌈H'/4⌉ target the matching is extended greedily — a
+//     deterministic completion that only ever adds pairs. Theorem 5's
+//     guarantee of ⌈H'/4⌉ matches per call therefore holds unconditionally.
+//   - Greedy: plain sequential maximal matching. On these dense instances a
+//     maximal matching necessarily matches all of U (if some u were
+//     unmatched, its ≥ ⌈H'/2⌉ > ⌊H'/2⌋-1 ≥ |M| neighbors could not all be
+//     matched). It is the quality ceiling but needs Ω(H') sequential time —
+//     exactly why the paper develops Fast-Partial-Match instead.
+//
+// Each strategy reports the simulated parallel time of one invocation so
+// experiment E5 can reproduce the paper's time/quality trade-off.
+package matching
+
+import (
+	"math"
+
+	"balancesort/internal/record"
+)
+
+// Graph is a dense bipartite matching instance. U[i] is the caller's name
+// for left vertex i (Balance passes virtual-hierarchy indices); Adj[i][v]
+// reports an edge between left vertex i and right vertex v in 0..H-1.
+type Graph struct {
+	H   int
+	U   []int
+	Adj [][]bool
+}
+
+// NewGraph builds an instance with |U| = k left vertices over H right
+// vertices and no edges.
+func NewGraph(h, k int) *Graph {
+	g := &Graph{H: h, U: make([]int, k), Adj: make([][]bool, k)}
+	for i := range g.Adj {
+		g.Adj[i] = make([]bool, h)
+	}
+	return g
+}
+
+// Degree returns the neighbor count of left vertex i.
+func (g *Graph) Degree(i int) int {
+	d := 0
+	for _, e := range g.Adj[i] {
+		if e {
+			d++
+		}
+	}
+	return d
+}
+
+// CheckInvariant1 reports whether every left vertex has at least ⌈H/2⌉
+// neighbors and |U| <= ⌊H/2⌋ — the preconditions Balance guarantees.
+func (g *Graph) CheckInvariant1() bool {
+	if len(g.U) > g.H/2 {
+		return false
+	}
+	need := (g.H + 1) / 2
+	for i := range g.U {
+		if g.Degree(i) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// Pair is one matched edge: left vertex index I (so g.U[I] names it) and
+// right vertex V.
+type Pair struct {
+	I int
+	V int
+}
+
+// Result is a partial matching plus the simulated parallel time of the
+// invocation, in the units of the supplied interconnect cost function.
+type Result struct {
+	Pairs        []Pair
+	ParallelTime float64
+}
+
+// Target is Theorem 5's guarantee: the number of matches one call must
+// produce, min(|U|, ⌈H/4⌉).
+func (g *Graph) Target() int {
+	t := (g.H + 3) / 4
+	if len(g.U) < t {
+		t = len(g.U)
+	}
+	return t
+}
+
+// TCost is the interconnect's time to sort H items on H processors; the
+// matching's parallel time is O(TCost(H)).
+type TCost func(h int) float64
+
+// PRAMCost is T(H) on an EREW PRAM: Θ(log H) (Cole's merge sort).
+func PRAMCost(h int) float64 { return lg(float64(h)) }
+
+// HypercubeCost is the best known deterministic T(H) on a hypercube with no
+// precomputation: Θ(log H (log log H)²) (Cypher–Plaxton Sharesort).
+func HypercubeCost(h int) float64 {
+	l := lg(float64(h))
+	ll := lg(l)
+	return l * ll * ll
+}
+
+func lg(x float64) float64 {
+	if x <= 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// resolve applies the "smallest-numbered vertex in U wins" rule of
+// Algorithm 7 step (2) to the picks (pick[i] < 0 means no pick) and returns
+// the matched pairs.
+func resolve(g *Graph, pick []int) []Pair {
+	winner := make([]int, g.H)
+	for v := range winner {
+		winner[v] = -1
+	}
+	for i, v := range pick {
+		if v < 0 || !g.Adj[i][v] {
+			continue
+		}
+		if winner[v] == -1 || i < winner[v] {
+			winner[v] = i
+		}
+	}
+	var pairs []Pair
+	for v, i := range winner {
+		if i >= 0 {
+			pairs = append(pairs, Pair{I: i, V: v})
+		}
+	}
+	return pairs
+}
+
+// Randomized is the paper's Algorithm 7. Every left vertex draws uniform
+// vertices of V until it draws a neighbor (expected ≤ 2 draws under
+// Invariant 1); contested picks go to the smallest-numbered left vertex.
+func Randomized(g *Graph, rng *record.RNG, t TCost) Result {
+	pick := make([]int, len(g.U))
+	maxDraws := 0
+	for i := range g.U {
+		if g.Degree(i) == 0 {
+			pick[i] = -1
+			continue
+		}
+		draws := 0
+		for {
+			v := rng.Intn(g.H)
+			draws++
+			if g.Adj[i][v] {
+				pick[i] = v
+				break
+			}
+		}
+		if draws > maxDraws {
+			maxDraws = draws
+		}
+	}
+	// Step (1) costs O(1) per draw round on H' processors; step (2) is a
+	// sort + segmented prefix + monotone route, all O(T(H)).
+	return Result{
+		Pairs:        resolve(g, pick),
+		ParallelTime: float64(maxDraws) + t(g.H),
+	}
+}
+
+// Derandomized evaluates the one-shot experiment at every point (a, b) of
+// the pairwise-independent space {i ↦ ((a·i + b) mod p) mod H : a ∈ [1,p),
+// b ∈ [0,p)} for the smallest prime p ≥ H, keeps the best point, and — if
+// that still falls short of Target() — completes the matching greedily. The
+// result is deterministic.
+//
+// The charged parallel time follows the paper's accounting: the (H')² space
+// points are evaluated by (H')² processor groups simultaneously (H = (H')³
+// processors are available), so one evaluation plus a max-reduction costs
+// O(T(H)).
+func Derandomized(g *Graph, t TCost) Result {
+	p := nextPrime(g.H)
+	var best []Pair
+	pick := make([]int, len(g.U))
+	for a := 1; a < p; a++ {
+		for b := 0; b < p; b++ {
+			for i := range g.U {
+				pick[i] = ((a*i + b) % p) % g.H
+			}
+			pairs := resolve(g, pick)
+			if len(pairs) > len(best) {
+				best = pairs
+			}
+			if len(best) >= len(g.U) {
+				break // cannot improve
+			}
+		}
+		if len(best) >= len(g.U) {
+			break
+		}
+	}
+	if len(best) < g.Target() {
+		best = greedyExtend(g, best)
+	}
+	return Result{Pairs: best, ParallelTime: t(g.H)}
+}
+
+// Greedy builds a maximal matching sequentially: each left vertex takes its
+// smallest unmatched neighbor. On Invariant-1 instances this matches all of
+// U, but takes Θ(|U|·H) sequential work — the ablation baseline of E5/E12.
+func Greedy(g *Graph, t TCost) Result {
+	pairs := greedyExtend(g, nil)
+	// Inherently sequential: charge |U| dependent rounds of O(1) picks plus
+	// the same routing cost as the others.
+	return Result{Pairs: pairs, ParallelTime: float64(len(g.U)) + t(g.H)}
+}
+
+// greedyExtend extends the given matching to a maximal one, deterministically.
+func greedyExtend(g *Graph, base []Pair) []Pair {
+	usedV := make([]bool, g.H)
+	usedU := make([]bool, len(g.U))
+	out := append([]Pair(nil), base...)
+	for _, pr := range base {
+		usedV[pr.V] = true
+		usedU[pr.I] = true
+	}
+	for i := range g.U {
+		if usedU[i] {
+			continue
+		}
+		for v := 0; v < g.H; v++ {
+			if g.Adj[i][v] && !usedV[v] {
+				out = append(out, Pair{I: i, V: v})
+				usedV[v] = true
+				usedU[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Valid reports whether pairs is a matching of g: every pair an edge, no
+// left or right vertex used twice.
+func Valid(g *Graph, pairs []Pair) bool {
+	usedV := make([]bool, g.H)
+	usedU := make([]bool, len(g.U))
+	for _, pr := range pairs {
+		if pr.I < 0 || pr.I >= len(g.U) || pr.V < 0 || pr.V >= g.H {
+			return false
+		}
+		if !g.Adj[pr.I][pr.V] || usedU[pr.I] || usedV[pr.V] {
+			return false
+		}
+		usedU[pr.I] = true
+		usedV[pr.V] = true
+	}
+	return true
+}
+
+// nextPrime returns the smallest prime >= n (n >= 1).
+func nextPrime(n int) int {
+	if n < 2 {
+		return 2
+	}
+	for p := n; ; p++ {
+		if isPrime(p) {
+			return p
+		}
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

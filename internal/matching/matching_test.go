@@ -1,0 +1,233 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"balancesort/internal/record"
+)
+
+// invariantGraph builds a random instance satisfying Invariant 1: k <= H/2
+// left vertices, each adjacent to at least ceil(H/2) right vertices.
+func invariantGraph(h, k int, rng *record.RNG) *Graph {
+	g := NewGraph(h, k)
+	need := (h + 1) / 2
+	for i := 0; i < k; i++ {
+		g.U[i] = i
+		deg := need + rng.Intn(h-need+1)
+		// Choose deg distinct neighbors.
+		perm := make([]int, h)
+		for j := range perm {
+			perm[j] = j
+		}
+		for j := h - 1; j > 0; j-- {
+			l := rng.Intn(j + 1)
+			perm[j], perm[l] = perm[l], perm[j]
+		}
+		for _, v := range perm[:deg] {
+			g.Adj[i][v] = true
+		}
+	}
+	return g
+}
+
+func TestCheckInvariant1(t *testing.T) {
+	rng := record.NewRNG(1)
+	g := invariantGraph(8, 4, rng)
+	if !g.CheckInvariant1() {
+		t.Fatal("constructed graph violates invariant")
+	}
+	// Too many left vertices.
+	g2 := invariantGraph(8, 4, rng)
+	g2.U = append(g2.U, 4)
+	g2.Adj = append(g2.Adj, make([]bool, 8))
+	if g2.CheckInvariant1() {
+		t.Fatal("oversized U accepted")
+	}
+	// Degree deficit.
+	g3 := NewGraph(8, 1)
+	g3.Adj[0][0] = true
+	if g3.CheckInvariant1() {
+		t.Fatal("low-degree vertex accepted")
+	}
+}
+
+func TestTarget(t *testing.T) {
+	g := NewGraph(16, 8)
+	if g.Target() != 4 {
+		t.Fatalf("Target = %d, want ceil(16/4) = 4", g.Target())
+	}
+	g2 := NewGraph(16, 2)
+	if g2.Target() != 2 {
+		t.Fatalf("Target = %d, want |U| = 2", g2.Target())
+	}
+}
+
+func TestGreedyMatchesAllOfU(t *testing.T) {
+	// On Invariant-1 instances a maximal matching matches every left
+	// vertex (see package comment).
+	rng := record.NewRNG(7)
+	for _, h := range []int{2, 4, 8, 16, 64, 128} {
+		for trial := 0; trial < 5; trial++ {
+			k := 1 + rng.Intn(h/2)
+			g := invariantGraph(h, k, rng)
+			res := Greedy(g, PRAMCost)
+			if !Valid(g, res.Pairs) {
+				t.Fatalf("H=%d: greedy produced invalid matching", h)
+			}
+			if len(res.Pairs) != k {
+				t.Fatalf("H=%d k=%d: greedy matched only %d", h, k, len(res.Pairs))
+			}
+		}
+	}
+}
+
+func TestRandomizedMeetsLemma1OnAverage(t *testing.T) {
+	// Lemma 1: E[matches] >= H'/4. Check the empirical mean over many
+	// trials with |U| = floor(H/2) (the extremal case).
+	rng := record.NewRNG(42)
+	h := 32
+	k := h / 2
+	trials := 200
+	total := 0
+	for i := 0; i < trials; i++ {
+		g := invariantGraph(h, k, rng)
+		res := Randomized(g, rng, PRAMCost)
+		if !Valid(g, res.Pairs) {
+			t.Fatal("randomized produced invalid matching")
+		}
+		total += len(res.Pairs)
+	}
+	mean := float64(total) / float64(trials)
+	if mean < float64(h)/4 {
+		t.Fatalf("mean matches %.2f < H/4 = %d", mean, h/4)
+	}
+}
+
+func TestDerandomizedDeterministicAndMeetsTheorem5(t *testing.T) {
+	rng := record.NewRNG(3)
+	for _, h := range []int{4, 8, 16, 32, 64} {
+		for trial := 0; trial < 4; trial++ {
+			k := 1 + rng.Intn(h/2)
+			g := invariantGraph(h, k, rng)
+			r1 := Derandomized(g, PRAMCost)
+			r2 := Derandomized(g, PRAMCost)
+			if !Valid(g, r1.Pairs) {
+				t.Fatalf("H=%d: invalid matching", h)
+			}
+			if len(r1.Pairs) < g.Target() {
+				t.Fatalf("H=%d k=%d: matched %d < target %d", h, k, len(r1.Pairs), g.Target())
+			}
+			if len(r1.Pairs) != len(r2.Pairs) {
+				t.Fatal("derandomized matching not deterministic")
+			}
+			for i := range r1.Pairs {
+				if r1.Pairs[i] != r2.Pairs[i] {
+					t.Fatal("derandomized matching not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestDerandomizedQuick(t *testing.T) {
+	f := func(seed uint64, hRaw, kRaw uint8) bool {
+		h := 2 + int(hRaw%62)
+		k := 1 + int(kRaw)%(h/2+1)
+		if k > h/2 {
+			k = h / 2
+		}
+		if k == 0 {
+			k = 1
+		}
+		if k > h/2 { // h = 2 or 3 edge case
+			return true
+		}
+		g := invariantGraph(h, k, record.NewRNG(seed))
+		res := Derandomized(g, PRAMCost)
+		return Valid(g, res.Pairs) && len(res.Pairs) >= g.Target()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedHandlesIsolatedVertex(t *testing.T) {
+	// Degenerate instance violating Invariant 1 (degree 0): must not loop
+	// forever, must still produce a valid (possibly empty) matching.
+	g := NewGraph(4, 1)
+	res := Randomized(g, record.NewRNG(1), PRAMCost)
+	if !Valid(g, res.Pairs) || len(res.Pairs) != 0 {
+		t.Fatalf("isolated vertex handled badly: %+v", res)
+	}
+}
+
+func TestResolveSmallestWins(t *testing.T) {
+	g := NewGraph(4, 2)
+	g.Adj[0][2] = true
+	g.Adj[1][2] = true
+	pairs := resolve(g, []int{2, 2})
+	if len(pairs) != 1 || pairs[0].I != 0 || pairs[0].V != 2 {
+		t.Fatalf("smallest-numbered rule broken: %+v", pairs)
+	}
+}
+
+func TestValidRejectsBadMatchings(t *testing.T) {
+	g := NewGraph(4, 2)
+	g.Adj[0][1] = true
+	g.Adj[1][1] = true
+	if Valid(g, []Pair{{I: 0, V: 0}}) {
+		t.Fatal("non-edge accepted")
+	}
+	if Valid(g, []Pair{{I: 0, V: 1}, {I: 1, V: 1}}) {
+		t.Fatal("doubled right vertex accepted")
+	}
+	if Valid(g, []Pair{{I: 9, V: 1}}) {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	if PRAMCost(1024) != 10 {
+		t.Fatalf("PRAMCost(1024) = %v", PRAMCost(1024))
+	}
+	// Hypercube cost must dominate PRAM cost for large H.
+	if HypercubeCost(1<<16) <= PRAMCost(1<<16) {
+		t.Fatal("hypercube cost should exceed PRAM cost")
+	}
+	// And both saturate at >= 1 for tiny H (log x = max(1, log2 x)).
+	if PRAMCost(1) < 1 || HypercubeCost(1) < 1 {
+		t.Fatal("cost floor of 1 violated")
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[int]int{1: 2, 2: 2, 3: 3, 4: 5, 8: 11, 90: 97}
+	for n, want := range cases {
+		if got := nextPrime(n); got != want {
+			t.Fatalf("nextPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGreedyExtendKeepsBase(t *testing.T) {
+	g := NewGraph(4, 2)
+	for v := 0; v < 4; v++ {
+		g.Adj[0][v] = true
+		g.Adj[1][v] = true
+	}
+	base := []Pair{{I: 1, V: 3}}
+	out := greedyExtend(g, base)
+	found := false
+	for _, pr := range out {
+		if pr == base[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("base pair dropped")
+	}
+	if len(out) != 2 {
+		t.Fatalf("extension incomplete: %+v", out)
+	}
+}

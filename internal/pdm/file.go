@@ -1,0 +1,145 @@
+package pdm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"balancesort/internal/record"
+)
+
+// File-backed disk arrays: each simulated drive persists its blocks to one
+// file under a directory, in the 16-byte wire format of internal/record.
+// The cost model is unchanged — parallel I/O counting and the
+// one-block-per-disk rule work exactly as with the in-memory store — but
+// the data outlives the process and its footprint is disk, not RAM, so the
+// library genuinely sorts datasets larger than host memory.
+//
+// Close writes a manifest (parameters plus allocation marks) so a later
+// OpenFileBacked can resume against the same directory.
+
+// fileStore backs one drive with one file; block i occupies bytes
+// [i*B*EncodedSize, (i+1)*B*EncodedSize).
+type fileStore struct {
+	b       int
+	f       *os.File
+	written []bool
+}
+
+func (s *fileStore) blockBytes() int { return s.b * record.EncodedSize }
+
+func (s *fileStore) read(off int, dst []record.Record) error {
+	if off >= len(s.written) || !s.written[off] {
+		return fmt.Errorf("pdm: read of unwritten block off=%d", off)
+	}
+	buf := make([]byte, s.blockBytes())
+	if _, err := s.f.ReadAt(buf, int64(off)*int64(s.blockBytes())); err != nil {
+		return fmt.Errorf("pdm: file read: %w", err)
+	}
+	for i := range dst {
+		dst[i] = record.Decode(buf[i*record.EncodedSize:])
+	}
+	return nil
+}
+
+func (s *fileStore) write(off int, src []record.Record) error {
+	buf := record.EncodeSlice(src)
+	if _, err := s.f.WriteAt(buf, int64(off)*int64(s.blockBytes())); err != nil {
+		return fmt.Errorf("pdm: file write: %w", err)
+	}
+	for off >= len(s.written) {
+		s.written = append(s.written, false)
+	}
+	s.written[off] = true
+	return nil
+}
+
+func (s *fileStore) close() error { return s.f.Close() }
+
+// manifest is the JSON persisted next to the disk files.
+type manifest struct {
+	D        int   `json:"d"`
+	B        int   `json:"b"`
+	M        int   `json:"m"`
+	NextFree []int `json:"next_free"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+func diskPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("disk%03d.bin", i))
+}
+
+// NewFileBacked creates a file-backed array under dir (created if absent).
+// Any existing array files in dir are truncated.
+func NewFileBacked(p Params, dir string) (*Array, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	stores := make([]blockStore, p.D)
+	for i := range stores {
+		f, err := os.Create(diskPath(dir, i))
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = &fileStore{b: p.B, f: f}
+	}
+	var a *Array
+	a = newWithStores(p, ModePDM, stores, func() error { return writeManifest(dir, p, a.nextFree) })
+	return a, nil
+}
+
+// OpenFileBacked resumes the array persisted under dir. All blocks below
+// each disk's file size count as written.
+func OpenFileBacked(dir string) (*Array, error) {
+	raw, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("pdm: no manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("pdm: bad manifest: %w", err)
+	}
+	p := Params{D: m.D, B: m.B, M: m.M}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.NextFree) != p.D {
+		return nil, fmt.Errorf("pdm: manifest has %d allocation marks for D=%d", len(m.NextFree), p.D)
+	}
+	stores := make([]blockStore, p.D)
+	for i := range stores {
+		f, err := os.OpenFile(diskPath(dir, i), os.O_RDWR, 0)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		fs := &fileStore{b: p.B, f: f}
+		blocks := int(st.Size()) / fs.blockBytes()
+		fs.written = make([]bool, blocks)
+		for j := range fs.written {
+			fs.written[j] = true
+		}
+		stores[i] = fs
+	}
+	var a *Array
+	a = newWithStores(p, ModePDM, stores, func() error { return writeManifest(dir, p, a.nextFree) })
+	copy(a.nextFree, m.NextFree)
+	return a, nil
+}
+
+func writeManifest(dir string, p Params, nextFree []int) error {
+	m := manifest{D: p.D, B: p.B, M: p.M, NextFree: append([]int(nil), nextFree...)}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(manifestPath(dir), raw, 0o644)
+}

@@ -1,0 +1,73 @@
+package pdm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemTracker enforces the internal-memory capacity M. Sorting algorithms
+// charge every buffer they hold against the tracker with Use and return it
+// with Release; exceeding the capacity panics, because an algorithm that
+// overflows M is simply not an external-memory algorithm and every such
+// overflow is a bug in this repository.
+type MemTracker struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	peak     int
+}
+
+// NewMemTracker returns a tracker with the given capacity in records.
+func NewMemTracker(capacity int) *MemTracker {
+	return &MemTracker{capacity: capacity}
+}
+
+// Use charges n records of internal memory.
+func (m *MemTracker) Use(n int) {
+	if n < 0 {
+		panic("pdm: negative memory charge")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.used += n
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	if m.used > m.capacity {
+		panic(fmt.Sprintf("pdm: internal memory overflow: %d used, capacity %d", m.used, m.capacity))
+	}
+}
+
+// Release returns n records of internal memory.
+func (m *MemTracker) Release(n int) {
+	if n < 0 {
+		panic("pdm: negative memory release")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.used -= n
+	if m.used < 0 {
+		panic("pdm: memory released twice")
+	}
+}
+
+// Used returns the current occupancy in records.
+func (m *MemTracker) Used() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Peak returns the high-water mark in records.
+func (m *MemTracker) Peak() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Capacity returns the tracker's capacity in records.
+func (m *MemTracker) Capacity() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.capacity
+}

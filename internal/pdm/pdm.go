@@ -1,0 +1,483 @@
+// Package pdm simulates the parallel disk model of Vitter and Shriver
+// (Figure 2 of the paper): D physically distinct disks, each able to
+// transfer one block of B contiguous records per parallel I/O, attached to
+// an internal memory of capacity M records.
+//
+// The simulator is the measurement instrument for every disk experiment in
+// this repository: it executes the real data movement in memory, serves
+// each disk from its own goroutine (disks operate independently, as real
+// drives do), counts parallel I/O operations, and enforces the model's two
+// rules — at most one block per disk per I/O, and at most M records resident
+// in internal memory. An AgV compatibility mode (Figure 1, the
+// Aggarwal–Vitter model) relaxes the one-block-per-disk rule so the two
+// models can be compared head to head (experiment E14).
+package pdm
+
+import (
+	"fmt"
+	"sync"
+
+	"balancesort/internal/record"
+)
+
+// Params fixes the model parameters for a disk array. The paper's
+// constraints are M < N, 1 <= P <= M, and 1 <= DB <= M/2; constructors
+// validate what they can locally (D, B, M) and sorters validate the rest.
+type Params struct {
+	D int // number of disks
+	B int // records per block
+	M int // records of internal memory
+}
+
+// Validate reports whether the parameters satisfy the model constraints
+// that do not involve N.
+func (p Params) Validate() error {
+	if p.D < 1 {
+		return fmt.Errorf("pdm: D = %d, want >= 1", p.D)
+	}
+	if p.B < 1 {
+		return fmt.Errorf("pdm: B = %d, want >= 1", p.B)
+	}
+	if p.D*p.B > p.M/2 {
+		return fmt.Errorf("pdm: DB = %d exceeds M/2 = %d", p.D*p.B, p.M/2)
+	}
+	return nil
+}
+
+// Mode selects which model's I/O rule the array enforces.
+type Mode int
+
+const (
+	// ModePDM is the Vitter–Shriver parallel disk model: in one I/O each
+	// disk transfers at most one block.
+	ModePDM Mode = iota
+	// ModeAgV is the Aggarwal–Vitter model: one I/O transfers any D blocks,
+	// even if several live on the same disk.
+	ModeAgV
+)
+
+// Op is one block transfer within a parallel I/O.
+type Op struct {
+	Disk  int  // which disk
+	Off   int  // block offset on that disk
+	Write bool // direction
+	// Data is the source for a write (exactly B records) or the
+	// destination for a read (exactly B records).
+	Data []record.Record
+}
+
+// Stats is a snapshot of the array's I/O counters.
+type Stats struct {
+	IOs           int64 // parallel I/O operations
+	ReadIOs       int64 // parallel I/Os that contained at least one read
+	WriteIOs      int64 // parallel I/Os that contained at least one write
+	BlocksRead    int64
+	BlocksWritten int64
+	PerDiskReads  []int64
+	PerDiskWrites []int64
+	// WidthHist[w] counts parallel I/Os that moved exactly w blocks
+	// (w = 1..D); WriteWidthHist restricts to all-write I/Os. Together they
+	// measure how close the algorithm runs to full-width, striped-looking
+	// transfers — the property Section 6 highlights ("without need of
+	// non-striped write operations").
+	WidthHist      []int64
+	WriteWidthHist []int64
+}
+
+// Utilization returns moved blocks per I/O slot, in [0, 1]: 1.0 means every
+// parallel I/O used all D disks.
+func (s Stats) Utilization(d int) float64 {
+	if s.IOs == 0 {
+		return 0
+	}
+	return float64(s.BlocksRead+s.BlocksWritten) / float64(s.IOs*int64(d))
+}
+
+// WriteFullness returns the fraction of all-write parallel I/Os that used
+// at least frac of the disks.
+func (s Stats) WriteFullness(d int, frac float64) float64 {
+	total, wide := int64(0), int64(0)
+	for w, c := range s.WriteWidthHist {
+		total += c
+		if float64(w) >= frac*float64(d) {
+			wide += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(wide) / float64(total)
+}
+
+// Array is a simulated array of D disks plus the internal-memory tracker.
+type Array struct {
+	params Params
+	mode   Mode
+
+	disks []*disk
+
+	mu    sync.Mutex
+	stats Stats
+
+	// Mem tracks internal memory occupancy against params.M.
+	Mem *MemTracker
+
+	// nextFree[d] is the lowest never-allocated block offset on disk d.
+	nextFree []int
+
+	onClose func() error
+}
+
+// blockStore is the storage behind one simulated drive. The in-memory
+// store is the default; the file-backed store in file.go persists blocks to
+// a real file so the library can sort datasets larger than host memory.
+type blockStore interface {
+	// read copies block off into dst (len dst = B); it errors on a block
+	// that was never written.
+	read(off int, dst []record.Record) error
+	// write stores dst as block off.
+	write(off int, src []record.Record) error
+	close() error
+}
+
+// disk is a single simulated drive served by its own goroutine.
+type disk struct {
+	b      int
+	store  blockStore
+	reqs   chan diskReq
+	done   chan struct{}
+	reads  int64
+	writes int64
+}
+
+// memStore keeps blocks in a growable slice.
+type memStore struct {
+	b      int
+	blocks [][]record.Record
+}
+
+func (s *memStore) read(off int, dst []record.Record) error {
+	if off >= len(s.blocks) || s.blocks[off] == nil {
+		return fmt.Errorf("pdm: read of unwritten block off=%d", off)
+	}
+	copy(dst, s.blocks[off])
+	return nil
+}
+
+func (s *memStore) write(off int, src []record.Record) error {
+	for off >= len(s.blocks) {
+		s.blocks = append(s.blocks, nil)
+	}
+	blk := s.blocks[off]
+	if blk == nil {
+		blk = make([]record.Record, s.b)
+		s.blocks[off] = blk
+	}
+	copy(blk, src)
+	return nil
+}
+
+func (s *memStore) close() error { return nil }
+
+type diskReq struct {
+	ops   []Op // all for this disk
+	reply chan<- error
+}
+
+// New creates a disk array with the given parameters in PDM mode.
+// It panics if the parameters are invalid; model parameters are chosen by
+// the programmer, not by runtime input.
+func New(p Params) *Array {
+	return NewMode(p, ModePDM)
+}
+
+// NewMode creates a disk array enforcing the given model's I/O rule.
+func NewMode(p Params, mode Mode) *Array {
+	stores := make([]blockStore, p.D)
+	for i := range stores {
+		stores[i] = &memStore{b: p.B}
+	}
+	return newWithStores(p, mode, stores, nil)
+}
+
+// newWithStores wires an array over the given per-disk stores; onClose (if
+// non-nil) runs after the disk goroutines stop.
+func newWithStores(p Params, mode Mode, stores []blockStore, onClose func() error) *Array {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{
+		params:   p,
+		mode:     mode,
+		disks:    make([]*disk, p.D),
+		nextFree: make([]int, p.D),
+		Mem:      NewMemTracker(p.M),
+		onClose:  onClose,
+	}
+	a.stats.PerDiskReads = make([]int64, p.D)
+	a.stats.PerDiskWrites = make([]int64, p.D)
+	a.stats.WidthHist = make([]int64, p.D+1)
+	a.stats.WriteWidthHist = make([]int64, p.D+1)
+	for i := range a.disks {
+		d := &disk{
+			b:     p.B,
+			store: stores[i],
+			reqs:  make(chan diskReq),
+			done:  make(chan struct{}),
+		}
+		a.disks[i] = d
+		go d.serve()
+	}
+	return a
+}
+
+// Params returns the model parameters of the array.
+func (a *Array) Params() Params { return a.params }
+
+// Close stops the per-disk server goroutines and releases the backing
+// stores (for file-backed arrays this persists the manifest). The array
+// must not be used afterwards.
+func (a *Array) Close() error {
+	var firstErr error
+	for _, d := range a.disks {
+		close(d.reqs)
+		<-d.done
+		if err := d.store.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if a.onClose != nil {
+		if err := a.onClose(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (d *disk) serve() {
+	defer close(d.done)
+	for req := range d.reqs {
+		var err error
+		for _, op := range req.ops {
+			if err = d.execute(op); err != nil {
+				break
+			}
+		}
+		req.reply <- err
+	}
+}
+
+func (d *disk) execute(op Op) error {
+	if len(op.Data) != d.b {
+		return fmt.Errorf("pdm: op transfers %d records, block size is %d", len(op.Data), d.b)
+	}
+	if op.Write {
+		if err := d.store.write(op.Off, op.Data); err != nil {
+			return err
+		}
+		d.writes++
+		return nil
+	}
+	// Reading a never-written block is almost always a bug in the caller,
+	// so the store fails loudly (the error becomes a panic in ParallelIO).
+	if err := d.store.read(op.Off, op.Data); err != nil {
+		return err
+	}
+	d.reads++
+	return nil
+}
+
+// ParallelIO performs one parallel I/O consisting of the given block
+// transfers. In ModePDM at most one op may address each disk; in ModeAgV at
+// most D ops are allowed in total. A nil or empty op list is a no-op that
+// costs nothing.
+func (a *Array) ParallelIO(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(ops) > a.params.D {
+		panic(fmt.Sprintf("pdm: %d ops in one I/O, model allows at most D = %d", len(ops), a.params.D))
+	}
+	perDisk := make(map[int][]Op, len(ops))
+	for _, op := range ops {
+		if op.Disk < 0 || op.Disk >= a.params.D {
+			panic(fmt.Sprintf("pdm: op addresses disk %d of %d", op.Disk, a.params.D))
+		}
+		if a.mode == ModePDM && len(perDisk[op.Disk]) > 0 {
+			panic(fmt.Sprintf("pdm: two blocks on disk %d in one I/O (PDM mode)", op.Disk))
+		}
+		perDisk[op.Disk] = append(perDisk[op.Disk], op)
+	}
+
+	replies := make(chan error, len(perDisk))
+	for diskID, dops := range perDisk {
+		a.disks[diskID].reqs <- diskReq{ops: dops, reply: replies}
+	}
+	var firstErr error
+	for range perDisk {
+		if err := <-replies; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		panic(firstErr)
+	}
+
+	a.mu.Lock()
+	a.stats.IOs++
+	hasRead, hasWrite := false, false
+	for _, op := range ops {
+		if op.Write {
+			hasWrite = true
+			a.stats.BlocksWritten++
+			a.stats.PerDiskWrites[op.Disk]++
+		} else {
+			hasRead = true
+			a.stats.BlocksRead++
+			a.stats.PerDiskReads[op.Disk]++
+		}
+	}
+	if hasRead {
+		a.stats.ReadIOs++
+	}
+	if hasWrite {
+		a.stats.WriteIOs++
+	}
+	width := len(ops)
+	if width > a.params.D {
+		width = a.params.D // AgV mode can exceed D only per-disk, not total
+	}
+	a.stats.WidthHist[width]++
+	if hasWrite && !hasRead {
+		a.stats.WriteWidthHist[width]++
+	}
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.stats
+	s.PerDiskReads = append([]int64(nil), a.stats.PerDiskReads...)
+	s.PerDiskWrites = append([]int64(nil), a.stats.PerDiskWrites...)
+	s.WidthHist = append([]int64(nil), a.stats.WidthHist...)
+	s.WriteWidthHist = append([]int64(nil), a.stats.WriteWidthHist...)
+	return s
+}
+
+// ResetStats zeroes the I/O counters (allocation state is kept).
+func (a *Array) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = Stats{
+		PerDiskReads:   make([]int64, a.params.D),
+		PerDiskWrites:  make([]int64, a.params.D),
+		WidthHist:      make([]int64, a.params.D+1),
+		WriteWidthHist: make([]int64, a.params.D+1),
+	}
+}
+
+// Peek returns a copy of one block without counting any I/O. It is the
+// simulator's measurement channel — verification sweeps and displacement
+// measurements use it so that observing the data does not perturb the cost
+// being measured. It must not be called while a ParallelIO is in flight.
+func (a *Array) Peek(d, off int) []record.Record {
+	if d < 0 || d >= a.params.D {
+		panic(fmt.Sprintf("pdm: peek at disk %d of %d", d, a.params.D))
+	}
+	dst := make([]record.Record, a.params.B)
+	if err := a.disks[d].store.read(off, dst); err != nil {
+		panic(err)
+	}
+	return dst
+}
+
+// Alloc reserves n fresh blocks on disk d and returns the offset of the
+// first. The simulator never reuses freed space; regions are cheap.
+func (a *Array) Alloc(d, n int) int {
+	off := a.nextFree[d]
+	a.nextFree[d] += n
+	return off
+}
+
+// AllocStripe reserves n fresh block offsets valid on every disk (the same
+// offset range on all D disks) and returns the first offset.
+func (a *Array) AllocStripe(n int) int {
+	off := 0
+	for _, f := range a.nextFree {
+		if f > off {
+			off = f
+		}
+	}
+	for d := range a.nextFree {
+		a.nextFree[d] = off + n
+	}
+	return off
+}
+
+// WriteStripe writes len(data)/B blocks striped across the disks starting
+// at block offset off: block i goes to disk i%D at offset off + i/D. Records
+// beyond the last full block are padded with +inf sentinels the caller must
+// track. It returns the number of parallel I/Os used.
+func (a *Array) WriteStripe(off int, data []record.Record) int {
+	b, d := a.params.B, a.params.D
+	nblocks := (len(data) + b - 1) / b
+	ios := 0
+	for base := 0; base < nblocks; base += d {
+		var ops []Op
+		for j := 0; j < d && base+j < nblocks; j++ {
+			blk := make([]record.Record, b)
+			lo := (base + j) * b
+			hi := lo + b
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(blk, data[lo:hi])
+			for k := hi - lo; k < b; k++ {
+				blk[k] = record.Record{Key: ^uint64(0), Loc: ^uint64(0)} // sentinel pad
+			}
+			ops = append(ops, Op{Disk: j, Off: off + base/d, Write: true, Data: blk})
+		}
+		a.ParallelIO(ops)
+		ios++
+	}
+	return ios
+}
+
+// ReadStripe reads n records striped from block offset off (the layout
+// written by WriteStripe) and returns the parallel I/O count.
+func (a *Array) ReadStripe(off int, dst []record.Record) int {
+	b, d := a.params.B, a.params.D
+	nblocks := (len(dst) + b - 1) / b
+	ios := 0
+	for base := 0; base < nblocks; base += d {
+		var ops []Op
+		bufs := make([][]record.Record, 0, d)
+		for j := 0; j < d && base+j < nblocks; j++ {
+			bb := make([]record.Record, b)
+			bufs = append(bufs, bb)
+			ops = append(ops, Op{Disk: j, Off: off + base/d, Data: bb})
+		}
+		a.ParallelIO(ops)
+		ios++
+		for j, bb := range bufs {
+			lo := (base + j) * b
+			hi := lo + b
+			if hi > len(dst) {
+				hi = len(dst)
+			}
+			copy(dst[lo:hi], bb[:hi-lo])
+		}
+	}
+	return ios
+}
+
+// D returns the number of disks.
+func (a *Array) D() int { return a.params.D }
+
+// B returns the block size in records.
+func (a *Array) B() int { return a.params.B }
+
+// M returns the internal memory capacity in records.
+func (a *Array) M() int { return a.params.M }

@@ -1,0 +1,55 @@
+package pram
+
+import "balancesort/internal/record"
+
+// SortRadix sorts rs by the effective key (Key, Loc) with a stable LSD
+// radix sort over 16-bit digits — the integer-sorting path Section 5 of
+// the paper invokes (Rajasekaran–Reif) to hit the Θ((N/P) log N) internal
+// bound when keys are machine words. Each pass is a counting sort; the
+// charge per pass is one scan's work at prefix depth, matching the
+// parallel counting-sort schedule (per-processor histograms, a prefix over
+// the 2^b counters, and a stable scatter).
+func (m *Machine) SortRadix(rs []record.Record) {
+	n := len(rs)
+	if n <= 1 {
+		return
+	}
+	const digitBits = 16
+	const buckets = 1 << digitBits
+	buf := make([]record.Record, n)
+	src, dst := rs, buf
+
+	// LSD over Loc (low significance) then Key: 4 + 4 passes of 16 bits.
+	pass := func(key func(record.Record) uint64, shift uint) {
+		var counts [buckets]int
+		for _, r := range src {
+			counts[(key(r)>>shift)&(buckets-1)]++
+		}
+		total := 0
+		for d := 0; d < buckets; d++ {
+			c := counts[d]
+			counts[d] = total
+			total += c
+		}
+		for _, r := range src {
+			d := (key(r) >> shift) & (buckets - 1)
+			dst[counts[d]] = r
+			counts[d]++
+		}
+		src, dst = dst, src
+		// One counting-sort pass: n work to count, 2^b prefix, n scatter.
+		m.Charge(float64(2*n+buckets), lg(float64(n))+lg(float64(buckets)))
+	}
+	locKey := func(r record.Record) uint64 { return r.Loc }
+	keyKey := func(r record.Record) uint64 { return r.Key }
+	for shift := uint(0); shift < 64; shift += digitBits {
+		pass(locKey, shift)
+	}
+	for shift := uint(0); shift < 64; shift += digitBits {
+		pass(keyKey, shift)
+	}
+	// Eight passes leave the result back in rs (even number of swaps).
+	if &src[0] != &rs[0] {
+		copy(rs, src)
+	}
+}

@@ -1,0 +1,92 @@
+package pram
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"balancesort/internal/record"
+)
+
+func TestSortRadixMatchesComparison(t *testing.T) {
+	for _, w := range record.AllWorkloads {
+		rs := record.Generate(w, 5000, 17)
+		want := append([]record.Record(nil), rs...)
+		sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+		m := New(4)
+		m.SortRadix(rs)
+		for i := range want {
+			if rs[i] != want[i] {
+				t.Fatalf("%v: radix mismatch at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestSortRadixTiny(t *testing.T) {
+	m := New(1)
+	m.SortRadix(nil)
+	one := []record.Record{{Key: 5}}
+	m.SortRadix(one)
+	if one[0].Key != 5 {
+		t.Fatal("singleton mangled")
+	}
+	two := []record.Record{{Key: 2, Loc: 0}, {Key: 1, Loc: 1}}
+	m.SortRadix(two)
+	if two[0].Key != 1 {
+		t.Fatal("pair not sorted")
+	}
+}
+
+func TestSortRadixDuplicateKeysOrderedByLoc(t *testing.T) {
+	rs := record.Generate(record.FewDistinct, 3000, 21)
+	m := New(2)
+	m.SortRadix(rs)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Key == rs[i-1].Key && rs[i].Loc < rs[i-1].Loc {
+			t.Fatalf("loc order broken at %d", i)
+		}
+	}
+	if !record.IsSorted(rs) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestSortRadixQuick(t *testing.T) {
+	f := func(keys []uint64) bool {
+		rs := make([]record.Record, len(keys))
+		for i, k := range keys {
+			rs[i] = record.Record{Key: k, Loc: uint64(i)}
+		}
+		m := New(3)
+		m.SortRadix(rs)
+		return record.IsSorted(rs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortRadixChargesWork(t *testing.T) {
+	m := New(1)
+	rs := record.Generate(record.Uniform, 4096, 5)
+	m.SortRadix(rs)
+	if m.Time() <= 0 || m.Syncs() != 8 {
+		t.Fatalf("radix charged time=%v syncs=%d, want 8 passes", m.Time(), m.Syncs())
+	}
+}
+
+func TestSortRadixExtremeValues(t *testing.T) {
+	rs := []record.Record{
+		{Key: ^uint64(0), Loc: ^uint64(0)},
+		{Key: 0, Loc: 0},
+		{Key: ^uint64(0), Loc: 0},
+		{Key: 0, Loc: ^uint64(0)},
+		{Key: 1 << 63, Loc: 42},
+	}
+	m := New(2)
+	m.SortRadix(rs)
+	if !record.IsSorted(rs) {
+		t.Fatalf("extreme values unsorted: %v", rs)
+	}
+}

@@ -1,0 +1,76 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format: 16 bytes per record, little-endian Key then Loc. This is
+// the on-disk format of the file-backed disk arrays and of the CLI's
+// input/output files.
+
+// EncodedSize is the wire size of one record in bytes.
+const EncodedSize = 16
+
+// Encode appends the wire form of r to buf and returns the extended slice.
+func Encode(buf []byte, r Record) []byte {
+	var tmp [EncodedSize]byte
+	binary.LittleEndian.PutUint64(tmp[0:8], r.Key)
+	binary.LittleEndian.PutUint64(tmp[8:16], r.Loc)
+	return append(buf, tmp[:]...)
+}
+
+// Decode reads one record from the first EncodedSize bytes of buf.
+func Decode(buf []byte) Record {
+	return Record{
+		Key: binary.LittleEndian.Uint64(buf[0:8]),
+		Loc: binary.LittleEndian.Uint64(buf[8:16]),
+	}
+}
+
+// EncodeSlice returns the wire form of rs.
+func EncodeSlice(rs []Record) []byte {
+	out := make([]byte, 0, len(rs)*EncodedSize)
+	for _, r := range rs {
+		out = Encode(out, r)
+	}
+	return out
+}
+
+// DecodeSlice parses a whole buffer of encoded records.
+func DecodeSlice(buf []byte) ([]Record, error) {
+	if len(buf)%EncodedSize != 0 {
+		return nil, fmt.Errorf("record: %d bytes is not a whole number of records", len(buf))
+	}
+	out := make([]Record, len(buf)/EncodedSize)
+	for i := range out {
+		out[i] = Decode(buf[i*EncodedSize:])
+	}
+	return out, nil
+}
+
+// WriteAll writes rs to w in wire form.
+func WriteAll(w io.Writer, rs []Record) error {
+	// Stream in modest chunks to avoid a full-size staging buffer.
+	const chunk = 4096
+	for lo := 0; lo < len(rs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rs) {
+			hi = len(rs)
+		}
+		if _, err := w.Write(EncodeSlice(rs[lo:hi])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll reads records from r until EOF.
+func ReadAll(r io.Reader) ([]Record, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSlice(raw)
+}

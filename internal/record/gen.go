@@ -1,0 +1,172 @@
+package record
+
+import "math"
+
+// Workload generators. Every generator is a pure function of its seed so
+// experiments are reproducible bit-for-bit. We use a local SplitMix64
+// generator instead of math/rand so the byte streams are pinned by this
+// repository rather than by the standard library's generator choice.
+
+// RNG is a SplitMix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a SplitMix64 generator with the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (g *RNG) Uint64() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random integer in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("record: Intn with non-positive n")
+	}
+	return int(g.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (g *RNG) Float64() float64 {
+	return float64(g.Uint64()>>11) / (1 << 53)
+}
+
+// Workload names a generator shape. The set covers the regimes the paper's
+// analysis distinguishes: average case (uniform), heavy duplication (the
+// tie-breaking path), nearly sorted and reversed inputs (merge-friendly and
+// merge-hostile), and an adversarial shape that funnels most records into
+// few buckets to stress the balance machinery.
+type Workload int
+
+const (
+	// Uniform draws keys uniformly from the full 64-bit space.
+	Uniform Workload = iota
+	// FewDistinct draws keys from a tiny alphabet so runs of equal keys
+	// dominate and ordering is decided by Loc.
+	FewDistinct
+	// NearlySorted produces an ascending sequence with a small fraction of
+	// random displacements.
+	NearlySorted
+	// Reversed produces a strictly descending sequence.
+	Reversed
+	// BucketSkew concentrates ~90% of the keys in a narrow key range so
+	// almost all records fall into the same distribution bucket.
+	BucketSkew
+	// Zipf draws keys from an approximate Zipf(1.2) distribution over 1024
+	// distinct values.
+	Zipf
+)
+
+// String returns the generator's name as used in experiment tables.
+func (w Workload) String() string {
+	switch w {
+	case Uniform:
+		return "uniform"
+	case FewDistinct:
+		return "fewdistinct"
+	case NearlySorted:
+		return "nearlysorted"
+	case Reversed:
+		return "reversed"
+	case BucketSkew:
+		return "bucketskew"
+	case Zipf:
+		return "zipf"
+	default:
+		return "unknown"
+	}
+}
+
+// AllWorkloads lists every generator, in table order.
+var AllWorkloads = []Workload{Uniform, FewDistinct, NearlySorted, Reversed, BucketSkew, Zipf}
+
+// Generate produces n records for workload w from the given seed, with Loc
+// stamped 0..n-1.
+func Generate(w Workload, n int, seed uint64) []Record {
+	g := NewRNG(seed ^ (uint64(w) << 56))
+	rs := make([]Record, n)
+	switch w {
+	case Uniform:
+		for i := range rs {
+			rs[i].Key = g.Uint64()
+		}
+	case FewDistinct:
+		for i := range rs {
+			rs[i].Key = uint64(g.Intn(7))
+		}
+	case NearlySorted:
+		for i := range rs {
+			rs[i].Key = uint64(i) << 8
+		}
+		swaps := n / 64
+		for s := 0; s < swaps; s++ {
+			i, j := g.Intn(n), g.Intn(n)
+			rs[i].Key, rs[j].Key = rs[j].Key, rs[i].Key
+		}
+	case Reversed:
+		for i := range rs {
+			rs[i].Key = uint64(n-i) << 8
+		}
+	case BucketSkew:
+		for i := range rs {
+			if g.Intn(10) == 0 {
+				rs[i].Key = g.Uint64()
+			} else {
+				// Narrow band near the top of the key space.
+				rs[i].Key = ^uint64(0) - uint64(g.Intn(1024))
+			}
+		}
+	case Zipf:
+		for i := range rs {
+			rs[i].Key = zipfDraw(g)
+		}
+	default:
+		panic("record: unknown workload")
+	}
+	Stamp(rs, 0)
+	return rs
+}
+
+// zipfDraw samples an approximate Zipf(s=1.2) value over ranks 1..1024 by
+// inverse-CDF on a precomputed table.
+func zipfDraw(g *RNG) uint64 {
+	u := g.Float64() * zipfTotal
+	// Binary search the cumulative table.
+	lo, hi := 0, len(zipfCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if zipfCum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+var (
+	zipfCum   []float64
+	zipfTotal float64
+)
+
+func init() {
+	const ranks = 1024
+	zipfCum = make([]float64, ranks)
+	c := 0.0
+	for r := 1; r <= ranks; r++ {
+		c += 1.0 / pow12(float64(r))
+		zipfCum[r-1] = c
+	}
+	zipfTotal = c
+}
+
+func pow12(x float64) float64 { return math.Pow(x, 1.2) }

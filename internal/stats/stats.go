@@ -1,0 +1,145 @@
+// Package stats renders the experiment tables of EXPERIMENTS.md: fixed-
+// width, pipe-separated rows that read the same in a terminal and in
+// markdown, plus the closed-form bound evaluators shared by the benchmark
+// harness and cmd/experiments.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 3
+// significant places.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 1e6 || math.Abs(x) < 1e-3:
+		return fmt.Sprintf("%.3g", x)
+	case math.Abs(x) >= 100:
+		return fmt.Sprintf("%.0f", x)
+	default:
+		return fmt.Sprintf("%.3g", x)
+	}
+}
+
+// Render writes the table in markdown form.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		cells[i] = pad(h, widths[i])
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	for i := range cells {
+		cells[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintf(w, "|-%s-|\n", strings.Join(cells, "-|-"))
+	for _, row := range t.rows {
+		for i := range cells {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			cells[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Lg is the paper's log x = max(1, log2 x).
+func Lg(x float64) float64 {
+	if x <= 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// Theorem2Bound evaluates the P-HMM sorting-time bound of Theorem 2 for
+// N records on H hierarchies. alpha < 0 selects f(x) = log x; otherwise
+// f(x) = x^alpha. tcost is the interconnect's T(H).
+func Theorem2Bound(n, h int, alpha float64, tcost func(int) float64) float64 {
+	fn, fh := float64(n), float64(h)
+	perH := fn / fh
+	net := Lg(fn) / Lg(fh) * tcost(h)
+	if alpha < 0 {
+		// f = log x: Θ((N/H)(log(N/H) + (log N / log H)·T(H))).
+		return perH * (Lg(perH) + net)
+	}
+	// f = x^α: Θ((N/H)^{α+1} + (N/H)·(log N / log H)·T(H)).
+	return math.Pow(perH, alpha+1) + perH*net
+}
+
+// Theorem3Bound evaluates the P-BT bound of Theorem 3: four regimes by
+// alpha (alpha < 0 selects f = log x).
+func Theorem3Bound(n, h int, alpha float64, tcost func(int) float64) float64 {
+	fn, fh := float64(n), float64(h)
+	perH := fn / fh
+	net := Lg(fn) / Lg(fh) * tcost(h)
+	switch {
+	case alpha < 0: // f = log x: Θ((N/H) log N) on a PRAM
+		return perH * maxF(Lg(fn), net)
+	case alpha < 1: // Θ((N/H) log N)
+		return perH * maxF(Lg(fn), net)
+	case alpha == 1: // Θ((N/H)(log²(N/H) + log N))
+		return perH * (Lg(perH)*Lg(perH) + maxF(Lg(fn), net))
+	default: // α > 1: Θ((N/H)^α + (N/H) log N)
+		return math.Pow(perH, alpha) + perH*maxF(Lg(fn), net)
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"balancesort/internal/matching"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "n", "ratio")
+	tb.AddRow(1024, 1.2345)
+	tb.AddRow(2048, 10.0)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "### Demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "| n ") || !strings.Contains(out, "1024") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title, blank, header, separator, 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// All table lines same width (alignment).
+	w := len(lines[2])
+	for _, l := range lines[3:] {
+		if len(l) != w {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.23456: "1.23",
+		123.4:   "123",
+		1e7:     "1e+07",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLg(t *testing.T) {
+	if Lg(1) != 1 || Lg(2) != 1 || Lg(8) != 3 {
+		t.Fatal("Lg floor broken")
+	}
+}
+
+func TestTheorem2BoundShapes(t *testing.T) {
+	// Log model grows ~linearly with N/H; power model with α=1 grows
+	// quadratically in N/H.
+	logSmall := Theorem2Bound(1<<10, 8, -1, matching.PRAMCost)
+	logBig := Theorem2Bound(1<<20, 8, -1, matching.PRAMCost)
+	if logBig <= logSmall {
+		t.Fatal("bound not increasing")
+	}
+	growth := logBig / logSmall
+	if growth < 1000 || growth > 5000 {
+		t.Fatalf("log-model growth %v, want ~2048 (near-linear)", growth)
+	}
+
+	pSmall := Theorem2Bound(1<<10, 8, 1, matching.PRAMCost)
+	pBig := Theorem2Bound(1<<20, 8, 1, matching.PRAMCost)
+	if pBig/pSmall < 1<<19 {
+		t.Fatalf("power-model growth %v, want ~2^20 (quadratic)", pBig/pSmall)
+	}
+}
+
+func TestTheorem3Regimes(t *testing.T) {
+	n, h := 1<<20, 8
+	small := Theorem3Bound(n, h, 0.5, matching.PRAMCost)
+	mid := Theorem3Bound(n, h, 1, matching.PRAMCost)
+	big := Theorem3Bound(n, h, 2, matching.PRAMCost)
+	if !(small < mid && mid < big) {
+		t.Fatalf("regimes not ordered: %v %v %v", small, mid, big)
+	}
+	// α<1 and log regimes coincide at Θ((N/H) log N).
+	if Theorem3Bound(n, h, -1, matching.PRAMCost) != small {
+		t.Fatal("log and sub-linear BT regimes should match")
+	}
+}
+
+func TestHypercubeBoundDominates(t *testing.T) {
+	n, h := 1<<18, 64
+	if Theorem2Bound(n, h, -1, matching.HypercubeCost) <= Theorem2Bound(n, h, -1, matching.PRAMCost) {
+		t.Fatal("hypercube bound should exceed PRAM bound")
+	}
+}
+
+func TestMoreHierarchiesHelp(t *testing.T) {
+	n := 1 << 20
+	if Theorem2Bound(n, 64, -1, matching.PRAMCost) >= Theorem2Bound(n, 4, -1, matching.PRAMCost) {
+		t.Fatal("more hierarchies should lower the bound")
+	}
+}

@@ -1,0 +1,63 @@
+// Package umh models the Uniform Memory Hierarchy of Alpern, Carter and
+// Feig (reference [ACF]; Figure 3c of the paper). UMH_{α,ρ} consists of
+// memory modules: level ℓ holds ρ^{2ℓ}… in the original formulation, ρ^ℓ
+// blocks of ρ^ℓ records connected to level ℓ+1 by a bus of bandwidth
+// b(ℓ) = ρ^{αℓ} records per cycle.
+//
+// The paper's Section 3 notes only that the Balance Sort techniques
+// transform the randomized P-UMH algorithms of [ViN] into deterministic
+// ones, and then concentrates on P-HMM and P-BT; this package accordingly
+// provides a cost model faithful enough to run the same sorter on P-UMH
+// (no theorem table references it). Transferring a contiguous range that
+// ends at depth x must cross every bus between the base and x's level, so
+// the model charges len/b(ℓ) on each bus crossed plus the blocks' cycle
+// counts.
+package umh
+
+import "math"
+
+// Model is the UMH_{α,ρ} access-cost model for internal/hier's machine.
+type Model struct {
+	// Rho is the aspect ratio between consecutive levels; must be >= 2.
+	Rho float64
+	// Alpha exponentiates the bus bandwidth b(ℓ) = Rho^(Alpha·ℓ).
+	Alpha float64
+}
+
+// level returns the memory level containing depth x: the smallest ℓ with
+// capacity Σ_{i<=ℓ} ρ^{2i} > x.
+func (m Model) level(x float64) int {
+	if x < 1 {
+		return 0
+	}
+	cap := 0.0
+	for l := 0; ; l++ {
+		cap += math.Pow(m.Rho, 2*float64(l))
+		if cap > x {
+			return l
+		}
+	}
+}
+
+// AccessCost charges moving the range [lo, hi) to the base level: the
+// range's n = hi-lo records cross the buses from level(hi) down to level 0,
+// paying n/b(ℓ) on each, plus one cycle per record at the base.
+func (m Model) AccessCost(lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	n := float64(hi - lo)
+	top := m.level(float64(hi))
+	total := n // base-level cycles
+	for l := 0; l < top; l++ {
+		b := math.Pow(m.Rho, m.Alpha*float64(l))
+		if b < 1 {
+			b = 1
+		}
+		total += n / b
+	}
+	return total
+}
+
+// Name labels the model.
+func (m Model) Name() string { return "UMH" }

@@ -1,0 +1,48 @@
+package umh
+
+import "testing"
+
+func TestAccessCostGrowsWithDepth(t *testing.T) {
+	m := Model{Rho: 2, Alpha: 1}
+	shallow := m.AccessCost(0, 100)
+	deep := m.AccessCost(100000, 100100)
+	if deep <= shallow {
+		t.Fatalf("deep access (%v) not costlier than shallow (%v)", deep, shallow)
+	}
+}
+
+func TestAccessCostLinearInLength(t *testing.T) {
+	m := Model{Rho: 2, Alpha: 1}
+	c1 := m.AccessCost(1000, 1100)
+	c2 := m.AccessCost(1000, 1200)
+	if c2 <= c1 {
+		t.Fatal("longer transfer not costlier")
+	}
+}
+
+func TestEmptyRangeFree(t *testing.T) {
+	m := Model{Rho: 4, Alpha: 0.5}
+	if m.AccessCost(10, 10) != 0 {
+		t.Fatal("empty range must cost 0")
+	}
+}
+
+func TestLevelBoundaries(t *testing.T) {
+	m := Model{Rho: 2, Alpha: 1}
+	// Level capacities: 1, 4, 16, ... cumulative 1, 5, 21.
+	if m.level(0) != 0 {
+		t.Fatalf("level(0) = %d", m.level(0))
+	}
+	if m.level(3) != 1 {
+		t.Fatalf("level(3) = %d", m.level(3))
+	}
+	if m.level(10) != 2 {
+		t.Fatalf("level(10) = %d", m.level(10))
+	}
+}
+
+func TestName(t *testing.T) {
+	if (Model{Rho: 2, Alpha: 1}).Name() != "UMH" {
+		t.Fatal("name")
+	}
+}

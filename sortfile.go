@@ -1,0 +1,190 @@
+package balancesort
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"balancesort/internal/core"
+	"balancesort/internal/pdm"
+	"balancesort/internal/record"
+)
+
+// SortFile externally sorts a file of 16-byte records (little-endian Key
+// then Loc; see RecordSize) into outPath, using a file-backed disk array
+// under scratchDir as secondary storage. Only O(Memory) records are held in
+// host memory at a time — the input streams onto the simulated disks, the
+// sort runs there, and the sorted segments stream out — so files larger
+// than RAM are fair game. scratchDir "" uses a temporary directory that is
+// removed afterwards.
+//
+// The returned Result carries the model costs but not the records (they
+// are in outPath).
+func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
+	cfg.fill()
+	p := pdm.Params{D: cfg.Disks, B: cfg.BlockSize, M: cfg.Memory}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if 4*p.D*p.B > p.M {
+		return nil, fmt.Errorf("balancesort: DB = %d needs M >= %d (got %d)", p.D*p.B, 4*p.D*p.B, p.M)
+	}
+
+	in, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	st, err := in.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size()%record.EncodedSize != 0 {
+		return nil, fmt.Errorf("balancesort: %s is %d bytes, not a whole number of %d-byte records",
+			inPath, st.Size(), record.EncodedSize)
+	}
+	n := int(st.Size() / record.EncodedSize)
+
+	cleanup := func() {}
+	if scratchDir == "" {
+		dir, err := os.MkdirTemp("", "balancesort-scratch-*")
+		if err != nil {
+			return nil, err
+		}
+		scratchDir = dir
+		cleanup = func() { os.RemoveAll(dir) }
+	}
+	defer cleanup()
+
+	arr, err := pdm.NewFileBacked(p, scratchDir)
+	if err != nil {
+		return nil, err
+	}
+	defer arr.Close()
+
+	ds := core.NewDiskSorter(arr, cfg.diskConfig())
+
+	// Stream the input onto the array one stripe row at a time.
+	inOff, err := loadFileStriped(arr, bufio.NewReaderSize(in, 1<<16), n)
+	if err != nil {
+		return nil, err
+	}
+
+	segs := ds.Sort(inOff, n)
+	m := ds.Metrics()
+
+	// Stream the sorted segments out.
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(out, 1<<16)
+	var prev record.Record
+	first := true
+	written := 0
+	for _, seg := range segs {
+		recs := ds.ReadRegion(seg)
+		for _, r := range recs {
+			if !first && r.Less(prev) {
+				out.Close()
+				return nil, fmt.Errorf("balancesort: internal error: output not sorted")
+			}
+			prev, first = r, false
+		}
+		if err := record.WriteAll(w, recs); err != nil {
+			out.Close()
+			return nil, err
+		}
+		written += len(recs)
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+	if written != n {
+		return nil, fmt.Errorf("balancesort: internal error: wrote %d of %d records", written, n)
+	}
+
+	return &Result{
+		IOs:                m.IOs,
+		IOLowerBound:       core.LowerBoundIOs(n, p),
+		PRAMTime:           m.PRAMTime,
+		PRAMWork:           m.PRAMWork,
+		MaxBucketReadRatio: m.MaxBucketReadRatio,
+		MaxBucketFrac:      m.MaxBucketFrac,
+		Depth:              m.Depth,
+		Passes:             m.Passes,
+		MemPeak:            m.MemPeak,
+	}, nil
+}
+
+// RecordSize is the wire size of one record in SortFile's input and output
+// files.
+const RecordSize = record.EncodedSize
+
+// WriteRecordFile writes records to path in SortFile's wire format (a
+// convenience for generating test inputs).
+func WriteRecordFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := record.WriteAll(w, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRecordFile reads a wire-format record file fully into memory.
+func ReadRecordFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return record.ReadAll(f)
+}
+
+// loadFileStriped streams n records from r onto a fresh striped region of
+// the array, one stripe row per parallel write, and returns the region's
+// block offset.
+func loadFileStriped(arr *pdm.Array, r io.Reader, n int) (int, error) {
+	p := arr.Params()
+	blocks := (n + p.B - 1) / p.B
+	perDisk := (blocks + p.D - 1) / p.D
+	if perDisk == 0 {
+		perDisk = 1
+	}
+	off := arr.AllocStripe(perDisk)
+
+	rowRecs := p.D * p.B
+	buf := make([]byte, rowRecs*record.EncodedSize)
+	row := make([]record.Record, rowRecs)
+	pos := 0
+	for pos < n {
+		m := rowRecs
+		if pos+m > n {
+			m = n - pos
+		}
+		if _, err := io.ReadFull(r, buf[:m*record.EncodedSize]); err != nil {
+			return 0, err
+		}
+		for i := 0; i < m; i++ {
+			row[i] = record.Decode(buf[i*record.EncodedSize:])
+		}
+		// Row k of the region occupies stripe offset off+k on every disk.
+		arr.WriteStripe(off+pos/rowRecs, row[:m])
+		pos += m
+	}
+	return off, nil
+}

@@ -1,0 +1,115 @@
+package balancesort
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSortFileEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.bin")
+	outPath := filepath.Join(dir, "out.bin")
+
+	in := NewWorkload(Zipf, 50000, 77)
+	if err := WriteRecordFile(inPath, in); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := SortFile(inPath, outPath, "", Config{Disks: 8, BlockSize: 32, Memory: 1 << 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOs == 0 {
+		t.Fatal("no I/Os counted")
+	}
+
+	out, err := ReadRecordFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(in, out) {
+		t.Fatal("file sort output is not the sorted permutation of the input")
+	}
+}
+
+func TestSortFileScratchPersists(t *testing.T) {
+	dir := t.TempDir()
+	scratch := filepath.Join(dir, "scratch")
+	inPath := filepath.Join(dir, "in.bin")
+	outPath := filepath.Join(dir, "out.bin")
+
+	in := NewWorkload(Uniform, 10000, 5)
+	if err := WriteRecordFile(inPath, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortFile(inPath, outPath, scratch, Config{Disks: 4, BlockSize: 16, Memory: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	// The scratch directory holds the disk files and manifest.
+	if _, err := os.Stat(filepath.Join(scratch, "manifest.json")); err != nil {
+		t.Fatal("scratch manifest missing")
+	}
+	ents, err := os.ReadDir(scratch)
+	if err != nil || len(ents) != 5 { // 4 disks + manifest
+		t.Fatalf("scratch contents: %v err=%v", ents, err)
+	}
+}
+
+func TestSortFileRejectsRaggedInput(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(inPath, make([]byte, 17), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortFile(inPath, filepath.Join(dir, "out.bin"), "", Config{}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestSortFileMissingInput(t *testing.T) {
+	if _, err := SortFile("/nonexistent/in.bin", "/tmp/out.bin", "", Config{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestSortFileEmpty(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "empty.bin")
+	outPath := filepath.Join(dir, "out.bin")
+	if err := WriteRecordFile(inPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortFile(inPath, outPath, "", Config{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRecordFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatal("empty file sort produced records")
+	}
+}
+
+func TestRecordFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.bin")
+	rs := NewWorkload(FewDistinct, 1234, 9)
+	if err := WriteRecordFile(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != int64(1234*RecordSize) {
+		t.Fatalf("file size %v err=%v", st.Size(), err)
+	}
+	back, err := ReadRecordFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if back[i] != rs[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
