@@ -119,6 +119,10 @@ type Config struct {
 	CRCW bool
 	// Seed feeds the randomized variants.
 	Seed uint64
+	// IO configures the concurrent disk I/O engine for file-backed sorts
+	// (SortFile only; in-memory sorts ignore it). The zero value keeps
+	// the synchronous file stores.
+	IO IOConfig
 }
 
 // diskConfig translates the facade configuration to the core sorter's.
@@ -183,6 +187,9 @@ type Result struct {
 	Passes int
 	// MemPeak is the internal-memory high-water mark in records.
 	MemPeak int
+	// IO carries the disk-engine metrics when the sort mounted the I/O
+	// engine (Config.IO.Engine with SortFile); nil otherwise.
+	IO *IOStats
 }
 
 // Sort runs Balance Sort on a simulated disk array and returns the sorted

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"balancesort"
 )
@@ -40,6 +41,17 @@ func main() {
 		scratch   = flag.String("scratch", "", "directory for the file-backed disks (default: a temp dir)")
 		genFile   = flag.String("genfile", "", "just generate -n records of -workload into this file and exit")
 		verify    = flag.String("verify", "", "just check that this record file is sorted and exit")
+
+		// Disk I/O engine knobs (with -infile).
+		engine      = flag.Bool("engine", true, "serve the file-backed disks with the concurrent I/O engine")
+		stats       = flag.Bool("stats", false, "print the engine's per-disk I/O metrics")
+		queueDepth  = flag.Int("queue", 0, "engine request-queue depth per disk (0 = default)")
+		prefetch    = flag.Int("prefetch", 0, "engine read-ahead window in blocks (0 = default, <0 = off)")
+		writeBehind = flag.Int("writebehind", 0, "engine write-coalescing run length in blocks (0 = default, <0 = off)")
+		retries     = flag.Int("retries", 0, "engine retries per failed device op (0 = default)")
+		faultRate   = flag.Float64("faultrate", 0, "inject transient device faults with this probability")
+		tornRate    = flag.Float64("tornrate", 0, "probability an injected write fault tears the block")
+		jitter      = flag.Duration("jitter", 0, "inject up to this much per-op device latency")
 	)
 	flag.Parse()
 
@@ -80,17 +92,34 @@ func main() {
 		cfg := balancesort.Config{
 			Disks: *d, BlockSize: *b, Memory: *m, Processors: *p,
 			VirtualDisks: *v, Seed: *seed,
+			IO: balancesort.IOConfig{
+				Engine:        *engine,
+				QueueDepth:    *queueDepth,
+				Prefetch:      *prefetch,
+				WriteBehind:   *writeBehind,
+				MaxRetries:    *retries,
+				FaultRate:     *faultRate,
+				TornWriteRate: *tornRate,
+				LatencyJitter: *jitter,
+				FaultSeed:     *seed,
+			},
 		}
+		start := time.Now()
 		res, err := balancesort.SortFile(*inFile, *outFile, *scratch, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("externally sorted %s -> %s (D=%d B=%d M=%d)\n", *inFile, *outFile, cfg.Disks, cfg.BlockSize, cfg.Memory)
+		elapsed := time.Since(start)
+		fmt.Printf("externally sorted %s -> %s (D=%d B=%d M=%d, engine=%v, %v)\n",
+			*inFile, *outFile, cfg.Disks, cfg.BlockSize, cfg.Memory, *engine, elapsed.Round(time.Millisecond))
 		fmt.Printf("  parallel I/Os:         %d\n", res.IOs)
 		fmt.Printf("  Theorem 1 lower bound: %.0f  (ratio %.2fx)\n",
 			res.IOLowerBound, float64(res.IOs)/res.IOLowerBound)
 		fmt.Printf("  bucket read balance:   %.2fx of optimal\n", res.MaxBucketReadRatio)
 		fmt.Println("  verification:          OK (checked while streaming out)")
+		if *stats {
+			printIOStats(res.IO)
+		}
 		return
 	}
 
@@ -163,6 +192,29 @@ func main() {
 		fmt.Printf("  memory peak:           %d of %d records\n", res.MemPeak, cfg.Memory)
 	}
 	fmt.Println("  verification:          OK")
+}
+
+// printIOStats renders the engine's per-disk metrics table for -stats.
+func printIOStats(s *balancesort.IOStats) {
+	if s == nil {
+		fmt.Println("  I/O engine:            off (no engine metrics; run with -engine)")
+		return
+	}
+	agg := s.Aggregate()
+	fmt.Println("  I/O engine metrics:")
+	fmt.Printf("    %-6s %8s %8s %10s %10s %8s %8s %8s %8s %6s\n",
+		"disk", "reads", "writes", "rd-bytes", "wr-bytes", "pf-hit", "wb-hit", "coalesce", "retries", "qmax")
+	for i, d := range s.PerDisk {
+		fmt.Printf("    %-6d %8d %8d %10d %10d %8d %8d %8d %8d %6d\n",
+			i, d.Reads, d.Writes, d.BytesRead, d.BytesWritten,
+			d.PrefetchHits, d.WriteBufferHits, d.CoalescedBlocks, d.Retries, d.QueueMax)
+	}
+	fmt.Printf("    %-6s %8d %8d %10d %10d %8d %8d %8d %8d %6d\n",
+		"total", agg.Reads, agg.Writes, agg.BytesRead, agg.BytesWritten,
+		agg.PrefetchHits, agg.WriteBufferHits, agg.CoalescedBlocks, agg.Retries, agg.QueueMax)
+	if agg.Faults > 0 || agg.BreakerTrips > 0 {
+		fmt.Printf("    faults injected: %d   breaker trips: %d\n", agg.Faults, agg.BreakerTrips)
+	}
 }
 
 func runHierarchy(recs []balancesort.Record, model string, h int, alpha float64, ic string, seed uint64) {

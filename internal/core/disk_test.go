@@ -309,8 +309,8 @@ func TestSortRandomConfigurations(t *testing.T) {
 	// shape it is paired with.
 	rng := record.NewRNG(2026)
 	for trial := 0; trial < 25; trial++ {
-		d := 1 << rng.Intn(4)  // 1..8
-		b := 4 << rng.Intn(3)  // 4..16
+		d := 1 << rng.Intn(4) // 1..8
+		b := 4 << rng.Intn(3) // 4..16
 		m := 4 * d * b * (2 + rng.Intn(6))
 		v := d >> rng.Intn(2) // d or d/2 (divides d)
 		if v < 1 {

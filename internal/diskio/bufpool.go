@@ -1,0 +1,24 @@
+package diskio
+
+import "sync"
+
+// bufPool recycles block-sized byte buffers so that steady-state transfers
+// — demand reads, write copies, prefetches — allocate nothing.
+type bufPool struct {
+	size int
+	pool sync.Pool
+}
+
+func newBufPool(size int) *bufPool {
+	p := &bufPool{size: size}
+	p.pool.New = func() any { return make([]byte, size) }
+	return p
+}
+
+func (p *bufPool) get() []byte { return p.pool.Get().([]byte) }
+
+func (p *bufPool) put(buf []byte) {
+	if cap(buf) == p.size {
+		p.pool.Put(buf[:p.size])
+	}
+}

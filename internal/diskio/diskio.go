@@ -1,0 +1,561 @@
+// Package diskio is the concurrent block-I/O engine behind the file-backed
+// disk arrays. The parallel disk model's whole premise is that D disks
+// operate independently per parallel I/O; this package supplies the
+// machinery that makes that true in wall-clock terms for real storage:
+//
+//   - one worker goroutine per disk with a bounded request queue, so a
+//     parallel I/O round issues all D block transfers concurrently;
+//   - a sync.Pool buffer manager, so steady-state transfers allocate
+//     nothing;
+//   - a read-ahead prefetcher that speculatively fetches the next block on
+//     each disk's current stripe whenever the disk is otherwise idle;
+//   - a write-behind coalescer that batches adjacent block writes into a
+//     single larger WriteAt;
+//   - a fault-injection layer (per-disk error rate, latency jitter, torn
+//     writes) with retry, exponential backoff, and a per-disk circuit
+//     breaker, so transient I/O errors are absorbed instead of aborting a
+//     sort;
+//   - a metrics registry (reads, writes, retries, prefetch hits, queue
+//     depth, bytes moved) per disk and in aggregate.
+//
+// The engine moves raw bytes and knows nothing about records or the cost
+// model: parallel-I/O counting stays in internal/pdm, one layer up, so
+// mounting the engine cannot perturb a measured experiment.
+package diskio
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Device is the raw storage one disk worker drives. *os.File satisfies it;
+// MemDevice is the in-memory equivalent for tests and benchmarks.
+type Device interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Close() error
+}
+
+// Config fixes one engine's behavior. The zero value of every optional
+// field selects a sensible default (see withDefaults); Prefetch and
+// WriteBehind default to off and must be asked for.
+type Config struct {
+	// BlockBytes is the transfer unit in bytes. Required.
+	BlockBytes int
+	// QueueDepth bounds each disk's demand-request queue. Default 8.
+	QueueDepth int
+	// Prefetch is the read-ahead window in blocks: after a demand read of
+	// block k the worker speculatively fetches up to this many successor
+	// blocks while idle. 0 disables prefetching.
+	Prefetch int
+	// WriteBehind is the maximum run of adjacent blocks the coalescer
+	// merges into one WriteAt. 0 disables write-behind (every write goes
+	// to the device before it is acknowledged).
+	WriteBehind int
+	// MaxRetries is how many times a failed device op is retried with
+	// exponential backoff before the error is returned. Default 4.
+	MaxRetries int
+	// RetryBase is the first retry's backoff. Default 100µs.
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// disk's circuit breaker. Default 8.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped disk rests before the breaker
+	// half-opens and ops are attempted again. Default 2ms.
+	BreakerCooldown time.Duration
+	// Fault configures the injection layer. Zero value injects nothing.
+	Fault FaultConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Microsecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Engine serves block reads and writes for a set of devices, one worker
+// goroutine per device. Read, Write, and Flush may be called from any
+// goroutine; Close must not race with them.
+type Engine struct {
+	cfg     Config
+	pool    *bufPool
+	workers []*worker
+	closed  bool
+}
+
+// New starts an engine over the given devices. The engine owns the devices
+// from here on: Close closes them.
+func New(cfg Config, devs []Device) (*Engine, error) {
+	if cfg.BlockBytes <= 0 {
+		return nil, fmt.Errorf("diskio: BlockBytes = %d, want > 0", cfg.BlockBytes)
+	}
+	if len(devs) == 0 {
+		return nil, errors.New("diskio: no devices")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		pool:    newBufPool(cfg.BlockBytes),
+		workers: make([]*worker, len(devs)),
+	}
+	for i, dev := range devs {
+		w := newWorker(i, &e.cfg, dev, e.pool)
+		e.workers[i] = w
+		go w.run()
+	}
+	return e, nil
+}
+
+// Disks returns the number of devices the engine serves.
+func (e *Engine) Disks() int { return len(e.workers) }
+
+// Read fills dst (len BlockBytes) with block blk of the given disk. It
+// blocks until the transfer completes and is safe to call concurrently
+// with operations on other disks — that concurrency is the point.
+func (e *Engine) Read(disk int, blk int64, dst []byte) error {
+	w, err := e.worker(disk)
+	if err != nil {
+		return err
+	}
+	if len(dst) != e.cfg.BlockBytes {
+		return fmt.Errorf("diskio: read buffer is %d bytes, block is %d", len(dst), e.cfg.BlockBytes)
+	}
+	r := &request{op: opRead, block: blk, buf: dst, reply: make(chan error, 1)}
+	w.submit(r)
+	return <-r.reply
+}
+
+// Write stores src (len BlockBytes) as block blk of the given disk. The
+// data is copied before Write returns; with write-behind enabled the
+// device transfer may happen later, and a deferred flush error surfaces on
+// a subsequent Write, Flush, or Close of the same disk.
+func (e *Engine) Write(disk int, blk int64, src []byte) error {
+	w, err := e.worker(disk)
+	if err != nil {
+		return err
+	}
+	if len(src) != e.cfg.BlockBytes {
+		return fmt.Errorf("diskio: write buffer is %d bytes, block is %d", len(src), e.cfg.BlockBytes)
+	}
+	buf := e.pool.get()
+	copy(buf, src)
+	r := &request{op: opWrite, block: blk, buf: buf, reply: make(chan error, 1)}
+	w.submit(r)
+	return <-r.reply
+}
+
+// Flush forces the disk's write-behind run to the device and returns any
+// deferred write error.
+func (e *Engine) Flush(disk int) error {
+	w, err := e.worker(disk)
+	if err != nil {
+		return err
+	}
+	r := &request{op: opFlush, reply: make(chan error, 1)}
+	w.submit(r)
+	return <-r.reply
+}
+
+// FlushAll flushes every disk and returns the first error.
+func (e *Engine) FlushAll() error {
+	var firstErr error
+	for i := range e.workers {
+		if err := e.Flush(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close flushes every disk, stops the workers, and closes the devices.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	firstErr := e.FlushAll()
+	for _, w := range e.workers {
+		close(w.demand)
+		<-w.done
+	}
+	for _, w := range e.workers {
+		if err := w.dev.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (e *Engine) worker(disk int) (*worker, error) {
+	if disk < 0 || disk >= len(e.workers) {
+		return nil, fmt.Errorf("diskio: disk %d of %d", disk, len(e.workers))
+	}
+	return e.workers[disk], nil
+}
+
+// request ops.
+const (
+	opRead = iota
+	opWrite
+	opFlush
+)
+
+type request struct {
+	op    int
+	block int64
+	// buf is the caller's destination for opRead and an engine-owned
+	// pooled copy of the payload for opWrite.
+	buf   []byte
+	reply chan error
+}
+
+// worker owns one device. All device access, the write-behind run, and the
+// prefetch cache live on its goroutine; the only cross-goroutine state is
+// the two request channels and the atomic counters.
+type worker struct {
+	id     int
+	cfg    *Config
+	dev    Device
+	pool   *bufPool
+	demand chan *request
+	specul chan int64
+	done   chan struct{}
+	m      counters
+
+	// Goroutine-owned state below.
+	inj *injector
+	// Write-behind run: wb holds len(wb)/BlockBytes adjacent blocks
+	// starting at block wbStart; wb == nil means no pending run.
+	wb      []byte
+	wbStart int64
+	// deferred is a write-behind flush error not yet reported to a caller.
+	deferred error
+	// cache maps prefetched block numbers to pooled buffers; order is the
+	// FIFO eviction queue (entries may be stale after invalidation).
+	cache map[int64][]byte
+	order []int64
+	// consecFails feeds the circuit breaker.
+	consecFails int
+}
+
+func newWorker(id int, cfg *Config, dev Device, pool *bufPool) *worker {
+	w := &worker{
+		id:     id,
+		cfg:    cfg,
+		dev:    dev,
+		pool:   pool,
+		demand: make(chan *request, cfg.QueueDepth),
+		specul: make(chan int64, cfg.QueueDepth),
+		done:   make(chan struct{}),
+		cache:  make(map[int64][]byte),
+	}
+	if cfg.Fault.enabled() {
+		w.inj = newInjector(cfg.Fault, id)
+	}
+	return w
+}
+
+func (w *worker) submit(r *request) {
+	// Gauge the queue at its deepest observed point; len() on a channel is
+	// approximate under concurrency, which is fine for a high-water mark.
+	depth := int64(len(w.demand)) + 1
+	for {
+		cur := w.m.queueMax.Load()
+		if depth <= cur || w.m.queueMax.CompareAndSwap(cur, depth) {
+			break
+		}
+	}
+	w.demand <- r
+}
+
+// flushSentinel on the speculation queue asks the worker to push the
+// write-behind run to the device during idle time, so a full run's device
+// latency is usually off the caller's critical path.
+const flushSentinel = int64(-1)
+
+// run is the worker loop: demand requests strictly before speculative
+// work (prefetches and idle flushes), so the speculation only uses idle
+// disk time.
+func (w *worker) run() {
+	defer close(w.done)
+	for {
+		select {
+		case r, ok := <-w.demand:
+			if !ok {
+				return
+			}
+			w.handle(r)
+		default:
+			select {
+			case r, ok := <-w.demand:
+				if !ok {
+					return
+				}
+				w.handle(r)
+			case blk := <-w.specul:
+				if blk == flushSentinel {
+					if err := w.flushWB(); err != nil && w.deferred == nil {
+						w.deferred = err
+					}
+				} else {
+					w.prefetch(blk)
+				}
+			}
+		}
+	}
+}
+
+func (w *worker) handle(r *request) {
+	switch r.op {
+	case opRead:
+		r.reply <- w.read(r.block, r.buf)
+	case opWrite:
+		r.reply <- w.write(r.block, r.buf)
+	case opFlush:
+		err := w.flushWB()
+		if err == nil {
+			err = w.takeDeferred()
+		}
+		r.reply <- err
+	}
+}
+
+// read serves a demand read: write-behind run first (read-your-writes),
+// then the prefetch cache, then the device.
+func (w *worker) read(blk int64, dst []byte) error {
+	bb := int64(w.cfg.BlockBytes)
+	if len(w.wb) > 0 {
+		if i := blk - w.wbStart; i >= 0 && i < int64(len(w.wb))/bb {
+			copy(dst, w.wb[i*bb:(i+1)*bb])
+			w.m.writeHits.Add(1)
+			return nil
+		}
+	}
+	if buf, ok := w.cache[blk]; ok {
+		copy(dst, buf)
+		delete(w.cache, blk)
+		w.pool.put(buf)
+		w.m.prefetchHits.Add(1)
+		w.schedulePrefetch(blk + 1)
+		return nil
+	}
+	if err := w.withRetry(func() error { return w.deviceRead(dst, blk*bb) }); err != nil {
+		return err
+	}
+	w.schedulePrefetch(blk + 1)
+	return nil
+}
+
+// write buffers blk into the write-behind run (or writes through when
+// write-behind is off) and reports any deferred flush error.
+func (w *worker) write(blk int64, buf []byte) error {
+	defer w.pool.put(buf)
+	w.invalidate(blk)
+	bb := int64(w.cfg.BlockBytes)
+	if w.cfg.WriteBehind <= 0 {
+		return w.withRetry(func() error { return w.deviceWrite(buf, blk*bb) })
+	}
+	if len(w.wb) > 0 {
+		run := int64(len(w.wb)) / bb
+		switch {
+		case blk >= w.wbStart && blk < w.wbStart+run:
+			// Overwrite of a block already in the run.
+			copy(w.wb[(blk-w.wbStart)*bb:], buf)
+			return w.takeDeferred()
+		case blk == w.wbStart+run && run < int64(w.cfg.WriteBehind):
+			w.wb = append(w.wb, buf...)
+			w.m.coalesced.Add(1)
+			if run+1 == int64(w.cfg.WriteBehind) {
+				w.scheduleIdleFlush()
+			}
+			return w.takeDeferred()
+		default:
+			if err := w.flushWB(); err != nil {
+				w.deferred = err
+			}
+		}
+	}
+	if w.wb == nil {
+		w.wb = make([]byte, 0, w.cfg.WriteBehind*w.cfg.BlockBytes)
+	}
+	w.wbStart = blk
+	w.wb = append(w.wb[:0], buf...)
+	if w.cfg.WriteBehind == 1 {
+		w.scheduleIdleFlush()
+	}
+	return w.takeDeferred()
+}
+
+func (w *worker) scheduleIdleFlush() {
+	select {
+	case w.specul <- flushSentinel:
+	default:
+	}
+}
+
+// flushWB pushes the pending run to the device as one WriteAt.
+func (w *worker) flushWB() error {
+	if len(w.wb) == 0 {
+		return nil
+	}
+	run := w.wb
+	off := w.wbStart * int64(w.cfg.BlockBytes)
+	w.wb = w.wb[:0]
+	err := w.withRetry(func() error { return w.deviceWrite(run, off) })
+	if err == nil {
+		w.m.flushes.Add(1)
+	}
+	return err
+}
+
+func (w *worker) takeDeferred() error {
+	err := w.deferred
+	w.deferred = nil
+	return err
+}
+
+// schedulePrefetch queues speculative reads for blocks blk..blk+window-1;
+// a full speculation queue drops the hint rather than blocking the disk.
+func (w *worker) schedulePrefetch(blk int64) {
+	for i := 0; i < w.cfg.Prefetch; i++ {
+		select {
+		case w.specul <- blk + int64(i):
+		default:
+			return
+		}
+	}
+}
+
+// prefetch speculatively reads blk into the cache. Failures are dropped —
+// a speculative miss (unwritten block, end of file, injected fault) must
+// never surface as an error, and it is not retried.
+func (w *worker) prefetch(blk int64) {
+	if _, ok := w.cache[blk]; ok {
+		return
+	}
+	bb := int64(w.cfg.BlockBytes)
+	if len(w.wb) > 0 {
+		if i := blk - w.wbStart; i >= 0 && i < int64(len(w.wb))/bb {
+			return // pending write already holds fresher bytes
+		}
+	}
+	w.m.prefetchIssued.Add(1)
+	buf := w.pool.get()
+	if err := w.deviceRead(buf, blk*bb); err != nil {
+		w.pool.put(buf)
+		return
+	}
+	for len(w.cache) >= w.cfg.Prefetch && len(w.order) > 0 {
+		old := w.order[0]
+		w.order = w.order[1:]
+		if b, ok := w.cache[old]; ok {
+			delete(w.cache, old)
+			w.pool.put(b)
+		}
+	}
+	w.cache[blk] = buf
+	w.order = append(w.order, blk)
+}
+
+func (w *worker) invalidate(blk int64) {
+	if buf, ok := w.cache[blk]; ok {
+		delete(w.cache, blk)
+		w.pool.put(buf)
+	}
+}
+
+// withRetry runs a device op with exponential backoff on failure and
+// trips the circuit breaker after BreakerThreshold consecutive failures:
+// the disk rests for BreakerCooldown, then the breaker half-opens and the
+// op is attempted again.
+func (w *worker) withRetry(op func() error) error {
+	backoff := w.cfg.RetryBase
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			w.consecFails = 0
+			return nil
+		}
+		w.consecFails++
+		if w.consecFails >= w.cfg.BreakerThreshold {
+			w.m.breakerTrips.Add(1)
+			time.Sleep(w.cfg.BreakerCooldown)
+			w.consecFails = 0
+		}
+		if attempt >= w.cfg.MaxRetries {
+			return err
+		}
+		w.m.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// deviceRead and deviceWrite are the only two functions that touch the
+// Device; the fault injector sits here so every other layer sees faults
+// exactly as it would see real ones.
+func (w *worker) deviceRead(dst []byte, off int64) error {
+	if w.inj != nil {
+		w.inj.jitter()
+		if w.inj.failRead() {
+			w.m.faults.Add(1)
+			return ErrInjected
+		}
+	}
+	if _, err := w.dev.ReadAt(dst, off); err != nil {
+		return err
+	}
+	w.m.reads.Add(1)
+	w.m.bytesRead.Add(int64(len(dst)))
+	return nil
+}
+
+func (w *worker) deviceWrite(src []byte, off int64) error {
+	if w.inj != nil {
+		w.inj.jitter()
+		if fail, torn := w.inj.failWrite(); fail {
+			w.m.faults.Add(1)
+			if torn && len(src) >= 2 {
+				// A torn write: half the payload reaches the platter
+				// before the fault. The retry must overwrite it fully.
+				w.dev.WriteAt(src[:len(src)/2], off)
+			}
+			return ErrInjected
+		}
+	}
+	if _, err := w.dev.WriteAt(src, off); err != nil {
+		return err
+	}
+	w.m.writes.Add(1)
+	w.m.bytesWritten.Add(int64(len(src)))
+	return nil
+}
+
+// counters are the per-disk atomic tallies behind DiskStats.
+type counters struct {
+	reads, writes           atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+	retries, faults         atomic.Int64
+	breakerTrips            atomic.Int64
+	prefetchIssued          atomic.Int64
+	prefetchHits, writeHits atomic.Int64
+	coalesced, flushes      atomic.Int64
+	queueMax                atomic.Int64
+}

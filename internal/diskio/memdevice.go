@@ -1,0 +1,56 @@
+package diskio
+
+import (
+	"io"
+	"sync"
+)
+
+// MemDevice is an in-memory Device: a growable byte array with file
+// semantics (reads past the end return io.EOF, writes extend). It lets the
+// engine — and everything mounted on it — run without touching the
+// filesystem, which is what the engine-backed in-memory pdm arrays and the
+// engine's own tests use.
+type MemDevice struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemDevice returns an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off >= int64(len(d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if need := off + int64(len(p)); need > int64(len(d.data)) {
+		if need > int64(cap(d.data)) {
+			grown := make([]byte, need, need*2)
+			copy(grown, d.data)
+			d.data = grown
+		} else {
+			d.data = d.data[:need]
+		}
+	}
+	return copy(d.data[off:], p), nil
+}
+
+func (d *MemDevice) Close() error { return nil }
+
+// Len returns the device's current size in bytes.
+func (d *MemDevice) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.data)
+}

@@ -1,0 +1,81 @@
+package diskio
+
+// DiskStats is a snapshot of one disk's counters.
+type DiskStats struct {
+	// Reads and Writes count completed device transfers (a coalesced run
+	// of adjacent blocks is one write), with BytesRead/BytesWritten the
+	// payload moved.
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+	// Retries counts backoff-then-retry rounds; Faults counts injected
+	// failures; BreakerTrips counts circuit-breaker cooldowns.
+	Retries, Faults int64
+	BreakerTrips    int64
+	// PrefetchIssued/PrefetchHits measure the read-ahead; WriteBufferHits
+	// counts reads served from the write-behind run.
+	PrefetchIssued  int64
+	PrefetchHits    int64
+	WriteBufferHits int64
+	// Coalesced counts blocks merged into an already-open write-behind
+	// run; Flushes counts runs pushed to the device.
+	Coalesced, Flushes int64
+	// QueueMax is the deepest observed demand queue.
+	QueueMax int64
+}
+
+// Add accumulates o into s (QueueMax takes the max).
+func (s *DiskStats) Add(o DiskStats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+	s.Retries += o.Retries
+	s.Faults += o.Faults
+	s.BreakerTrips += o.BreakerTrips
+	s.PrefetchIssued += o.PrefetchIssued
+	s.PrefetchHits += o.PrefetchHits
+	s.WriteBufferHits += o.WriteBufferHits
+	s.Coalesced += o.Coalesced
+	s.Flushes += o.Flushes
+	if o.QueueMax > s.QueueMax {
+		s.QueueMax = o.QueueMax
+	}
+}
+
+// Snapshot is the whole engine's metrics at one instant.
+type Snapshot struct {
+	PerDisk []DiskStats
+}
+
+// Aggregate sums the per-disk stats.
+func (s Snapshot) Aggregate() DiskStats {
+	var total DiskStats
+	for _, d := range s.PerDisk {
+		total.Add(d)
+	}
+	return total
+}
+
+// Metrics snapshots every disk's counters. Safe to call at any time,
+// including while transfers are in flight.
+func (e *Engine) Metrics() Snapshot {
+	snap := Snapshot{PerDisk: make([]DiskStats, len(e.workers))}
+	for i, w := range e.workers {
+		snap.PerDisk[i] = DiskStats{
+			Reads:           w.m.reads.Load(),
+			Writes:          w.m.writes.Load(),
+			BytesRead:       w.m.bytesRead.Load(),
+			BytesWritten:    w.m.bytesWritten.Load(),
+			Retries:         w.m.retries.Load(),
+			Faults:          w.m.faults.Load(),
+			BreakerTrips:    w.m.breakerTrips.Load(),
+			PrefetchIssued:  w.m.prefetchIssued.Load(),
+			PrefetchHits:    w.m.prefetchHits.Load(),
+			WriteBufferHits: w.m.writeHits.Load(),
+			Coalesced:       w.m.coalesced.Load(),
+			Flushes:         w.m.flushes.Load(),
+			QueueMax:        w.m.queueMax.Load(),
+		}
+	}
+	return snap
+}

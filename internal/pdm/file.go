@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"balancesort/internal/diskio"
 	"balancesort/internal/record"
 )
 
@@ -16,7 +17,11 @@ import (
 // the data outlives the process and its footprint is disk, not RAM, so the
 // library genuinely sorts datasets larger than host memory.
 //
-// Close writes a manifest (parameters plus allocation marks) so a later
+// The drives are served either synchronously (fileStore) or through the
+// concurrent diskio engine (engineStore over *os.File devices); the
+// engine-backed variants take a diskio.Config.
+//
+// Close writes a manifest (parameters, mode, allocation marks) so a later
 // OpenFileBacked can resume against the same directory.
 
 // fileStore backs one drive with one file; block i occupies bytes
@@ -25,6 +30,10 @@ type fileStore struct {
 	b       int
 	f       *os.File
 	written []bool
+	// scratch is the store's reusable wire-format staging buffer; safe
+	// because each store is driven by one disk goroutine (Peek is
+	// contractually never concurrent with a ParallelIO).
+	scratch []byte
 }
 
 func (s *fileStore) blockBytes() int { return s.b * record.EncodedSize }
@@ -33,18 +42,26 @@ func (s *fileStore) read(off int, dst []record.Record) error {
 	if off >= len(s.written) || !s.written[off] {
 		return fmt.Errorf("pdm: read of unwritten block off=%d", off)
 	}
-	buf := make([]byte, s.blockBytes())
-	if _, err := s.f.ReadAt(buf, int64(off)*int64(s.blockBytes())); err != nil {
+	if s.scratch == nil {
+		s.scratch = make([]byte, s.blockBytes())
+	}
+	if _, err := s.f.ReadAt(s.scratch, int64(off)*int64(s.blockBytes())); err != nil {
 		return fmt.Errorf("pdm: file read: %w", err)
 	}
 	for i := range dst {
-		dst[i] = record.Decode(buf[i*record.EncodedSize:])
+		dst[i] = record.Decode(s.scratch[i*record.EncodedSize:])
 	}
 	return nil
 }
 
 func (s *fileStore) write(off int, src []record.Record) error {
-	buf := record.EncodeSlice(src)
+	if s.scratch == nil {
+		s.scratch = make([]byte, s.blockBytes())
+	}
+	buf := s.scratch[:0]
+	for _, r := range src {
+		buf = record.Encode(buf, r)
+	}
 	if _, err := s.f.WriteAt(buf, int64(off)*int64(s.blockBytes())); err != nil {
 		return fmt.Errorf("pdm: file write: %w", err)
 	}
@@ -62,6 +79,7 @@ type manifest struct {
 	D        int   `json:"d"`
 	B        int   `json:"b"`
 	M        int   `json:"m"`
+	Mode     Mode  `json:"mode"`
 	NextFree []int `json:"next_free"`
 }
 
@@ -70,31 +88,62 @@ func diskPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("disk%03d.bin", i))
 }
 
-// NewFileBacked creates a file-backed array under dir (created if absent).
-// Any existing array files in dir are truncated.
+// NewFileBacked creates a file-backed array under dir (created if absent)
+// in PDM mode, served synchronously. Any existing array files in dir are
+// truncated.
 func NewFileBacked(p Params, dir string) (*Array, error) {
+	return newFileBacked(p, dir, ModePDM, nil)
+}
+
+// NewFileBackedMode is NewFileBacked with an explicit model mode; the mode
+// is persisted in the manifest so the array resumes under the same rule.
+func NewFileBackedMode(p Params, dir string, mode Mode) (*Array, error) {
+	return newFileBacked(p, dir, mode, nil)
+}
+
+// NewFileBackedEngine creates a file-backed array whose drives are served
+// concurrently by a diskio engine with the given configuration
+// (ecfg.BlockBytes is derived from p and may be left zero).
+func NewFileBackedEngine(p Params, dir string, ecfg diskio.Config) (*Array, error) {
+	return newFileBacked(p, dir, ModePDM, &ecfg)
+}
+
+func newFileBacked(p Params, dir string, mode Mode, ecfg *diskio.Config) (*Array, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if mode != ModePDM && mode != ModeAgV {
+		return nil, fmt.Errorf("pdm: unknown mode %d", mode)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	stores := make([]blockStore, p.D)
-	for i := range stores {
+	files := make([]*os.File, p.D)
+	for i := range files {
 		f, err := os.Create(diskPath(dir, i))
 		if err != nil {
+			closeFiles(files[:i])
 			return nil, err
 		}
-		stores[i] = &fileStore{b: p.B, f: f}
+		files[i] = f
 	}
-	var a *Array
-	a = newWithStores(p, ModePDM, stores, func() error { return writeManifest(dir, p, a.nextFree) })
-	return a, nil
+	return assembleFileBacked(p, dir, mode, ecfg, files, nil)
 }
 
-// OpenFileBacked resumes the array persisted under dir. All blocks below
+// OpenFileBacked resumes the array persisted under dir, served
+// synchronously, in the mode recorded by the manifest. All blocks below
 // each disk's file size count as written.
 func OpenFileBacked(dir string) (*Array, error) {
+	return openFileBacked(dir, nil)
+}
+
+// OpenFileBackedEngine resumes the array persisted under dir with a
+// diskio engine serving the drives.
+func OpenFileBackedEngine(dir string, ecfg diskio.Config) (*Array, error) {
+	return openFileBacked(dir, &ecfg)
+}
+
+func openFileBacked(dir string, ecfg *diskio.Config) (*Array, error) {
 	raw, err := os.ReadFile(manifestPath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("pdm: no manifest: %w", err)
@@ -107,36 +156,107 @@ func OpenFileBacked(dir string) (*Array, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// The persisted mode decides which I/O rule resumes: an AgV array
+	// must not silently come back under PDM accounting (or vice versa).
+	if m.Mode != ModePDM && m.Mode != ModeAgV {
+		return nil, fmt.Errorf("pdm: manifest has unknown mode %d", m.Mode)
+	}
 	if len(m.NextFree) != p.D {
 		return nil, fmt.Errorf("pdm: manifest has %d allocation marks for D=%d", len(m.NextFree), p.D)
 	}
-	stores := make([]blockStore, p.D)
-	for i := range stores {
+	files := make([]*os.File, p.D)
+	written := make([]int, p.D)
+	for i := range files {
 		f, err := os.OpenFile(diskPath(dir, i), os.O_RDWR, 0)
 		if err != nil {
+			closeFiles(files[:i])
 			return nil, err
 		}
 		st, err := f.Stat()
 		if err != nil {
 			f.Close()
+			closeFiles(files[:i])
 			return nil, err
 		}
-		fs := &fileStore{b: p.B, f: f}
-		blocks := int(st.Size()) / fs.blockBytes()
-		fs.written = make([]bool, blocks)
-		for j := range fs.written {
-			fs.written[j] = true
+		files[i] = f
+		written[i] = int(st.Size()) / (p.B * record.EncodedSize)
+	}
+	return assembleFileBacked(p, dir, m.Mode, ecfg, files, func(a *Array) {
+		copy(a.nextFree, m.NextFree)
+		for i, d := range a.disks {
+			marks := make([]bool, written[i])
+			for j := range marks {
+				marks[j] = true
+			}
+			switch s := d.store.(type) {
+			case *fileStore:
+				s.written = marks
+			case *engineStore:
+				s.written = marks
+			}
 		}
-		stores[i] = fs
+	})
+}
+
+// assembleFileBacked builds the array over the opened files — plain
+// fileStores when ecfg is nil, an engine mount otherwise — and arranges
+// for Close to persist the manifest. init (if non-nil) restores resumed
+// state before the array is returned.
+func assembleFileBacked(p Params, dir string, mode Mode, ecfg *diskio.Config, files []*os.File, init func(*Array)) (*Array, error) {
+	stores := make([]blockStore, p.D)
+	var eng *diskio.Engine
+	if ecfg != nil {
+		cfg := *ecfg
+		cfg.BlockBytes = p.B * record.EncodedSize
+		devs := make([]diskio.Device, p.D)
+		for i, f := range files {
+			devs[i] = f
+		}
+		var err error
+		eng, err = diskio.New(cfg, devs)
+		if err != nil {
+			closeFiles(files)
+			return nil, err
+		}
+		for i := range stores {
+			stores[i] = newEngineStore(p.B, i, eng)
+		}
+	} else {
+		for i, f := range files {
+			stores[i] = &fileStore{b: p.B, f: f}
+		}
 	}
 	var a *Array
-	a = newWithStores(p, ModePDM, stores, func() error { return writeManifest(dir, p, a.nextFree) })
-	copy(a.nextFree, m.NextFree)
+	a = newWithStores(p, mode, stores, func() error {
+		// For engine mounts the per-store close() only flushed; closing
+		// the engine stops the workers and closes the files, and must
+		// precede the manifest write so its data is durable first.
+		var firstErr error
+		if eng != nil {
+			firstErr = eng.Close()
+		}
+		if err := writeManifest(dir, p, mode, a.nextFree); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	})
+	a.engine = eng
+	if init != nil {
+		init(a)
+	}
 	return a, nil
 }
 
-func writeManifest(dir string, p Params, nextFree []int) error {
-	m := manifest{D: p.D, B: p.B, M: p.M, NextFree: append([]int(nil), nextFree...)}
+func closeFiles(files []*os.File) {
+	for _, f := range files {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+func writeManifest(dir string, p Params, mode Mode, nextFree []int) error {
+	m := manifest{D: p.D, B: p.B, M: p.M, Mode: mode, NextFree: append([]int(nil), nextFree...)}
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package pdm
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"balancesort/internal/record"
@@ -104,6 +105,74 @@ func TestFileBackedReopen(t *testing.T) {
 	// Allocation marks survived: fresh allocations do not collide.
 	if next := b.Alloc(2, 1); next <= marker {
 		t.Fatalf("allocator reset: got %d after %d", next, marker)
+	}
+}
+
+// TestFileBackedModePersists checks the manifest records the model mode,
+// so an AgV array cannot silently resume under PDM accounting.
+func TestFileBackedModePersists(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFileBackedMode(testParams(), dir, ModeAgV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode() != ModeAgV {
+		t.Fatalf("created mode %v, want AgV", a.Mode())
+	}
+	// Two blocks on one disk in a single I/O: legal only under AgV.
+	off := a.Alloc(0, 2)
+	a.ParallelIO([]Op{
+		{Disk: 0, Off: off, Write: true, Data: block(a.B(), 1)},
+		{Disk: 0, Off: off + 1, Write: true, Data: block(a.B(), 2)},
+	})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenFileBacked(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Mode() != ModeAgV {
+		t.Fatalf("resumed mode %v, want AgV", b.Mode())
+	}
+	// The resumed array still accepts AgV-shaped I/Os.
+	got := make([]record.Record, b.B())
+	b.ParallelIO([]Op{
+		{Disk: 0, Off: off, Data: got},
+		{Disk: 0, Off: off + 1, Data: make([]record.Record, b.B())},
+	})
+	want := block(b.B(), 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AgV readback mismatch at %d", i)
+		}
+	}
+}
+
+func TestOpenFileBackedRejectsBadMode(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFileBacked(testParams(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(strings.Replace(string(raw), `"mode": 0`, `"mode": 7`, 1))
+	if string(bad) == string(raw) {
+		t.Fatal("manifest has no mode field to corrupt")
+	}
+	if err := os.WriteFile(manifestPath(dir), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileBacked(dir); err == nil {
+		t.Fatal("unknown manifest mode accepted")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"balancesort/internal/diskio"
 	"balancesort/internal/record"
 )
 
@@ -124,6 +125,10 @@ type Array struct {
 
 	// nextFree[d] is the lowest never-allocated block offset on disk d.
 	nextFree []int
+
+	// engine is the diskio engine the stores are mounted on, nil when the
+	// blocks are served synchronously (see engine.go and IOMetrics).
+	engine *diskio.Engine
 
 	onClose func() error
 }
@@ -233,6 +238,9 @@ func newWithStores(p Params, mode Mode, stores []blockStore, onClose func() erro
 
 // Params returns the model parameters of the array.
 func (a *Array) Params() Params { return a.params }
+
+// Mode returns which model's I/O rule the array enforces.
+func (a *Array) Mode() Mode { return a.mode }
 
 // Close stops the per-disk server goroutines and releases the backing
 // stores (for file-backed arrays this persists the manifest). The array

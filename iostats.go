@@ -1,0 +1,142 @@
+package balancesort
+
+import (
+	"time"
+
+	"balancesort/internal/diskio"
+)
+
+// IOConfig configures the concurrent disk I/O engine that file-backed
+// sorts (SortFile) can mount under the simulated array. The engine changes
+// only wall-clock behavior — queueing, read-ahead, write coalescing, fault
+// tolerance — never the model costs: parallel I/O counts are identical
+// with the engine on or off.
+type IOConfig struct {
+	// Engine mounts the concurrent I/O engine. False keeps the
+	// synchronous per-disk file stores.
+	Engine bool
+	// QueueDepth bounds each disk's request queue (0 = 8).
+	QueueDepth int
+	// Prefetch is the per-disk read-ahead window in blocks (0 = 2 when
+	// the engine is on; use a negative value to disable read-ahead).
+	Prefetch int
+	// WriteBehind is the longest run of adjacent blocks coalesced into
+	// one write (0 = 4 when the engine is on; negative disables).
+	WriteBehind int
+	// MaxRetries bounds the retries of a failed device op (0 = 4).
+	MaxRetries int
+	// FaultRate injects transient device errors with this probability —
+	// the engine's retry/backoff/breaker machinery absorbs them.
+	FaultRate float64
+	// TornWriteRate is the probability that an injected write fault
+	// leaves half the block behind (the retry rewrites it).
+	TornWriteRate float64
+	// LatencyJitter adds up to this much uniform random delay per device
+	// op.
+	LatencyJitter time.Duration
+	// FaultSeed makes the injected fault sequence reproducible.
+	FaultSeed uint64
+}
+
+// engineConfig translates the facade knobs to the engine's.
+func (c IOConfig) engineConfig() diskio.Config {
+	prefetch := c.Prefetch
+	switch {
+	case prefetch == 0:
+		prefetch = 2
+	case prefetch < 0:
+		prefetch = 0
+	}
+	writeBehind := c.WriteBehind
+	switch {
+	case writeBehind == 0:
+		writeBehind = 4
+	case writeBehind < 0:
+		writeBehind = 0
+	}
+	return diskio.Config{
+		QueueDepth:  c.QueueDepth,
+		Prefetch:    prefetch,
+		WriteBehind: writeBehind,
+		MaxRetries:  c.MaxRetries,
+		Fault: diskio.FaultConfig{
+			ErrorRate:     c.FaultRate,
+			TornWriteRate: c.TornWriteRate,
+			LatencyJitter: c.LatencyJitter,
+			Seed:          c.FaultSeed,
+		},
+	}
+}
+
+// DiskIOStats are one disk's engine counters (see IOStats).
+type DiskIOStats struct {
+	// Reads and Writes count completed device transfers (a coalesced run
+	// is one write); BytesRead/BytesWritten are the payload moved.
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+	// Retries, Faults, and BreakerTrips describe the fault-handling
+	// layer's activity.
+	Retries, Faults, BreakerTrips int64
+	// PrefetchIssued and PrefetchHits measure read-ahead effectiveness;
+	// WriteBufferHits counts reads served from the write-behind run.
+	PrefetchIssued, PrefetchHits, WriteBufferHits int64
+	// CoalescedBlocks counts blocks merged into a pending write run;
+	// Flushes counts runs pushed to the device.
+	CoalescedBlocks, Flushes int64
+	// QueueMax is the deepest request queue observed.
+	QueueMax int64
+}
+
+// IOStats are the engine metrics of a file-backed sort, per disk.
+type IOStats struct {
+	PerDisk []DiskIOStats
+}
+
+// Aggregate sums the per-disk stats (QueueMax takes the max).
+func (s *IOStats) Aggregate() DiskIOStats {
+	var t DiskIOStats
+	for _, d := range s.PerDisk {
+		t.Reads += d.Reads
+		t.Writes += d.Writes
+		t.BytesRead += d.BytesRead
+		t.BytesWritten += d.BytesWritten
+		t.Retries += d.Retries
+		t.Faults += d.Faults
+		t.BreakerTrips += d.BreakerTrips
+		t.PrefetchIssued += d.PrefetchIssued
+		t.PrefetchHits += d.PrefetchHits
+		t.WriteBufferHits += d.WriteBufferHits
+		t.CoalescedBlocks += d.CoalescedBlocks
+		t.Flushes += d.Flushes
+		if d.QueueMax > t.QueueMax {
+			t.QueueMax = d.QueueMax
+		}
+	}
+	return t
+}
+
+// ioStatsFrom converts an engine snapshot to the public form.
+func ioStatsFrom(snap *diskio.Snapshot) *IOStats {
+	if snap == nil {
+		return nil
+	}
+	s := &IOStats{PerDisk: make([]DiskIOStats, len(snap.PerDisk))}
+	for i, d := range snap.PerDisk {
+		s.PerDisk[i] = DiskIOStats{
+			Reads:           d.Reads,
+			Writes:          d.Writes,
+			BytesRead:       d.BytesRead,
+			BytesWritten:    d.BytesWritten,
+			Retries:         d.Retries,
+			Faults:          d.Faults,
+			BreakerTrips:    d.BreakerTrips,
+			PrefetchIssued:  d.PrefetchIssued,
+			PrefetchHits:    d.PrefetchHits,
+			WriteBufferHits: d.WriteBufferHits,
+			CoalescedBlocks: d.Coalesced,
+			Flushes:         d.Flushes,
+			QueueMax:        d.QueueMax,
+		}
+	}
+	return s
+}

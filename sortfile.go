@@ -21,6 +21,13 @@ import (
 //
 // The returned Result carries the model costs but not the records (they
 // are in outPath).
+//
+// With cfg.IO.Engine set, the scratch array is served by the concurrent
+// disk I/O engine (internal/diskio): per-disk worker goroutines, buffer
+// pooling, read-ahead, write coalescing, and fault injection with retries.
+// The engine changes wall-clock behavior only; the model's parallel I/O
+// counts are identical either way, and Result.IO reports the engine's
+// per-disk metrics.
 func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
 	cfg.fill()
 	p := pdm.Params{D: cfg.Disks, B: cfg.BlockSize, M: cfg.Memory}
@@ -57,7 +64,12 @@ func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
 	}
 	defer cleanup()
 
-	arr, err := pdm.NewFileBacked(p, scratchDir)
+	var arr *pdm.Array
+	if cfg.IO.Engine {
+		arr, err = pdm.NewFileBackedEngine(p, scratchDir, cfg.IO.engineConfig())
+	} else {
+		arr, err = pdm.NewFileBacked(p, scratchDir)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +122,7 @@ func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
 	}
 
 	return &Result{
+		IO:                 ioStatsFrom(arr.IOMetrics()),
 		IOs:                m.IOs,
 		IOLowerBound:       core.LowerBoundIOs(n, p),
 		PRAMTime:           m.PRAMTime,

@@ -56,6 +56,123 @@ func TestSortFileScratchPersists(t *testing.T) {
 	}
 }
 
+// TestSortFileEngine runs the external sort with the concurrent I/O engine
+// mounted and checks the output plus the engine metrics.
+func TestSortFileEngine(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.bin")
+	outPath := filepath.Join(dir, "out.bin")
+	in := NewWorkload(BucketSkew, 40000, 31)
+	if err := WriteRecordFile(inPath, in); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SortFile(inPath, outPath, "", Config{
+		Disks: 8, BlockSize: 32, Memory: 1 << 13,
+		IO: IOConfig{Engine: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRecordFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(in, out) {
+		t.Fatal("engine-backed sort output is not the sorted permutation of the input")
+	}
+	if res.IO == nil {
+		t.Fatal("engine on but Result.IO is nil")
+	}
+	agg := res.IO.Aggregate()
+	if agg.BytesWritten == 0 || agg.Reads == 0 {
+		t.Fatalf("engine metrics empty: %+v", agg)
+	}
+	if agg.CoalescedBlocks == 0 {
+		t.Fatal("striped writes never coalesced")
+	}
+	if len(res.IO.PerDisk) != 8 {
+		t.Fatalf("metrics for %d disks, want 8", len(res.IO.PerDisk))
+	}
+}
+
+// TestSortFileEngineParity is the acceptance criterion that mounting the
+// engine cannot change the measured model costs: parallel I/O counts and
+// output bytes are identical with the engine on and off.
+func TestSortFileEngineParity(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.bin")
+	in := NewWorkload(Zipf, 30000, 13)
+	if err := WriteRecordFile(inPath, in); err != nil {
+		t.Fatal(err)
+	}
+	run := func(io IOConfig, out string) *Result {
+		res, err := SortFile(inPath, filepath.Join(dir, out), "", Config{
+			Disks: 8, BlockSize: 32, Memory: 1 << 13, IO: io,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(IOConfig{}, "plain.bin")
+	engine := run(IOConfig{Engine: true}, "engine.bin")
+	if plain.IOs != engine.IOs {
+		t.Fatalf("engine changed the model cost: %d vs %d parallel I/Os", plain.IOs, engine.IOs)
+	}
+	if plain.IO != nil {
+		t.Fatal("engine off but Result.IO set")
+	}
+	a, err := os.ReadFile(filepath.Join(dir, "plain.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "engine.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("engine changed the output bytes")
+	}
+}
+
+// TestSortFileUnderFaults injects a nonzero transient-error rate plus torn
+// writes and checks the sort still completes with sorted, complete output.
+func TestSortFileUnderFaults(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.bin")
+	outPath := filepath.Join(dir, "out.bin")
+	in := NewWorkload(Uniform, 30000, 19)
+	if err := WriteRecordFile(inPath, in); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SortFile(inPath, outPath, "", Config{
+		Disks: 8, BlockSize: 32, Memory: 1 << 13,
+		IO: IOConfig{
+			Engine:        true,
+			FaultRate:     0.02,
+			TornWriteRate: 0.5,
+			FaultSeed:     29,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRecordFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(in, out) {
+		t.Fatal("sort under injected faults lost or disordered records")
+	}
+	agg := res.IO.Aggregate()
+	if agg.Faults == 0 {
+		t.Fatal("fault injection inactive (raise the rate or the op count)")
+	}
+	if agg.Retries == 0 {
+		t.Fatal("faults injected but nothing retried")
+	}
+}
+
 func TestSortFileRejectsRaggedInput(t *testing.T) {
 	dir := t.TempDir()
 	inPath := filepath.Join(dir, "bad.bin")

@@ -1,0 +1,29 @@
+#!/bin/sh
+# verify.sh — the per-PR gate. Formatting, static checks, the full test
+# suite, and a race-checked pass over the concurrency-bearing packages
+# (the diskio engine and the pdm disk arrays mounted on it).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test (tier 1) =="
+go test ./...
+
+echo "== go test -race (concurrency layer) =="
+go test -race ./internal/diskio/... ./internal/pdm/...
+
+echo "verify.sh: all checks passed"
