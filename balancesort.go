@@ -24,6 +24,7 @@
 package balancesort
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -123,6 +124,13 @@ type Config struct {
 	// (SortFile only; in-memory sorts ignore it). The zero value keeps
 	// the synchronous file stores.
 	IO IOConfig
+	// Robust configures checksums, journaling, and scrubbing for
+	// file-backed sorts (SortFile and ResumeSortFile; in-memory sorts
+	// ignore it except for cancellation).
+	Robust RobustConfig
+
+	// ctx carries the cancellation context of the *Context entry points.
+	ctx context.Context
 }
 
 // diskConfig translates the facade configuration to the core sorter's.
@@ -136,14 +144,16 @@ func (c Config) diskConfig() core.DiskConfig {
 		variant = pram.CRCW
 	}
 	return core.DiskConfig{
-		V:         c.VirtualDisks,
-		S:         c.Buckets,
-		P:         c.Processors,
-		PRAM:      variant,
-		Match:     c.Match,
-		Seed:      c.Seed,
-		Placement: c.Placement,
-		Internal:  internal,
+		V:                 c.VirtualDisks,
+		S:                 c.Buckets,
+		P:                 c.Processors,
+		PRAM:              variant,
+		Match:             c.Match,
+		Seed:              c.Seed,
+		Placement:         c.Placement,
+		Internal:          internal,
+		Context:           c.ctx,
+		CrashAfterCommits: c.Robust.crashAfterCommits,
 	}
 }
 
@@ -190,6 +200,9 @@ type Result struct {
 	// IO carries the disk-engine metrics when the sort mounted the I/O
 	// engine (Config.IO.Engine with SortFile); nil otherwise.
 	IO *IOStats
+	// Scrub carries the post-sort integrity sweep when the sort ran with
+	// Config.Robust.ScrubAfter; nil otherwise.
+	Scrub *ScrubReport
 }
 
 // Sort runs Balance Sort on a simulated disk array and returns the sorted

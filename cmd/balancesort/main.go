@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +43,14 @@ func main() {
 		genFile   = flag.String("genfile", "", "just generate -n records of -workload into this file and exit")
 		verify    = flag.String("verify", "", "just check that this record file is sorted and exit")
 
+		// Integrity and recovery knobs (with -infile / -scratch).
+		scrub      = flag.String("scrub", "", "verify every block checksum in this scratch directory and exit")
+		resume     = flag.Bool("resume", false, "continue an interrupted journaled sort from -scratch")
+		journal    = flag.Bool("journal", false, "journal every sort pass so the sort can be resumed (needs -scratch)")
+		noChecksum = flag.Bool("nochecksum", false, "disable the per-block CRC32C checksums on the scratch disks")
+		scrubAfter = flag.Bool("scrubafter", false, "scrub the scratch array after sorting and report the sweep")
+		timeout    = flag.Duration("timeout", 0, "cancel the file sort after this long (0 = no deadline)")
+
 		// Disk I/O engine knobs (with -infile).
 		engine      = flag.Bool("engine", true, "serve the file-backed disks with the concurrent I/O engine")
 		stats       = flag.Bool("stats", false, "print the engine's per-disk I/O metrics")
@@ -54,6 +63,26 @@ func main() {
 		jitter      = flag.Duration("jitter", 0, "inject up to this much per-op device latency")
 	)
 	flag.Parse()
+
+	if *scrub != "" {
+		rep, err := balancesort.Scrub(*scrub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Checksummed {
+			fmt.Printf("%s: no checksums to verify (array created with -nochecksum?)\n", *scrub)
+			os.Exit(1)
+		}
+		if len(rep.Corrupt) > 0 {
+			fmt.Printf("%s: %d of %d blocks CORRUPT\n", *scrub, len(rep.Corrupt), rep.BlocksChecked)
+			for _, c := range rep.Corrupt {
+				fmt.Printf("  disk %d block %d: checksum %08x, data hashes to %08x\n", c.Disk, c.Block, c.Want, c.Got)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: all %d blocks verified\n", *scrub, rep.BlocksChecked)
+		return
+	}
 
 	if *verify != "" {
 		recs, err := balancesort.ReadRecordFile(*verify)
@@ -103,9 +132,26 @@ func main() {
 				LatencyJitter: *jitter,
 				FaultSeed:     *seed,
 			},
+			Robust: balancesort.RobustConfig{
+				NoChecksums: *noChecksum,
+				Journal:     *journal || *resume,
+				ScrubAfter:  *scrubAfter,
+			},
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
 		}
 		start := time.Now()
-		res, err := balancesort.SortFile(*inFile, *outFile, *scratch, cfg)
+		var res *balancesort.Result
+		var err error
+		if *resume {
+			res, err = balancesort.ResumeSortFileContext(ctx, *inFile, *outFile, *scratch, cfg)
+		} else {
+			res, err = balancesort.SortFileContext(ctx, *inFile, *outFile, *scratch, cfg)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,6 +163,10 @@ func main() {
 			res.IOLowerBound, float64(res.IOs)/res.IOLowerBound)
 		fmt.Printf("  bucket read balance:   %.2fx of optimal\n", res.MaxBucketReadRatio)
 		fmt.Println("  verification:          OK (checked while streaming out)")
+		if res.Scrub != nil {
+			fmt.Printf("  scrub:                 %d blocks checked, %d corrupt\n",
+				res.Scrub.BlocksChecked, len(res.Scrub.Corrupt))
+		}
 		if *stats {
 			printIOStats(res.IO)
 		}

@@ -15,6 +15,10 @@ func FuzzSort(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2), uint8(1))
 	f.Add([]byte{}, uint8(0), uint8(0))
 	f.Add([]byte{255, 0, 255, 0, 9, 9, 9, 9, 1}, uint8(3), uint8(2))
+	f.Add(make([]byte, 4096), uint8(3), uint8(0))         // one giant duplicate run
+	f.Add([]byte{7}, uint8(3), uint8(2))                  // single record, widest geometry
+	f.Add([]byte{31, 30, 29, 28, 27, 26, 25, 24, 23, 22}, // strictly descending keys
+		uint8(1), uint8(1))
 	f.Fuzz(func(t *testing.T, raw []byte, dRaw, bRaw uint8) {
 		if len(raw) > 1<<14 {
 			raw = raw[:1<<14]
@@ -42,6 +46,8 @@ func FuzzSort(f *testing.F) {
 func FuzzBalancer(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 0, 0, 0}, uint8(4), uint8(4))
 	f.Add([]byte{0}, uint8(1), uint8(1))
+	f.Add(make([]byte, 512), uint8(15), uint8(15)) // all one bucket, max geometry
+	f.Add([]byte{5, 5, 5, 5, 1, 1, 1, 1, 5, 5, 5, 5}, uint8(2), uint8(8))
 	f.Fuzz(func(t *testing.T, labels []byte, sRaw, hRaw uint8) {
 		if len(labels) > 4096 {
 			labels = labels[:4096]

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,22 @@ type DiskConfig struct {
 	Placement Placement
 	// Internal selects the memoryload sorting algorithm.
 	Internal InternalSort
+	// Context, when non-nil, cancels the sort: it is polled between
+	// work-list steps, between phase-1 memoryloads, and between
+	// distribution tracks, and a done context aborts the sort with an
+	// Abort wrapping ctx.Err(). In-flight parallel I/Os always complete,
+	// so the scratch array stays consistent and resumable.
+	Context context.Context
+	// Checkpoint, when non-nil, runs after every completed work-list step
+	// (a base case or one distribution pass) with the sorter's complete
+	// serializable state. The callback owns durability — flush the array,
+	// then journal the state — and an error from it aborts the sort.
+	Checkpoint func(CheckpointState) error
+	// CrashAfterCommits > 0 simulates a crash for recovery tests: the
+	// sorter panics an Abort carrying ErrInjectedCrash immediately before
+	// the k-th Checkpoint call of this run, after the step's work is done
+	// — so exactly that step's work is lost and must be redone on resume.
+	CrashAfterCommits int
 }
 
 // InternalSort selects how memoryloads are sorted in internal memory.
@@ -210,47 +227,95 @@ func (ds *DiskSorter) Metrics() Metrics { return ds.met }
 // sorted output as an ordered list of striped segments (reading the
 // segments in order yields the records in nondecreasing order).
 func (ds *DiskSorter) Sort(off, n int) []Region {
-	ds.met = Metrics{N: n, MaxBucketFrac: 0}
-	ds.arr.ResetStats()
-	ds.cpu.Reset()
-
-	segs := ds.sortSource(newStripedSource(ds.arr, off, n), 0)
-
-	st := ds.arr.Stats()
-	ds.met.IOs = st.IOs
-	ds.met.ReadIOs = st.ReadIOs
-	ds.met.WriteIOs = st.WriteIOs
-	ds.met.BlocksRead = st.BlocksRead
-	ds.met.BlocksWrit = st.BlocksWritten
-	ds.met.PRAMTime = ds.cpu.Time()
-	ds.met.PRAMWork = ds.cpu.Work()
-	ds.met.MemPeak = ds.arr.Mem.Peak()
-	return segs
+	return ds.Resume(nil, []SourceDesc{StripedDesc(off, n, 0)}, Metrics{N: n})
 }
 
 const maxDepth = 64 // runaway-recursion guard; log_S(N) never approaches this
 
-func (ds *DiskSorter) sortSource(src source, depth int) []Region {
-	if depth > maxDepth {
-		panic("core: recursion depth exceeded — distribution is not making progress")
+// Resume drives Algorithm 1's recursion as an explicit depth-first
+// work-list, starting from checkpointed state: done segments already
+// emitted, work still pending (front first), and the cumulative metrics
+// recorded at the checkpoint. Sort is Resume from the initial state. The
+// work-list visits levels in exactly the order the recursion would —
+// a distribution pass pushes its bucket descriptors at the front — so an
+// uninterrupted Resume performs the identical I/O sequence, and a resumed
+// one continues it from the last committed step.
+func (ds *DiskSorter) Resume(done []Region, work []SourceDesc, prior Metrics) []Region {
+	ds.met = prior
+	ds.arr.ResetStats()
+	ds.cpu.Reset()
+
+	done = append([]Region(nil), done...)
+	work = append([]SourceDesc(nil), work...)
+	commits := 0
+	for len(work) > 0 {
+		ds.checkCtx()
+		d := work[0]
+		work = work[1:]
+		if d.Depth > maxDepth {
+			panic("core: recursion depth exceeded — distribution is not making progress")
+		}
+		if d.Depth > ds.met.Depth {
+			ds.met.Depth = d.Depth
+		}
+		src := ds.openSource(d)
+		n := src.Total()
+		if n == 0 {
+			continue
+		}
+		if n <= ds.memload {
+			done = append(done, ds.baseCase(src))
+		} else {
+			work = append(ds.distribute(src, d.Depth), work...)
+		}
+		ds.refreshMetrics(prior)
+		commits++
+		if ds.cfg.CrashAfterCommits > 0 && commits == ds.cfg.CrashAfterCommits {
+			panic(Abort{Err: ErrInjectedCrash})
+		}
+		if ds.cfg.Checkpoint != nil {
+			if err := ds.cfg.Checkpoint(CheckpointState{Done: done, Work: work, Metrics: ds.met}); err != nil {
+				panic(Abort{Err: err})
+			}
+		}
 	}
-	if depth > ds.met.Depth {
-		ds.met.Depth = depth
+	ds.refreshMetrics(prior)
+	return done
+}
+
+// openSource materialises a work-list descriptor as a readable source.
+func (ds *DiskSorter) openSource(d SourceDesc) source {
+	switch d.Kind {
+	case KindStriped:
+		return newStripedSource(ds.arr, d.Off, d.N)
+	case KindChains:
+		return newChainSource(ds.vd, &chains{perDisk: d.Chains, total: d.Total()})
 	}
-	n := src.Total()
-	if n == 0 {
-		return nil
+	panic(fmt.Sprintf("core: unknown source kind %q", d.Kind))
+}
+
+// refreshMetrics folds this run's counters on top of the checkpointed
+// prior ones, so Metrics stays cumulative across crash/resume.
+func (ds *DiskSorter) refreshMetrics(prior Metrics) {
+	st := ds.arr.Stats()
+	ds.met.IOs = prior.IOs + st.IOs
+	ds.met.ReadIOs = prior.ReadIOs + st.ReadIOs
+	ds.met.WriteIOs = prior.WriteIOs + st.WriteIOs
+	ds.met.BlocksRead = prior.BlocksRead + st.BlocksRead
+	ds.met.BlocksWrit = prior.BlocksWrit + st.BlocksWritten
+	ds.met.PRAMTime = prior.PRAMTime + ds.cpu.Time()
+	ds.met.PRAMWork = prior.PRAMWork + ds.cpu.Work()
+	if peak := ds.arr.Mem.Peak(); peak > prior.MemPeak {
+		ds.met.MemPeak = peak
+	} else {
+		ds.met.MemPeak = prior.MemPeak
 	}
-	if n <= ds.memload {
-		return ds.baseCase(src)
-	}
-	return ds.distribute(src, depth)
 }
 
 // baseCase reads the remaining records, sorts them internally, and writes
 // them out as one striped segment (Algorithm 1's N <= M branch, with the
 // memoryload as the threshold so one buffer fits alongside bookkeeping).
-func (ds *DiskSorter) baseCase(src source) []Region {
+func (ds *DiskSorter) baseCase(src source) Region {
 	n := src.Total()
 	ds.arr.Mem.Use(n)
 	recs := src.ReadSome(n)
@@ -260,7 +325,7 @@ func (ds *DiskSorter) baseCase(src source) []Region {
 	ds.internalSort(recs)
 	seg := ds.writeStriped(recs)
 	ds.arr.Mem.Release(n)
-	return []Region{seg}
+	return seg
 }
 
 // writeStriped allocates a fresh aligned region and writes recs to it.
@@ -284,8 +349,9 @@ type formedBlock struct {
 // distribute is one pass of Algorithm 1's else-branch on the disk model:
 // form sorted runs while sampling (phase 1), pick partition elements
 // (phase 2), stream the runs through the balancer into per-bucket block
-// chains (phase 3), then recurse per bucket.
-func (ds *DiskSorter) distribute(src source, depth int) []Region {
+// chains (phase 3), and return the per-bucket descriptors (in bucket
+// order) for the work-list to recurse into.
+func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
 	n := src.Total()
 	ds.met.Passes++
 
@@ -303,6 +369,7 @@ func (ds *DiskSorter) distribute(src source, depth int) []Region {
 	var sample []record.Record
 	var runs []Region
 	for src.Total() > 0 {
+		ds.checkCtx()
 		want := ds.memload
 		if t := src.Total(); t < want {
 			want = t
@@ -405,6 +472,7 @@ func (ds *DiskSorter) distribute(src source, depth int) []Region {
 	for _, run := range runs {
 		rsrc := newStripedSource(ds.arr, run.Off, run.N)
 		for rsrc.Total() > 0 {
+			ds.checkCtx()
 			want := trackRecs
 			if t := rsrc.Total(); t < want {
 				want = t
@@ -469,15 +537,15 @@ func (ds *DiskSorter) distribute(src source, depth int) []Region {
 		}
 	}
 
-	// --- Recurse bucket by bucket, appending sorted segments -------------
-	var segs []Region
+	// --- Emit bucket descriptors in order for the work-list --------------
+	var kids []SourceDesc
 	for b := 0; b < s; b++ {
 		if buckets[b].total == 0 {
 			continue
 		}
-		segs = append(segs, ds.sortSource(newChainSource(ds.vd, buckets[b]), depth+1)...)
+		kids = append(kids, SourceDesc{Kind: KindChains, Depth: depth + 1, Chains: buckets[b].perDisk})
 	}
-	return segs
+	return kids
 }
 
 // flushWrites performs the parallel write I/Os for one track's placements,

@@ -72,28 +72,21 @@ func (s *stripedSource) ReadSome(max int) []record.Record {
 	return out
 }
 
-// chainEntry is one virtual block written during distribution: its offset
-// on its virtual disk and how many of its records are real (the final
-// flushed block of a bucket may be partial; the rest of the block is
-// sentinel padding).
-type chainEntry struct {
-	off   int
-	count int
-}
-
 // chains records where a bucket's blocks live: chains[h] lists the blocks
-// on virtual disk h in write order.
+// on virtual disk h in write order. The entry type is the exported
+// ChainEntry (checkpoint.go) so a bucket's chains serialize directly into
+// a work-list descriptor.
 type chains struct {
-	perDisk [][]chainEntry
+	perDisk [][]ChainEntry
 	total   int
 }
 
 func newChains(h int) *chains {
-	return &chains{perDisk: make([][]chainEntry, h)}
+	return &chains{perDisk: make([][]ChainEntry, h)}
 }
 
 func (c *chains) add(h, off, count int) {
-	c.perDisk[h] = append(c.perDisk[h], chainEntry{off: off, count: count})
+	c.perDisk[h] = append(c.perDisk[h], ChainEntry{Off: off, Count: count})
 	c.total += count
 }
 
@@ -141,7 +134,7 @@ func (s *chainSource) ReadSome(max int) []record.Record {
 	}
 	for len(out) < max && s.round < s.maxRound() {
 		var ops []pdm.VOp
-		var metas []chainEntry
+		var metas []ChainEntry
 		var bufs [][]record.Record
 		for h, ch := range s.ch.perDisk {
 			if s.round >= len(ch) {
@@ -151,12 +144,12 @@ func (s *chainSource) ReadSome(max int) []record.Record {
 			buf := make([]record.Record, s.vd.VB())
 			bufs = append(bufs, buf)
 			metas = append(metas, e)
-			ops = append(ops, pdm.VOp{VDisk: h, Off: e.off, Data: buf})
+			ops = append(ops, pdm.VOp{VDisk: h, Off: e.Off, Data: buf})
 		}
 		s.round++
 		s.vd.ParallelVIO(ops)
 		for i, buf := range bufs {
-			real := buf[:metas[i].count]
+			real := buf[:metas[i].Count]
 			room := max - len(out)
 			if room >= len(real) {
 				out = append(out, real...)

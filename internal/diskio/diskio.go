@@ -24,6 +24,7 @@
 package diskio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -65,6 +66,18 @@ type Config struct {
 	// BreakerCooldown is how long a tripped disk rests before the breaker
 	// half-opens and ops are attempted again. Default 2ms.
 	BreakerCooldown time.Duration
+	// FailThreshold is the number of consecutive circuit-breaker trips
+	// (with no intervening success) after which a disk is declared
+	// permanently failed: every subsequent op on it fails fast with a
+	// typed *DiskFailedError instead of burning retries block by block.
+	// Default 4; negative disables the fail-fast path.
+	FailThreshold int
+	// Context, when non-nil, cancels engine operations: a blocked queue
+	// submit, a retry backoff, or a breaker cooldown returns ctx.Err()
+	// instead of waiting out the sleep. In-flight device transfers are
+	// drained (a submitted request always gets its reply), so a canceled
+	// engine still closes cleanly.
+	Context context.Context
 	// Fault configures the injection layer. Zero value injects nothing.
 	Fault FaultConfig
 }
@@ -87,8 +100,31 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Millisecond
 	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 4
+	}
+	if c.Context == nil {
+		c.Context = context.Background()
+	}
 	return c
 }
+
+// DiskFailedError reports a disk whose circuit breaker is permanently
+// open: FailThreshold consecutive breaker trips passed without a single
+// successful device op. Every subsequent op on the disk returns the same
+// error immediately, so a dead device costs one diagnosis, not one
+// retry storm per block.
+type DiskFailedError struct {
+	Disk  int
+	Trips int64 // breaker trips observed when the disk was declared failed
+	Err   error // the last device error
+}
+
+func (e *DiskFailedError) Error() string {
+	return fmt.Sprintf("diskio: disk %d failed permanently after %d breaker trips: %v", e.Disk, e.Trips, e.Err)
+}
+
+func (e *DiskFailedError) Unwrap() error { return e.Err }
 
 // Engine serves block reads and writes for a set of devices, one worker
 // goroutine per device. Read, Write, and Flush may be called from any
@@ -138,7 +174,9 @@ func (e *Engine) Read(disk int, blk int64, dst []byte) error {
 		return fmt.Errorf("diskio: read buffer is %d bytes, block is %d", len(dst), e.cfg.BlockBytes)
 	}
 	r := &request{op: opRead, block: blk, buf: dst, reply: make(chan error, 1)}
-	w.submit(r)
+	if err := w.submit(r); err != nil {
+		return err
+	}
 	return <-r.reply
 }
 
@@ -157,7 +195,10 @@ func (e *Engine) Write(disk int, blk int64, src []byte) error {
 	buf := e.pool.get()
 	copy(buf, src)
 	r := &request{op: opWrite, block: blk, buf: buf, reply: make(chan error, 1)}
-	w.submit(r)
+	if err := w.submit(r); err != nil {
+		e.pool.put(buf)
+		return err
+	}
 	return <-r.reply
 }
 
@@ -169,7 +210,9 @@ func (e *Engine) Flush(disk int) error {
 		return err
 	}
 	r := &request{op: opFlush, reply: make(chan error, 1)}
-	w.submit(r)
+	if err := w.submit(r); err != nil {
+		return err
+	}
 	return <-r.reply
 }
 
@@ -251,8 +294,12 @@ type worker struct {
 	// FIFO eviction queue (entries may be stale after invalidation).
 	cache map[int64][]byte
 	order []int64
-	// consecFails feeds the circuit breaker.
+	// consecFails feeds the circuit breaker; consecTrips counts breaker
+	// trips with no intervening success and feeds the fail-fast path.
 	consecFails int
+	consecTrips int64
+	// failed, once set, short-circuits every further op on this disk.
+	failed *DiskFailedError
 }
 
 func newWorker(id int, cfg *Config, dev Device, pool *bufPool) *worker {
@@ -272,7 +319,7 @@ func newWorker(id int, cfg *Config, dev Device, pool *bufPool) *worker {
 	return w
 }
 
-func (w *worker) submit(r *request) {
+func (w *worker) submit(r *request) error {
 	// Gauge the queue at its deepest observed point; len() on a channel is
 	// approximate under concurrency, which is fine for a high-water mark.
 	depth := int64(len(w.demand)) + 1
@@ -282,7 +329,19 @@ func (w *worker) submit(r *request) {
 			break
 		}
 	}
-	w.demand <- r
+	select {
+	case w.demand <- r:
+		return nil
+	default:
+	}
+	// Queue full: wait, but give up if the engine's context is canceled so
+	// a stalled disk cannot wedge a cancelled sort.
+	select {
+	case w.demand <- r:
+		return nil
+	case <-w.cfg.Context.Done():
+		return w.cfg.Context.Err()
+	}
 }
 
 // flushSentinel on the speculation queue asks the worker to push the
@@ -484,27 +543,61 @@ func (w *worker) invalidate(blk int64) {
 // withRetry runs a device op with exponential backoff on failure and
 // trips the circuit breaker after BreakerThreshold consecutive failures:
 // the disk rests for BreakerCooldown, then the breaker half-opens and the
-// op is attempted again.
+// op is attempted again. FailThreshold consecutive trips without a single
+// success declare the disk permanently failed; from then on every op
+// short-circuits with the same *DiskFailedError. All sleeps abort early
+// when the engine's context is canceled.
 func (w *worker) withRetry(op func() error) error {
+	if w.failed != nil {
+		return w.failed
+	}
 	backoff := w.cfg.RetryBase
 	var err error
 	for attempt := 0; ; attempt++ {
 		if err = op(); err == nil {
 			w.consecFails = 0
+			w.consecTrips = 0
 			return nil
 		}
 		w.consecFails++
 		if w.consecFails >= w.cfg.BreakerThreshold {
 			w.m.breakerTrips.Add(1)
-			time.Sleep(w.cfg.BreakerCooldown)
 			w.consecFails = 0
+			w.consecTrips++
+			if w.cfg.FailThreshold > 0 && w.consecTrips >= int64(w.cfg.FailThreshold) {
+				w.failed = &DiskFailedError{Disk: w.id, Trips: w.m.breakerTrips.Load(), Err: err}
+				return w.failed
+			}
+			if serr := w.sleep(w.cfg.BreakerCooldown); serr != nil {
+				return serr
+			}
 		}
 		if attempt >= w.cfg.MaxRetries {
 			return err
 		}
 		w.m.retries.Add(1)
-		time.Sleep(backoff)
+		if serr := w.sleep(backoff); serr != nil {
+			return serr
+		}
 		backoff *= 2
+	}
+}
+
+// sleep waits for d or until the engine's context is canceled, whichever
+// comes first.
+func (w *worker) sleep(d time.Duration) error {
+	done := w.cfg.Context.Done()
+	if done == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return w.cfg.Context.Err()
 	}
 }
 

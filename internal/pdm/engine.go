@@ -2,6 +2,7 @@ package pdm
 
 import (
 	"fmt"
+	"os"
 
 	"balancesort/internal/diskio"
 	"balancesort/internal/record"
@@ -16,11 +17,16 @@ import (
 // a request — so an experiment measures identical model costs with the
 // engine on or off.
 
-// engineStore adapts one engine disk to the blockStore interface.
+// engineStore adapts one engine disk to the blockStore interface. When
+// crc is non-nil the store maintains a CRC32C sidecar exactly like the
+// synchronous fileStore: the checksum is computed host-side from the wire
+// bytes handed to (or received from) the engine, so the model's parallel
+// I/O accounting is untouched.
 type engineStore struct {
 	b       int
 	disk    int
 	eng     *diskio.Engine
+	crc     *os.File // checksum sidecar; nil = checksums off
 	written []bool
 	scratch []byte // one block of wire-format bytes, reused per op
 }
@@ -36,6 +42,9 @@ func (s *engineStore) read(off int, dst []record.Record) error {
 	if err := s.eng.Read(s.disk, int64(off), s.scratch); err != nil {
 		return fmt.Errorf("pdm: engine read: %w", err)
 	}
+	if err := verifyCRC(s.crc, s.disk, off, s.scratch); err != nil {
+		return err
+	}
 	for i := range dst {
 		dst[i] = record.Decode(s.scratch[i*record.EncodedSize:])
 	}
@@ -50,6 +59,9 @@ func (s *engineStore) write(off int, src []record.Record) error {
 	if err := s.eng.Write(s.disk, int64(off), buf); err != nil {
 		return fmt.Errorf("pdm: engine write: %w", err)
 	}
+	if err := writeCRC(s.crc, off, buf); err != nil {
+		return err
+	}
 	for off >= len(s.written) {
 		s.written = append(s.written, false)
 	}
@@ -58,8 +70,38 @@ func (s *engineStore) write(off int, src []record.Record) error {
 }
 
 // close drains the disk's write-behind run; the devices themselves are
-// closed by the engine (see the array's onClose).
+// closed by the engine (see the array's onClose), and the crc sidecar by
+// the array's close hook.
 func (s *engineStore) close() error { return s.eng.Flush(s.disk) }
+
+func (s *engineStore) highWater() int { return len(s.written) }
+
+func (s *engineStore) checksummed() bool { return s.crc != nil }
+
+func (s *engineStore) verifyAll() (int, []*CorruptBlockError) {
+	checked := 0
+	var bad []*CorruptBlockError
+	for off, w := range s.written {
+		if !w {
+			continue
+		}
+		if err := s.eng.Read(s.disk, int64(off), s.scratch); err != nil {
+			bad = append(bad, &CorruptBlockError{Disk: s.disk, Block: off})
+			checked++
+			continue
+		}
+		if isAllocationHole(s.crc, off, s.scratch) {
+			continue
+		}
+		checked++
+		if err := verifyCRC(s.crc, s.disk, off, s.scratch); err != nil {
+			if ce, ok := err.(*CorruptBlockError); ok {
+				bad = append(bad, ce)
+			}
+		}
+	}
+	return checked, bad
+}
 
 // NewModeEngine creates an in-memory array in the given mode whose disks
 // are served by a diskio.Engine over memory devices — the full engine

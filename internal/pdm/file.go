@@ -1,8 +1,10 @@
 package pdm
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 
@@ -21,14 +23,68 @@ import (
 // concurrent diskio engine (engineStore over *os.File devices); the
 // engine-backed variants take a diskio.Config.
 //
-// Close writes a manifest (parameters, mode, allocation marks) so a later
-// OpenFileBacked can resume against the same directory.
+// Integrity: unless disabled, every block carries a CRC32C (Castagnoli) in
+// a per-disk sidecar file (disk%03d.crc, 4 little-endian bytes per block),
+// written on every block write and verified on every block read. A
+// mismatch surfaces as a typed *CorruptBlockError, and Scrub sweeps every
+// written block without the sort having to touch it.
+//
+// Close writes a manifest (parameters, mode, allocation and write marks,
+// checksum algorithm) so a later OpenFileBacked can resume against the
+// same directory; the manifest is also rewritten on every Sync, and always
+// via write-to-temp-then-rename so a crash can never leave a torn
+// manifest behind.
+
+// castagnoli is the CRC32C polynomial table shared by the block sidecars
+// and the journal line checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumCRC32C names the only checksum algorithm the manifest accepts.
+const ChecksumCRC32C = "crc32c"
+
+// crcSize is the sidecar bytes per block.
+const crcSize = 4
+
+// CorruptBlockError reports a block whose stored checksum disagrees with
+// its data — a torn write, a truncated sidecar, or silent media
+// corruption. It is the typed error behind read verification and Scrub.
+type CorruptBlockError struct {
+	Disk  int    // which simulated drive
+	Block int    // block offset on that drive
+	Want  uint32 // checksum recorded in the sidecar (0 if unreadable)
+	Got   uint32 // checksum of the bytes actually read
+}
+
+func (e *CorruptBlockError) Error() string {
+	return fmt.Sprintf("pdm: corrupt block: disk %d block %d checksum %08x, data hashes to %08x",
+		e.Disk, e.Block, e.Want, e.Got)
+}
+
+// TruncatedDiskError reports a scratch file that disagrees with the
+// manifest at open time: shorter than the recorded write high-water mark,
+// or not a whole number of blocks. Catching this at OpenFileBacked beats
+// failing later, deep inside a read.
+type TruncatedDiskError struct {
+	Disk       int
+	Path       string
+	WantBlocks int   // manifest's write high-water mark
+	GotBytes   int64 // actual file size
+	BlockBytes int
+}
+
+func (e *TruncatedDiskError) Error() string {
+	return fmt.Sprintf("pdm: disk %d file %s is %d bytes, want at least %d whole %d-byte blocks",
+		e.Disk, e.Path, e.GotBytes, e.WantBlocks, e.BlockBytes)
+}
 
 // fileStore backs one drive with one file; block i occupies bytes
-// [i*B*EncodedSize, (i+1)*B*EncodedSize).
+// [i*B*EncodedSize, (i+1)*B*EncodedSize). When crc is non-nil the store
+// maintains the CRC32C sidecar and verifies every read against it.
 type fileStore struct {
 	b       int
+	disk    int
 	f       *os.File
+	crc     *os.File // checksum sidecar; nil = checksums off
 	written []bool
 	// scratch is the store's reusable wire-format staging buffer; safe
 	// because each store is driven by one disk goroutine (Peek is
@@ -48,6 +104,9 @@ func (s *fileStore) read(off int, dst []record.Record) error {
 	if _, err := s.f.ReadAt(s.scratch, int64(off)*int64(s.blockBytes())); err != nil {
 		return fmt.Errorf("pdm: file read: %w", err)
 	}
+	if err := verifyCRC(s.crc, s.disk, off, s.scratch); err != nil {
+		return err
+	}
 	for i := range dst {
 		dst[i] = record.Decode(s.scratch[i*record.EncodedSize:])
 	}
@@ -65,6 +124,9 @@ func (s *fileStore) write(off int, src []record.Record) error {
 	if _, err := s.f.WriteAt(buf, int64(off)*int64(s.blockBytes())); err != nil {
 		return fmt.Errorf("pdm: file write: %w", err)
 	}
+	if err := writeCRC(s.crc, off, buf); err != nil {
+		return err
+	}
 	for off >= len(s.written) {
 		s.written = append(s.written, false)
 	}
@@ -72,83 +134,115 @@ func (s *fileStore) write(off int, src []record.Record) error {
 	return nil
 }
 
-func (s *fileStore) close() error { return s.f.Close() }
-
-// manifest is the JSON persisted next to the disk files.
-type manifest struct {
-	D        int   `json:"d"`
-	B        int   `json:"b"`
-	M        int   `json:"m"`
-	Mode     Mode  `json:"mode"`
-	NextFree []int `json:"next_free"`
-}
-
-func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
-func diskPath(dir string, i int) string {
-	return filepath.Join(dir, fmt.Sprintf("disk%03d.bin", i))
-}
-
-// NewFileBacked creates a file-backed array under dir (created if absent)
-// in PDM mode, served synchronously. Any existing array files in dir are
-// truncated.
-func NewFileBacked(p Params, dir string) (*Array, error) {
-	return newFileBacked(p, dir, ModePDM, nil)
-}
-
-// NewFileBackedMode is NewFileBacked with an explicit model mode; the mode
-// is persisted in the manifest so the array resumes under the same rule.
-func NewFileBackedMode(p Params, dir string, mode Mode) (*Array, error) {
-	return newFileBacked(p, dir, mode, nil)
-}
-
-// NewFileBackedEngine creates a file-backed array whose drives are served
-// concurrently by a diskio engine with the given configuration
-// (ecfg.BlockBytes is derived from p and may be left zero).
-func NewFileBackedEngine(p Params, dir string, ecfg diskio.Config) (*Array, error) {
-	return newFileBacked(p, dir, ModePDM, &ecfg)
-}
-
-func newFileBacked(p Params, dir string, mode Mode, ecfg *diskio.Config) (*Array, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if mode != ModePDM && mode != ModeAgV {
-		return nil, fmt.Errorf("pdm: unknown mode %d", mode)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	files := make([]*os.File, p.D)
-	for i := range files {
-		f, err := os.Create(diskPath(dir, i))
-		if err != nil {
-			closeFiles(files[:i])
-			return nil, err
+func (s *fileStore) close() error {
+	err := s.f.Close()
+	if s.crc != nil {
+		if cerr := s.crc.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
-		files[i] = f
 	}
-	return assembleFileBacked(p, dir, mode, ecfg, files, nil)
+	return err
 }
 
-// OpenFileBacked resumes the array persisted under dir, served
-// synchronously, in the mode recorded by the manifest. All blocks below
-// each disk's file size count as written.
-func OpenFileBacked(dir string) (*Array, error) {
-	return openFileBacked(dir, nil)
-}
+func (s *fileStore) highWater() int { return len(s.written) }
 
-// OpenFileBackedEngine resumes the array persisted under dir with a
-// diskio engine serving the drives.
-func OpenFileBackedEngine(dir string, ecfg diskio.Config) (*Array, error) {
-	return openFileBacked(dir, &ecfg)
-}
+func (s *fileStore) checksummed() bool { return s.crc != nil }
 
-func openFileBacked(dir string, ecfg *diskio.Config) (*Array, error) {
-	raw, err := os.ReadFile(manifestPath(dir))
-	if err != nil {
-		return nil, fmt.Errorf("pdm: no manifest: %w", err)
+func (s *fileStore) verifyAll() (int, []*CorruptBlockError) {
+	if s.scratch == nil {
+		s.scratch = make([]byte, s.blockBytes())
 	}
-	var m manifest
+	checked := 0
+	var bad []*CorruptBlockError
+	for off, w := range s.written {
+		if !w {
+			continue
+		}
+		if _, err := s.f.ReadAt(s.scratch, int64(off)*int64(s.blockBytes())); err != nil {
+			bad = append(bad, &CorruptBlockError{Disk: s.disk, Block: off})
+			checked++
+			continue
+		}
+		if isAllocationHole(s.crc, off, s.scratch) {
+			continue
+		}
+		checked++
+		if err := verifyCRC(s.crc, s.disk, off, s.scratch); err != nil {
+			if ce, ok := err.(*CorruptBlockError); ok {
+				bad = append(bad, ce)
+			}
+		}
+	}
+	return checked, bad
+}
+
+// writeCRC records the block's checksum in the sidecar (no-op when
+// checksums are off).
+func writeCRC(crc *os.File, off int, data []byte) error {
+	if crc == nil {
+		return nil
+	}
+	var b [crcSize]byte
+	binary.LittleEndian.PutUint32(b[:], crc32.Checksum(data, castagnoli))
+	if _, err := crc.WriteAt(b[:], int64(off)*crcSize); err != nil {
+		return fmt.Errorf("pdm: checksum write: %w", err)
+	}
+	return nil
+}
+
+// isAllocationHole reports whether a block below the write high-water
+// mark was in fact never written: distribution allocates chains eagerly,
+// so both the data file and the sidecar can be sparse there, reading back
+// as zeros. A genuinely written all-zero block is distinguishable — its
+// sidecar entry would hold the (nonzero) CRC32C of the zero block.
+func isAllocationHole(crc *os.File, off int, data []byte) bool {
+	var b [crcSize]byte
+	if _, err := crc.ReadAt(b[:], int64(off)*crcSize); err != nil || binary.LittleEndian.Uint32(b[:]) != 0 {
+		return false
+	}
+	for _, v := range data {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyCRC checks data against the sidecar entry for block off; an
+// unreadable sidecar entry counts as corruption (Want = 0).
+func verifyCRC(crc *os.File, disk, off int, data []byte) error {
+	if crc == nil {
+		return nil
+	}
+	got := crc32.Checksum(data, castagnoli)
+	var b [crcSize]byte
+	if _, err := crc.ReadAt(b[:], int64(off)*crcSize); err != nil {
+		return &CorruptBlockError{Disk: disk, Block: off, Want: 0, Got: got}
+	}
+	want := binary.LittleEndian.Uint32(b[:])
+	if want != got {
+		return &CorruptBlockError{Disk: disk, Block: off, Want: want, Got: got}
+	}
+	return nil
+}
+
+// Manifest is the JSON persisted next to the disk files. It is exported
+// so its parser can be fuzzed and so tools can inspect scratch
+// directories without opening the array.
+type Manifest struct {
+	D        int    `json:"d"`
+	B        int    `json:"b"`
+	M        int    `json:"m"`
+	Mode     Mode   `json:"mode"`
+	NextFree []int  `json:"next_free"`
+	Written  []int  `json:"written,omitempty"`  // per-disk write high-water marks in blocks
+	Checksum string `json:"checksum,omitempty"` // "" or ChecksumCRC32C
+}
+
+// ParseManifest decodes and validates a manifest. It never panics on
+// corrupted or truncated input; every malformation is an error.
+func ParseManifest(raw []byte) (*Manifest, error) {
+	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("pdm: bad manifest: %w", err)
 	}
@@ -161,27 +255,207 @@ func openFileBacked(dir string, ecfg *diskio.Config) (*Array, error) {
 	if m.Mode != ModePDM && m.Mode != ModeAgV {
 		return nil, fmt.Errorf("pdm: manifest has unknown mode %d", m.Mode)
 	}
-	if len(m.NextFree) != p.D {
-		return nil, fmt.Errorf("pdm: manifest has %d allocation marks for D=%d", len(m.NextFree), p.D)
+	if len(m.NextFree) != m.D {
+		return nil, fmt.Errorf("pdm: manifest has %d allocation marks for D=%d", len(m.NextFree), m.D)
+	}
+	for i, nf := range m.NextFree {
+		if nf < 0 {
+			return nil, fmt.Errorf("pdm: manifest allocation mark %d on disk %d", nf, i)
+		}
+	}
+	if m.Written != nil {
+		if len(m.Written) != m.D {
+			return nil, fmt.Errorf("pdm: manifest has %d write marks for D=%d", len(m.Written), m.D)
+		}
+		for i, w := range m.Written {
+			if w < 0 || w > m.NextFree[i] {
+				return nil, fmt.Errorf("pdm: manifest write mark %d exceeds allocation mark %d on disk %d",
+					w, m.NextFree[i], i)
+			}
+		}
+	}
+	if m.Checksum != "" && m.Checksum != ChecksumCRC32C {
+		return nil, fmt.Errorf("pdm: manifest has unknown checksum algorithm %q", m.Checksum)
+	}
+	return &m, nil
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+func diskPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("disk%03d.bin", i))
+}
+func crcPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("disk%03d.crc", i))
+}
+
+// FileOptions configures a file-backed array beyond the model parameters.
+type FileOptions struct {
+	// Mode selects the model's I/O rule (new arrays; reopened arrays
+	// follow their manifest).
+	Mode Mode
+	// Engine, when non-nil, mounts the concurrent diskio engine with this
+	// configuration (BlockBytes is derived and may be left zero).
+	Engine *diskio.Config
+	// NoChecksums disables the CRC32C block sidecars for a new array.
+	// Reopened arrays follow their manifest, whatever this says.
+	NoChecksums bool
+}
+
+// NewFileBacked creates a file-backed array under dir (created if absent)
+// in PDM mode with checksums on, served synchronously. Any existing array
+// files in dir are truncated.
+func NewFileBacked(p Params, dir string) (*Array, error) {
+	return NewFileBackedOpts(p, dir, FileOptions{})
+}
+
+// NewFileBackedMode is NewFileBacked with an explicit model mode; the mode
+// is persisted in the manifest so the array resumes under the same rule.
+func NewFileBackedMode(p Params, dir string, mode Mode) (*Array, error) {
+	return NewFileBackedOpts(p, dir, FileOptions{Mode: mode})
+}
+
+// NewFileBackedEngine creates a file-backed array whose drives are served
+// concurrently by a diskio engine with the given configuration
+// (ecfg.BlockBytes is derived from p and may be left zero).
+func NewFileBackedEngine(p Params, dir string, ecfg diskio.Config) (*Array, error) {
+	return NewFileBackedOpts(p, dir, FileOptions{Engine: &ecfg})
+}
+
+// NewFileBackedOpts creates a file-backed array under dir with the given
+// options. Any existing array files in dir are truncated, and a manifest
+// is written immediately so even a freshly crashed run leaves a readable
+// directory behind.
+func NewFileBackedOpts(p Params, dir string, o FileOptions) (*Array, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Mode != ModePDM && o.Mode != ModeAgV {
+		return nil, fmt.Errorf("pdm: unknown mode %d", o.Mode)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
 	}
 	files := make([]*os.File, p.D)
+	var crcs []*os.File
+	if !o.NoChecksums {
+		crcs = make([]*os.File, p.D)
+	}
+	fail := func(err error) (*Array, error) {
+		closeFiles(files)
+		closeFiles(crcs)
+		return nil, err
+	}
+	for i := range files {
+		f, err := os.Create(diskPath(dir, i))
+		if err != nil {
+			return fail(err)
+		}
+		files[i] = f
+		if crcs != nil {
+			c, err := os.Create(crcPath(dir, i))
+			if err != nil {
+				return fail(err)
+			}
+			crcs[i] = c
+		}
+	}
+	a, err := assembleFileBacked(p, dir, o.Mode, o.Engine, files, crcs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Sync(); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenFileBacked resumes the array persisted under dir, served
+// synchronously, in the mode recorded by the manifest.
+func OpenFileBacked(dir string) (*Array, error) {
+	return OpenFileBackedOpts(dir, FileOptions{})
+}
+
+// OpenFileBackedEngine resumes the array persisted under dir with a
+// diskio engine serving the drives.
+func OpenFileBackedEngine(dir string, ecfg diskio.Config) (*Array, error) {
+	return OpenFileBackedOpts(dir, FileOptions{Engine: &ecfg})
+}
+
+// OpenFileBackedOpts resumes the array persisted under dir. The manifest
+// decides the mode and the checksum discipline (o.Mode and o.NoChecksums
+// are ignored); o.Engine selects how the drives are served. Per-disk file
+// sizes are validated against the manifest's write marks at open time —
+// a truncated or ragged scratch file is a typed *TruncatedDiskError here
+// rather than a confusing failure deep inside a later read.
+func OpenFileBackedOpts(dir string, o FileOptions) (*Array, error) {
+	raw, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("pdm: no manifest: %w", err)
+	}
+	m, err := ParseManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	p := Params{D: m.D, B: m.B, M: m.M}
+	blockBytes := p.B * record.EncodedSize
+
+	files := make([]*os.File, p.D)
+	var crcs []*os.File
+	if m.Checksum == ChecksumCRC32C {
+		crcs = make([]*os.File, p.D)
+	}
+	fail := func(err error) (*Array, error) {
+		closeFiles(files)
+		closeFiles(crcs)
+		return nil, err
+	}
 	written := make([]int, p.D)
 	for i := range files {
 		f, err := os.OpenFile(diskPath(dir, i), os.O_RDWR, 0)
 		if err != nil {
-			closeFiles(files[:i])
-			return nil, err
-		}
-		st, err := f.Stat()
-		if err != nil {
-			f.Close()
-			closeFiles(files[:i])
-			return nil, err
+			return fail(err)
 		}
 		files[i] = f
-		written[i] = int(st.Size()) / (p.B * record.EncodedSize)
+		st, err := f.Stat()
+		if err != nil {
+			return fail(err)
+		}
+		want := 0
+		if m.Written != nil {
+			want = m.Written[i]
+		}
+		if st.Size()%int64(blockBytes) != 0 || st.Size() < int64(want)*int64(blockBytes) {
+			return fail(&TruncatedDiskError{
+				Disk: i, Path: diskPath(dir, i),
+				WantBlocks: want, GotBytes: st.Size(), BlockBytes: blockBytes,
+			})
+		}
+		if m.Written != nil {
+			written[i] = want
+		} else {
+			// Legacy manifest without write marks: trust the file extent.
+			written[i] = int(st.Size()) / blockBytes
+		}
+		if crcs != nil {
+			c, err := os.OpenFile(crcPath(dir, i), os.O_RDWR, 0)
+			if err != nil {
+				return fail(fmt.Errorf("pdm: checksum sidecar: %w", err))
+			}
+			crcs[i] = c
+			cst, err := c.Stat()
+			if err != nil {
+				return fail(err)
+			}
+			if cst.Size() < int64(written[i])*crcSize {
+				return fail(&TruncatedDiskError{
+					Disk: i, Path: crcPath(dir, i),
+					WantBlocks: written[i], GotBytes: cst.Size(), BlockBytes: crcSize,
+				})
+			}
+		}
 	}
-	return assembleFileBacked(p, dir, m.Mode, ecfg, files, func(a *Array) {
+	return assembleFileBacked(p, dir, m.Mode, o.Engine, files, crcs, func(a *Array) {
 		copy(a.nextFree, m.NextFree)
 		for i, d := range a.disks {
 			marks := make([]bool, written[i])
@@ -200,9 +474,9 @@ func openFileBacked(dir string, ecfg *diskio.Config) (*Array, error) {
 
 // assembleFileBacked builds the array over the opened files — plain
 // fileStores when ecfg is nil, an engine mount otherwise — and arranges
-// for Close to persist the manifest. init (if non-nil) restores resumed
-// state before the array is returned.
-func assembleFileBacked(p Params, dir string, mode Mode, ecfg *diskio.Config, files []*os.File, init func(*Array)) (*Array, error) {
+// for Sync and Close to persist the manifest. init (if non-nil) restores
+// resumed state before the array is returned.
+func assembleFileBacked(p Params, dir string, mode Mode, ecfg *diskio.Config, files, crcs []*os.File, init func(*Array)) (*Array, error) {
 	stores := make([]blockStore, p.D)
 	var eng *diskio.Engine
 	if ecfg != nil {
@@ -216,30 +490,78 @@ func assembleFileBacked(p Params, dir string, mode Mode, ecfg *diskio.Config, fi
 		eng, err = diskio.New(cfg, devs)
 		if err != nil {
 			closeFiles(files)
+			closeFiles(crcs)
 			return nil, err
 		}
 		for i := range stores {
-			stores[i] = newEngineStore(p.B, i, eng)
+			es := newEngineStore(p.B, i, eng)
+			if crcs != nil {
+				es.crc = crcs[i]
+			}
+			stores[i] = es
 		}
 	} else {
 		for i, f := range files {
-			stores[i] = &fileStore{b: p.B, f: f}
+			fs := &fileStore{b: p.B, disk: i, f: f}
+			if crcs != nil {
+				fs.crc = crcs[i]
+			}
+			stores[i] = fs
 		}
 	}
+	checksum := ""
+	if crcs != nil {
+		checksum = ChecksumCRC32C
+	}
 	var a *Array
+	persist := func() error {
+		return writeManifest(dir, Manifest{
+			D: p.D, B: p.B, M: p.M, Mode: mode,
+			NextFree: append([]int(nil), a.nextFree...),
+			Written:  a.writtenMarks(),
+			Checksum: checksum,
+		})
+	}
 	a = newWithStores(p, mode, stores, func() error {
 		// For engine mounts the per-store close() only flushed; closing
 		// the engine stops the workers and closes the files, and must
-		// precede the manifest write so its data is durable first.
+		// precede the manifest write so its data is durable first. The
+		// crc sidecars are not engine devices, so they are closed here.
 		var firstErr error
 		if eng != nil {
 			firstErr = eng.Close()
+			for _, c := range crcs {
+				if err := c.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
 		}
-		if err := writeManifest(dir, p, mode, a.nextFree); err != nil && firstErr == nil {
+		if err := persist(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		return firstErr
 	})
+	// Sync makes everything written so far durable and the manifest
+	// consistent with it — the commit primitive the sort-pass journal
+	// builds on.
+	a.syncFn = func() error {
+		if eng != nil {
+			if err := eng.FlushAll(); err != nil {
+				return err
+			}
+		}
+		for _, f := range files {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		for _, c := range crcs {
+			if err := c.Sync(); err != nil {
+				return err
+			}
+		}
+		return persist()
+	}
 	a.engine = eng
 	if init != nil {
 		init(a)
@@ -255,11 +577,16 @@ func closeFiles(files []*os.File) {
 	}
 }
 
-func writeManifest(dir string, p Params, mode Mode, nextFree []int) error {
-	m := manifest{D: p.D, B: p.B, M: p.M, Mode: mode, NextFree: append([]int(nil), nextFree...)}
+// writeManifest persists the manifest atomically (temp file + rename), so
+// a crash mid-write can never leave a torn manifest.
+func writeManifest(dir string, m Manifest) error {
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(manifestPath(dir), raw, 0o644)
+	tmp := manifestPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, manifestPath(dir))
 }

@@ -1,0 +1,167 @@
+package pdm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Sort-pass journal: an append-only file of checksummed JSON lines that
+// records committed sort passes next to the manifest. Each line is
+//
+//	%08x <json>\n
+//
+// where the hex prefix is the CRC32C of the JSON bytes. A crash can only
+// tear the final line (appends are sequential and each is fsynced before
+// the commit is considered durable), so parsing stops at the first line
+// that fails its checksum, has malformed JSON, or breaks the sequence —
+// everything before it is the recovered journal, everything after is
+// discarded. OpenJournalAppend physically truncates that torn tail so
+// later appends extend a clean file.
+//
+// The journal is deliberately ignorant of what a "pass" is: entries carry
+// opaque JSON payloads. The sorter's checkpoint schema lives with the
+// sorter; this layer only guarantees ordered, checksummed, torn-tail-safe
+// persistence.
+
+// JournalEntry is one committed line: a 1-based sequence number and the
+// writer's opaque payload.
+type JournalEntry struct {
+	Seq     int             `json:"seq"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Journal is an open journal file positioned for appending.
+type Journal struct {
+	f   *os.File
+	seq int // last sequence number written
+}
+
+// CreateJournal creates (or truncates) a journal at path.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// OpenJournalAppend opens an existing journal, recovers its valid entries,
+// truncates any torn tail left by a crash, and positions for appending.
+func OpenJournalAppend(path string) (*Journal, []JournalEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries, validLen := ParseJournal(raw)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(validLen) < int64(len(raw)) {
+		if err := f.Truncate(int64(validLen)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(validLen), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f}
+	if len(entries) > 0 {
+		j.seq = entries[len(entries)-1].Seq
+	}
+	return j, entries, nil
+}
+
+// LoadJournal reads and parses the journal at path without opening it for
+// writing.
+func LoadJournal(path string) ([]JournalEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	entries, _ := ParseJournal(raw)
+	return entries, nil
+}
+
+// ParseJournal recovers the valid entries from raw journal bytes along
+// with the byte length of the valid prefix. It never panics: a line with
+// a bad checksum, malformed JSON, a broken sequence number, or a missing
+// newline ends the journal there, exactly as crash recovery requires.
+func ParseJournal(raw []byte) ([]JournalEntry, int) {
+	var entries []JournalEntry
+	validLen := 0
+	rest := raw
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn final line
+		}
+		line := rest[:nl]
+		// 8 hex digits + space + at least "{}": anything shorter is torn.
+		if len(line) < 11 || line[8] != ' ' {
+			break
+		}
+		var want uint32
+		if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+			break
+		}
+		payload := line[9:]
+		if crc32.Checksum(payload, castagnoli) != want {
+			break
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			break
+		}
+		if e.Seq != len(entries)+1 || e.Payload == nil {
+			break
+		}
+		entries = append(entries, e)
+		validLen += nl + 1
+		rest = rest[nl+1:]
+	}
+	return entries, validLen
+}
+
+// Append commits one payload: it assigns the next sequence number, writes
+// the checksummed line, and fsyncs before returning, so a returned nil
+// means the entry will survive a crash. It returns the assigned sequence
+// number.
+func (j *Journal) Append(payload []byte) (int, error) {
+	// Compact via a round-trip so the stored line is valid single-line
+	// JSON regardless of how the caller formatted the payload.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return 0, fmt.Errorf("pdm: journal payload is not valid JSON: %w", err)
+	}
+	e := JournalEntry{Seq: j.seq + 1, Payload: json.RawMessage(compact.Bytes())}
+	body, err := json.Marshal(e)
+	if err != nil {
+		return 0, err
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(body, castagnoli), body)
+	if _, err := j.f.WriteString(line); err != nil {
+		return 0, err
+	}
+	if err := j.f.Sync(); err != nil {
+		return 0, err
+	}
+	j.seq = e.Seq
+	return e.Seq, nil
+}
+
+// Seq returns the sequence number of the last entry written or recovered.
+func (j *Journal) Seq() int { return j.seq }
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// JournalPath returns the canonical journal location for a file-backed
+// array directory, next to its manifest.
+func JournalPath(dir string) string { return filepath.Join(dir, "journal.log") }

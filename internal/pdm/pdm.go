@@ -131,6 +131,10 @@ type Array struct {
 	engine *diskio.Engine
 
 	onClose func() error
+
+	// syncFn, when set (file-backed arrays), makes all written data durable
+	// and persists a manifest consistent with it. See Sync.
+	syncFn func() error
 }
 
 // blockStore is the storage behind one simulated drive. The in-memory
@@ -260,6 +264,87 @@ func (a *Array) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// Sync makes everything written so far durable and rewrites the manifest
+// to match — the commit primitive the sort-pass journal builds on. On a
+// purely in-memory array it is a no-op. The ordering matters for crash
+// consistency: data and checksums are fsynced before the manifest names
+// them, so an on-disk manifest never describes blocks that are not there.
+// Like Peek, it must not be called while a ParallelIO is in flight.
+func (a *Array) Sync() error {
+	if a.syncFn == nil {
+		return nil
+	}
+	return a.syncFn()
+}
+
+// NextFree returns a copy of the per-disk allocation marks (the lowest
+// never-allocated block offset on each disk).
+func (a *Array) NextFree() []int {
+	return append([]int(nil), a.nextFree...)
+}
+
+// SetNextFree restores the per-disk allocation marks, e.g. from a journal
+// entry when resuming a sort: blocks the crashed run allocated after its
+// last commit are handed out again and simply overwritten.
+func (a *Array) SetNextFree(marks []int) {
+	if len(marks) != len(a.nextFree) {
+		panic(fmt.Sprintf("pdm: %d allocation marks for D=%d", len(marks), len(a.nextFree)))
+	}
+	copy(a.nextFree, marks)
+}
+
+// scrubbable is implemented by stores that maintain block checksums.
+type scrubbable interface {
+	highWater() int
+	checksummed() bool
+	// verifyAll re-reads every written block, returning how many were
+	// checked and the ones whose checksum did not match.
+	verifyAll() (int, []*CorruptBlockError)
+}
+
+// ScrubReport summarises a full-array integrity sweep.
+type ScrubReport struct {
+	// Checksummed is false when the array has no checksums to verify (an
+	// in-memory array, or a file-backed one created with NoChecksums).
+	Checksummed bool
+	// BlocksChecked counts the written blocks that were re-read and
+	// verified across all disks.
+	BlocksChecked int
+	// Corrupt lists every block whose data disagreed with its checksum.
+	Corrupt []*CorruptBlockError
+}
+
+// Scrub walks every written block on every disk and verifies it against
+// its stored checksum, without touching model I/O accounting. Like Peek,
+// it must not run concurrently with a ParallelIO; on an engine-mounted
+// array call Sync first so write-behind data has reached the device.
+func (a *Array) Scrub() ScrubReport {
+	var rep ScrubReport
+	for _, d := range a.disks {
+		s, ok := d.store.(scrubbable)
+		if !ok || !s.checksummed() {
+			continue
+		}
+		rep.Checksummed = true
+		n, bad := s.verifyAll()
+		rep.BlocksChecked += n
+		rep.Corrupt = append(rep.Corrupt, bad...)
+	}
+	return rep
+}
+
+// writtenMarks returns the per-disk write high-water marks in blocks, for
+// the manifest.
+func (a *Array) writtenMarks() []int {
+	marks := make([]int, len(a.disks))
+	for i, d := range a.disks {
+		if s, ok := d.store.(interface{ highWater() int }); ok {
+			marks[i] = s.highWater()
+		}
+	}
+	return marks
 }
 
 func (d *disk) serve() {

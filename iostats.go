@@ -1,6 +1,7 @@
 package balancesort
 
 import (
+	"context"
 	"time"
 
 	"balancesort/internal/diskio"
@@ -38,8 +39,9 @@ type IOConfig struct {
 	FaultSeed uint64
 }
 
-// engineConfig translates the facade knobs to the engine's.
-func (c IOConfig) engineConfig() diskio.Config {
+// engineConfig translates the facade knobs to the engine's. ctx cancels
+// blocked queue submits, retry backoffs, and breaker cooldowns.
+func (c IOConfig) engineConfig(ctx context.Context) diskio.Config {
 	prefetch := c.Prefetch
 	switch {
 	case prefetch == 0:
@@ -59,6 +61,7 @@ func (c IOConfig) engineConfig() diskio.Config {
 		Prefetch:    prefetch,
 		WriteBehind: writeBehind,
 		MaxRetries:  c.MaxRetries,
+		Context:     ctx,
 		Fault: diskio.FaultConfig{
 			ErrorRate:     c.FaultRate,
 			TornWriteRate: c.TornWriteRate,

@@ -2,6 +2,9 @@ package balancesort
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -28,33 +31,60 @@ import (
 // The engine changes wall-clock behavior only; the model's parallel I/O
 // counts are identical either way, and Result.IO reports the engine's
 // per-disk metrics.
+//
+// Every scratch block is checksummed (CRC32C) and verified on read unless
+// cfg.Robust.NoChecksums is set; with cfg.Robust.Journal, every completed
+// pass is committed to a journal in scratchDir so an interrupted sort can
+// be continued with ResumeSortFile. See RobustConfig.
 func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
-	cfg.fill()
-	p := pdm.Params{D: cfg.Disks, B: cfg.BlockSize, M: cfg.Memory}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if 4*p.D*p.B > p.M {
-		return nil, fmt.Errorf("balancesort: DB = %d needs M >= %d (got %d)", p.D*p.B, 4*p.D*p.B, p.M)
-	}
+	return SortFileContext(context.Background(), inPath, outPath, scratchDir, cfg)
+}
 
-	in, err := os.Open(inPath)
-	if err != nil {
-		return nil, err
+// SortFileContext is SortFile with cancellation: ctx is polled between
+// sort passes, memoryloads, and distribution tracks, and also unblocks the
+// I/O engine's queues and retry backoffs. On cancellation the in-flight
+// parallel I/O completes, the array closes cleanly, and — when journaling
+// is on — the scratch directory remains resumable.
+func SortFileContext(ctx context.Context, inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
+	return sortFile(ctx, inPath, outPath, scratchDir, cfg, false)
+}
+
+// ResumeSortFile continues an interrupted journaled SortFile from its last
+// committed pass, reusing the scratch directory's disk files, manifest,
+// and journal. The output is byte-identical to what the uninterrupted run
+// would have produced. If the journal holds no committed state (the sort
+// crashed before its first commit, or never ran), the sort simply starts
+// fresh. cfg supplies the I/O engine and robustness knobs; the model
+// geometry comes from the scratch manifest.
+func ResumeSortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
+	return ResumeSortFileContext(context.Background(), inPath, outPath, scratchDir, cfg)
+}
+
+// ResumeSortFileContext is ResumeSortFile with cancellation.
+func ResumeSortFileContext(ctx context.Context, inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
+	if scratchDir == "" {
+		return nil, errors.New("balancesort: resume needs the scratch directory of the interrupted sort")
 	}
-	defer in.Close()
-	st, err := in.Stat()
-	if err != nil {
-		return nil, err
+	cfg.Robust.Journal = true
+	entries, err := pdm.LoadJournal(pdm.JournalPath(scratchDir))
+	if err != nil || len(entries) == 0 {
+		// Nothing was committed: run from scratch (the input file is the
+		// source of truth until the first commit lands).
+		return sortFile(ctx, inPath, outPath, scratchDir, cfg, false)
 	}
-	if st.Size()%record.EncodedSize != 0 {
-		return nil, fmt.Errorf("balancesort: %s is %d bytes, not a whole number of %d-byte records",
-			inPath, st.Size(), record.EncodedSize)
-	}
-	n := int(st.Size() / record.EncodedSize)
+	return sortFile(ctx, inPath, outPath, scratchDir, cfg, true)
+}
+
+// sortFile is the shared engine behind the four entry points above.
+func sortFile(ctx context.Context, inPath, outPath, scratchDir string, cfg Config, resume bool) (*Result, error) {
+	cfg.fill()
+	cfg.ctx = ctx
 
 	cleanup := func() {}
 	if scratchDir == "" {
+		if cfg.Robust.Journal {
+			return nil, errors.New("balancesort: journaling needs a persistent scratch directory")
+		}
 		dir, err := os.MkdirTemp("", "balancesort-scratch-*")
 		if err != nil {
 			return nil, err
@@ -64,33 +94,134 @@ func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
 	}
 	defer cleanup()
 
-	var arr *pdm.Array
-	if cfg.IO.Engine {
-		arr, err = pdm.NewFileBackedEngine(p, scratchDir, cfg.IO.engineConfig())
+	var (
+		arr   *pdm.Array
+		jnl   *pdm.Journal
+		done  []core.Region
+		work  []core.SourceDesc
+		prior core.Metrics
+		n     int
+	)
+
+	if resume {
+		var err error
+		arr, jnl, done, work, prior, err = reopenScratch(ctx, scratchDir, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		n = prior.N
 	} else {
-		arr, err = pdm.NewFileBacked(p, scratchDir)
-	}
-	if err != nil {
-		return nil, err
+		p := pdm.Params{D: cfg.Disks, B: cfg.BlockSize, M: cfg.Memory}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if 4*p.D*p.B > p.M {
+			return nil, fmt.Errorf("balancesort: DB = %d needs M >= %d (got %d)", p.D*p.B, 4*p.D*p.B, p.M)
+		}
+
+		in, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		st, err := in.Stat()
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		if st.Size()%record.EncodedSize != 0 {
+			in.Close()
+			return nil, fmt.Errorf("balancesort: %s is %d bytes, not a whole number of %d-byte records",
+				inPath, st.Size(), record.EncodedSize)
+		}
+		n = int(st.Size() / record.EncodedSize)
+
+		opts := pdm.FileOptions{NoChecksums: cfg.Robust.NoChecksums}
+		if cfg.IO.Engine {
+			ecfg := cfg.IO.engineConfig(ctx)
+			opts.Engine = &ecfg
+		}
+		arr, err = pdm.NewFileBackedOpts(p, scratchDir, opts)
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+
+		// Stream the input onto the array one stripe row at a time. The
+		// array reports store errors (a failed disk, a corrupt block) by
+		// panicking, so the load runs under the same classifier as the sort.
+		inOff, err := func() (off int, err error) {
+			defer func() {
+				if e := classifySortPanic(recover()); e != nil {
+					off, err = 0, e
+				}
+			}()
+			return loadFileStriped(arr, bufio.NewReaderSize(in, 1<<16), inPath, n)
+		}()
+		in.Close()
+		if err != nil {
+			arr.Close()
+			return nil, err
+		}
+		work = []core.SourceDesc{core.StripedDesc(inOff, n, 0)}
+		prior = core.Metrics{N: n}
+
+		if cfg.Robust.Journal {
+			jnl, err = pdm.CreateJournal(pdm.JournalPath(scratchDir))
+			if err != nil {
+				arr.Close()
+				return nil, err
+			}
+			// Commit the loaded-input state so even a crash before the
+			// first pass resumes without re-reading inPath.
+			if err := commitState(arr, jnl, cfg, core.CheckpointState{Work: work, Metrics: prior}); err != nil {
+				jnl.Close()
+				arr.Close()
+				return nil, err
+			}
+		}
 	}
 	defer arr.Close()
+	if jnl != nil {
+		defer jnl.Close()
+	}
 
-	ds := core.NewDiskSorter(arr, cfg.diskConfig())
+	dc := cfg.diskConfig()
+	if jnl != nil {
+		dc.Checkpoint = func(st core.CheckpointState) error {
+			return commitState(arr, jnl, cfg, st)
+		}
+	}
+	ds := core.NewDiskSorter(arr, dc)
 
-	// Stream the input onto the array one stripe row at a time.
-	inOff, err := loadFileStriped(arr, bufio.NewReaderSize(in, 1<<16), n)
+	res, err := runAndDrain(ds, arr, done, work, prior, outPath, n, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return res, nil
+}
 
-	segs := ds.Sort(inOff, n)
+// runAndDrain runs (or resumes) the sort and streams the sorted segments
+// into outPath, converting the sorter's panic-based operational errors
+// into returned ones and never leaving a partial output file behind.
+func runAndDrain(ds *core.DiskSorter, arr *pdm.Array, done []core.Region, work []core.SourceDesc, prior core.Metrics, outPath string, n int, cfg Config) (res *Result, err error) {
+	outCreated := false
+	defer func() {
+		if e := classifySortPanic(recover()); e != nil {
+			res, err = nil, e
+		}
+		if err != nil && outCreated {
+			os.Remove(outPath)
+		}
+	}()
+
+	segs := ds.Resume(done, work, prior)
 	m := ds.Metrics()
 
-	// Stream the sorted segments out.
 	out, err := os.Create(outPath)
 	if err != nil {
 		return nil, err
 	}
+	outCreated = true
 	w := bufio.NewWriterSize(out, 1<<16)
 	var prev record.Record
 	first := true
@@ -121,10 +252,10 @@ func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("balancesort: internal error: wrote %d of %d records", written, n)
 	}
 
-	return &Result{
+	res = &Result{
 		IO:                 ioStatsFrom(arr.IOMetrics()),
 		IOs:                m.IOs,
-		IOLowerBound:       core.LowerBoundIOs(n, p),
+		IOLowerBound:       core.LowerBoundIOs(n, arr.Params()),
 		PRAMTime:           m.PRAMTime,
 		PRAMWork:           m.PRAMWork,
 		MaxBucketReadRatio: m.MaxBucketReadRatio,
@@ -132,7 +263,105 @@ func SortFile(inPath, outPath, scratchDir string, cfg Config) (*Result, error) {
 		Depth:              m.Depth,
 		Passes:             m.Passes,
 		MemPeak:            m.MemPeak,
-	}, nil
+	}
+	if cfg.Robust.ScrubAfter {
+		if err := arr.Sync(); err != nil {
+			return nil, err
+		}
+		res.Scrub = scrubReportFrom(arr.Scrub())
+	}
+	return res, nil
+}
+
+// commitState makes one pass durable: flush the array (data, checksums,
+// manifest — in that order, so the manifest never describes missing
+// bytes), then append the serialized sorter state to the journal and
+// fsync it. Only after the append returns is the pass committed.
+func commitState(arr *pdm.Array, jnl *pdm.Journal, cfg Config, st core.CheckpointState) error {
+	if err := arr.Sync(); err != nil {
+		return err
+	}
+	p := arr.Params()
+	v := cfg.VirtualDisks
+	if v == 0 {
+		v = p.D
+	}
+	js := sortJournalState{
+		N: st.Metrics.N, D: p.D, B: p.B, M: p.M, V: v, S: cfg.Buckets,
+		Passes: st.Metrics.Passes, Depth: st.Metrics.Depth,
+		IOs: st.Metrics.IOs, ReadIOs: st.Metrics.ReadIOs, WriteIOs: st.Metrics.WriteIOs,
+		BlocksRead: st.Metrics.BlocksRead, BlocksWrit: st.Metrics.BlocksWrit,
+		NextFree: arr.NextFree(),
+		Work:     st.Work,
+	}
+	for _, r := range st.Done {
+		js.Done = append(js.Done, jsReg{Off: r.Off, N: r.N})
+	}
+	payload, err := json.Marshal(js)
+	if err != nil {
+		return err
+	}
+	_, err = jnl.Append(payload)
+	return err
+}
+
+// reopenScratch reopens a journaled scratch directory for resumption: it
+// opens the array from its manifest, recovers the journal (truncating any
+// torn tail), validates the recovered state against the manifest, and
+// restores the allocation marks to the commit point. The model geometry
+// in cfg is overwritten from the manifest.
+func reopenScratch(ctx context.Context, scratchDir string, cfg *Config) (*pdm.Array, *pdm.Journal, []core.Region, []core.SourceDesc, core.Metrics, error) {
+	var none core.Metrics
+	opts := pdm.FileOptions{}
+	if cfg.IO.Engine {
+		ecfg := cfg.IO.engineConfig(ctx)
+		opts.Engine = &ecfg
+	}
+	arr, err := pdm.OpenFileBackedOpts(scratchDir, opts)
+	if err != nil {
+		return nil, nil, nil, nil, none, err
+	}
+	fail := func(err error) (*pdm.Array, *pdm.Journal, []core.Region, []core.SourceDesc, core.Metrics, error) {
+		arr.Close()
+		return nil, nil, nil, nil, none, err
+	}
+	p := arr.Params()
+	cfg.Disks, cfg.BlockSize, cfg.Memory = p.D, p.B, p.M
+
+	jnl, entries, err := pdm.OpenJournalAppend(pdm.JournalPath(scratchDir))
+	if err != nil {
+		return fail(err)
+	}
+	if len(entries) == 0 {
+		jnl.Close()
+		return fail(errors.New("balancesort: journal holds no committed state"))
+	}
+	var st sortJournalState
+	if err := json.Unmarshal(entries[len(entries)-1].Payload, &st); err != nil {
+		jnl.Close()
+		return fail(fmt.Errorf("balancesort: bad journal payload: %w", err))
+	}
+	if st.V == 0 {
+		st.V = st.D
+	}
+	if err := checkJournalState(&st, p, st.V); err != nil {
+		jnl.Close()
+		return fail(err)
+	}
+	cfg.VirtualDisks = st.V
+	cfg.Buckets = st.S
+	arr.SetNextFree(st.NextFree)
+
+	var done []core.Region
+	for _, r := range st.Done {
+		done = append(done, core.Region{Off: r.Off, N: r.N})
+	}
+	prior := core.Metrics{
+		N: st.N, Passes: st.Passes, Depth: st.Depth,
+		IOs: st.IOs, ReadIOs: st.ReadIOs, WriteIOs: st.WriteIOs,
+		BlocksRead: st.BlocksRead, BlocksWrit: st.BlocksWrit,
+	}
+	return arr, jnl, done, st.Work, prior, nil
 }
 
 // RecordSize is the wire size of one record in SortFile's input and output
@@ -171,7 +400,7 @@ func ReadRecordFile(path string) ([]Record, error) {
 // loadFileStriped streams n records from r onto a fresh striped region of
 // the array, one stripe row per parallel write, and returns the region's
 // block offset.
-func loadFileStriped(arr *pdm.Array, r io.Reader, n int) (int, error) {
+func loadFileStriped(arr *pdm.Array, r io.Reader, inPath string, n int) (int, error) {
 	p := arr.Params()
 	blocks := (n + p.B - 1) / p.B
 	perDisk := (blocks + p.D - 1) / p.D
@@ -190,7 +419,8 @@ func loadFileStriped(arr *pdm.Array, r io.Reader, n int) (int, error) {
 			m = n - pos
 		}
 		if _, err := io.ReadFull(r, buf[:m*record.EncodedSize]); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("balancesort: reading %s at record %d (byte offset %d): %w",
+				inPath, pos, int64(pos)*record.EncodedSize, err)
 		}
 		for i := 0; i < m; i++ {
 			row[i] = record.Decode(buf[i*record.EncodedSize:])

@@ -26,4 +26,7 @@ go test ./...
 echo "== go test -race (concurrency layer) =="
 go test -race ./internal/diskio/... ./internal/pdm/...
 
+echo "== go test -race (crash recovery) =="
+go test -race -run 'Robust|Crash|Resume|Cancel|Scrub' .
+
 echo "verify.sh: all checks passed"
