@@ -1,0 +1,135 @@
+// Cluster mode: a shared-nothing coordinator/worker deployment of Balance
+// Sort over TCP. The coordinator scatters the input across W worker
+// processes, gathers per-worker key histograms, picks bucket pivots
+// deterministically, drives a balancer-placed all-to-all block exchange
+// (the paper's Invariant 2 bound x_bh <= m_b + 1 holds on the received
+// block matrix), gathers each bucket to its owner, has every worker sort
+// its shard with the file-backed SortFile path, and drains the shards in
+// key order — producing output byte-identical to a single-process sort.
+package balancesort
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"balancesort/internal/cluster"
+)
+
+// WorkerLostError is the typed error for a cluster peer that stayed
+// unreachable through the dialer's whole retry/backoff budget — the
+// distributed analogue of diskio's DiskFailedError. errors.As works on it
+// across the coordinator/worker process boundary.
+type WorkerLostError = cluster.WorkerLostError
+
+// ClusterConfig configures a coordinator-driven cluster sort.
+type ClusterConfig struct {
+	// Workers are the worker addresses, in worker-ID order.
+	Workers []string
+	// Buckets is S, the key-range bucket count. 0 means 4x the worker
+	// count.
+	Buckets int
+	// BlockRecs is the exchange block size in records. 0 means 2048.
+	BlockRecs int
+	// DialAttempts, DialBackoff, and IOTimeout tune the connection
+	// retry/backoff budget and the per-operation deadline. Zero values
+	// select the defaults (6 attempts, 25ms doubling backoff, 30s I/O
+	// timeout).
+	DialAttempts int
+	DialBackoff  time.Duration
+	IOTimeout    time.Duration
+}
+
+func (c ClusterConfig) dial() cluster.DialConfig {
+	return cluster.DialConfig{
+		Attempts:  c.DialAttempts,
+		Backoff:   c.DialBackoff,
+		IOTimeout: c.IOTimeout,
+	}
+}
+
+// ClusterResult reports what a cluster sort moved and how evenly the
+// balancer spread the exchange.
+type ClusterResult struct {
+	Records        int     // records sorted
+	Workers        int     // cluster width W
+	Buckets        int     // S
+	ExchangeBlocks int     // blocks moved by the placement exchange
+	RecvBlocks     []int   // per-worker received blocks (column sums of X)
+	X              [][]int // X[b][h]: blocks of bucket b placed on worker h
+	GatherRecords  []int   // per-worker final shard sizes
+}
+
+// ClusterSortFile externally sorts the 16-byte-record file inPath into
+// outPath across the given cluster of workers. The workers must already be
+// serving (ServeWorker, or `balancesort -join`). Output is verified sorted
+// while streaming and is byte-identical to SortFile on the same input; a
+// worker that stays unreachable fails the job fast with a *WorkerLostError
+// rather than hanging.
+func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterConfig) (*ClusterResult, error) {
+	stats, err := cluster.Sort(ctx, inPath, outPath, cluster.SortSpec{
+		Workers:   cfg.Workers,
+		Buckets:   cfg.Buckets,
+		BlockRecs: cfg.BlockRecs,
+		Dial:      cfg.dial(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterResult{
+		Records:        stats.Records,
+		Workers:        stats.Workers,
+		Buckets:        stats.Buckets,
+		ExchangeBlocks: stats.ExchangeBlocks,
+		RecvBlocks:     stats.RecvBlocks,
+		X:              stats.X,
+		GatherRecords:  stats.GatherRecords,
+	}, nil
+}
+
+// WorkerOptions configures one cluster worker process.
+type WorkerOptions struct {
+	// ScratchDir holds per-job shard, exchange, and sort-scratch files; ""
+	// means the OS temp dir.
+	ScratchDir string
+	// Sort configures the worker-local file-backed sort (disks, block
+	// size, memory, I/O engine, robustness) exactly as for SortFile.
+	Sort Config
+	// InMemory sorts shards in memory instead of through the file-backed
+	// engine — for tests and small shards.
+	InMemory bool
+	// PhaseTimeout bounds a barrier wait for blocks that never arrive.
+	// 0 means 2 minutes.
+	PhaseTimeout time.Duration
+	// DialAttempts, DialBackoff, and IOTimeout tune peer redial/backoff.
+	DialAttempts int
+	DialBackoff  time.Duration
+	IOTimeout    time.Duration
+	// DropAfterBlocks force-closes a peer connection once after that many
+	// sent blocks — fault injection for the retransmit path. 0 disables.
+	DropAfterBlocks int
+}
+
+// ServeWorker runs a cluster worker on ln until ctx is canceled or the
+// listener fails. Each worker shard is sorted with the same file-backed
+// SortFile path a single-process sort uses (unless InMemory is set).
+func ServeWorker(ctx context.Context, ln net.Listener, opt WorkerOptions) error {
+	wcfg := cluster.WorkerConfig{
+		ScratchDir:   opt.ScratchDir,
+		PhaseTimeout: opt.PhaseTimeout,
+		Dial: cluster.DialConfig{
+			Attempts:  opt.DialAttempts,
+			Backoff:   opt.DialBackoff,
+			IOTimeout: opt.IOTimeout,
+		},
+		DropAfterBlocks: opt.DropAfterBlocks,
+	}
+	if !opt.InMemory {
+		sortCfg := opt.Sort
+		wcfg.SortShard = func(ctx context.Context, inPath, outPath, scratchDir string) error {
+			_, err := SortFileContext(ctx, inPath, outPath, scratchDir, sortCfg)
+			return err
+		}
+	}
+	return cluster.NewWorker(wcfg).Serve(ctx, ln)
+}

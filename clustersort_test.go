@@ -1,0 +1,297 @@
+package balancesort
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"balancesort/internal/cluster"
+	"balancesort/internal/diskio"
+	"balancesort/internal/pdm"
+)
+
+// TestMain doubles as the cluster-worker child process: the OS-process test
+// re-executes the test binary with BALANCESORT_CLUSTER_WORKER=1, which
+// serves a worker on loopback instead of running the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("BALANCESORT_CLUSTER_WORKER") == "1" {
+		clusterWorkerChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// clusterWorkerChild is the body of a spawned worker process. It listens on
+// an ephemeral loopback port, publishes the address via write-then-rename
+// (so the parent never reads a partial file), and serves jobs with the real
+// file-backed SortFile path until killed.
+func clusterWorkerChild() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "cluster worker child:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	addrFile := os.Getenv("BALANCESORT_ADDRFILE")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		fail(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		fail(err)
+	}
+	drop, _ := strconv.Atoi(os.Getenv("BALANCESORT_DROPAFTER"))
+	err = ServeWorker(context.Background(), ln, WorkerOptions{
+		ScratchDir:      os.Getenv("BALANCESORT_SCRATCH"),
+		Sort:            clusterShardConfig(),
+		DropAfterBlocks: drop,
+		DialBackoff:     5 * time.Millisecond,
+	})
+	if err != nil {
+		fail(err)
+	}
+}
+
+// clusterShardConfig is the worker-local SortFile geometry used by the
+// cluster tests: small enough to force real multi-pass file-backed sorting
+// of each shard, big enough to finish promptly.
+func clusterShardConfig() Config {
+	return Config{Disks: 4, BlockSize: 64, Memory: 1 << 16}
+}
+
+func writeClusterInput(t *testing.T, dir string, n int, seed uint64) (string, string) {
+	t.Helper()
+	inPath := filepath.Join(dir, "in.dat")
+	recs := NewWorkload(Uniform, n, seed)
+	if err := WriteRecordFile(inPath, recs); err != nil {
+		t.Fatal(err)
+	}
+	// The single-process reference output the cluster must match
+	// byte-for-byte.
+	refPath := filepath.Join(dir, "ref.dat")
+	refScratch := filepath.Join(dir, "refscratch")
+	if err := os.MkdirAll(refScratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortFile(inPath, refPath, refScratch, clusterShardConfig()); err != nil {
+		t.Fatalf("reference SortFile: %v", err)
+	}
+	return inPath, refPath
+}
+
+func requireSameBytes(t *testing.T, refPath, outPath string) {
+	t.Helper()
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, out) {
+		t.Fatalf("cluster output differs from single-process SortFile output (%d vs %d bytes)", len(out), len(ref))
+	}
+}
+
+// TestClusterMatchesSortFile: an in-process 4-worker cluster, each shard
+// sorted through the real file-backed SortFile path, must produce output
+// byte-identical to a single-process SortFile of the same input.
+func TestClusterMatchesSortFile(t *testing.T) {
+	dir := t.TempDir()
+	const W = 4
+	addrs := make([]string, W)
+	for i := 0; i < W; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		scratch := filepath.Join(dir, fmt.Sprintf("w%d", i))
+		if err := os.MkdirAll(scratch, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = ServeWorker(ctx, ln, WorkerOptions{ScratchDir: scratch, Sort: clusterShardConfig()})
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+	}
+
+	inPath, refPath := writeClusterInput(t, dir, 100_000, 42)
+	outPath := filepath.Join(dir, "out.dat")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{Workers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 100_000 || res.Workers != W {
+		t.Fatalf("result %+v", res)
+	}
+	requireSameBytes(t, refPath, outPath)
+}
+
+// TestClusterOSProcesses is the acceptance scenario: four separate worker
+// OS processes over loopback TCP sort 2^20 records, with one worker
+// injecting a connection drop mid-exchange, and the output must be
+// byte-identical to a single-process SortFile.
+func TestClusterOSProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("OS-process cluster test skipped in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	const W = 4
+	addrs := make([]string, W)
+	for i := 0; i < W; i++ {
+		addrFile := filepath.Join(dir, fmt.Sprintf("addr%d", i))
+		scratch := filepath.Join(dir, fmt.Sprintf("scratch%d", i))
+		if err := os.MkdirAll(scratch, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(exe, "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"BALANCESORT_CLUSTER_WORKER=1",
+			"BALANCESORT_ADDRFILE="+addrFile,
+			"BALANCESORT_SCRATCH="+scratch,
+		)
+		if i == 1 {
+			// One worker severs a peer connection after its 5th sent
+			// block; the job must recover via redial + retransmit.
+			cmd.Env = append(cmd.Env, "BALANCESORT_DROPAFTER=5")
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if data, rerr := os.ReadFile(addrFile); rerr == nil {
+				addrs[i] = string(data)
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d never published its address", i)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	inPath, refPath := writeClusterInput(t, dir, 1<<20, 7)
+	outPath := filepath.Join(dir, "out.dat")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{Workers: addrs, BlockRecs: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1<<20 {
+		t.Fatalf("sorted %d records", res.Records)
+	}
+	requireSameBytes(t, refPath, outPath)
+}
+
+// TestClusterSortFileWorkerLost: the exported API must fail fast with the
+// aliased *WorkerLostError when a worker address answers nothing.
+func TestClusterSortFileWorkerLost(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.dat")
+	if err := WriteRecordFile(inPath, NewWorkload(Uniform, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ClusterSortFile(context.Background(), inPath, filepath.Join(dir, "out.dat"), ClusterConfig{
+		Workers:      []string{dead},
+		DialAttempts: 2,
+		DialBackoff:  time.Millisecond,
+	})
+	var lost *WorkerLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("got %v, want *WorkerLostError", err)
+	}
+}
+
+// TestTypedErrorRoundTrips pins the errors.Is/As contract of every typed
+// failure in the system: each must survive wrapping, expose its fields via
+// errors.As, and (where it wraps a cause) reach it via errors.Is.
+func TestTypedErrorRoundTrips(t *testing.T) {
+	t.Run("pdm.CorruptBlockError", func(t *testing.T) {
+		orig := &pdm.CorruptBlockError{Disk: 2, Block: 9, Want: 0xAB, Got: 0xCD}
+		err := fmt.Errorf("scrub: %w", fmt.Errorf("disk sweep: %w", orig))
+		var got *pdm.CorruptBlockError
+		if !errors.As(err, &got) || got.Disk != 2 || got.Block != 9 {
+			t.Fatalf("errors.As through two wraps: %v -> %+v", err, got)
+		}
+		if !errors.Is(err, orig) {
+			t.Fatal("errors.Is lost the original")
+		}
+	})
+	t.Run("pdm.TruncatedDiskError", func(t *testing.T) {
+		orig := &pdm.TruncatedDiskError{Disk: 1, Path: "d1.blk", WantBlocks: 8, GotBytes: 100, BlockBytes: 512}
+		err := fmt.Errorf("open: %w", orig)
+		var got *pdm.TruncatedDiskError
+		if !errors.As(err, &got) || got.Path != "d1.blk" || got.WantBlocks != 8 {
+			t.Fatalf("errors.As: %+v", got)
+		}
+	})
+	t.Run("diskio.DiskFailedError", func(t *testing.T) {
+		cause := errors.New("device yanked")
+		orig := &diskio.DiskFailedError{Disk: 3, Trips: 12, Err: cause}
+		err := fmt.Errorf("engine: %w", orig)
+		var got *diskio.DiskFailedError
+		if !errors.As(err, &got) || got.Disk != 3 || got.Trips != 12 {
+			t.Fatalf("errors.As: %+v", got)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatal("errors.Is lost the device error through Unwrap")
+		}
+	})
+	t.Run("cluster.WorkerLostError", func(t *testing.T) {
+		cause := errors.New("connection refused")
+		orig := &cluster.WorkerLostError{Worker: 1, Addr: "127.0.0.1:9", Err: cause}
+		err := fmt.Errorf("cluster sort: %w", orig)
+		// The root alias and the internal type are one type: both As
+		// targets must hit.
+		var viaAlias *WorkerLostError
+		var viaPkg *cluster.WorkerLostError
+		if !errors.As(err, &viaAlias) || !errors.As(err, &viaPkg) {
+			t.Fatalf("errors.As failed: %v", err)
+		}
+		if viaAlias.Worker != 1 || viaAlias.Addr != "127.0.0.1:9" {
+			t.Fatalf("recovered %+v", viaAlias)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatal("errors.Is lost the transport error through Unwrap")
+		}
+	})
+}

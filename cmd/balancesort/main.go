@@ -6,6 +6,8 @@
 //	go run ./cmd/balancesort -algo stripedmerge -d 32
 //	go run ./cmd/balancesort -hier hmm-log -H 16 -ic hypercube
 //	go run ./cmd/balancesort -workload bucketskew -placement random
+//	go run ./cmd/balancesort -join 127.0.0.1:7101 -scratch /tmp/w1
+//	go run ./cmd/balancesort -infile in.bin -outfile out.bin -cluster 127.0.0.1:7101,127.0.0.1:7102
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -61,8 +64,99 @@ func main() {
 		faultRate   = flag.Float64("faultrate", 0, "inject transient device faults with this probability")
 		tornRate    = flag.Float64("tornrate", 0, "probability an injected write fault tears the block")
 		jitter      = flag.Duration("jitter", 0, "inject up to this much per-op device latency")
+
+		// Cluster mode (coordinator/worker Balance Sort over TCP).
+		join      = flag.String("join", "", "serve as a cluster worker on this listen address (e.g. 127.0.0.1:0)")
+		addrFile  = flag.String("addrfile", "", "with -join: write the actual listen address to this file")
+		clusterWs = flag.String("cluster", "", "coordinate a cluster sort over these comma-separated worker addresses (with -infile/-outfile)")
+		cbuckets  = flag.Int("cbuckets", 0, "cluster bucket count S (0 = 4x workers)")
+		xblock    = flag.Int("xblock", 0, "cluster exchange block size in records (0 = 2048)")
+		inMem     = flag.Bool("inmem", false, "with -join: sort worker shards in memory instead of the file-backed engine")
+		dropAfter = flag.Int("dropafter", 0, "with -join: force-close a peer connection once after this many sent blocks (fault injection)")
 	)
 	flag.Parse()
+
+	fileCfg := func() balancesort.Config {
+		return balancesort.Config{
+			Disks: *d, BlockSize: *b, Memory: *m, Processors: *p,
+			VirtualDisks: *v, Seed: *seed,
+			IO: balancesort.IOConfig{
+				Engine:        *engine,
+				QueueDepth:    *queueDepth,
+				Prefetch:      *prefetch,
+				WriteBehind:   *writeBehind,
+				MaxRetries:    *retries,
+				FaultRate:     *faultRate,
+				TornWriteRate: *tornRate,
+				LatencyJitter: *jitter,
+				FaultSeed:     *seed,
+			},
+			Robust: balancesort.RobustConfig{
+				NoChecksums: *noChecksum,
+				Journal:     *journal || *resume,
+				ScrubAfter:  *scrubAfter,
+			},
+		}
+	}
+
+	if *join != "" {
+		ln, err := net.Listen("tcp", *join)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *addrFile != "" {
+			// Write-then-rename so a watcher never reads a partial address.
+			tmp := *addrFile + ".tmp"
+			if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.Rename(tmp, *addrFile); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("cluster worker listening on %s", ln.Addr())
+		opt := balancesort.WorkerOptions{
+			ScratchDir:      *scratch,
+			Sort:            fileCfg(),
+			InMemory:        *inMem,
+			DropAfterBlocks: *dropAfter,
+		}
+		if err := balancesort.ServeWorker(context.Background(), ln, opt); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *clusterWs != "" {
+		if *inFile == "" || *outFile == "" {
+			log.Fatal("-cluster requires -infile and -outfile")
+		}
+		workers := strings.Split(*clusterWs, ",")
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		start := time.Now()
+		res, err := balancesort.ClusterSortFile(ctx, *inFile, *outFile, balancesort.ClusterConfig{
+			Workers: workers, Buckets: *cbuckets, BlockRecs: *xblock,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("cluster sorted %s -> %s (%d workers, S=%d buckets, %v)\n",
+			*inFile, *outFile, res.Workers, res.Buckets, elapsed.Round(time.Millisecond))
+		fmt.Printf("  records:               %d\n", res.Records)
+		fmt.Printf("  exchange blocks:       %d\n", res.ExchangeBlocks)
+		for w := range res.RecvBlocks {
+			fmt.Printf("  worker %-2d              recv %d blocks, sorted %d records\n",
+				w, res.RecvBlocks[w], res.GatherRecords[w])
+		}
+		fmt.Println("  verification:          OK (checked while streaming out)")
+		return
+	}
 
 	if *scrub != "" {
 		rep, err := balancesort.Scrub(*scrub)
@@ -118,26 +212,7 @@ func main() {
 		if *outFile == "" {
 			log.Fatal("-infile requires -outfile")
 		}
-		cfg := balancesort.Config{
-			Disks: *d, BlockSize: *b, Memory: *m, Processors: *p,
-			VirtualDisks: *v, Seed: *seed,
-			IO: balancesort.IOConfig{
-				Engine:        *engine,
-				QueueDepth:    *queueDepth,
-				Prefetch:      *prefetch,
-				WriteBehind:   *writeBehind,
-				MaxRetries:    *retries,
-				FaultRate:     *faultRate,
-				TornWriteRate: *tornRate,
-				LatencyJitter: *jitter,
-				FaultSeed:     *seed,
-			},
-			Robust: balancesort.RobustConfig{
-				NoChecksums: *noChecksum,
-				Journal:     *journal || *resume,
-				ScrubAfter:  *scrubAfter,
-			},
-		}
+		cfg := fileCfg()
 		ctx := context.Background()
 		if *timeout > 0 {
 			var cancel context.CancelFunc

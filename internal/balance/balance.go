@@ -372,6 +372,54 @@ func insertionSortInts(xs []int) {
 	}
 }
 
+// PlaceStream drives the track discipline over an arbitrary stream of
+// formed blocks and returns the final virtual disk of each one: buckets[i]
+// is block i's bucket label in formation order, and the result's entry i is
+// the disk PlaceTrack ultimately assigned it. Carried blocks are returned
+// to the head of the next track — the paper's "conceptually written back to
+// the input" — so callers that batch placement round by round (the cluster
+// coordinator planning an all-to-all exchange) get exactly the same
+// placements as callers that interleave PlaceTrack with real I/O, and
+// Invariant 2 holds when PlaceStream returns.
+func (bl *Balancer) PlaceStream(buckets []int) []int {
+	dest := make([]int, len(buckets))
+	for i := range dest {
+		dest[i] = -1
+	}
+	var pending []int // indices into buckets, carried from the last track
+	next := 0
+	stuck := 0
+	for next < len(buckets) || len(pending) > 0 {
+		track := pending
+		pending = nil
+		for len(track) < bl.cfg.H && next < len(buckets) {
+			track = append(track, next)
+			next++
+		}
+		labels := make([]int, len(track))
+		for j, idx := range track {
+			labels[j] = buckets[idx]
+		}
+		writes, carry := bl.PlaceTrack(labels)
+		for _, pl := range writes {
+			dest[track[pl.Block]] = pl.VDisk
+		}
+		for _, c := range carry {
+			pending = append(pending, track[c])
+		}
+		// The rotation guarantees a carried block places within O(H) further
+		// tracks; a longer stall is a bug, not an input property.
+		if len(writes) == 0 {
+			if stuck++; stuck > 16*bl.cfg.H {
+				panic("balance: PlaceStream made no progress")
+			}
+		} else {
+			stuck = 0
+		}
+	}
+	return dest
+}
+
 // MaxRowSpread returns, for each bucket, the maximum number of blocks on
 // any single virtual disk and the bucket's total block count — the inputs
 // to Theorem 4's read-cost bound.

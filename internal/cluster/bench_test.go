@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// benchSort runs one cluster sort over w in-process workers and returns the
+// wall time.
+func benchSort(tb testing.TB, addrs []string, inPath string, n int) time.Duration {
+	tb.Helper()
+	outPath := filepath.Join(tb.TempDir(), "out.dat")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	stats, err := Sort(ctx, inPath, outPath, SortSpec{Workers: addrs})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if stats.Records != n {
+		tb.Fatalf("sorted %d of %d records", stats.Records, n)
+	}
+	return time.Since(start)
+}
+
+// BenchmarkClusterSort measures end-to-end cluster sort wall time as the
+// worker count scales on one machine (loopback TCP, in-memory shard sorts,
+// so the measured quantity is runtime + protocol overhead, not disk).
+func BenchmarkClusterSort(b *testing.B) {
+	const n = 1 << 17
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			addrs := startWorkers(b, w, nil)
+			inPath, _ := makeInput(b, n, 99, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := benchSort(b, addrs, inPath, n)
+				b.ReportMetric(float64(n)/d.Seconds(), "recs/s")
+			}
+		})
+	}
+}
+
+// TestEmitClusterBench writes the 1/2/4-worker scaling measurement to
+// BENCH_cluster.json at the repository root. Gated on EMIT_BENCH so the
+// ordinary test run stays fast and side-effect free; CI sets the variable.
+func TestEmitClusterBench(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") == "" {
+		t.Skip("set EMIT_BENCH=1 to emit BENCH_cluster.json")
+	}
+	const n = 1 << 18
+	type row struct {
+		Workers    int     `json:"workers"`
+		Seconds    float64 `json:"seconds"`
+		RecsPerSec float64 `json:"records_per_sec"`
+		Speedup    float64 `json:"speedup_vs_1"`
+	}
+	out := struct {
+		Benchmark string `json:"benchmark"`
+		Records   int    `json:"records"`
+		Transport string `json:"transport"`
+		Results   []row  `json:"results"`
+	}{Benchmark: "cluster_scaling", Records: n, Transport: "loopback-tcp"}
+
+	var base float64
+	for _, w := range []int{1, 2, 4} {
+		addrs := startWorkers(t, w, nil)
+		inPath, _ := makeInput(t, n, 123, false)
+		benchSort(t, addrs, inPath, n) // warm-up: page cache, listener setup
+		d := benchSort(t, addrs, inPath, n)
+		sec := d.Seconds()
+		if w == 1 {
+			base = sec
+		}
+		out.Results = append(out.Results, row{
+			Workers:    w,
+			Seconds:    sec,
+			RecsPerSec: float64(n) / sec,
+			Speedup:    base / sec,
+		})
+		t.Logf("workers=%d: %.3fs (%.0f recs/s)", w, sec, float64(n)/sec)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "BENCH_cluster.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

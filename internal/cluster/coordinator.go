@@ -1,0 +1,570 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"balancesort/internal/balance"
+	"balancesort/internal/record"
+)
+
+// SortSpec parameterizes one coordinator-driven cluster sort.
+type SortSpec struct {
+	// Workers are the worker addresses to dial, in worker-ID order.
+	Workers []string
+	// Buckets is S, the number of key-range buckets the exchange
+	// distributes into. Default 4·W (at least the paper's H', with slack
+	// so the owner assignment can balance shard sizes).
+	Buckets int
+	// BlockRecs is the exchange block size in records. Default 2048.
+	BlockRecs int
+	// Dial tunes connection retry/backoff and per-op timeouts.
+	Dial DialConfig
+}
+
+// scatterChunk is the record count of one scatter/drain frame.
+const scatterChunk = 4096
+
+func (s SortSpec) withDefaults() (SortSpec, error) {
+	w := len(s.Workers)
+	if w < 1 {
+		return s, fmt.Errorf("cluster: no workers")
+	}
+	if w > maxWorkers {
+		return s, fmt.Errorf("cluster: %d workers exceeds the %d limit", w, maxWorkers)
+	}
+	if s.Buckets == 0 {
+		s.Buckets = 4 * w
+	}
+	if s.Buckets < 1 {
+		return s, fmt.Errorf("cluster: Buckets = %d", s.Buckets)
+	}
+	if s.BlockRecs == 0 {
+		s.BlockRecs = 2048
+	}
+	if s.BlockRecs < 1 {
+		return s, fmt.Errorf("cluster: BlockRecs = %d", s.BlockRecs)
+	}
+	if s.BlockRecs*record.EncodedSize+64 > MaxFramePayload {
+		return s, fmt.Errorf("cluster: BlockRecs = %d does not fit a frame", s.BlockRecs)
+	}
+	s.Dial = s.Dial.withDefaults()
+	return s, nil
+}
+
+// SortStats reports what a completed cluster sort moved and how evenly the
+// balancer spread it.
+type SortStats struct {
+	Records int // records sorted
+	Workers int // cluster width W
+	Buckets int // S
+
+	// ExchangeBlocks is the total block count of the placement exchange;
+	// RecvBlocks[h] is how many of them worker h received (the column sums
+	// of X). X[b][h] is the full histogram matrix — blocks of bucket b
+	// placed on worker h — on which Invariant 2 (x_bh <= m_b + 1) holds.
+	ExchangeBlocks int
+	RecvBlocks     []int
+	X              [][]int
+
+	// GatherRecords[h] is the shard size worker h locally sorted.
+	GatherRecords []int
+}
+
+// link is one framed coordinator<->worker control connection.
+type link struct {
+	conn net.Conn
+	br   *bufio.Reader
+	cfg  DialConfig
+}
+
+func newLink(conn net.Conn, cfg DialConfig) *link {
+	return &link{conn: conn, br: bufio.NewReaderSize(conn, 1<<16), cfg: cfg}
+}
+
+func (l *link) send(typ byte, payload []byte) error {
+	setOpDeadline(l.conn, l.cfg)
+	return writeFrame(l.conn, typ, payload)
+}
+
+// recv reads the next frame. With slow set the read blocks without a
+// deadline — used across phase barriers, where a healthy worker may
+// legitimately take a long time; a dead worker's connection still errors
+// out of the read.
+func (l *link) recv(slow bool) (byte, []byte, error) {
+	if slow {
+		clearDeadline(l.conn)
+	} else {
+		setOpDeadline(l.conn, l.cfg)
+	}
+	return readFrame(l.br)
+}
+
+// expect reads the next frame and requires it to be of type want,
+// converting a worker-reported mError into its typed Go error.
+func (l *link) expect(want byte, slow bool) ([]byte, error) {
+	typ, payload, err := l.recv(slow)
+	if err != nil {
+		return nil, err
+	}
+	if typ == mError {
+		var e msgError
+		if derr := e.decode(payload); derr != nil {
+			return nil, derr
+		}
+		return nil, wireToError(&e)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("cluster: expected message %d, got %d", want, typ)
+	}
+	return payload, nil
+}
+
+// Sort externally sorts inPath into outPath across the cluster: it scatters
+// the input over the workers, runs the histogram/pivot, balanced-exchange,
+// gather, and local-sort phases, and drains the sorted shards in key order.
+// The output is byte-identical to a single-process SortFile of the same
+// input because both produce the unique nondecreasing arrangement of the
+// record multiset under the strict (Key, Loc) order.
+func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *SortStats, err error) {
+	spec, err = spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	W := len(spec.Workers)
+	S := spec.Buckets
+
+	in, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	st, err := in.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size()%record.EncodedSize != 0 {
+		return nil, fmt.Errorf("cluster: %s is %d bytes, not a whole number of %d-byte records",
+			inPath, st.Size(), record.EncodedSize)
+	}
+	n := int(st.Size() / record.EncodedSize)
+
+	// Dial every worker up front; a worker that cannot be reached at all
+	// fails the job fast with a typed *WorkerLostError.
+	links := make([]*link, W)
+	defer func() {
+		for _, l := range links {
+			if l != nil {
+				l.conn.Close()
+			}
+		}
+	}()
+	for i, addr := range spec.Workers {
+		conn, derr := spec.Dial.dial(ctx, i, addr)
+		if derr != nil {
+			return nil, fmt.Errorf("cluster: dialing worker %d: %w", i, derr)
+		}
+		links[i] = newLink(conn, spec.Dial)
+	}
+
+	// A canceled context tears the connections down so no phase can block
+	// past it.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, l := range links {
+				l.conn.Close()
+			}
+		case <-watchDone:
+		}
+	}()
+
+	jobID := uint64(time.Now().UnixNano())
+	for i, l := range links {
+		h := msgHello{
+			Version: protocolVersion, JobID: jobID,
+			Worker: uint32(i), Workers: uint32(W),
+			S: uint32(S), BlockRecs: uint32(spec.BlockRecs),
+			Peers: spec.Workers,
+		}
+		if err := l.send(mHello, h.encode()); err != nil {
+			return nil, fmt.Errorf("cluster: hello to worker %d: %w", i, err)
+		}
+		if _, err := l.expect(mHelloAck, false); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d handshake: %w", i, err)
+		}
+	}
+
+	// Scatter: stream the input round-robin, one chunk per frame.
+	perWorker := make([]uint64, W)
+	buf := make([]byte, scatterChunk*record.EncodedSize)
+	r := bufio.NewReaderSize(in, 1<<16)
+	for pos, turn := 0, 0; pos < n; turn++ {
+		m := scatterChunk
+		if pos+m > n {
+			m = n - pos
+		}
+		chunk := buf[:m*record.EncodedSize]
+		if _, err := readFull(r, chunk); err != nil {
+			return nil, fmt.Errorf("cluster: reading %s at record %d: %w", inPath, pos, err)
+		}
+		w := turn % W
+		if err := links[w].send(mRecords, chunk); err != nil {
+			return nil, fmt.Errorf("cluster: scattering to worker %d: %w", w, err)
+		}
+		perWorker[w] += uint64(m)
+		pos += m
+	}
+	for i, l := range links {
+		if err := l.send(mScatterDone, (&msgCount{Count: perWorker[i]}).encode()); err != nil {
+			return nil, fmt.Errorf("cluster: finishing scatter to worker %d: %w", i, err)
+		}
+	}
+
+	// Histograms -> deterministic pivots.
+	merged := make([]uint64, histBins)
+	for i, l := range links {
+		payload, err := l.expect(mHistogram, true)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: histogram from worker %d: %w", i, err)
+		}
+		var h msgHistogram
+		if err := h.decode(payload); err != nil {
+			return nil, err
+		}
+		for b, v := range h.Bins {
+			merged[b] += v
+		}
+	}
+	pivots := pickPivots(merged, uint64(n), S)
+	pv := (&msgPivots{Pivots: pivots}).encode()
+	for i, l := range links {
+		if err := l.send(mPivots, pv); err != nil {
+			return nil, fmt.Errorf("cluster: pivots to worker %d: %w", i, err)
+		}
+	}
+
+	// Per-bucket record counts from every worker.
+	counts := make([][]uint64, W)
+	for i, l := range links {
+		payload, err := l.expect(mCounts, true)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: counts from worker %d: %w", i, err)
+		}
+		var c msgCounts
+		if err := c.decode(payload); err != nil {
+			return nil, err
+		}
+		if len(c.PerBucket) != S {
+			return nil, fmt.Errorf("cluster: worker %d counted %d buckets, want %d", i, len(c.PerBucket), S)
+		}
+		var total uint64
+		for _, v := range c.PerBucket {
+			total += v
+		}
+		if total != perWorker[i] {
+			return nil, fmt.Errorf("cluster: worker %d partitioned %d of %d records", i, total, perWorker[i])
+		}
+		counts[i] = c.PerBucket
+	}
+
+	// Balance-Sort placement: enumerate every block each worker will form
+	// (bucket-major per worker), interleave across workers so each
+	// placement track holds at most one block per worker — the cluster
+	// analogue of "one block formed per processor per step" — and let the
+	// histogram/auxiliary-matrix machinery pick destinations.
+	type blockRef struct {
+		worker int
+		bucket int
+		seq    int
+	}
+	blocksOf := make([][]blockRef, W)
+	for w := 0; w < W; w++ {
+		for b := 0; b < S; b++ {
+			nb := int((counts[w][b] + uint64(spec.BlockRecs) - 1) / uint64(spec.BlockRecs))
+			for seq := 0; seq < nb; seq++ {
+				blocksOf[w] = append(blocksOf[w], blockRef{worker: w, bucket: b, seq: seq})
+			}
+		}
+	}
+	var stream []blockRef
+	for t := 0; ; t++ {
+		any := false
+		for w := 0; w < W; w++ {
+			if t < len(blocksOf[w]) {
+				stream = append(stream, blocksOf[w][t])
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	labels := make([]int, len(stream))
+	for i, ref := range stream {
+		labels[i] = ref.bucket
+	}
+	bl := balance.New(balance.Config{S: S, H: W})
+	dests := bl.PlaceStream(labels)
+	if err := bl.CheckInvariant2(); err != nil {
+		return nil, fmt.Errorf("cluster: placement broke the balance bound: %w", err)
+	}
+
+	planDests := make([][][]uint32, W) // [worker][bucket][seq]
+	for w := 0; w < W; w++ {
+		planDests[w] = make([][]uint32, S)
+		for b := 0; b < S; b++ {
+			nb := int((counts[w][b] + uint64(spec.BlockRecs) - 1) / uint64(spec.BlockRecs))
+			planDests[w][b] = make([]uint32, nb)
+		}
+	}
+	expectRecv := make([]uint64, W)
+	for i, ref := range stream {
+		planDests[ref.worker][ref.bucket][ref.seq] = uint32(dests[i])
+		expectRecv[dests[i]]++
+	}
+
+	// Bucket ownership: contiguous runs of buckets per worker, balanced by
+	// record volume, so each worker's final shard is one key range and the
+	// drain in worker order is the global key order.
+	bucketTotal := make([]uint64, S)
+	for w := 0; w < W; w++ {
+		for b := 0; b < S; b++ {
+			bucketTotal[b] += counts[w][b]
+		}
+	}
+	owners := assignOwners(bucketTotal, W)
+	expectGather := make([]uint64, W)
+	for b, o := range owners {
+		expectGather[o] += bucketTotal[b]
+	}
+
+	for i, l := range links {
+		p := msgPlan{
+			Dests:            planDests[i],
+			ExpectRecvBlocks: expectRecv[i],
+			Owners:           owners,
+			ExpectGatherRecs: expectGather[i],
+		}
+		if err := l.send(mPlan, p.encode()); err != nil {
+			return nil, fmt.Errorf("cluster: plan to worker %d: %w", i, err)
+		}
+	}
+
+	// Exchange barrier: every worker has sent its blocks (all acked) and
+	// received exactly what the plan promised it.
+	for i, l := range links {
+		payload, err := l.expect(mPhaseDone, true)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: exchange on worker %d: %w", i, err)
+		}
+		var d msgPhaseDone
+		if err := d.decode(payload); err != nil {
+			return nil, err
+		}
+		if d.Phase != 1 || d.BlocksRecv != expectRecv[i] {
+			return nil, fmt.Errorf("cluster: worker %d finished exchange with %d of %d blocks",
+				i, d.BlocksRecv, expectRecv[i])
+		}
+	}
+	for i, l := range links {
+		if err := l.send(mStartGather, nil); err != nil {
+			return nil, fmt.Errorf("cluster: starting gather on worker %d: %w", i, err)
+		}
+	}
+	for i, l := range links {
+		payload, err := l.expect(mPhaseDone, true)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: gather on worker %d: %w", i, err)
+		}
+		var d msgPhaseDone
+		if err := d.decode(payload); err != nil {
+			return nil, err
+		}
+		if d.Phase != 2 || d.RecsRecv != expectGather[i] {
+			return nil, fmt.Errorf("cluster: worker %d gathered %d of %d records",
+				i, d.RecsRecv, expectGather[i])
+		}
+	}
+
+	// Local sorts.
+	for i, l := range links {
+		if err := l.send(mSortReq, nil); err != nil {
+			return nil, fmt.Errorf("cluster: sort request to worker %d: %w", i, err)
+		}
+	}
+	for i, l := range links {
+		payload, err := l.expect(mSortDone, true)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: local sort on worker %d: %w", i, err)
+		}
+		var c msgCount
+		if err := c.decode(payload); err != nil {
+			return nil, err
+		}
+		if c.Count != expectGather[i] {
+			return nil, fmt.Errorf("cluster: worker %d sorted %d of %d records", i, c.Count, expectGather[i])
+		}
+	}
+
+	// Drain shards in owner order, verifying global sortedness and record
+	// conservation while streaming, exactly like the single-process path.
+	if err := drainShards(links, outPath, n, expectGather); err != nil {
+		return nil, err
+	}
+
+	for _, l := range links {
+		_ = l.send(mBye, nil) // best effort: workers also reset on conn close
+	}
+
+	stats = &SortStats{
+		Records:        n,
+		Workers:        W,
+		Buckets:        S,
+		ExchangeBlocks: len(stream),
+		X:              bl.Histogram(),
+		GatherRecords:  make([]int, W),
+		RecvBlocks:     make([]int, W),
+	}
+	for w := 0; w < W; w++ {
+		stats.RecvBlocks[w] = int(expectRecv[w])
+		stats.GatherRecords[w] = int(expectGather[w])
+	}
+	return stats, nil
+}
+
+// drainShards pulls every worker's sorted shard in order into outPath,
+// leaving no partial output behind on failure.
+func drainShards(links []*link, outPath string, n int, expect []uint64) (err error) {
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			out.Close()
+			os.Remove(outPath)
+		}
+	}()
+	w := bufio.NewWriterSize(out, 1<<16)
+	var prev record.Record
+	first := true
+	written := uint64(0)
+	for i, l := range links {
+		if err := l.send(mFetch, nil); err != nil {
+			return fmt.Errorf("cluster: fetch from worker %d: %w", i, err)
+		}
+		var got uint64
+		for {
+			typ, payload, rerr := l.recv(true)
+			if rerr != nil {
+				return fmt.Errorf("cluster: draining worker %d: %w", i, rerr)
+			}
+			if typ == mError {
+				var e msgError
+				if derr := e.decode(payload); derr != nil {
+					return derr
+				}
+				return wireToError(&e)
+			}
+			if typ == mFetchDone {
+				var c msgCount
+				if derr := c.decode(payload); derr != nil {
+					return derr
+				}
+				if c.Count != got || got != expect[i] {
+					return fmt.Errorf("cluster: worker %d drained %d records, reported %d, expected %d",
+						i, got, c.Count, expect[i])
+				}
+				break
+			}
+			if typ != mRecords {
+				return fmt.Errorf("cluster: unexpected message %d while draining worker %d", typ, i)
+			}
+			recs, derr := decodeRecords(payload)
+			if derr != nil {
+				return derr
+			}
+			for _, rec := range recs {
+				if !first && rec.Less(prev) {
+					return fmt.Errorf("cluster: output not sorted at worker %d shard", i)
+				}
+				prev, first = rec, false
+			}
+			if _, werr := w.Write(payload); werr != nil {
+				return werr
+			}
+			got += uint64(len(recs))
+		}
+	}
+	for _, e := range expect {
+		written += e
+	}
+	if written != uint64(n) {
+		return fmt.Errorf("cluster: drained %d of %d records", written, n)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// pickPivots chooses the S-1 bucket pivots from the merged histogram: the
+// b-th pivot is the start key of the first bin at which the cumulative
+// count reaches a b/S share of the input. The choice is a pure function of
+// the histogram — deterministic, no sampling.
+func pickPivots(bins []uint64, n uint64, s int) []uint64 {
+	piv := make([]uint64, 0, s-1)
+	var cum uint64
+	b := 1
+	for i := 0; i < len(bins) && b < s; i++ {
+		cum += bins[i]
+		for b < s && cum*uint64(s) >= uint64(b)*n {
+			piv = append(piv, binStart(i+1))
+			b++
+		}
+	}
+	for len(piv) < s-1 {
+		piv = append(piv, ^uint64(0))
+	}
+	return piv
+}
+
+// assignOwners maps buckets to workers in contiguous ascending runs whose
+// record volumes are as even as the bucket granularity allows.
+func assignOwners(totals []uint64, workers int) []uint32 {
+	owners := make([]uint32, len(totals))
+	var grand uint64
+	for _, t := range totals {
+		grand += t
+	}
+	w := 0
+	var acc uint64
+	for b := range totals {
+		owners[b] = uint32(w)
+		acc += totals[b]
+		if w < workers-1 && acc*uint64(workers) >= grand*uint64(w+1) {
+			w++
+		}
+	}
+	return owners
+}
+
+// readFull is io.ReadFull without the package import dance in callers.
+func readFull(r *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := r.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WorkerLostError reports a worker that the cluster could not reach after
+// the dialer's full retry/backoff budget — the distributed analogue of
+// diskio's DiskFailedError. It surfaces on whichever side observed the
+// loss: a coordinator that cannot reach a worker, or a worker whose peer
+// vanished mid-exchange (the worker reports it to the coordinator, which
+// reconstructs the typed error for its caller).
+type WorkerLostError struct {
+	Worker int    // the lost worker's ID in the job (-1 if unknown)
+	Addr   string // the address that stopped answering
+	Err    error  // the last transport error
+}
+
+func (e *WorkerLostError) Error() string {
+	return fmt.Sprintf("cluster: worker %d (%s) lost: %v", e.Worker, e.Addr, e.Err)
+}
+
+func (e *WorkerLostError) Unwrap() error { return e.Err }
+
+// errorToWire flattens err into a msgError, preserving WorkerLostError's
+// identity across the process boundary.
+func errorToWire(self int, err error) *msgError {
+	var lost *WorkerLostError
+	if errors.As(err, &lost) {
+		return &msgError{Code: ecWorkerLost, Worker: uint32(lost.Worker), Addr: lost.Addr, Text: lost.Err.Error()}
+	}
+	return &msgError{Code: ecGeneric, Worker: uint32(self), Text: err.Error()}
+}
+
+// wireToError is the inverse: it rebuilds the typed error a msgError
+// describes, so errors.As keeps working for callers on the far side.
+func wireToError(m *msgError) error {
+	switch m.Code {
+	case ecWorkerLost:
+		return &WorkerLostError{Worker: int(m.Worker), Addr: m.Addr, Err: errors.New(m.Text)}
+	default:
+		return fmt.Errorf("cluster: worker %d: %s", m.Worker, m.Text)
+	}
+}

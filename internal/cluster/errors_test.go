@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestWorkerLostErrorIdentity(t *testing.T) {
+	inner := errors.New("connection refused")
+	err := fmt.Errorf("dialing: %w", &WorkerLostError{Worker: 3, Addr: "10.0.0.3:7000", Err: inner})
+
+	var lost *WorkerLostError
+	if !errors.As(err, &lost) {
+		t.Fatal("errors.As failed through a wrap layer")
+	}
+	if lost.Worker != 3 || lost.Addr != "10.0.0.3:7000" {
+		t.Fatalf("recovered %+v", lost)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatal("errors.Is failed to reach the transport error through Unwrap")
+	}
+}
+
+// TestWorkerLostErrorSurvivesWire: a WorkerLostError flattened to a
+// msgError on one side of the TCP connection must reconstruct as the same
+// typed error on the other, so errors.As works across the process boundary.
+func TestWorkerLostErrorSurvivesWire(t *testing.T) {
+	orig := &WorkerLostError{Worker: 2, Addr: "peer:9", Err: errors.New("i/o timeout")}
+	wrapped := fmt.Errorf("exchange: %w", orig)
+
+	m := errorToWire(0, wrapped)
+	if m.Code != ecWorkerLost {
+		t.Fatalf("wire code %d, want ecWorkerLost", m.Code)
+	}
+	var back msgError
+	if err := back.decode(m.encode()); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := wireToError(&back)
+
+	var lost *WorkerLostError
+	if !errors.As(rebuilt, &lost) {
+		t.Fatalf("rebuilt error %T is not a *WorkerLostError", rebuilt)
+	}
+	if lost.Worker != 2 || lost.Addr != "peer:9" {
+		t.Fatalf("rebuilt %+v", lost)
+	}
+}
+
+func TestGenericErrorSurvivesWire(t *testing.T) {
+	m := errorToWire(5, errors.New("shard truncated"))
+	if m.Code != ecGeneric || m.Worker != 5 {
+		t.Fatalf("wire form %+v", m)
+	}
+	rebuilt := wireToError(m)
+	var lost *WorkerLostError
+	if errors.As(rebuilt, &lost) {
+		t.Fatal("generic error reconstructed as WorkerLostError")
+	}
+}

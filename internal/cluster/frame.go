@@ -1,0 +1,105 @@
+// Package cluster is the shared-nothing runtime that turns the repository's
+// single-process Balance Sort into a coordinator/worker distributed system
+// over TCP. The coordinator runs the Balance Sort distribution logic — it
+// gathers per-worker key histograms, picks the S bucket pivots
+// deterministically, and drives an all-to-all bucket exchange whose
+// per-worker placement is decided by the internal/balance histogram and
+// auxiliary-matrix machinery, so every exchange round's receive volume obeys
+// the paper's x_bh <= m_b + 1 bound (Invariant 2). Each worker then sorts
+// its final shard locally with whatever local sorter the embedder wires in
+// (the repository wires the file-backed SortFile path), and the coordinator
+// drains the shards in key order into the output file.
+//
+// The wire protocol is length-prefixed, CRC-framed binary: every frame is
+//
+//	uint32 LE  payload length n      (bounded by MaxFramePayload)
+//	byte       message type
+//	n bytes    payload
+//	uint32 LE  CRC32C over type byte + payload
+//
+// The decoder validates the length bound before allocating, verifies the
+// checksum before handing the payload up, and never panics on hostile
+// input — FuzzFrame holds it to that.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MaxFramePayload bounds a single frame's payload. It must accommodate the
+// largest message (a histogram or a full exchange block) with room to
+// spare; anything larger on the wire is a protocol violation, not a reason
+// to allocate.
+const MaxFramePayload = 1 << 21 // 2 MiB
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Framing error values. ErrFrameTooLarge and ErrFrameChecksum identify the
+// two hostile-input failure modes distinctly so tests (and peers) can tell
+// a resource-exhaustion attempt from corruption.
+var (
+	ErrFrameTooLarge = errors.New("cluster: frame exceeds MaxFramePayload")
+	ErrFrameChecksum = errors.New("cluster: frame checksum mismatch")
+)
+
+// frameOverhead is the non-payload byte count of a frame: the length
+// prefix, the type byte, and the trailing CRC.
+const frameOverhead = 4 + 1 + 4
+
+// appendFrame appends the encoded frame for (typ, payload) to dst and
+// returns the extended slice.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = typ
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	sum := crc32.Checksum([]byte{typ}, castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	return append(dst, tail[:]...)
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 0, len(payload)+frameOverhead)
+	_, err := w.Write(appendFrame(buf, typ, payload))
+	return err
+}
+
+// readFrame reads one frame from r. The returned payload is freshly
+// allocated (bounded by MaxFramePayload before allocation, so a hostile
+// length prefix cannot balloon memory).
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	typ = hdr[4]
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, err
+	}
+	sum := crc32.Checksum([]byte{typ}, castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum {
+		return 0, nil, fmt.Errorf("%w: frame says %08x, bytes hash to %08x", ErrFrameChecksum, got, sum)
+	}
+	return typ, payload, nil
+}

@@ -1,0 +1,502 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"balancesort/internal/record"
+)
+
+// protocolVersion is bumped on any incompatible wire change; Hello carries
+// it and mismatches abort the handshake before any data moves.
+const protocolVersion = 1
+
+// Message types. Coordinator<->worker control messages and worker<->worker
+// block messages share one frame namespace so a single decoder serves both.
+const (
+	mHello byte = iota + 1
+	mHelloAck
+	mRecords
+	mScatterDone
+	mHistogram
+	mPivots
+	mCounts
+	mPlan
+	mStartGather
+	mPhaseDone
+	mSortReq
+	mSortDone
+	mFetch
+	mFetchDone
+	mBye
+	mPeerHello
+	mPeerHelloAck
+	mBlock
+	mBlockAck
+	mError
+)
+
+// histBins is the resolution of the per-worker key histograms the
+// coordinator merges to pick bucket pivots: keys are binned by their top
+// histBits bits. 4096 bins resolve pivots finely enough for the S <= 4·W
+// buckets a cluster sort uses while keeping the message at 32 KiB.
+const (
+	histBits = 12
+	histBins = 1 << histBits
+)
+
+// keyBin maps a key to its histogram bin.
+func keyBin(key uint64) int { return int(key >> (64 - histBits)) }
+
+// binStart is the smallest key of bin i (i may equal histBins, yielding the
+// exclusive upper end of the key space, which saturates to MaxUint64).
+func binStart(i int) uint64 {
+	if i >= histBins {
+		return ^uint64(0)
+	}
+	return uint64(i) << (64 - histBits)
+}
+
+// writer/reader cursors. The reader never panics: any short read marks the
+// cursor bad and every subsequent accessor returns zero, so message decoders
+// are a linear read followed by a single err check.
+
+type wcur struct{ b []byte }
+
+func (w *wcur) u8(v byte)    { w.b = append(w.b, v) }
+func (w *wcur) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wcur) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wcur) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+func (w *wcur) str(s string) { w.bytes([]byte(s)) }
+
+type rcur struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *rcur) take(n int) []byte {
+	if r.bad || n < 0 || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *rcur) u8() byte {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *rcur) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *rcur) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *rcur) bytes() []byte {
+	n := int(r.u32())
+	if n > len(r.b)-r.off { // bound before take so a hostile length cannot wrap
+		r.bad = true
+		return nil
+	}
+	return r.take(n)
+}
+
+func (r *rcur) str() string { return string(r.bytes()) }
+
+// done reports a fully and exactly consumed payload.
+func (r *rcur) done() error {
+	if r.bad {
+		return fmt.Errorf("cluster: truncated or malformed message payload")
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("cluster: %d trailing bytes in message payload", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// msgHello is the coordinator's job announcement to one worker.
+type msgHello struct {
+	Version   uint32
+	JobID     uint64
+	Worker    uint32 // the recipient's ID in this job
+	Workers   uint32 // cluster width W
+	S         uint32 // bucket count
+	BlockRecs uint32 // records per exchange block
+	Peers     []string
+}
+
+func (m *msgHello) encode() []byte {
+	var w wcur
+	w.u32(m.Version)
+	w.u64(m.JobID)
+	w.u32(m.Worker)
+	w.u32(m.Workers)
+	w.u32(m.S)
+	w.u32(m.BlockRecs)
+	w.u32(uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		w.str(p)
+	}
+	return w.b
+}
+
+func (m *msgHello) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Version = r.u32()
+	m.JobID = r.u64()
+	m.Worker = r.u32()
+	m.Workers = r.u32()
+	m.S = r.u32()
+	m.BlockRecs = r.u32()
+	n := int(r.u32())
+	if n > maxWorkers {
+		return fmt.Errorf("cluster: hello lists %d peers", n)
+	}
+	m.Peers = make([]string, 0, n)
+	for i := 0; i < n && !r.bad; i++ {
+		m.Peers = append(m.Peers, r.str())
+	}
+	return r.done()
+}
+
+// maxWorkers bounds cluster width; it exists to keep hostile peer lists and
+// per-worker allocations finite, not as a scaling target.
+const maxWorkers = 1 << 10
+
+// encodeRecords / decodeRecords carry raw record payloads (scatter chunks,
+// shard drains, exchange blocks all share the format).
+func encodeRecords(recs []record.Record) []byte { return record.EncodeSlice(recs) }
+
+func decodeRecords(p []byte) ([]record.Record, error) { return record.DecodeSlice(p) }
+
+// msgCount is the one-u64 payload shared by ScatterDone, SortDone, and
+// FetchDone.
+type msgCount struct{ Count uint64 }
+
+func (m *msgCount) encode() []byte {
+	var w wcur
+	w.u64(m.Count)
+	return w.b
+}
+
+func (m *msgCount) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Count = r.u64()
+	return r.done()
+}
+
+// msgHistogram is a worker's key histogram over its shard.
+type msgHistogram struct {
+	Bins []uint64 // length histBins
+}
+
+func (m *msgHistogram) encode() []byte {
+	w := wcur{b: make([]byte, 0, 8*histBins)}
+	for _, v := range m.Bins {
+		w.u64(v)
+	}
+	return w.b
+}
+
+func (m *msgHistogram) decode(p []byte) error {
+	if len(p) != 8*histBins {
+		return fmt.Errorf("cluster: histogram payload is %d bytes, want %d", len(p), 8*histBins)
+	}
+	r := rcur{b: p}
+	m.Bins = make([]uint64, histBins)
+	for i := range m.Bins {
+		m.Bins[i] = r.u64()
+	}
+	return r.done()
+}
+
+// msgPivots broadcasts the S-1 deterministic bucket pivots. Bucket b covers
+// keys in [piv[b-1], piv[b]); bucketOf computes the index.
+type msgPivots struct {
+	Pivots []uint64
+}
+
+func (m *msgPivots) encode() []byte {
+	var w wcur
+	w.u32(uint32(len(m.Pivots)))
+	for _, v := range m.Pivots {
+		w.u64(v)
+	}
+	return w.b
+}
+
+func (m *msgPivots) decode(p []byte) error {
+	r := rcur{b: p}
+	n := int(r.u32())
+	if n < 0 || n > len(p)/8 {
+		return fmt.Errorf("cluster: pivot message claims %d pivots in %d bytes", n, len(p))
+	}
+	m.Pivots = make([]uint64, n)
+	for i := range m.Pivots {
+		m.Pivots[i] = r.u64()
+	}
+	return r.done()
+}
+
+// bucketOf returns the bucket of key under pivots: the number of pivots <= key.
+func bucketOf(key uint64, pivots []uint64) int {
+	lo, hi := 0, len(pivots)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pivots[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// msgCounts is a worker's per-bucket record counts after partitioning its
+// shard against the pivots.
+type msgCounts struct {
+	PerBucket []uint64
+}
+
+func (m *msgCounts) encode() []byte {
+	var w wcur
+	w.u32(uint32(len(m.PerBucket)))
+	for _, v := range m.PerBucket {
+		w.u64(v)
+	}
+	return w.b
+}
+
+func (m *msgCounts) decode(p []byte) error {
+	r := rcur{b: p}
+	n := int(r.u32())
+	if n < 0 || n > len(p)/8 {
+		return fmt.Errorf("cluster: counts message claims %d buckets in %d bytes", n, len(p))
+	}
+	m.PerBucket = make([]uint64, n)
+	for i := range m.PerBucket {
+		m.PerBucket[i] = r.u64()
+	}
+	return r.done()
+}
+
+// msgPlan carries one worker's marching orders for the exchange and gather
+// phases: the balancer-decided destination of every block the worker will
+// form (indexed [bucket][seq]), how many exchange blocks it will receive,
+// the bucket->owner map, and how many gather records to expect.
+type msgPlan struct {
+	Dests            [][]uint32 // [bucket][seq] -> destination worker
+	ExpectRecvBlocks uint64
+	Owners           []uint32 // [bucket] -> owning worker
+	ExpectGatherRecs uint64
+}
+
+func (m *msgPlan) encode() []byte {
+	var w wcur
+	w.u32(uint32(len(m.Dests)))
+	for _, row := range m.Dests {
+		w.u32(uint32(len(row)))
+		for _, d := range row {
+			w.u32(d)
+		}
+	}
+	w.u64(m.ExpectRecvBlocks)
+	w.u32(uint32(len(m.Owners)))
+	for _, o := range m.Owners {
+		w.u32(o)
+	}
+	w.u64(m.ExpectGatherRecs)
+	return w.b
+}
+
+func (m *msgPlan) decode(p []byte) error {
+	r := rcur{b: p}
+	s := int(r.u32())
+	if s < 0 || s > len(p)/4 {
+		return fmt.Errorf("cluster: plan claims %d buckets in %d bytes", s, len(p))
+	}
+	m.Dests = make([][]uint32, s)
+	for b := range m.Dests {
+		n := int(r.u32())
+		if n < 0 || n > (len(p)-r.off)/4 {
+			return fmt.Errorf("cluster: plan bucket %d claims %d blocks", b, n)
+		}
+		row := make([]uint32, n)
+		for i := range row {
+			row[i] = r.u32()
+		}
+		m.Dests[b] = row
+	}
+	m.ExpectRecvBlocks = r.u64()
+	n := int(r.u32())
+	if n < 0 || n > (len(p)-r.off+3)/4 {
+		return fmt.Errorf("cluster: plan claims %d owners", n)
+	}
+	m.Owners = make([]uint32, n)
+	for i := range m.Owners {
+		m.Owners[i] = r.u32()
+	}
+	m.ExpectGatherRecs = r.u64()
+	return r.done()
+}
+
+// msgPhaseDone is a worker's barrier report: it has sent everything the
+// plan required of it for the phase and received everything it expected.
+type msgPhaseDone struct {
+	Phase      uint8 // 1 = exchange, 2 = gather
+	BlocksSent uint64
+	BlocksRecv uint64
+	RecsRecv   uint64
+}
+
+func (m *msgPhaseDone) encode() []byte {
+	var w wcur
+	w.u8(m.Phase)
+	w.u64(m.BlocksSent)
+	w.u64(m.BlocksRecv)
+	w.u64(m.RecsRecv)
+	return w.b
+}
+
+func (m *msgPhaseDone) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Phase = r.u8()
+	m.BlocksSent = r.u64()
+	m.BlocksRecv = r.u64()
+	m.RecsRecv = r.u64()
+	return r.done()
+}
+
+// msgPeerHello opens a worker-to-worker block connection.
+type msgPeerHello struct {
+	JobID uint64
+	Src   uint32
+}
+
+func (m *msgPeerHello) encode() []byte {
+	var w wcur
+	w.u64(m.JobID)
+	w.u32(m.Src)
+	return w.b
+}
+
+func (m *msgPeerHello) decode(p []byte) error {
+	r := rcur{b: p}
+	m.JobID = r.u64()
+	m.Src = r.u32()
+	return r.done()
+}
+
+// msgBlock moves one exchange or gather block between workers. Blocks are
+// idempotent — (Phase, Src, Bucket, Seq) identifies one forever — so a
+// retransmitted block after a dropped connection deduplicates at the
+// receiver instead of corrupting the shard.
+type msgBlock struct {
+	Phase  uint8
+	Src    uint32
+	Bucket uint32
+	Seq    uint32
+	Data   []byte // raw encoded records
+}
+
+func (m *msgBlock) encode() []byte {
+	w := wcur{b: make([]byte, 0, 13+4+len(m.Data))}
+	w.u8(m.Phase)
+	w.u32(m.Src)
+	w.u32(m.Bucket)
+	w.u32(m.Seq)
+	w.bytes(m.Data)
+	return w.b
+}
+
+func (m *msgBlock) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Phase = r.u8()
+	m.Src = r.u32()
+	m.Bucket = r.u32()
+	m.Seq = r.u32()
+	m.Data = r.bytes()
+	if err := r.done(); err != nil {
+		return err
+	}
+	if len(m.Data)%record.EncodedSize != 0 {
+		return fmt.Errorf("cluster: block payload of %d bytes is not whole records", len(m.Data))
+	}
+	return nil
+}
+
+// msgBlockAck acknowledges one block on the same connection it arrived on.
+type msgBlockAck struct {
+	Phase  uint8
+	Bucket uint32
+	Seq    uint32
+}
+
+func (m *msgBlockAck) encode() []byte {
+	var w wcur
+	w.u8(m.Phase)
+	w.u32(m.Bucket)
+	w.u32(m.Seq)
+	return w.b
+}
+
+func (m *msgBlockAck) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Phase = r.u8()
+	m.Bucket = r.u32()
+	m.Seq = r.u32()
+	return r.done()
+}
+
+// Error codes carried by msgError so typed errors survive the process
+// boundary: the receiving side reconstructs the matching Go error type.
+const (
+	ecGeneric uint32 = iota
+	ecWorkerLost
+)
+
+// msgError propagates a fatal job error in either direction.
+type msgError struct {
+	Code   uint32
+	Worker uint32
+	Addr   string
+	Text   string
+}
+
+func (m *msgError) encode() []byte {
+	var w wcur
+	w.u32(m.Code)
+	w.u32(m.Worker)
+	w.str(m.Addr)
+	w.str(m.Text)
+	return w.b
+}
+
+func (m *msgError) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Code = r.u32()
+	m.Worker = r.u32()
+	m.Addr = r.str()
+	m.Text = r.str()
+	return r.done()
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// roundTrip encodes m, decodes into fresh, and compares. Every message type
+// must survive its own codec bit-exactly and reject trailing garbage.
+func roundTrip(t *testing.T, name string, m interface {
+	encode() []byte
+}, fresh interface {
+	decode([]byte) error
+}) {
+	t.Helper()
+	p := m.encode()
+	if err := fresh.decode(p); err != nil {
+		t.Fatalf("%s: decode: %v", name, err)
+	}
+	// The decoded message must re-encode to the same bytes.
+	re, ok := fresh.(interface{ encode() []byte })
+	if !ok {
+		t.Fatalf("%s: no encode on decoded value", name)
+	}
+	if !bytes.Equal(re.encode(), p) {
+		t.Fatalf("%s: re-encode differs", name)
+	}
+	if !reflect.DeepEqual(normalize(m), normalize(fresh)) {
+		t.Fatalf("%s: round trip mutated the message:\n  sent %+v\n  got  %+v", name, m, fresh)
+	}
+	if err := fresh.decode(append(p, 0)); err == nil {
+		t.Fatalf("%s: trailing byte went undetected", name)
+	}
+	if len(p) > 0 {
+		if err := fresh.decode(p[:len(p)-1]); err == nil {
+			t.Fatalf("%s: truncated payload went undetected", name)
+		}
+	}
+}
+
+// normalize flattens nil-vs-empty slice differences before DeepEqual.
+func normalize(v any) string {
+	re := v.(interface{ encode() []byte })
+	return string(re.encode())
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	roundTrip(t, "hello", &msgHello{
+		Version: protocolVersion, JobID: 0xDEADBEEF, Worker: 1, Workers: 4,
+		S: 16, BlockRecs: 2048, Peers: []string{"127.0.0.1:1", "127.0.0.1:2", "", "host:99"},
+	}, &msgHello{})
+	roundTrip(t, "count", &msgCount{Count: 1 << 40}, &msgCount{})
+	bins := make([]uint64, histBins)
+	for i := range bins {
+		bins[i] = uint64(i * i)
+	}
+	roundTrip(t, "histogram", &msgHistogram{Bins: bins}, &msgHistogram{})
+	roundTrip(t, "pivots", &msgPivots{Pivots: []uint64{1, 99, ^uint64(0)}}, &msgPivots{})
+	roundTrip(t, "counts", &msgCounts{PerBucket: []uint64{0, 7, 1 << 33}}, &msgCounts{})
+	roundTrip(t, "plan", &msgPlan{
+		Dests:            [][]uint32{{0, 1, 2}, {}, {3}},
+		ExpectRecvBlocks: 12,
+		Owners:           []uint32{0, 0, 1},
+		ExpectGatherRecs: 9999,
+	}, &msgPlan{})
+	roundTrip(t, "phasedone", &msgPhaseDone{Phase: 2, BlocksSent: 5, BlocksRecv: 6, RecsRecv: 7}, &msgPhaseDone{})
+	roundTrip(t, "peerhello", &msgPeerHello{JobID: 42, Src: 3}, &msgPeerHello{})
+	roundTrip(t, "block", &msgBlock{Phase: 1, Src: 2, Bucket: 3, Seq: 4, Data: make([]byte, 64)}, &msgBlock{})
+	roundTrip(t, "blockack", &msgBlockAck{Phase: 1, Bucket: 3, Seq: 4}, &msgBlockAck{})
+	roundTrip(t, "error", &msgError{Code: ecWorkerLost, Worker: 2, Addr: "h:1", Text: "gone"}, &msgError{})
+}
+
+func TestBlockRejectsPartialRecords(t *testing.T) {
+	m := msgBlock{Phase: 1, Data: make([]byte, 17)} // not a whole record
+	if err := (&msgBlock{}).decode(m.encode()); err == nil {
+		t.Fatal("17-byte block payload went undetected")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	pivots := []uint64{10, 20, 20, 30} // repeated pivot: empty bucket is legal
+	linear := func(key uint64) int {
+		n := 0
+		for _, p := range pivots {
+			if p <= key {
+				n++
+			}
+		}
+		return n
+	}
+	for _, key := range []uint64{0, 9, 10, 11, 19, 20, 21, 29, 30, 31, ^uint64(0)} {
+		if got, want := bucketOf(key, pivots), linear(key); got != want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", key, got, want)
+		}
+	}
+	if got := bucketOf(5, nil); got != 0 {
+		t.Fatalf("bucketOf with no pivots = %d, want 0", got)
+	}
+}
+
+func TestPickPivots(t *testing.T) {
+	bins := make([]uint64, histBins)
+	var n uint64
+	for i := range bins {
+		bins[i] = uint64(i % 5)
+		n += bins[i]
+	}
+	for _, s := range []int{1, 2, 7, 64} {
+		piv := pickPivots(bins, n, s)
+		if len(piv) != s-1 {
+			t.Fatalf("S=%d: %d pivots", s, len(piv))
+		}
+		for i := 1; i < len(piv); i++ {
+			if piv[i] < piv[i-1] {
+				t.Fatalf("S=%d: pivots not nondecreasing at %d", s, i)
+			}
+		}
+	}
+	// Empty input: every pivot must still be defined.
+	piv := pickPivots(make([]uint64, histBins), 0, 8)
+	if len(piv) != 7 {
+		t.Fatalf("empty input: %d pivots", len(piv))
+	}
+}
+
+func TestAssignOwners(t *testing.T) {
+	totals := []uint64{5, 5, 5, 5, 100, 5, 5, 5}
+	owners := assignOwners(totals, 4)
+	if len(owners) != len(totals) {
+		t.Fatalf("%d owners for %d buckets", len(owners), len(totals))
+	}
+	for b := 1; b < len(owners); b++ {
+		if owners[b] < owners[b-1] {
+			t.Fatalf("owners not contiguous ascending at bucket %d", b)
+		}
+	}
+	if owners[0] != 0 {
+		t.Fatalf("first bucket owned by %d", owners[0])
+	}
+	if int(owners[len(owners)-1]) > 3 {
+		t.Fatalf("owner out of range: %d", owners[len(owners)-1])
+	}
+}

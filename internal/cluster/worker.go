@@ -1,0 +1,1021 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"balancesort/internal/record"
+)
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// ScratchDir is where the worker keeps its per-job shard, exchange
+	// spill, gather spill, sorted shard, and local-sort scratch. Each job
+	// gets its own subdirectory, removed when the job ends.
+	ScratchDir string
+	// SortShard sorts the raw record file inPath into outPath, using
+	// scratchDir for spill space. The repository wires the file-backed
+	// SortFile path here; nil selects an in-memory sorter (tests, small
+	// shards).
+	SortShard func(ctx context.Context, inPath, outPath, scratchDir string) error
+	// Dial tunes peer connection retry/backoff and per-op timeouts.
+	Dial DialConfig
+	// PhaseTimeout bounds how long the worker waits at an exchange or
+	// gather barrier for blocks that never arrive (its peers' failure
+	// reports normally arrive much sooner). Default 2 minutes.
+	PhaseTimeout time.Duration
+	// DropAfterBlocks is a fault-injection knob: after this many blocks
+	// have been sent to peers, the worker force-closes that connection
+	// once, exercising the redial/retransmit/dedup path. 0 disables.
+	DropAfterBlocks int
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	c.Dial = c.Dial.withDefaults()
+	if c.PhaseTimeout <= 0 {
+		c.PhaseTimeout = 2 * time.Minute
+	}
+	if c.SortShard == nil {
+		c.SortShard = memorySortShard
+	}
+	return c
+}
+
+// memorySortShard is the fallback local sorter: whole shard in memory,
+// ordered by the strict (Key, Loc) record order.
+func memorySortShard(_ context.Context, inPath, outPath, _ string) error {
+	recs, err := readRecordFile(inPath)
+	if err != nil {
+		return err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Less(recs[j]) })
+	return writeRecordFile(outPath, recs)
+}
+
+func readRecordFile(path string) ([]record.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return record.ReadAll(f)
+}
+
+func writeRecordFile(path string, recs []record.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := record.WriteAll(w, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Worker is one cluster member: it serves coordinator jobs sequentially and
+// peer block streams concurrently.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu   sync.Mutex
+	sess *session
+}
+
+// NewWorker builds a worker from cfg.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults()}
+}
+
+// Serve accepts connections on ln until ctx is canceled or the listener
+// fails. Coordinator connections run jobs; peer connections stream blocks
+// into the active job.
+func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+			w.mu.Lock()
+			if w.sess != nil {
+				w.sess.abort(ctx.Err())
+			}
+			w.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		go w.handleConn(ctx, conn)
+	}
+}
+
+// current returns the active session, if any.
+func (w *Worker) current() *session {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sess
+}
+
+// handleConn classifies an inbound connection by its first frame.
+func (w *Worker) handleConn(ctx context.Context, conn net.Conn) {
+	setOpDeadline(conn, w.cfg.Dial)
+	br := bufio.NewReaderSize(conn, 1<<16)
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch typ {
+	case mHello:
+		var h msgHello
+		if err := h.decode(payload); err != nil {
+			conn.Close()
+			return
+		}
+		w.runJob(ctx, conn, br, &h)
+	case mPeerHello:
+		var ph msgPeerHello
+		if err := ph.decode(payload); err != nil {
+			conn.Close()
+			return
+		}
+		s := w.current()
+		if s == nil || s.jobID != ph.JobID || int(ph.Src) < 0 || int(ph.Src) >= s.workers {
+			// Unknown job: refuse silently. The dialing peer retries with
+			// backoff and eventually declares this worker lost.
+			conn.Close()
+			return
+		}
+		if err := writeFrame(conn, mPeerHelloAck, nil); err != nil {
+			conn.Close()
+			return
+		}
+		s.servePeer(conn, br)
+	default:
+		conn.Close()
+	}
+}
+
+// runJob executes one coordinator session on the calling goroutine.
+func (w *Worker) runJob(ctx context.Context, conn net.Conn, br *bufio.Reader, h *msgHello) {
+	defer conn.Close()
+	sendErr := func(self int, err error) {
+		setOpDeadline(conn, w.cfg.Dial)
+		_ = writeFrame(conn, mError, errorToWire(self, err).encode())
+	}
+	if h.Version != protocolVersion {
+		sendErr(int(h.Worker), fmt.Errorf("protocol version %d, worker speaks %d", h.Version, protocolVersion))
+		return
+	}
+	if h.Workers < 1 || h.Worker >= h.Workers || int(h.Workers) != len(h.Peers) ||
+		h.S < 1 || h.BlockRecs < 1 || int(h.BlockRecs)*record.EncodedSize+64 > MaxFramePayload {
+		sendErr(int(h.Worker), fmt.Errorf("malformed hello: W=%d self=%d peers=%d S=%d blockRecs=%d",
+			h.Workers, h.Worker, len(h.Peers), h.S, h.BlockRecs))
+		return
+	}
+
+	s, err := newSession(w, h)
+	if err != nil {
+		sendErr(int(h.Worker), err)
+		return
+	}
+	w.mu.Lock()
+	if w.sess != nil {
+		w.mu.Unlock()
+		s.teardown()
+		sendErr(int(h.Worker), errors.New("worker busy with another job"))
+		return
+	}
+	w.sess = s
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.sess = nil
+		w.mu.Unlock()
+		s.teardown()
+	}()
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.ctx = jobCtx
+	s.registerConn(conn)
+
+	if err := s.run(newLink(conn, w.cfg.Dial)); err != nil {
+		s.abort(err)
+		sendErr(s.self, err)
+	}
+}
+
+// blockKey identifies one block forever; retransmissions deduplicate on it.
+type blockKey struct {
+	phase  uint8
+	src    uint32
+	bucket uint32
+	seq    uint32
+}
+
+// blockLoc locates one stored exchange block in the spill file.
+type blockLoc struct {
+	off   int64
+	bytes int32
+}
+
+// session is the per-job state of a worker.
+type session struct {
+	w         *Worker
+	jobID     uint64
+	self      int
+	workers   int
+	s         int // bucket count S
+	blockRecs int
+	peers     []string
+	dir       string
+	dial      DialConfig
+	ctx       context.Context
+
+	// Control-plane state, touched only by the job goroutine.
+	shardRecs uint64
+	pivots    []uint64
+	plan      *msgPlan
+
+	// Shared receive state: peer-serving goroutines store blocks, the job
+	// goroutine waits on the barriers.
+	mu             sync.Mutex
+	cond           *sync.Cond
+	aborted        bool
+	abortErr       error
+	recvErr        error
+	seen           map[blockKey]struct{}
+	exFile         *os.File
+	exSize         int64
+	exIndex        map[int][]blockLoc
+	recvBlocks     uint64
+	gaFile         *os.File
+	gaSize         int64
+	recvGatherRecs uint64
+	conns          map[net.Conn]struct{}
+
+	sentNet  atomic.Int64 // blocks pushed over the network, feeds DropAfterBlocks
+	dropOnce sync.Once
+}
+
+func newSession(w *Worker, h *msgHello) (*session, error) {
+	scratch := w.cfg.ScratchDir
+	if scratch == "" {
+		scratch = os.TempDir()
+	}
+	dir := filepath.Join(scratch, fmt.Sprintf("cluster-job-%016x-w%d", h.JobID, h.Worker))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &session{
+		w:         w,
+		jobID:     h.JobID,
+		self:      int(h.Worker),
+		workers:   int(h.Workers),
+		s:         int(h.S),
+		blockRecs: int(h.BlockRecs),
+		peers:     append([]string(nil), h.Peers...),
+		dir:       dir,
+		dial:      w.cfg.Dial,
+		seen:      make(map[blockKey]struct{}),
+		exIndex:   make(map[int][]blockLoc),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	var err error
+	if s.exFile, err = os.Create(filepath.Join(dir, "exchange.dat")); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	if s.gaFile, err = os.Create(filepath.Join(dir, "gather.dat")); err != nil {
+		s.exFile.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *session) shardPath() string  { return filepath.Join(s.dir, "in.shard") }
+func (s *session) gatherPath() string { return filepath.Join(s.dir, "gather.dat") }
+func (s *session) sortedPath() string { return filepath.Join(s.dir, "sorted.dat") }
+
+func (s *session) registerConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted {
+		c.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+}
+
+func (s *session) unregisterConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// abort marks the session dead, closes every connection so no goroutine can
+// block on I/O, and wakes the barrier waiters.
+func (s *session) abort(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	s.abortErr = err
+	for c := range s.conns {
+		c.Close()
+	}
+	s.cond.Broadcast()
+}
+
+func (s *session) teardown() {
+	s.abort(errors.New("cluster: job torn down"))
+	s.mu.Lock()
+	if s.exFile != nil {
+		s.exFile.Close()
+	}
+	if s.gaFile != nil {
+		s.gaFile.Close()
+	}
+	s.mu.Unlock()
+	os.RemoveAll(s.dir)
+}
+
+// fail records the first receive-side error and wakes the barrier waiters.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recvErr == nil {
+		s.recvErr = err
+	}
+	s.cond.Broadcast()
+}
+
+// servePeer handles one inbound block stream. A connection error here is
+// not fatal to the job: the sending side redials and retransmits, and the
+// dedup map keeps replays idempotent.
+func (s *session) servePeer(conn net.Conn, br *bufio.Reader) {
+	s.registerConn(conn)
+	defer func() {
+		s.unregisterConn(conn)
+		conn.Close()
+	}()
+	for {
+		clearDeadline(conn) // peers sit idle across phases legitimately
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if typ != mBlock {
+			return
+		}
+		var b msgBlock
+		if err := b.decode(payload); err != nil {
+			return
+		}
+		if err := s.storeBlock(&b); err != nil {
+			s.fail(err)
+			return
+		}
+		ack := msgBlockAck{Phase: b.Phase, Bucket: b.Bucket, Seq: b.Seq}
+		setOpDeadline(conn, s.dial)
+		if err := writeFrame(conn, mBlockAck, ack.encode()); err != nil {
+			return
+		}
+	}
+}
+
+// storeBlock persists one received (or self-delivered) block, exactly once.
+func (s *session) storeBlock(b *msgBlock) error {
+	key := blockKey{phase: b.Phase, src: b.Src, bucket: b.Bucket, seq: b.Seq}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted {
+		return errors.New("cluster: job aborted")
+	}
+	if int(b.Bucket) >= s.s {
+		return fmt.Errorf("cluster: block for bucket %d of %d", b.Bucket, s.s)
+	}
+	if _, dup := s.seen[key]; dup {
+		return nil // retransmission after a lost ack: already stored
+	}
+	switch b.Phase {
+	case 1:
+		if _, err := s.exFile.WriteAt(b.Data, s.exSize); err != nil {
+			return err
+		}
+		s.exIndex[int(b.Bucket)] = append(s.exIndex[int(b.Bucket)],
+			blockLoc{off: s.exSize, bytes: int32(len(b.Data))})
+		s.exSize += int64(len(b.Data))
+		s.recvBlocks++
+	case 2:
+		if _, err := s.gaFile.WriteAt(b.Data, s.gaSize); err != nil {
+			return err
+		}
+		s.gaSize += int64(len(b.Data))
+		s.recvGatherRecs += uint64(len(b.Data) / record.EncodedSize)
+	default:
+		return fmt.Errorf("cluster: block phase %d", b.Phase)
+	}
+	s.seen[key] = struct{}{}
+	s.cond.Broadcast()
+	return nil
+}
+
+// waitRecv blocks until done() holds (under the session lock), a receive
+// error lands, the session aborts, or the phase times out.
+func (s *session) waitRecv(phase string, done func() bool) error {
+	timer := time.AfterFunc(s.w.cfg.PhaseTimeout, func() {
+		s.fail(fmt.Errorf("cluster: %s barrier timed out after %v", phase, s.w.cfg.PhaseTimeout))
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !done() && s.recvErr == nil && !s.aborted {
+		s.cond.Wait()
+	}
+	if s.recvErr != nil {
+		return s.recvErr
+	}
+	if s.aborted {
+		if s.abortErr != nil {
+			return s.abortErr
+		}
+		return errors.New("cluster: job aborted")
+	}
+	return nil
+}
+
+// outBlock is one block queued to a peer sender.
+type outBlock struct {
+	bucket uint32
+	seq    uint32
+	data   []byte
+}
+
+// runSenders spins up one sender goroutine per remote peer, runs produce to
+// emit blocks (self-destined blocks store locally, no network), and returns
+// the first error once every queue has drained. It returns the number of
+// blocks emitted.
+func (s *session) runSenders(phase uint8, produce func(emit func(dest int, blk outBlock) error) error) (uint64, error) {
+	chans := make([]chan outBlock, s.workers)
+	errs := make([]error, s.workers)
+	var wg sync.WaitGroup
+	for d := 0; d < s.workers; d++ {
+		if d == s.self {
+			continue
+		}
+		ch := make(chan outBlock, 2)
+		chans[d] = ch
+		wg.Add(1)
+		go func(d int, ch chan outBlock) {
+			defer wg.Done()
+			errs[d] = s.sendLoop(phase, d, ch)
+		}(d, ch)
+	}
+	var emitted uint64
+	perr := produce(func(dest int, blk outBlock) error {
+		emitted++
+		if dest < 0 || dest >= s.workers {
+			return fmt.Errorf("cluster: plan routes a block to worker %d of %d", dest, s.workers)
+		}
+		if dest == s.self {
+			return s.storeBlock(&msgBlock{
+				Phase: phase, Src: uint32(s.self),
+				Bucket: blk.bucket, Seq: blk.seq, Data: blk.data,
+			})
+		}
+		select {
+		case chans[dest] <- blk:
+			return nil
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	})
+	for _, ch := range chans {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	wg.Wait()
+	if perr != nil {
+		return emitted, perr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return emitted, e
+		}
+	}
+	return emitted, nil
+}
+
+// maxDeliverRetries bounds consecutive failed deliveries of one block; each
+// failed delivery already burned a full dial retry/backoff budget, so
+// exceeding this is the cluster analogue of a tripped circuit breaker and
+// the peer is declared lost.
+const maxDeliverRetries = 3
+
+// sendLoop delivers one peer's queue: dial (with retry/backoff), stream a
+// block, await its ack; on any connection failure, redial and retransmit —
+// the receiver deduplicates. A peer that stays unreachable surfaces as a
+// typed *WorkerLostError. On failure the loop keeps draining its queue so
+// the producer never blocks.
+func (s *session) sendLoop(phase uint8, dest int, ch chan outBlock) error {
+	var conn net.Conn
+	var br *bufio.Reader
+	closeConn := func() {
+		if conn != nil {
+			s.unregisterConn(conn)
+			conn.Close()
+			conn, br = nil, nil
+		}
+	}
+	defer closeConn()
+	var firstErr error
+	for blk := range ch {
+		if firstErr != nil {
+			continue // drain
+		}
+		consec := 0
+		for {
+			if s.ctx.Err() != nil {
+				firstErr = s.ctx.Err()
+				break
+			}
+			if conn == nil {
+				c, b, err := s.dialPeer(dest)
+				if err != nil {
+					var lost *WorkerLostError
+					if errors.As(err, &lost) || s.ctx.Err() != nil {
+						firstErr = err
+					} else if consec++; consec > maxDeliverRetries {
+						firstErr = &WorkerLostError{Worker: dest, Addr: s.peers[dest], Err: err}
+					} else {
+						continue
+					}
+					break
+				}
+				conn, br = c, b
+			}
+			err := s.deliver(conn, br, phase, &blk)
+			if err == nil {
+				break
+			}
+			closeConn()
+			if consec++; consec > maxDeliverRetries {
+				firstErr = &WorkerLostError{Worker: dest, Addr: s.peers[dest], Err: err}
+				break
+			}
+		}
+	}
+	return firstErr
+}
+
+// dialPeer opens and handshakes a block connection to dest.
+func (s *session) dialPeer(dest int) (net.Conn, *bufio.Reader, error) {
+	conn, err := s.dial.dial(s.ctx, dest, s.peers[dest])
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	ph := msgPeerHello{JobID: s.jobID, Src: uint32(s.self)}
+	setOpDeadline(conn, s.dial)
+	if err := writeFrame(conn, mPeerHello, ph.encode()); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	typ, _, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if typ != mPeerHelloAck {
+		conn.Close()
+		return nil, nil, fmt.Errorf("cluster: peer %d answered handshake with message %d", dest, typ)
+	}
+	s.registerConn(conn)
+	return conn, br, nil
+}
+
+// deliver pushes one block and waits for its ack.
+func (s *session) deliver(conn net.Conn, br *bufio.Reader, phase uint8, blk *outBlock) error {
+	m := msgBlock{Phase: phase, Src: uint32(s.self), Bucket: blk.bucket, Seq: blk.seq, Data: blk.data}
+	setOpDeadline(conn, s.dial)
+	if err := writeFrame(conn, mBlock, m.encode()); err != nil {
+		return err
+	}
+	// Fault injection: sever the connection once, after the configured
+	// number of network sends, before the ack is read — the retransmit
+	// path must recover without duplicating the block.
+	if n := s.sentNet.Add(1); s.w.cfg.DropAfterBlocks > 0 && n >= int64(s.w.cfg.DropAfterBlocks) {
+		s.dropOnce.Do(func() { conn.Close() })
+	}
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if typ != mBlockAck {
+		return fmt.Errorf("cluster: peer answered block with message %d", typ)
+	}
+	var a msgBlockAck
+	if err := a.decode(payload); err != nil {
+		return err
+	}
+	if a.Phase != phase || a.Bucket != blk.bucket || a.Seq != blk.seq {
+		return fmt.Errorf("cluster: ack for block %d/%d, sent %d/%d", a.Bucket, a.Seq, blk.bucket, blk.seq)
+	}
+	return nil
+}
+
+// run is the worker side of the job protocol, phase by phase.
+func (s *session) run(ctl *link) error {
+	if err := ctl.send(mHelloAck, nil); err != nil {
+		return err
+	}
+
+	// Scatter: stream the coordinator's chunks into the shard file.
+	if err := s.recvScatter(ctl); err != nil {
+		return err
+	}
+
+	// Histogram over the shard.
+	bins, err := s.scanHistogram()
+	if err != nil {
+		return err
+	}
+	if err := ctl.send(mHistogram, (&msgHistogram{Bins: bins}).encode()); err != nil {
+		return err
+	}
+
+	// Pivots, then per-bucket counts.
+	payload, err := ctl.expect(mPivots, true)
+	if err != nil {
+		return err
+	}
+	var pv msgPivots
+	if err := pv.decode(payload); err != nil {
+		return err
+	}
+	if len(pv.Pivots) != s.s-1 {
+		return fmt.Errorf("cluster: %d pivots for S=%d", len(pv.Pivots), s.s)
+	}
+	s.pivots = pv.Pivots
+	cnts, err := s.scanCounts()
+	if err != nil {
+		return err
+	}
+	if err := ctl.send(mCounts, (&msgCounts{PerBucket: cnts}).encode()); err != nil {
+		return err
+	}
+
+	// Plan.
+	payload, err = ctl.expect(mPlan, true)
+	if err != nil {
+		return err
+	}
+	var plan msgPlan
+	if err := plan.decode(payload); err != nil {
+		return err
+	}
+	if err := s.checkPlan(&plan, cnts); err != nil {
+		return err
+	}
+	s.plan = &plan
+
+	// Exchange: partition the shard into balancer-placed blocks while
+	// receiving everyone else's.
+	sent, err := s.runSenders(1, s.produceExchange)
+	if err != nil {
+		return err
+	}
+	if err := s.waitRecv("exchange", func() bool { return s.recvBlocks >= plan.ExpectRecvBlocks }); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	recvBlocks := s.recvBlocks
+	s.mu.Unlock()
+	done := msgPhaseDone{Phase: 1, BlocksSent: sent, BlocksRecv: recvBlocks}
+	if err := ctl.send(mPhaseDone, done.encode()); err != nil {
+		return err
+	}
+
+	// Gather: push every stored block to its bucket's owner.
+	if _, err := ctl.expect(mStartGather, true); err != nil {
+		return err
+	}
+	sent, err = s.runSenders(2, s.produceGather)
+	if err != nil {
+		return err
+	}
+	if err := s.waitRecv("gather", func() bool { return s.recvGatherRecs >= plan.ExpectGatherRecs }); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	gatherRecs := s.recvGatherRecs
+	s.mu.Unlock()
+	done = msgPhaseDone{Phase: 2, BlocksSent: sent, RecsRecv: gatherRecs}
+	if err := ctl.send(mPhaseDone, done.encode()); err != nil {
+		return err
+	}
+
+	// Local sort of the final shard.
+	if _, err := ctl.expect(mSortReq, true); err != nil {
+		return err
+	}
+	count, err := s.sortShard()
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d local sort: %w", s.self, err)
+	}
+	if count != plan.ExpectGatherRecs {
+		return fmt.Errorf("cluster: worker %d sorted %d of %d records", s.self, count, plan.ExpectGatherRecs)
+	}
+	if err := ctl.send(mSortDone, (&msgCount{Count: count}).encode()); err != nil {
+		return err
+	}
+
+	// Drain the sorted shard back to the coordinator.
+	if _, err := ctl.expect(mFetch, true); err != nil {
+		return err
+	}
+	if err := s.sendSorted(ctl, count); err != nil {
+		return err
+	}
+
+	// Bye (or the coordinator just closing the connection) ends the job.
+	typ, _, err := ctl.recv(true)
+	if err == nil && typ != mBye {
+		return fmt.Errorf("cluster: unexpected message %d after drain", typ)
+	}
+	return nil
+}
+
+// recvScatter streams the coordinator's record chunks into the shard file.
+func (s *session) recvScatter(ctl *link) error {
+	shard, err := os.Create(s.shardPath())
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(shard, 1<<16)
+	var got uint64
+	for {
+		typ, payload, err := ctl.recv(true)
+		if err != nil {
+			shard.Close()
+			return err
+		}
+		switch typ {
+		case mRecords:
+			if len(payload)%record.EncodedSize != 0 {
+				shard.Close()
+				return fmt.Errorf("cluster: scatter chunk of %d bytes", len(payload))
+			}
+			if _, err := bw.Write(payload); err != nil {
+				shard.Close()
+				return err
+			}
+			got += uint64(len(payload) / record.EncodedSize)
+		case mScatterDone:
+			var c msgCount
+			if err := c.decode(payload); err != nil {
+				shard.Close()
+				return err
+			}
+			if c.Count != got {
+				shard.Close()
+				return fmt.Errorf("cluster: scatter delivered %d records, coordinator sent %d", got, c.Count)
+			}
+			if err := bw.Flush(); err != nil {
+				shard.Close()
+				return err
+			}
+			if err := shard.Close(); err != nil {
+				return err
+			}
+			s.shardRecs = got
+			return nil
+		default:
+			shard.Close()
+			return fmt.Errorf("cluster: unexpected message %d during scatter", typ)
+		}
+	}
+}
+
+// scanShard streams the shard file, invoking fn with each record's key.
+func (s *session) scanShard(fn func(key uint64, raw []byte) error) error {
+	f, err := os.Open(s.shardPath())
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	buf := make([]byte, record.EncodedSize)
+	for i := uint64(0); i < s.shardRecs; i++ {
+		if _, err := readFull(br, buf); err != nil {
+			return fmt.Errorf("cluster: shard truncated at record %d: %w", i, err)
+		}
+		if err := fn(binary.LittleEndian.Uint64(buf[0:8]), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *session) scanHistogram() ([]uint64, error) {
+	bins := make([]uint64, histBins)
+	err := s.scanShard(func(key uint64, _ []byte) error {
+		bins[keyBin(key)]++
+		return nil
+	})
+	return bins, err
+}
+
+func (s *session) scanCounts() ([]uint64, error) {
+	cnts := make([]uint64, s.s)
+	err := s.scanShard(func(key uint64, _ []byte) error {
+		cnts[bucketOf(key, s.pivots)]++
+		return nil
+	})
+	return cnts, err
+}
+
+// checkPlan validates the coordinator's plan against local reality before a
+// single block moves.
+func (s *session) checkPlan(p *msgPlan, cnts []uint64) error {
+	if len(p.Dests) != s.s || len(p.Owners) != s.s {
+		return fmt.Errorf("cluster: plan covers %d dest buckets and %d owners, want %d", len(p.Dests), len(p.Owners), s.s)
+	}
+	for b, row := range p.Dests {
+		want := int((cnts[b] + uint64(s.blockRecs) - 1) / uint64(s.blockRecs))
+		if len(row) != want {
+			return fmt.Errorf("cluster: plan has %d blocks for bucket %d, worker will form %d", len(row), b, want)
+		}
+		for _, d := range row {
+			if int(d) >= s.workers {
+				return fmt.Errorf("cluster: plan routes bucket %d to worker %d of %d", b, d, s.workers)
+			}
+		}
+	}
+	for b, o := range p.Owners {
+		if int(o) >= s.workers {
+			return fmt.Errorf("cluster: bucket %d owned by worker %d of %d", b, o, s.workers)
+		}
+	}
+	return nil
+}
+
+// produceExchange partitions the shard into per-bucket blocks and emits
+// each to its balancer-assigned destination.
+func (s *session) produceExchange(emit func(dest int, blk outBlock) error) error {
+	blockBytes := s.blockRecs * record.EncodedSize
+	bufs := make([][]byte, s.s)
+	seqs := make([]uint32, s.s)
+	flush := func(b int) error {
+		data := make([]byte, len(bufs[b]))
+		copy(data, bufs[b])
+		dest := int(s.plan.Dests[b][seqs[b]])
+		blk := outBlock{bucket: uint32(b), seq: seqs[b], data: data}
+		seqs[b]++
+		bufs[b] = bufs[b][:0]
+		return emit(dest, blk)
+	}
+	err := s.scanShard(func(key uint64, raw []byte) error {
+		b := bucketOf(key, s.pivots)
+		if bufs[b] == nil {
+			bufs[b] = make([]byte, 0, blockBytes)
+		}
+		bufs[b] = append(bufs[b], raw...)
+		if len(bufs[b]) == blockBytes {
+			return flush(b)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for b := range bufs {
+		if len(bufs[b]) > 0 {
+			if err := flush(b); err != nil {
+				return err
+			}
+		}
+	}
+	for b, row := range s.plan.Dests {
+		if int(seqs[b]) != len(row) {
+			return fmt.Errorf("cluster: formed %d blocks for bucket %d, plan says %d", seqs[b], b, len(row))
+		}
+	}
+	return nil
+}
+
+// produceGather pushes every stored exchange block to its bucket's owner,
+// in ascending bucket order.
+func (s *session) produceGather(emit func(dest int, blk outBlock) error) error {
+	s.mu.Lock()
+	index := make(map[int][]blockLoc, len(s.exIndex))
+	for b, locs := range s.exIndex {
+		index[b] = append([]blockLoc(nil), locs...)
+	}
+	exFile := s.exFile
+	s.mu.Unlock()
+	for b := 0; b < s.s; b++ {
+		owner := int(s.plan.Owners[b])
+		for i, loc := range index[b] {
+			data := make([]byte, loc.bytes)
+			if _, err := exFile.ReadAt(data, loc.off); err != nil {
+				return err
+			}
+			if err := emit(owner, outBlock{bucket: uint32(b), seq: uint32(i), data: data}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortShard runs the configured local sorter over the gathered records.
+func (s *session) sortShard() (uint64, error) {
+	s.mu.Lock()
+	size := s.gaSize
+	err := s.gaFile.Sync()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if size == 0 {
+		// Nothing gathered: the sorted shard is the empty file.
+		f, err := os.Create(s.sortedPath())
+		if err != nil {
+			return 0, err
+		}
+		return 0, f.Close()
+	}
+	sortScratch := filepath.Join(s.dir, "sortscratch")
+	if err := os.MkdirAll(sortScratch, 0o755); err != nil {
+		return 0, err
+	}
+	if err := s.w.cfg.SortShard(s.ctx, s.gatherPath(), s.sortedPath(), sortScratch); err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(s.sortedPath())
+	if err != nil {
+		return 0, err
+	}
+	if st.Size()%record.EncodedSize != 0 {
+		return 0, fmt.Errorf("cluster: sorted shard is %d bytes", st.Size())
+	}
+	return uint64(st.Size() / record.EncodedSize), nil
+}
+
+// sendSorted streams the sorted shard to the coordinator in chunks.
+func (s *session) sendSorted(ctl *link, count uint64) error {
+	f, err := os.Open(s.sortedPath())
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	buf := make([]byte, scatterChunk*record.EncodedSize)
+	left := count
+	for left > 0 {
+		m := uint64(scatterChunk)
+		if m > left {
+			m = left
+		}
+		chunk := buf[:m*record.EncodedSize]
+		if _, err := readFull(br, chunk); err != nil {
+			return err
+		}
+		if err := ctl.send(mRecords, chunk); err != nil {
+			return err
+		}
+		left -= m
+	}
+	return ctl.send(mFetchDone, (&msgCount{Count: count}).encode())
+}

@@ -24,7 +24,7 @@ echo "== go test (tier 1) =="
 go test ./...
 
 echo "== go test -race (concurrency layer) =="
-go test -race ./internal/diskio/... ./internal/pdm/...
+go test -race ./internal/diskio/... ./internal/pdm/... ./internal/cluster/...
 
 echo "== go test -race (crash recovery) =="
 go test -race -run 'Robust|Crash|Resume|Cancel|Scrub' .
