@@ -35,6 +35,7 @@ import (
 	"balancesort/internal/hier"
 	"balancesort/internal/hmm"
 	"balancesort/internal/matching"
+	"balancesort/internal/obs"
 	"balancesort/internal/pdm"
 	"balancesort/internal/pram"
 	"balancesort/internal/record"
@@ -128,9 +129,14 @@ type Config struct {
 	// file-backed sorts (SortFile and ResumeSortFile; in-memory sorts
 	// ignore it except for cancellation).
 	Robust RobustConfig
+	// Obs configures phase tracing, live progress, and /metrics export.
+	// The zero value is fully off: no tracer, no allocations, no listener.
+	Obs ObsConfig
 
 	// ctx carries the cancellation context of the *Context entry points.
 	ctx context.Context
+	// tracer is the per-sort tracer built from Obs by the entry points.
+	tracer *obs.Tracer
 }
 
 // diskConfig translates the facade configuration to the core sorter's.
@@ -154,6 +160,7 @@ func (c Config) diskConfig() core.DiskConfig {
 		Internal:          internal,
 		Context:           c.ctx,
 		CrashAfterCommits: c.Robust.crashAfterCommits,
+		Trace:             c.tracer,
 	}
 }
 
@@ -175,34 +182,38 @@ func (c *Config) fill() {
 	}
 }
 
-// Result is a completed parallel-disk sort.
+// Result is a completed parallel-disk sort. The JSON encoding (the CLI's
+// -json flag) carries every model cost but not the records themselves.
 type Result struct {
 	// Records is the sorted output.
-	Records []Record
+	Records []Record `json:"-"`
 	// IOs is the number of parallel I/O operations the sort performed
 	// (excluding loading the input and reading back the output).
-	IOs int64
+	IOs int64 `json:"ios"`
 	// IOLowerBound is Theorem 1's Θ-bound (N/DB)·log(N/B)/log(M/B); the
 	// ratio IOs/IOLowerBound is the constant experiment E1 tracks.
-	IOLowerBound float64
+	IOLowerBound float64 `json:"io_lower_bound"`
 	// PRAMTime and PRAMWork meter the internal processing on P processors.
-	PRAMTime float64
-	PRAMWork float64
+	PRAMTime float64 `json:"pram_time"`
+	PRAMWork float64 `json:"pram_work"`
 	// MaxBucketReadRatio is the Theorem 4 balance measurement.
-	MaxBucketReadRatio float64
+	MaxBucketReadRatio float64 `json:"max_bucket_read_ratio"`
 	// MaxBucketFrac is the partition-element quality measurement.
-	MaxBucketFrac float64
+	MaxBucketFrac float64 `json:"max_bucket_frac"`
 	// Depth and Passes describe the recursion.
-	Depth  int
-	Passes int
+	Depth  int `json:"depth"`
+	Passes int `json:"passes"`
 	// MemPeak is the internal-memory high-water mark in records.
-	MemPeak int
+	MemPeak int `json:"mem_peak"`
 	// IO carries the disk-engine metrics when the sort mounted the I/O
 	// engine (Config.IO.Engine with SortFile); nil otherwise.
-	IO *IOStats
+	IO *IOStats `json:"io,omitempty"`
 	// Scrub carries the post-sort integrity sweep when the sort ran with
 	// Config.Robust.ScrubAfter; nil otherwise.
-	Scrub *ScrubReport
+	Scrub *ScrubReport `json:"scrub,omitempty"`
+	// Trace is the recorded phase timeline when Config.Obs asked for one;
+	// nil otherwise.
+	Trace *Trace `json:"-"`
 }
 
 // Sort runs Balance Sort on a simulated disk array and returns the sorted
@@ -219,6 +230,8 @@ func Sort(recs []Record, cfg Config) (*Result, error) {
 	if cfg.VirtualDisks != 0 && cfg.Disks%cfg.VirtualDisks != 0 {
 		return nil, fmt.Errorf("balancesort: VirtualDisks = %d does not divide Disks = %d", cfg.VirtualDisks, cfg.Disks)
 	}
+	cfg.tracer = cfg.Obs.tracer()
+	cfg.Obs.attach("sort", cfg.tracer)
 
 	arr := pdm.New(p)
 	defer arr.Close()
@@ -246,6 +259,7 @@ func Sort(recs []Record, cfg Config) (*Result, error) {
 		Depth:              m.Depth,
 		Passes:             m.Passes,
 		MemPeak:            m.MemPeak,
+		Trace:              traceFrom(cfg.tracer),
 	}, nil
 }
 

@@ -1,0 +1,68 @@
+package balancesort_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"balancesort"
+)
+
+// TestEmitSortBench writes the standard-geometry sort measurement to
+// BENCH_sort.json at the repository root: model I/O counts against the
+// Theorem 1 lower bound plus host wall time, for Balance Sort and the
+// striped-merge baseline. Gated on EMIT_BENCH so the ordinary test run
+// stays fast and side-effect free; CI sets the variable.
+func TestEmitSortBench(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") == "" {
+		t.Skip("set EMIT_BENCH=1 to emit BENCH_sort.json")
+	}
+	type row struct {
+		Algorithm  string  `json:"algorithm"`
+		Records    int     `json:"records"`
+		IOs        int64   `json:"ios"`
+		IORatio    float64 `json:"io_ratio_vs_lower_bound"`
+		Seconds    float64 `json:"seconds"`
+		RecsPerSec float64 `json:"records_per_sec"`
+	}
+	out := struct {
+		Benchmark string `json:"benchmark"`
+		Geometry  string `json:"geometry"`
+		Workload  string `json:"workload"`
+		Results   []row  `json:"results"`
+	}{Benchmark: "sort_model_costs", Geometry: "D=8 B=64 M=32768", Workload: "uniform"}
+
+	cfg := balancesort.Config{Disks: 8, BlockSize: 64, Memory: 1 << 15}
+	for _, n := range []int{1 << 16, 1 << 18} {
+		for _, algo := range []balancesort.Algorithm{
+			balancesort.AlgoBalanceSort, balancesort.AlgoStripedMerge,
+		} {
+			recs := balancesort.NewWorkload(balancesort.Uniform, n, 42)
+			start := time.Now()
+			res, err := balancesort.SortWith(algo, recs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sec := time.Since(start).Seconds()
+			out.Results = append(out.Results, row{
+				Algorithm:  algo.String(),
+				Records:    n,
+				IOs:        res.IOs,
+				IORatio:    float64(res.IOs) / res.IOLowerBound,
+				Seconds:    sec,
+				RecsPerSec: float64(n) / sec,
+			})
+			t.Logf("%s n=%d: %d IOs (%.2fx bound), %.3fs", algo, n, res.IOs,
+				float64(res.IOs)/res.IOLowerBound, sec)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sort.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_sort.json")
+}

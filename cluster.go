@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"balancesort/internal/cluster"
+	"balancesort/internal/obs"
 )
 
 // WorkerLostError is the typed error for a cluster peer that stayed
@@ -38,6 +39,11 @@ type ClusterConfig struct {
 	DialAttempts int
 	DialBackoff  time.Duration
 	IOTimeout    time.Duration
+	// Obs configures coordinator-side phase tracing. With Obs.Trace set,
+	// every worker also records its phases and ships them back over the
+	// protocol at the end of the job; ClusterResult.Trace is the merged
+	// timeline.
+	Obs ObsConfig
 }
 
 func (c ClusterConfig) dial() cluster.DialConfig {
@@ -51,13 +57,16 @@ func (c ClusterConfig) dial() cluster.DialConfig {
 // ClusterResult reports what a cluster sort moved and how evenly the
 // balancer spread the exchange.
 type ClusterResult struct {
-	Records        int     // records sorted
-	Workers        int     // cluster width W
-	Buckets        int     // S
-	ExchangeBlocks int     // blocks moved by the placement exchange
-	RecvBlocks     []int   // per-worker received blocks (column sums of X)
-	X              [][]int // X[b][h]: blocks of bucket b placed on worker h
-	GatherRecords  []int   // per-worker final shard sizes
+	Records        int     `json:"records"`         // records sorted
+	Workers        int     `json:"workers"`         // cluster width W
+	Buckets        int     `json:"buckets"`         // S
+	ExchangeBlocks int     `json:"exchange_blocks"` // blocks moved by the placement exchange
+	RecvBlocks     []int   `json:"recv_blocks"`     // per-worker received blocks (column sums of X)
+	X              [][]int `json:"x,omitempty"`     // X[b][h]: blocks of bucket b placed on worker h
+	GatherRecords  []int   `json:"gather_records"`  // per-worker final shard sizes
+	// Trace is the merged coordinator+worker timeline when ClusterConfig.Obs
+	// asked for one; nil otherwise.
+	Trace *Trace `json:"-"`
 }
 
 // ClusterSortFile externally sorts the 16-byte-record file inPath into
@@ -67,11 +76,14 @@ type ClusterResult struct {
 // worker that stays unreachable fails the job fast with a *WorkerLostError
 // rather than hanging.
 func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterConfig) (*ClusterResult, error) {
+	tr := cfg.Obs.tracer()
+	cfg.Obs.attach("coordinator", tr)
 	stats, err := cluster.Sort(ctx, inPath, outPath, cluster.SortSpec{
 		Workers:   cfg.Workers,
 		Buckets:   cfg.Buckets,
 		BlockRecs: cfg.BlockRecs,
 		Dial:      cfg.dial(),
+		Trace:     tr,
 	})
 	if err != nil {
 		return nil, err
@@ -84,6 +96,7 @@ func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterCon
 		RecvBlocks:     stats.RecvBlocks,
 		X:              stats.X,
 		GatherRecords:  stats.GatherRecords,
+		Trace:          traceFrom(tr),
 	}, nil
 }
 
@@ -108,6 +121,10 @@ type WorkerOptions struct {
 	// DropAfterBlocks force-closes a peer connection once after that many
 	// sent blocks — fault injection for the retransmit path. 0 disables.
 	DropAfterBlocks int
+	// ObsAddr, when non-empty, serves this worker's Prometheus /metrics
+	// and pprof endpoints on the address for the lifetime of ServeWorker.
+	// Empty opens no listener.
+	ObsAddr string
 }
 
 // ServeWorker runs a cluster worker on ln until ctx is canceled or the
@@ -123,6 +140,14 @@ func ServeWorker(ctx context.Context, ln net.Listener, opt WorkerOptions) error 
 			IOTimeout: opt.IOTimeout,
 		},
 		DropAfterBlocks: opt.DropAfterBlocks,
+	}
+	if opt.ObsAddr != "" {
+		srv := obs.NewServer()
+		if err := srv.Start(opt.ObsAddr); err != nil {
+			return err
+		}
+		defer srv.Close()
+		wcfg.Obs = srv
 	}
 	if !opt.InMemory {
 		sortCfg := opt.Sort

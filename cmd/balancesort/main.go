@@ -12,12 +12,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"balancesort"
@@ -73,8 +75,49 @@ func main() {
 		xblock    = flag.Int("xblock", 0, "cluster exchange block size in records (0 = 2048)")
 		inMem     = flag.Bool("inmem", false, "with -join: sort worker shards in memory instead of the file-backed engine")
 		dropAfter = flag.Int("dropafter", 0, "with -join: force-close a peer connection once after this many sent blocks (fault injection)")
+
+		// Observability (tracing, progress, metrics endpoint).
+		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the sort's phase spans to this file (load at ui.perfetto.dev)")
+		jsonOut   = flag.Bool("json", false, "emit the full result as one JSON line on stdout instead of the human report")
+		progress  = flag.Bool("progress", false, "render live sort/cluster phase events to stderr")
+		obsAddr   = flag.String("obs-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. 127.0.0.1:9100); empty opens no listener")
 	)
 	flag.Parse()
+
+	// obsCfg assembles the observability knobs for the sorting paths; srv
+	// may be nil (no -obs-addr), which attaches nothing.
+	obsCfg := func(srv *balancesort.ObsServer) balancesort.ObsConfig {
+		oc := balancesort.ObsConfig{Trace: *traceFile != "", Server: srv}
+		if *progress {
+			oc.Observer = newProgressRenderer()
+		}
+		return oc
+	}
+	// writeTrace lands the recorded timeline in -trace, if asked for.
+	writeTrace := func(tr *balancesort.Trace) {
+		if *traceFile == "" {
+			return
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("  trace:                 %d spans -> %s\n", len(tr.Spans()), *traceFile)
+		}
+	}
+	emitJSON := func(v any) {
+		if err := json.NewEncoder(os.Stdout).Encode(v); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	fileCfg := func() balancesort.Config {
 		return balancesort.Config{
@@ -120,6 +163,10 @@ func main() {
 			Sort:            fileCfg(),
 			InMemory:        *inMem,
 			DropAfterBlocks: *dropAfter,
+			ObsAddr:         *obsAddr,
+		}
+		if *obsAddr != "" {
+			log.Printf("worker metrics on http://%s/metrics", *obsAddr)
 		}
 		if err := balancesort.ServeWorker(context.Background(), ln, opt); err != nil {
 			log.Fatal(err)
@@ -138,14 +185,25 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		srv, err := balancesort.StartObsServer(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
 		start := time.Now()
 		res, err := balancesort.ClusterSortFile(ctx, *inFile, *outFile, balancesort.ClusterConfig{
 			Workers: workers, Buckets: *cbuckets, BlockRecs: *xblock,
+			Obs: obsCfg(srv),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
+		if *jsonOut {
+			writeTrace(res.Trace)
+			emitJSON(res)
+			return
+		}
 		fmt.Printf("cluster sorted %s -> %s (%d workers, S=%d buckets, %v)\n",
 			*inFile, *outFile, res.Workers, res.Buckets, elapsed.Round(time.Millisecond))
 		fmt.Printf("  records:               %d\n", res.Records)
@@ -155,6 +213,7 @@ func main() {
 				w, res.RecvBlocks[w], res.GatherRecords[w])
 		}
 		fmt.Println("  verification:          OK (checked while streaming out)")
+		writeTrace(res.Trace)
 		return
 	}
 
@@ -219,9 +278,14 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		srv, err := balancesort.StartObsServer(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		cfg.Obs = obsCfg(srv)
 		start := time.Now()
 		var res *balancesort.Result
-		var err error
 		if *resume {
 			res, err = balancesort.ResumeSortFileContext(ctx, *inFile, *outFile, *scratch, cfg)
 		} else {
@@ -231,6 +295,11 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
+		if *jsonOut {
+			writeTrace(res.Trace)
+			emitJSON(res)
+			return
+		}
 		fmt.Printf("externally sorted %s -> %s (D=%d B=%d M=%d, engine=%v, %v)\n",
 			*inFile, *outFile, cfg.Disks, cfg.BlockSize, cfg.Memory, *engine, elapsed.Round(time.Millisecond))
 		fmt.Printf("  parallel I/Os:         %d\n", res.IOs)
@@ -245,6 +314,7 @@ func main() {
 		if *stats {
 			printIOStats(res.IO)
 		}
+		writeTrace(res.Trace)
 		return
 	}
 
@@ -296,12 +366,24 @@ func main() {
 		log.Fatalf("unknown algorithm %q", *algo)
 	}
 
+	srv, err := balancesort.StartObsServer(*obsAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	cfg.Obs = obsCfg(srv)
+
 	res, err := balancesort.SortWith(a, recs, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !balancesort.Verify(recs, res.Records) {
 		log.Fatal("FAILED: output is not the sorted permutation of the input")
+	}
+	if *jsonOut {
+		writeTrace(res.Trace)
+		emitJSON(res)
+		return
 	}
 
 	fmt.Printf("%s: sorted %d %s records (D=%d B=%d M=%d P=%d)\n",
@@ -317,7 +399,46 @@ func main() {
 		fmt.Printf("  memory peak:           %d of %d records\n", res.MemPeak, cfg.Memory)
 	}
 	fmt.Println("  verification:          OK")
+	writeTrace(res.Trace)
 }
+
+// progressRenderer is the -progress Observer: it narrates sort and cluster
+// phase starts/ends to stderr with a run-relative timestamp. The "disk"
+// layer's per-flush spans are deliberately skipped — at one line per device
+// flush they would drown the phase narrative.
+type progressRenderer struct {
+	mu    sync.Mutex
+	start time.Time
+}
+
+func newProgressRenderer() *progressRenderer {
+	return &progressRenderer{start: time.Now()}
+}
+
+func (p *progressRenderer) stamp() time.Duration {
+	return time.Since(p.start).Round(time.Millisecond)
+}
+
+func (p *progressRenderer) SpanStart(layer, name string, id int) {
+	if layer == "disk" {
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintf(os.Stderr, "[%9s] > %s/%s #%d\n", p.stamp(), layer, name, id)
+	p.mu.Unlock()
+}
+
+func (p *progressRenderer) SpanEnd(s balancesort.Span) {
+	if s.Layer == "disk" {
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintf(os.Stderr, "[%9s] < %s/%s #%d (%s)\n",
+		p.stamp(), s.Layer, s.Name, s.ID, s.Dur.Round(time.Microsecond))
+	p.mu.Unlock()
+}
+
+func (p *progressRenderer) Count(layer, name string, id int, delta int64) {}
 
 // printIOStats renders the engine's per-disk metrics table for -stats.
 func printIOStats(s *balancesort.IOStats) {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"balancesort/internal/matching"
+	"balancesort/internal/obs"
 	"balancesort/internal/record"
 	"balancesort/internal/selection"
 )
@@ -67,6 +68,10 @@ type Config struct {
 	Match MatchStrategy // Rearrange matching algorithm
 	Seed  uint64        // seed for MatchRandomized
 	TCost matching.TCost
+	// Trace, when non-nil, records a "repair-rearrange" span per Rearrange
+	// call (the Algorithm 5-7 repair step) under the "sort" layer. Nil is
+	// free and changes nothing observable.
+	Trace *obs.Tracer
 }
 
 // Stats counts the balancing work performed, for experiments E4/E12/E13/E15.
@@ -297,6 +302,7 @@ func (bl *Balancer) PlaceTrack(buckets []int) (writes []Placement, carry []int) 
 // entries are deleted from twoCols. The returned placements share one write
 // round (one parallel memory reference).
 func (bl *Balancer) rearrange(buckets, assigned []int, twoCols map[int]int, round int) []Placement {
+	sp := bl.cfg.Trace.Begin("sort", "repair-rearrange", 0)
 	cols := sortedKeys(twoCols)
 	// U is at most ⌊H/2⌋ columns ("the next ⌊H'/2⌋ 2s").
 	if len(cols) > bl.cfg.H/2 {
@@ -340,6 +346,11 @@ func (bl *Balancer) rearrange(buckets, assigned []int, twoCols map[int]int, roun
 		delete(twoCols, h)
 		bl.stats.RearrangeMoves++
 	}
+	sp.End(
+		obs.Attr{Key: "round", Val: int64(round)},
+		obs.Attr{Key: "twos", Val: int64(len(cols))},
+		obs.Attr{Key: "moved", Val: int64(len(moved))},
+	)
 	return moved
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"balancesort/internal/balance"
+	"balancesort/internal/obs"
 	"balancesort/internal/record"
 )
 
@@ -24,6 +25,25 @@ type SortSpec struct {
 	BlockRecs int
 	// Dial tunes connection retry/backoff and per-op timeouts.
 	Dial DialConfig
+	// Trace, when non-nil, records a span per coordinator phase (see
+	// CoordinatorPhases) and asks every worker — via the Hello trace flag —
+	// to record its own phase spans and ship them back after the drain.
+	// Worker spans are rebased onto this tracer's epoch and merged, so
+	// Trace ends up holding the whole job's timeline: node 0 is the
+	// coordinator, node w+1 is worker w.
+	Trace *obs.Tracer
+}
+
+// CoordinatorPhases are the span names the coordinator records under the
+// "cluster" layer, in phase order.
+var CoordinatorPhases = []string{
+	"scatter", "histogram-merge", "plan", "exchange", "gather", "local-sort", "drain",
+}
+
+// WorkerPhases are the span names each worker records under the "cluster"
+// layer, in phase order.
+var WorkerPhases = []string{
+	"scatter-recv", "histogram", "partition-counts", "exchange", "gather", "shard-sort", "drain",
 }
 
 // scatterChunk is the record count of one scatter/drain frame.
@@ -59,20 +79,20 @@ func (s SortSpec) withDefaults() (SortSpec, error) {
 // SortStats reports what a completed cluster sort moved and how evenly the
 // balancer spread it.
 type SortStats struct {
-	Records int // records sorted
-	Workers int // cluster width W
-	Buckets int // S
+	Records int `json:"records"` // records sorted
+	Workers int `json:"workers"` // cluster width W
+	Buckets int `json:"buckets"` // S
 
 	// ExchangeBlocks is the total block count of the placement exchange;
 	// RecvBlocks[h] is how many of them worker h received (the column sums
 	// of X). X[b][h] is the full histogram matrix — blocks of bucket b
 	// placed on worker h — on which Invariant 2 (x_bh <= m_b + 1) holds.
-	ExchangeBlocks int
-	RecvBlocks     []int
-	X              [][]int
+	ExchangeBlocks int     `json:"exchange_blocks"`
+	RecvBlocks     []int   `json:"recv_blocks"`
+	X              [][]int `json:"x,omitempty"`
 
 	// GatherRecords[h] is the shard size worker h locally sorted.
-	GatherRecords []int
+	GatherRecords []int `json:"gather_records"`
 }
 
 // link is one framed coordinator<->worker control connection.
@@ -185,12 +205,18 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 		}
 	}()
 
+	tr := spec.Trace
+	var flags uint32
+	if tr != nil {
+		flags |= helloFlagTrace
+	}
 	jobID := uint64(time.Now().UnixNano())
 	for i, l := range links {
 		h := msgHello{
 			Version: protocolVersion, JobID: jobID,
 			Worker: uint32(i), Workers: uint32(W),
 			S: uint32(S), BlockRecs: uint32(spec.BlockRecs),
+			Flags: flags,
 			Peers: spec.Workers,
 		}
 		if err := l.send(mHello, h.encode()); err != nil {
@@ -202,6 +228,7 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 	}
 
 	// Scatter: stream the input round-robin, one chunk per frame.
+	spScatter := tr.Begin("cluster", "scatter", 0)
 	perWorker := make([]uint64, W)
 	buf := make([]byte, scatterChunk*record.EncodedSize)
 	r := bufio.NewReaderSize(in, 1<<16)
@@ -226,8 +253,10 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 			return nil, fmt.Errorf("cluster: finishing scatter to worker %d: %w", i, err)
 		}
 	}
+	spScatter.End(obs.Attr{Key: "records", Val: int64(n)}, obs.Attr{Key: "workers", Val: int64(W)})
 
 	// Histograms -> deterministic pivots.
+	spHist := tr.Begin("cluster", "histogram-merge", 0)
 	merged := make([]uint64, histBins)
 	for i, l := range links {
 		payload, err := l.expect(mHistogram, true)
@@ -249,6 +278,9 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 			return nil, fmt.Errorf("cluster: pivots to worker %d: %w", i, err)
 		}
 	}
+	spHist.End(obs.Attr{Key: "pivots", Val: int64(len(pivots))})
+
+	spPlan := tr.Begin("cluster", "plan", 0)
 
 	// Per-bucket record counts from every worker.
 	counts := make([][]uint64, W)
@@ -356,9 +388,11 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 			return nil, fmt.Errorf("cluster: plan to worker %d: %w", i, err)
 		}
 	}
+	spPlan.End(obs.Attr{Key: "blocks", Val: int64(len(stream))}, obs.Attr{Key: "buckets", Val: int64(S)})
 
 	// Exchange barrier: every worker has sent its blocks (all acked) and
 	// received exactly what the plan promised it.
+	spExchange := tr.Begin("cluster", "exchange", 0)
 	for i, l := range links {
 		payload, err := l.expect(mPhaseDone, true)
 		if err != nil {
@@ -373,6 +407,8 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 				i, d.BlocksRecv, expectRecv[i])
 		}
 	}
+	spExchange.End(obs.Attr{Key: "blocks", Val: int64(len(stream))})
+	spGather := tr.Begin("cluster", "gather", 0)
 	for i, l := range links {
 		if err := l.send(mStartGather, nil); err != nil {
 			return nil, fmt.Errorf("cluster: starting gather on worker %d: %w", i, err)
@@ -392,8 +428,10 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 				i, d.RecsRecv, expectGather[i])
 		}
 	}
+	spGather.End()
 
 	// Local sorts.
+	spSort := tr.Begin("cluster", "local-sort", 0)
 	for i, l := range links {
 		if err := l.send(mSortReq, nil); err != nil {
 			return nil, fmt.Errorf("cluster: sort request to worker %d: %w", i, err)
@@ -412,11 +450,24 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 			return nil, fmt.Errorf("cluster: worker %d sorted %d of %d records", i, c.Count, expectGather[i])
 		}
 	}
+	spSort.End()
 
 	// Drain shards in owner order, verifying global sortedness and record
 	// conservation while streaming, exactly like the single-process path.
+	spDrain := tr.Begin("cluster", "drain", 0)
 	if err := drainShards(links, outPath, n, expectGather); err != nil {
 		return nil, err
+	}
+	spDrain.End(obs.Attr{Key: "records", Val: int64(n)})
+
+	// Collect worker traces and merge them into the job timeline before
+	// saying goodbye: node 0 is the coordinator, node w+1 is worker w.
+	if tr != nil {
+		for i, l := range links {
+			if err := collectTrace(l, tr, i); err != nil {
+				return nil, fmt.Errorf("cluster: trace from worker %d: %w", i, err)
+			}
+		}
 	}
 
 	for _, l := range links {
@@ -437,6 +488,43 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 		stats.GatherRecords[w] = int(expectGather[w])
 	}
 	return stats, nil
+}
+
+// collectTrace requests worker w's recorded spans and merges them into tr,
+// rebasing the worker tracer's epoch (shipped as wall-clock UnixNano) onto
+// the coordinator's. Wall clocks are only used for the epoch shift — span
+// offsets themselves are monotonic — so cross-machine skew displaces a
+// worker's track but never distorts durations.
+func collectTrace(l *link, tr *obs.Tracer, w int) error {
+	if err := l.send(mTraceReq, nil); err != nil {
+		return err
+	}
+	coordEpoch := tr.Epoch().UnixNano()
+	for {
+		typ, payload, err := l.recv(true)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case mTrace:
+			var m msgTrace
+			if err := m.decode(payload); err != nil {
+				return err
+			}
+			shift := time.Duration(int64(m.EpochNanos) - coordEpoch)
+			tr.Merge(m.Spans, shift, w+1)
+		case mTraceDone:
+			return nil
+		case mError:
+			var e msgError
+			if derr := e.decode(payload); derr != nil {
+				return derr
+			}
+			return wireToError(&e)
+		default:
+			return fmt.Errorf("cluster: unexpected message %d during trace collection", typ)
+		}
+	}
 }
 
 // drainShards pulls every worker's sorted shard in order into outPath,

@@ -3,13 +3,16 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
+	"balancesort/internal/obs"
 	"balancesort/internal/record"
 )
 
 // protocolVersion is bumped on any incompatible wire change; Hello carries
-// it and mismatches abort the handshake before any data moves.
-const protocolVersion = 1
+// it and mismatches abort the handshake before any data moves. Version 2
+// added the Hello Flags word and the trace-collection messages.
+const protocolVersion = 2
 
 // Message types. Coordinator<->worker control messages and worker<->worker
 // block messages share one frame namespace so a single decoder serves both.
@@ -34,6 +37,16 @@ const (
 	mBlock
 	mBlockAck
 	mError
+	mTraceReq
+	mTrace
+	mTraceDone
+)
+
+// Hello flag bits.
+const (
+	// helloFlagTrace asks the worker to record phase spans for the job and
+	// ship them back when the coordinator sends mTraceReq after the drain.
+	helloFlagTrace uint32 = 1 << 0
 )
 
 // histBins is the resolution of the per-worker key histograms the
@@ -142,6 +155,7 @@ type msgHello struct {
 	Workers   uint32 // cluster width W
 	S         uint32 // bucket count
 	BlockRecs uint32 // records per exchange block
+	Flags     uint32 // helloFlag* bits
 	Peers     []string
 }
 
@@ -153,6 +167,7 @@ func (m *msgHello) encode() []byte {
 	w.u32(m.Workers)
 	w.u32(m.S)
 	w.u32(m.BlockRecs)
+	w.u32(m.Flags)
 	w.u32(uint32(len(m.Peers)))
 	for _, p := range m.Peers {
 		w.str(p)
@@ -168,6 +183,7 @@ func (m *msgHello) decode(p []byte) error {
 	m.Workers = r.u32()
 	m.S = r.u32()
 	m.BlockRecs = r.u32()
+	m.Flags = r.u32()
 	n := int(r.u32())
 	if n > maxWorkers {
 		return fmt.Errorf("cluster: hello lists %d peers", n)
@@ -498,5 +514,74 @@ func (m *msgError) decode(p []byte) error {
 	m.Worker = r.u32()
 	m.Addr = r.str()
 	m.Text = r.str()
+	return r.done()
+}
+
+// traceChunkSpans bounds spans per mTrace frame. A span is ~60 bytes on
+// the wire with typical names, so 8192 spans stay well under the 2 MiB
+// MaxFramePayload even with generous attribute lists.
+const traceChunkSpans = 8192
+
+// msgTrace ships one chunk of a worker's recorded spans back to the
+// coordinator. EpochNanos is the worker tracer's epoch as wall-clock
+// UnixNano, which the coordinator uses to rebase span offsets onto its
+// own epoch before merging into the job timeline.
+type msgTrace struct {
+	EpochNanos uint64
+	Spans      []obs.Span
+}
+
+func (m *msgTrace) encode() []byte {
+	var w wcur
+	w.u64(m.EpochNanos)
+	w.u32(uint32(len(m.Spans)))
+	for _, s := range m.Spans {
+		w.str(s.Layer)
+		w.str(s.Name)
+		w.u32(uint32(s.ID))
+		w.u64(uint64(s.Start))
+		w.u64(uint64(s.Dur))
+		w.u32(uint32(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			w.str(a.Key)
+			w.u64(uint64(a.Val))
+		}
+	}
+	return w.b
+}
+
+func (m *msgTrace) decode(p []byte) error {
+	r := rcur{b: p}
+	m.EpochNanos = r.u64()
+	n := int(r.u32())
+	// A span is at least 32 bytes (two empty strings, id, start, dur,
+	// attr count); bound before allocating so a hostile count cannot
+	// balloon memory.
+	if n < 0 || n > (len(p)-r.off)/32 {
+		return fmt.Errorf("cluster: trace chunk claims %d spans in %d bytes", n, len(p))
+	}
+	m.Spans = make([]obs.Span, 0, n)
+	for i := 0; i < n && !r.bad; i++ {
+		var s obs.Span
+		s.Layer = r.str()
+		s.Name = r.str()
+		s.ID = int(r.u32())
+		s.Start = time.Duration(r.u64())
+		s.Dur = time.Duration(r.u64())
+		na := int(r.u32())
+		if na < 0 || na > (len(p)-r.off)/12 {
+			return fmt.Errorf("cluster: trace span claims %d attrs", na)
+		}
+		if na > 0 {
+			s.Attrs = make([]obs.Attr, 0, na)
+			for j := 0; j < na && !r.bad; j++ {
+				var a obs.Attr
+				a.Key = r.str()
+				a.Val = int64(r.u64())
+				s.Attrs = append(s.Attrs, a)
+			}
+		}
+		m.Spans = append(m.Spans, s)
+	}
 	return r.done()
 }

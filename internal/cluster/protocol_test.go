@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+	"time"
+
+	"balancesort/internal/obs"
 )
 
 // roundTrip encodes m, decodes into fresh, and compares. Every message type
@@ -69,6 +72,15 @@ func TestMessageRoundTrips(t *testing.T) {
 	roundTrip(t, "block", &msgBlock{Phase: 1, Src: 2, Bucket: 3, Seq: 4, Data: make([]byte, 64)}, &msgBlock{})
 	roundTrip(t, "blockack", &msgBlockAck{Phase: 1, Bucket: 3, Seq: 4}, &msgBlockAck{})
 	roundTrip(t, "error", &msgError{Code: ecWorkerLost, Worker: 2, Addr: "h:1", Text: "gone"}, &msgError{})
+	roundTrip(t, "trace", &msgTrace{
+		EpochNanos: 0x1122334455667788,
+		Spans: []obs.Span{
+			{Layer: "cluster", Name: "exchange", ID: 3, Start: 5 * time.Millisecond, Dur: time.Millisecond,
+				Attrs: []obs.Attr{{Key: "blocks", Val: 12}, {Key: "neg", Val: -7}}},
+			{Layer: "sort", Name: "base-case", Start: time.Microsecond, Dur: time.Microsecond},
+		},
+	}, &msgTrace{})
+	roundTrip(t, "trace-empty", &msgTrace{EpochNanos: 1}, &msgTrace{})
 }
 
 func TestBlockRejectsPartialRecords(t *testing.T) {

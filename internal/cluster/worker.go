@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"balancesort/internal/obs"
 	"balancesort/internal/record"
 )
 
@@ -38,6 +39,12 @@ type WorkerConfig struct {
 	// have been sent to peers, the worker force-closes that connection
 	// once, exercising the redial/retransmit/dedup path. 0 disables.
 	DropAfterBlocks int
+	// Obs, when non-nil, receives each job's tracer under the key "job",
+	// so the worker's /metrics endpoint exposes live phase histograms and
+	// event counts. Independent of the Hello trace flag: a worker can
+	// serve metrics even when the coordinator is not collecting traces,
+	// and ship traces without serving metrics.
+	Obs *obs.Server
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -255,6 +262,7 @@ type session struct {
 	dir       string
 	dial      DialConfig
 	ctx       context.Context
+	trace     *obs.Tracer // non-nil when the Hello trace flag or cfg.Obs asked for it
 
 	// Control-plane state, touched only by the job goroutine.
 	shardRecs uint64
@@ -304,6 +312,12 @@ func newSession(w *Worker, h *msgHello) (*session, error) {
 		seen:      make(map[blockKey]struct{}),
 		exIndex:   make(map[int][]blockLoc),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	if h.Flags&helloFlagTrace != 0 || w.cfg.Obs != nil {
+		s.trace = obs.New(0, nil)
+		if w.cfg.Obs != nil {
+			w.cfg.Obs.SetTracer("job", s.trace)
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	var err error
@@ -446,6 +460,12 @@ func (s *session) storeBlock(b *msgBlock) error {
 	}
 	s.seen[key] = struct{}{}
 	s.cond.Broadcast()
+	switch b.Phase {
+	case 1:
+		s.trace.Count("cluster", "blocks-received", s.self, 1)
+	case 2:
+		s.trace.Count("cluster", "records-gathered", s.self, int64(len(b.Data)/record.EncodedSize))
+	}
 	return nil
 }
 
@@ -661,11 +681,14 @@ func (s *session) run(ctl *link) error {
 	}
 
 	// Scatter: stream the coordinator's chunks into the shard file.
+	spScatter := s.trace.Begin("cluster", "scatter-recv", s.self)
 	if err := s.recvScatter(ctl); err != nil {
 		return err
 	}
+	spScatter.End(obs.Attr{Key: "records", Val: int64(s.shardRecs)})
 
 	// Histogram over the shard.
+	spHist := s.trace.Begin("cluster", "histogram", s.self)
 	bins, err := s.scanHistogram()
 	if err != nil {
 		return err
@@ -673,6 +696,7 @@ func (s *session) run(ctl *link) error {
 	if err := ctl.send(mHistogram, (&msgHistogram{Bins: bins}).encode()); err != nil {
 		return err
 	}
+	spHist.End()
 
 	// Pivots, then per-bucket counts.
 	payload, err := ctl.expect(mPivots, true)
@@ -687,6 +711,7 @@ func (s *session) run(ctl *link) error {
 		return fmt.Errorf("cluster: %d pivots for S=%d", len(pv.Pivots), s.s)
 	}
 	s.pivots = pv.Pivots
+	spCounts := s.trace.Begin("cluster", "partition-counts", s.self)
 	cnts, err := s.scanCounts()
 	if err != nil {
 		return err
@@ -694,6 +719,7 @@ func (s *session) run(ctl *link) error {
 	if err := ctl.send(mCounts, (&msgCounts{PerBucket: cnts}).encode()); err != nil {
 		return err
 	}
+	spCounts.End(obs.Attr{Key: "buckets", Val: int64(s.s)})
 
 	// Plan.
 	payload, err = ctl.expect(mPlan, true)
@@ -711,6 +737,7 @@ func (s *session) run(ctl *link) error {
 
 	// Exchange: partition the shard into balancer-placed blocks while
 	// receiving everyone else's.
+	spEx := s.trace.Begin("cluster", "exchange", s.self)
 	sent, err := s.runSenders(1, s.produceExchange)
 	if err != nil {
 		return err
@@ -725,11 +752,16 @@ func (s *session) run(ctl *link) error {
 	if err := ctl.send(mPhaseDone, done.encode()); err != nil {
 		return err
 	}
+	spEx.End(
+		obs.Attr{Key: "blocks-sent", Val: int64(sent)},
+		obs.Attr{Key: "blocks-recv", Val: int64(recvBlocks)},
+	)
 
 	// Gather: push every stored block to its bucket's owner.
 	if _, err := ctl.expect(mStartGather, true); err != nil {
 		return err
 	}
+	spGather := s.trace.Begin("cluster", "gather", s.self)
 	sent, err = s.runSenders(2, s.produceGather)
 	if err != nil {
 		return err
@@ -744,15 +776,18 @@ func (s *session) run(ctl *link) error {
 	if err := ctl.send(mPhaseDone, done.encode()); err != nil {
 		return err
 	}
+	spGather.End(obs.Attr{Key: "records", Val: int64(gatherRecs)})
 
 	// Local sort of the final shard.
 	if _, err := ctl.expect(mSortReq, true); err != nil {
 		return err
 	}
+	spSort := s.trace.Begin("cluster", "shard-sort", s.self)
 	count, err := s.sortShard()
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d local sort: %w", s.self, err)
 	}
+	spSort.End(obs.Attr{Key: "records", Val: int64(count)})
 	if count != plan.ExpectGatherRecs {
 		return fmt.Errorf("cluster: worker %d sorted %d of %d records", s.self, count, plan.ExpectGatherRecs)
 	}
@@ -764,16 +799,48 @@ func (s *session) run(ctl *link) error {
 	if _, err := ctl.expect(mFetch, true); err != nil {
 		return err
 	}
+	spDrain := s.trace.Begin("cluster", "drain", s.self)
 	if err := s.sendSorted(ctl, count); err != nil {
 		return err
 	}
+	spDrain.End(obs.Attr{Key: "records", Val: int64(count)})
 
-	// Bye (or the coordinator just closing the connection) ends the job.
-	typ, _, err := ctl.recv(true)
-	if err == nil && typ != mBye {
-		return fmt.Errorf("cluster: unexpected message %d after drain", typ)
+	// The coordinator may now collect this worker's trace; then Bye (or
+	// the coordinator just closing the connection) ends the job.
+	for {
+		typ, _, err := ctl.recv(true)
+		if err != nil || typ == mBye {
+			return nil
+		}
+		switch typ {
+		case mTraceReq:
+			if err := s.sendTrace(ctl); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: unexpected message %d after drain", typ)
+		}
 	}
-	return nil
+}
+
+// sendTrace ships every locally recorded span to the coordinator in bounded
+// chunks, tagged with this worker's epoch so the coordinator can rebase the
+// offsets onto its own timeline, and finishes with mTraceDone.
+func (s *session) sendTrace(ctl *link) error {
+	spans := s.trace.Spans()
+	epoch := uint64(s.trace.Epoch().UnixNano())
+	for len(spans) > 0 {
+		n := traceChunkSpans
+		if n > len(spans) {
+			n = len(spans)
+		}
+		m := msgTrace{EpochNanos: epoch, Spans: spans[:n]}
+		if err := ctl.send(mTrace, m.encode()); err != nil {
+			return err
+		}
+		spans = spans[n:]
+	}
+	return ctl.send(mTraceDone, nil)
 }
 
 // recvScatter streams the coordinator's record chunks into the shard file.

@@ -12,6 +12,7 @@ import (
 
 	"balancesort/internal/balance"
 	"balancesort/internal/matching"
+	"balancesort/internal/obs"
 	"balancesort/internal/pdm"
 	"balancesort/internal/pram"
 	"balancesort/internal/record"
@@ -61,6 +62,13 @@ type DiskConfig struct {
 	// the k-th Checkpoint call of this run, after the step's work is done
 	// — so exactly that step's work is lost and must be redone on resume.
 	CrashAfterCommits int
+	// Trace, when non-nil, records a span per work-list step ("base-case",
+	// "distribute-pass") and per distribution sub-phase ("run-formation",
+	// "partition-elements", "distribute-tracks") under the "sort" layer,
+	// and is forwarded to the balancer for repair spans. Nil is free and
+	// cannot perturb the model I/O counts — tracing is pure host-side
+	// timekeeping.
+	Trace *obs.Tracer
 }
 
 // InternalSort selects how memoryloads are sorted in internal memory.
@@ -264,10 +272,15 @@ func (ds *DiskSorter) Resume(done []Region, work []SourceDesc, prior Metrics) []
 			continue
 		}
 		if n <= ds.memload {
+			sp := ds.cfg.Trace.Begin("sort", "base-case", 0)
 			done = append(done, ds.baseCase(src))
+			sp.End(obs.Attr{Key: "depth", Val: int64(d.Depth)}, obs.Attr{Key: "n", Val: int64(n)})
 		} else {
+			sp := ds.cfg.Trace.Begin("sort", "distribute-pass", 0)
 			work = append(ds.distribute(src, d.Depth), work...)
+			sp.End(obs.Attr{Key: "depth", Val: int64(d.Depth)}, obs.Attr{Key: "n", Val: int64(n)})
 		}
+		ds.cfg.Trace.Count("sort", "records-moved", 0, int64(n))
 		ds.refreshMetrics(prior)
 		commits++
 		if ds.cfg.CrashAfterCommits > 0 && commits == ds.cfg.CrashAfterCommits {
@@ -356,6 +369,7 @@ func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
 	ds.met.Passes++
 
 	// --- Phase 1: memoryload runs + evenly spaced sampling ---------------
+	phase1 := ds.cfg.Trace.Begin("sort", "run-formation", 0)
 	stride := (4*n + ds.arr.M() - 1) / ds.arr.M() // sample size <= M/4
 	if stride < 4 {
 		stride = 4
@@ -400,8 +414,10 @@ func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
 		runs = append(runs, ds.writeStriped(load))
 		ds.arr.Mem.Release(want)
 	}
+	phase1.End(obs.Attr{Key: "runs", Val: int64(len(runs))}, obs.Attr{Key: "sample", Val: int64(len(sample))})
 
 	// --- Phase 2: partition elements from the sample ---------------------
+	phase2 := ds.cfg.Trace.Begin("sort", "partition-elements", 0)
 	ds.internalSort(sample)
 	s := ds.s
 	pivots := make([]record.Record, 0, s-1)
@@ -418,8 +434,10 @@ func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
 	ds.arr.Mem.Release(len(sample))
 	sample = nil
 	ds.arr.Mem.Use(len(pivots))
+	phase2.End(obs.Attr{Key: "pivots", Val: int64(len(pivots))})
 
 	// --- Phase 3: balanced distribution into block chains ----------------
+	phase3 := ds.cfg.Trace.Begin("sort", "distribute-tracks", 0)
 	h := ds.vd.V()
 	vb := ds.vd.VB()
 	pl := ds.newPlacer(s, h)
@@ -517,6 +535,11 @@ func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
 	ds.met.Balance.MatchTime += bs.MatchTime
 	ds.met.Balance.ExtraWriteSteps += bs.ExtraWriteSteps
 	ds.cpu.Charge(0, bs.MatchTime)
+	phase3.End(
+		obs.Attr{Key: "buckets", Val: int64(s)},
+		obs.Attr{Key: "tracks", Val: int64(bs.Tracks)},
+		obs.Attr{Key: "carried", Val: int64(bs.BlocksCarried)},
+	)
 
 	for b := 0; b < s; b++ {
 		if counts[b] > 0 {

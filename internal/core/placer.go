@@ -22,6 +22,7 @@ func (ds *DiskSorter) newPlacer(s, h int) placer {
 			Match: ds.cfg.Match,
 			Seed:  ds.cfg.Seed,
 			TCost: ds.cfg.TCost,
+			Trace: ds.cfg.Trace,
 		})}
 	case PlacementRandom:
 		return &randomPlacer{h: h, rng: record.NewRNG(ds.cfg.Seed ^ 0x5eed)}

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"balancesort/internal/obs"
 )
 
 // Device is the raw storage one disk worker drives. *os.File satisfies it;
@@ -78,6 +80,12 @@ type Config struct {
 	// drained (a submitted request always gets its reply), so a canceled
 	// engine still closes cleanly.
 	Context context.Context
+	// Trace, when non-nil, records write-behind flush and breaker-cooldown
+	// spans plus retry/fault/breaker-trip/queue-full event counts under the
+	// "disk" layer, keyed by disk id. The nil default costs nothing: every
+	// tracer method on nil is a no-op, and the engine never counts model
+	// I/Os, so tracing cannot perturb a measured experiment.
+	Trace *obs.Tracer
 	// Fault configures the injection layer. Zero value injects nothing.
 	Fault FaultConfig
 }
@@ -336,6 +344,7 @@ func (w *worker) submit(r *request) error {
 	}
 	// Queue full: wait, but give up if the engine's context is canceled so
 	// a stalled disk cannot wedge a cancelled sort.
+	w.cfg.Trace.Count("disk", "queue-full", w.id, 1)
 	select {
 	case w.demand <- r:
 		return nil
@@ -477,7 +486,9 @@ func (w *worker) flushWB() error {
 	run := w.wb
 	off := w.wbStart * int64(w.cfg.BlockBytes)
 	w.wb = w.wb[:0]
+	sp := w.cfg.Trace.Begin("disk", "flush", w.id)
 	err := w.withRetry(func() error { return w.deviceWrite(run, off) })
+	sp.End(obs.Attr{Key: "blocks", Val: int64(len(run) / w.cfg.BlockBytes)})
 	if err == nil {
 		w.m.flushes.Add(1)
 	}
@@ -562,13 +573,18 @@ func (w *worker) withRetry(op func() error) error {
 		w.consecFails++
 		if w.consecFails >= w.cfg.BreakerThreshold {
 			w.m.breakerTrips.Add(1)
+			w.cfg.Trace.Count("disk", "breaker-trip", w.id, 1)
 			w.consecFails = 0
 			w.consecTrips++
 			if w.cfg.FailThreshold > 0 && w.consecTrips >= int64(w.cfg.FailThreshold) {
 				w.failed = &DiskFailedError{Disk: w.id, Trips: w.m.breakerTrips.Load(), Err: err}
+				w.cfg.Trace.Count("disk", "disk-failed", w.id, 1)
 				return w.failed
 			}
-			if serr := w.sleep(w.cfg.BreakerCooldown); serr != nil {
+			sp := w.cfg.Trace.Begin("disk", "breaker-cooldown", w.id)
+			serr := w.sleep(w.cfg.BreakerCooldown)
+			sp.End()
+			if serr != nil {
 				return serr
 			}
 		}
@@ -576,6 +592,7 @@ func (w *worker) withRetry(op func() error) error {
 			return err
 		}
 		w.m.retries.Add(1)
+		w.cfg.Trace.Count("disk", "retry", w.id, 1)
 		if serr := w.sleep(backoff); serr != nil {
 			return serr
 		}
@@ -609,6 +626,7 @@ func (w *worker) deviceRead(dst []byte, off int64) error {
 		w.inj.jitter()
 		if w.inj.failRead() {
 			w.m.faults.Add(1)
+			w.cfg.Trace.Count("disk", "fault", w.id, 1)
 			return ErrInjected
 		}
 	}
@@ -625,6 +643,7 @@ func (w *worker) deviceWrite(src []byte, off int64) error {
 		w.inj.jitter()
 		if fail, torn := w.inj.failWrite(); fail {
 			w.m.faults.Add(1)
+			w.cfg.Trace.Count("disk", "fault", w.id, 1)
 			if torn && len(src) >= 2 {
 				// A torn write: half the payload reaches the platter
 				// before the fault. The retry must overwrite it fully.

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format's JSON array
+// ("X" complete events and "M" metadata events are the only kinds we
+// emit). ts and dur are microseconds; pid is the node (coordinator = 0,
+// worker w = w+1) and tid the per-layer worker/disk id, which is how the
+// viewer groups spans into process and thread tracks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes the spans as Chrome trace_event JSON, loadable
+// in Perfetto / chrome://tracing. Node 0 is labeled "coordinator" and node
+// n "worker n-1" via process_name metadata events.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	nodes := map[int]bool{}
+	for _, s := range spans {
+		nodes[s.Node] = true
+	}
+	nodeList := make([]int, 0, len(nodes))
+	for n := range nodes {
+		nodeList = append(nodeList, n)
+	}
+	sort.Ints(nodeList)
+
+	evs := make([]chromeEvent, 0, len(spans)+len(nodeList))
+	for _, n := range nodeList {
+		name := "coordinator"
+		if n > 0 {
+			name = "worker " + strconv.Itoa(n-1)
+		}
+		evs = append(evs, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  n,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Layer,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  s.Node,
+			Tid:  s.ID,
+		}
+		if len(s.Attrs) > 0 {
+			args := make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Val
+			}
+			ev.Args = args
+		}
+		evs = append(evs, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs})
+}

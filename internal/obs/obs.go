@@ -1,0 +1,314 @@
+// Package obs is the zero-dependency tracing and metrics layer shared by
+// the sort core, the disk engine, and the cluster runtime. It answers the
+// question the end-of-run counters cannot: *where does the time go* inside
+// a distribute pass, a matching round, or a cluster phase.
+//
+// The design goals, in order:
+//
+//   - Off means off. A nil *Tracer is a valid tracer whose every method is
+//     a no-op; instrumentation sites never check for enablement. Model
+//     parallel-I/O counts and sorted bytes are identical with tracing on
+//     (pinned by the parity tests in the root package).
+//   - Allocation-frugal when on. Spans land in a fixed-capacity ring
+//     buffer under one mutex; starting a span allocates nothing (Active is
+//     a value), and per-phase duration histograms use fixed log2 buckets.
+//   - One timeline. Worker tracers in cluster mode ship their spans back
+//     over the framed protocol; Merge rebases them onto the coordinator's
+//     epoch so a single Chrome trace shows every process.
+//
+// Exporters live alongside: chrome.go writes Chrome trace_event JSON
+// (Perfetto-loadable), prom.go writes Prometheus text exposition, and
+// server.go serves /metrics plus net/http/pprof.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one integer-valued span attribute (pass number, depth, record
+// count, bucket count, ...). Integer-only keeps encoding and merging
+// trivial and allocation cheap.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// Span is one completed phase. Start is an offset from the owning tracer's
+// epoch (monotonic), not a wall-clock time, so spans from different
+// processes can be rebased onto one timeline with a single shift.
+type Span struct {
+	Layer string        `json:"layer"` // "sort", "disk", "cluster"
+	Name  string        `json:"name"`  // phase name, e.g. "distribute-pass"
+	Node  int           `json:"node"`  // 0 = this process/coordinator, w+1 = cluster worker w
+	ID    int           `json:"id"`    // worker/disk id within the layer
+	Start time.Duration `json:"start"` // offset from the tracer epoch
+	Dur   time.Duration `json:"dur"`   // span duration
+	Attrs []Attr        `json:"attrs,omitempty"`
+}
+
+// Observer receives live phase events as they happen — the hook behind the
+// CLI's -progress renderer. Callbacks run on the instrumented goroutine and
+// must be fast; they are invoked only for spans and counts produced
+// locally, not for spans merged in from remote tracers.
+type Observer interface {
+	// SpanStart fires when a phase begins.
+	SpanStart(layer, name string, id int)
+	// SpanEnd fires when a phase completes.
+	SpanEnd(s Span)
+	// Count fires on every event-counter increment (records moved,
+	// retries, breaker trips, ...).
+	Count(layer, name string, id int, delta int64)
+}
+
+// DefaultCapacity is the span ring size used when New is given cap <= 0.
+const DefaultCapacity = 1 << 14
+
+// HistBuckets is the number of log2 duration-histogram buckets: bucket i
+// counts spans with duration <= 1µs<<i for i < HistBuckets-1, and the last
+// bucket is unbounded (+Inf). 1µs<<20 ≈ 1.05s, so everything from a single
+// block transfer to a full pass lands in a meaningful bucket.
+const HistBuckets = 22
+
+// HistBound returns the upper bound of histogram bucket i; the last bucket
+// has no bound and returns a negative sentinel.
+func HistBound(i int) time.Duration {
+	if i >= HistBuckets-1 {
+		return -1
+	}
+	return time.Microsecond << i
+}
+
+// HistSnapshot is one (layer, phase) duration histogram.
+type HistSnapshot struct {
+	Layer  string
+	Name   string
+	Counts [HistBuckets]int64
+	Sum    time.Duration
+	N      int64
+}
+
+// CountSnapshot is one (layer, event) counter value.
+type CountSnapshot struct {
+	Layer string
+	Name  string
+	Val   int64
+}
+
+type statKey struct {
+	layer, name string
+}
+
+type hist struct {
+	counts [HistBuckets]int64
+	sum    time.Duration
+	n      int64
+}
+
+func (h *hist) observe(d time.Duration) {
+	i := 0
+	for i < HistBuckets-1 && d > time.Microsecond<<i {
+		i++
+	}
+	h.counts[i]++
+	h.sum += d
+	h.n++
+}
+
+// Tracer records spans and counters. The nil tracer is valid and free:
+// every method on a nil receiver is a no-op, which is how "off by default"
+// is made structural rather than checked at each call site.
+type Tracer struct {
+	epoch time.Time
+	obs   Observer
+
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	dropped int64
+	hists   map[statKey]*hist
+	counts  map[statKey]int64
+}
+
+// New creates a tracer with the given span-ring capacity (DefaultCapacity
+// when cap <= 0) and an optional live observer.
+func New(capacity int, o Observer) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		epoch:  time.Now(),
+		obs:    o,
+		buf:    make([]Span, 0, capacity),
+		hists:  make(map[statKey]*hist),
+		counts: make(map[statKey]int64),
+	}
+}
+
+// Epoch returns the tracer's time origin. Span.Start offsets are relative
+// to it; cluster trace collection ships it so worker spans can be rebased.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Active is an in-flight span. It is a value, so Begin/End allocates
+// nothing until the span is recorded into the ring.
+type Active struct {
+	t     *Tracer
+	layer string
+	name  string
+	id    int
+	start time.Duration
+}
+
+// Begin starts a span. On a nil tracer it returns an inert Active whose
+// End is a no-op.
+func (t *Tracer) Begin(layer, name string, id int) Active {
+	if t == nil {
+		return Active{}
+	}
+	if t.obs != nil {
+		t.obs.SpanStart(layer, name, id)
+	}
+	return Active{t: t, layer: layer, name: name, id: id, start: time.Since(t.epoch)}
+}
+
+// End completes the span, attaching the given attributes.
+func (a Active) End(attrs ...Attr) {
+	if a.t == nil {
+		return
+	}
+	s := Span{
+		Layer: a.layer,
+		Name:  a.name,
+		ID:    a.id,
+		Start: a.start,
+		Dur:   time.Since(a.t.epoch) - a.start,
+		Attrs: attrs,
+	}
+	a.t.record(s)
+	if a.t.obs != nil {
+		a.t.obs.SpanEnd(s)
+	}
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+		t.next = (t.next + 1) % cap(t.buf)
+		t.full = true
+		t.dropped++
+	}
+	k := statKey{s.Layer, s.Name}
+	h := t.hists[k]
+	if h == nil {
+		h = &hist{}
+		t.hists[k] = h
+	}
+	h.observe(s.Dur)
+	t.mu.Unlock()
+}
+
+// Count adds delta to the (layer, name) event counter.
+func (t *Tracer) Count(layer, name string, id int, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counts[statKey{layer, name}] += delta
+	t.mu.Unlock()
+	if t.obs != nil {
+		t.obs.Count(layer, name, id, delta)
+	}
+}
+
+// Spans returns the recorded spans, oldest first. When the ring
+// overflowed, the oldest spans are gone (see Dropped).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	if t.full {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Merge records spans from another tracer (typically a cluster worker),
+// rebasing each Start by shift onto this tracer's epoch and stamping Node.
+// Merged spans feed the phase histograms but not the live Observer.
+func (t *Tracer) Merge(spans []Span, shift time.Duration, node int) {
+	if t == nil {
+		return
+	}
+	for _, s := range spans {
+		s.Start += shift
+		s.Node = node
+		t.record(s)
+	}
+}
+
+// Hists returns the per-(layer, phase) duration histograms, ordered by
+// layer then name for deterministic output.
+func (t *Tracer) Hists() []HistSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]HistSnapshot, 0, len(t.hists))
+	for k, h := range t.hists {
+		out = append(out, HistSnapshot{Layer: k.layer, Name: k.name, Counts: h.counts, Sum: h.sum, N: h.n})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Layer != out[j].Layer {
+			return out[i].Layer < out[j].Layer
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Counts returns the event counters, ordered by layer then name.
+func (t *Tracer) Counts() []CountSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]CountSnapshot, 0, len(t.counts))
+	for k, v := range t.counts {
+		out = append(out, CountSnapshot{Layer: k.layer, Name: k.name, Val: v})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Layer != out[j].Layer {
+			return out[i].Layer < out[j].Layer
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

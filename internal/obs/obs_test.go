@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	a := tr.Begin("sort", "distribute-pass", 0)
+	a.End(Attr{"n", 42})
+	tr.Count("disk", "retry", 1, 3)
+	tr.Merge([]Span{{Name: "x"}}, 0, 1)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans() = %v, want nil", got)
+	}
+	if got := tr.Hists(); got != nil {
+		t.Fatalf("nil tracer Hists() = %v, want nil", got)
+	}
+	if got := tr.Counts(); got != nil {
+		t.Fatalf("nil tracer Counts() = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("nil tracer Dropped() != 0")
+	}
+}
+
+func TestTracerSpansAndAttrs(t *testing.T) {
+	tr := New(8, nil)
+	a := tr.Begin("cluster", "scatter", 2)
+	a.End(Attr{"records", 100}, Attr{"blocks", 5})
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Layer != "cluster" || s.Name != "scatter" || s.ID != 2 || s.Node != 0 {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Dur < 0 || s.Start < 0 {
+		t.Fatalf("negative times: %+v", s)
+	}
+	if len(s.Attrs) != 2 || s.Attrs[0] != (Attr{"records", 100}) {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	tr := New(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Begin("sort", "p", i).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if s.ID != 6+i {
+			t.Fatalf("spans[%d].ID = %d, want %d (newest kept, oldest first)", i, s.ID, 6+i)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	// Histograms still count every span, dropped or not.
+	hs := tr.Hists()
+	if len(hs) != 1 || hs[0].N != 10 {
+		t.Fatalf("hists = %+v, want one entry with N=10", hs)
+	}
+}
+
+func TestHistBucketing(t *testing.T) {
+	var h hist
+	h.observe(500 * time.Nanosecond) // <= 1µs -> bucket 0
+	h.observe(time.Microsecond)      // <= 1µs -> bucket 0
+	h.observe(3 * time.Microsecond)  // <= 4µs -> bucket 2
+	h.observe(time.Hour)             // beyond last bound -> +Inf bucket
+	if h.counts[0] != 2 || h.counts[2] != 1 || h.counts[HistBuckets-1] != 1 {
+		t.Fatalf("counts = %v", h.counts)
+	}
+	if h.n != 4 {
+		t.Fatalf("n = %d", h.n)
+	}
+}
+
+func TestMergeRebasesAndStampsNode(t *testing.T) {
+	tr := New(16, nil)
+	remote := []Span{
+		{Layer: "cluster", Name: "exchange", ID: 0, Start: 5 * time.Millisecond, Dur: time.Millisecond},
+	}
+	tr.Merge(remote, 2*time.Millisecond, 3)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Node != 3 {
+		t.Fatalf("Node = %d, want 3", spans[0].Node)
+	}
+	if spans[0].Start != 7*time.Millisecond {
+		t.Fatalf("Start = %v, want 7ms", spans[0].Start)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := New(4, nil)
+	tr.Count("disk", "retry", 0, 2)
+	tr.Count("disk", "retry", 1, 3)
+	tr.Count("disk", "fault", 0, 1)
+	cs := tr.Counts()
+	if len(cs) != 2 {
+		t.Fatalf("counts = %+v", cs)
+	}
+	if cs[0] != (CountSnapshot{"disk", "fault", 1}) || cs[1] != (CountSnapshot{"disk", "retry", 5}) {
+		t.Fatalf("counts = %+v", cs)
+	}
+}
+
+type recObserver struct {
+	starts, ends, counts int
+	last                 Span
+}
+
+func (o *recObserver) SpanStart(layer, name string, id int)          { o.starts++ }
+func (o *recObserver) SpanEnd(s Span)                                { o.ends++; o.last = s }
+func (o *recObserver) Count(layer, name string, id int, delta int64) { o.counts++ }
+
+func TestObserverCallbacks(t *testing.T) {
+	o := &recObserver{}
+	tr := New(4, o)
+	tr.Begin("sort", "base-case", 0).End(Attr{"n", 7})
+	tr.Count("sort", "records", 0, 7)
+	// Merged spans must not re-fire the live observer.
+	tr.Merge([]Span{{Layer: "cluster", Name: "gather"}}, 0, 1)
+	if o.starts != 1 || o.ends != 1 || o.counts != 1 {
+		t.Fatalf("observer = %+v", o)
+	}
+	if o.last.Name != "base-case" {
+		t.Fatalf("last span = %+v", o.last)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(16, nil)
+	tr.Begin("sort", "distribute-pass", 0).End(Attr{"depth", 1})
+	tr.Merge([]Span{{Layer: "cluster", Name: "exchange", Start: time.Millisecond, Dur: time.Millisecond}}, 0, 2)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	var xEvents, mEvents int
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			xEvents++
+			for _, field := range []string{"name", "ts", "pid", "tid"} {
+				if _, ok := ev[field]; !ok {
+					t.Fatalf("X event missing %q: %v", field, ev)
+				}
+			}
+			if ts := ev["ts"].(float64); ts < 0 {
+				t.Fatalf("negative ts: %v", ev)
+			}
+			pids[ev["pid"].(float64)] = true
+		case "M":
+			mEvents++
+			if ev["name"] != "process_name" {
+				t.Fatalf("unexpected metadata event: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", ph)
+		}
+	}
+	if xEvents != 2 {
+		t.Fatalf("got %d X events, want 2", xEvents)
+	}
+	if mEvents != 2 {
+		t.Fatalf("got %d M (process_name) events, want 2", mEvents)
+	}
+	if !pids[0] || !pids[2] {
+		t.Fatalf("pids = %v, want 0 and 2", pids)
+	}
+}
+
+func TestHistBound(t *testing.T) {
+	if HistBound(0) != time.Microsecond {
+		t.Fatalf("HistBound(0) = %v", HistBound(0))
+	}
+	if HistBound(10) != time.Microsecond<<10 {
+		t.Fatalf("HistBound(10) = %v", HistBound(10))
+	}
+	if HistBound(HistBuckets-1) >= 0 {
+		t.Fatal("last bucket should be unbounded")
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server serves /metrics (Prometheus text exposition) and /debug/pprof/*
+// on its own listener and mux, so mounting it never touches
+// http.DefaultServeMux. The zero addr case is handled by callers: no
+// Server is created at all, so "observability off" opens no listener.
+type Server struct {
+	mu      sync.Mutex
+	ln      net.Listener
+	srv     *http.Server
+	sources []Source
+	tracers map[string]*Tracer
+}
+
+// NewServer creates an unstarted server.
+func NewServer() *Server {
+	return &Server{tracers: make(map[string]*Tracer)}
+}
+
+// AddSource registers a metrics producer polled on every scrape.
+func (s *Server) AddSource(src Source) {
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// SetTracer registers (or replaces) a tracer under a key; its phase
+// histograms and event counters appear on /metrics. A nil tracer removes
+// the key.
+func (s *Server) SetTracer(key string, t *Tracer) {
+	s.mu.Lock()
+	if t == nil {
+		delete(s.tracers, key)
+	} else {
+		s.tracers[key] = t
+	}
+	s.mu.Unlock()
+}
+
+// Start binds addr and begins serving. It returns once the listener is
+// bound, so Addr is valid immediately after.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = srv
+	s.mu.Unlock()
+	// Serve returns ErrServerClosed after Close; nothing to report.
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.ln = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sources := append([]Source(nil), s.sources...)
+	keys := make([]string, 0, len(s.tracers))
+	for k := range s.tracers {
+		keys = append(keys, k)
+	}
+	tracers := make([]*Tracer, 0, len(keys))
+	for _, k := range keys {
+		tracers = append(tracers, s.tracers[k])
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var ms []Metric
+	for _, src := range sources {
+		ms = append(ms, src()...)
+	}
+	var hists []HistSnapshot
+	for _, t := range tracers {
+		ms = append(ms, TracerMetrics(t)...)
+		hists = append(hists, t.Hists()...)
+	}
+	if err := WriteMetrics(w, ms); err != nil {
+		return
+	}
+	// Merge identical (layer, phase) series from multiple tracers so the
+	// family stays well-formed (one series per label set).
+	merged := map[statKey]*HistSnapshot{}
+	var order []statKey
+	for i := range hists {
+		h := hists[i]
+		k := statKey{h.Layer, h.Name}
+		if m, ok := merged[k]; ok {
+			for j := range m.Counts {
+				m.Counts[j] += h.Counts[j]
+			}
+			m.Sum += h.Sum
+			m.N += h.N
+		} else {
+			cp := h
+			merged[k] = &cp
+			order = append(order, k)
+		}
+	}
+	out := make([]HistSnapshot, 0, len(order))
+	for _, k := range order {
+		out = append(out, *merged[k])
+	}
+	_ = WritePhaseHistograms(w, "balancesort_phase_seconds", out)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerMetricsAndPprof(t *testing.T) {
+	s := NewServer()
+	tr := New(64, nil)
+	tr.Begin("cluster", "scatter", 0).End(Attr{"records", 10})
+	tr.Count("cluster", "blocks-received", 0, 4)
+	s.SetTracer("coordinator", tr)
+	s.AddSource(func() []Metric {
+		return []Metric{{Name: "balancesort_disk_reads_total", Type: "counter", Help: "Block reads.", Labels: []Label{{"disk", "0"}}, Value: 12}}
+	})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	samples := parsePromText(t, text)
+	if samples["balancesort_disk_reads_total"] != 1 {
+		t.Fatalf("missing source metric:\n%s", text)
+	}
+	if samples["balancesort_events_total"] != 1 {
+		t.Fatalf("missing tracer counter:\n%s", text)
+	}
+	if samples["balancesort_phase_seconds_bucket"] == 0 {
+		t.Fatalf("missing phase histogram:\n%s", text)
+	}
+	if !strings.Contains(text, `phase="scatter"`) {
+		t.Fatalf("missing scatter phase series:\n%s", text)
+	}
+
+	resp, err = http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s := NewServer()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != "" {
+		t.Fatalf("Addr after Close = %q", s.Addr())
+	}
+}

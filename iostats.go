@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"balancesort/internal/diskio"
+	"balancesort/internal/obs"
 )
 
 // IOConfig configures the concurrent disk I/O engine that file-backed
@@ -40,8 +41,9 @@ type IOConfig struct {
 }
 
 // engineConfig translates the facade knobs to the engine's. ctx cancels
-// blocked queue submits, retry backoffs, and breaker cooldowns.
-func (c IOConfig) engineConfig(ctx context.Context) diskio.Config {
+// blocked queue submits, retry backoffs, and breaker cooldowns; tr (may be
+// nil) records the engine's flush/retry/breaker activity.
+func (c IOConfig) engineConfig(ctx context.Context, tr *obs.Tracer) diskio.Config {
 	prefetch := c.Prefetch
 	switch {
 	case prefetch == 0:
@@ -62,6 +64,7 @@ func (c IOConfig) engineConfig(ctx context.Context) diskio.Config {
 		WriteBehind: writeBehind,
 		MaxRetries:  c.MaxRetries,
 		Context:     ctx,
+		Trace:       tr,
 		Fault: diskio.FaultConfig{
 			ErrorRate:     c.FaultRate,
 			TornWriteRate: c.TornWriteRate,
@@ -75,24 +78,31 @@ func (c IOConfig) engineConfig(ctx context.Context) diskio.Config {
 type DiskIOStats struct {
 	// Reads and Writes count completed device transfers (a coalesced run
 	// is one write); BytesRead/BytesWritten are the payload moved.
-	Reads, Writes           int64
-	BytesRead, BytesWritten int64
+	Reads        int64 `json:"reads"`
+	Writes       int64 `json:"writes"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
 	// Retries, Faults, and BreakerTrips describe the fault-handling
 	// layer's activity.
-	Retries, Faults, BreakerTrips int64
+	Retries      int64 `json:"retries"`
+	Faults       int64 `json:"faults"`
+	BreakerTrips int64 `json:"breaker_trips"`
 	// PrefetchIssued and PrefetchHits measure read-ahead effectiveness;
 	// WriteBufferHits counts reads served from the write-behind run.
-	PrefetchIssued, PrefetchHits, WriteBufferHits int64
+	PrefetchIssued  int64 `json:"prefetch_issued"`
+	PrefetchHits    int64 `json:"prefetch_hits"`
+	WriteBufferHits int64 `json:"write_buffer_hits"`
 	// CoalescedBlocks counts blocks merged into a pending write run;
 	// Flushes counts runs pushed to the device.
-	CoalescedBlocks, Flushes int64
+	CoalescedBlocks int64 `json:"coalesced_blocks"`
+	Flushes         int64 `json:"flushes"`
 	// QueueMax is the deepest request queue observed.
-	QueueMax int64
+	QueueMax int64 `json:"queue_max"`
 }
 
 // IOStats are the engine metrics of a file-backed sort, per disk.
 type IOStats struct {
-	PerDisk []DiskIOStats
+	PerDisk []DiskIOStats `json:"per_disk"`
 }
 
 // Aggregate sums the per-disk stats (QueueMax takes the max).

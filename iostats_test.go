@@ -1,0 +1,59 @@
+package balancesort
+
+import (
+	"testing"
+
+	"balancesort/internal/diskio"
+)
+
+// TestIOStatsAggregate pins the aggregation rule: every counter sums across
+// disks except QueueMax, which is a high-water mark and takes the maximum.
+func TestIOStatsAggregate(t *testing.T) {
+	s := &IOStats{PerDisk: []DiskIOStats{
+		{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4, Retries: 5, Faults: 6, BreakerTrips: 7,
+			PrefetchIssued: 8, PrefetchHits: 9, WriteBufferHits: 10, CoalescedBlocks: 11, Flushes: 12, QueueMax: 4},
+		{Reads: 10, Writes: 20, BytesRead: 30, BytesWritten: 40, Retries: 50, Faults: 60, BreakerTrips: 70,
+			PrefetchIssued: 80, PrefetchHits: 90, WriteBufferHits: 100, CoalescedBlocks: 110, Flushes: 120, QueueMax: 9},
+		{QueueMax: 2},
+	}}
+	agg := s.Aggregate()
+	want := DiskIOStats{Reads: 11, Writes: 22, BytesRead: 33, BytesWritten: 44, Retries: 55, Faults: 66,
+		BreakerTrips: 77, PrefetchIssued: 88, PrefetchHits: 99, WriteBufferHits: 110, CoalescedBlocks: 121,
+		Flushes: 132, QueueMax: 9}
+	if agg != want {
+		t.Fatalf("Aggregate = %+v, want %+v", agg, want)
+	}
+	if agg.QueueMax == 4+9+2 {
+		t.Fatal("QueueMax was summed; it must take the per-disk maximum")
+	}
+	var empty IOStats
+	if got := empty.Aggregate(); got != (DiskIOStats{}) {
+		t.Fatalf("empty Aggregate = %+v, want zero", got)
+	}
+}
+
+// TestIOStatsFrom pins the engine-snapshot-to-public-stats field mapping,
+// including the Coalesced -> CoalescedBlocks rename.
+func TestIOStatsFrom(t *testing.T) {
+	if got := ioStatsFrom(nil); got != nil {
+		t.Fatalf("ioStatsFrom(nil) = %+v, want nil", got)
+	}
+	snap := &diskio.Snapshot{PerDisk: []diskio.DiskStats{
+		{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4, Retries: 5, Faults: 6, BreakerTrips: 7,
+			PrefetchIssued: 8, PrefetchHits: 9, WriteBufferHits: 10, Coalesced: 11, Flushes: 12, QueueMax: 13},
+		{Reads: 21, QueueMax: 5},
+	}}
+	got := ioStatsFrom(snap)
+	if len(got.PerDisk) != 2 {
+		t.Fatalf("%d disks converted, want 2", len(got.PerDisk))
+	}
+	want0 := DiskIOStats{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4, Retries: 5, Faults: 6,
+		BreakerTrips: 7, PrefetchIssued: 8, PrefetchHits: 9, WriteBufferHits: 10, CoalescedBlocks: 11,
+		Flushes: 12, QueueMax: 13}
+	if got.PerDisk[0] != want0 {
+		t.Fatalf("disk 0 = %+v, want %+v", got.PerDisk[0], want0)
+	}
+	if got.PerDisk[1] != (DiskIOStats{Reads: 21, QueueMax: 5}) {
+		t.Fatalf("disk 1 = %+v", got.PerDisk[1])
+	}
+}

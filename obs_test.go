@@ -1,0 +1,254 @@
+package balancesort
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"balancesort/internal/cluster"
+)
+
+// chromeTestTrace mirrors the Chrome trace_event envelope for test-side
+// schema validation. Pointer fields distinguish "absent" from zero.
+type chromeTestTrace struct {
+	TraceEvents []chromeTestEvent `json:"traceEvents"`
+}
+
+type chromeTestEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func parseChromeTrace(t *testing.T, data []byte) chromeTestTrace {
+	t.Helper()
+	var tr chromeTestTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	for i, e := range tr.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.Pid == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, e)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Ts == nil || e.Dur == nil || e.Tid == nil {
+				t.Fatalf("complete event %d missing ts/dur/tid: %+v", i, e)
+			}
+			if *e.Ts < 0 || *e.Dur < 0 {
+				t.Fatalf("complete event %d has negative time: %+v", i, e)
+			}
+		case "M":
+			// Process metadata; name payload lives in args.
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, e.Ph)
+		}
+	}
+	return tr
+}
+
+func TestStartObsServerDisabled(t *testing.T) {
+	srv, err := StartObsServer("")
+	if err != nil {
+		t.Fatalf("empty addr: %v", err)
+	}
+	if srv != nil {
+		t.Fatal("empty addr must return a nil server — no listener")
+	}
+	if got := srv.Addr(); got != "" {
+		t.Fatalf("nil server Addr = %q", got)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("nil server Close: %v", err)
+	}
+}
+
+// TestSortFileObsParity pins the tentpole guarantee: with tracing and the
+// metrics endpoint enabled, the model parallel-I/O counts and the sorted
+// output are byte-identical to an observability-off run.
+func TestSortFileObsParity(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.dat")
+	if err := WriteRecordFile(inPath, NewWorkload(Uniform, 60_000, 11)); err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Disks: 4, BlockSize: 64, Memory: 1 << 16, IO: IOConfig{Engine: true}}
+
+	offOut := filepath.Join(dir, "off.dat")
+	offRes, err := SortFile(inPath, offOut, filepath.Join(dir, "scratch-off"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offRes.Trace != nil {
+		t.Fatal("observability off must not record a trace")
+	}
+
+	srv, err := StartObsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	on := base
+	on.Obs = ObsConfig{Trace: true, Server: srv}
+	onOut := filepath.Join(dir, "on.dat")
+	onRes, err := SortFile(inPath, onOut, filepath.Join(dir, "scratch-on"), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if onRes.IOs != offRes.IOs || onRes.Passes != offRes.Passes || onRes.Depth != offRes.Depth {
+		t.Fatalf("model costs differ with tracing on: IOs %d/%d passes %d/%d depth %d/%d",
+			onRes.IOs, offRes.IOs, onRes.Passes, offRes.Passes, onRes.Depth, offRes.Depth)
+	}
+	requireSameBytes(t, offOut, onOut)
+
+	if onRes.Trace == nil {
+		t.Fatal("tracing on returned no trace")
+	}
+	phases := make(map[string]bool)
+	for _, s := range onRes.Trace.Spans() {
+		phases[s.Layer+"/"+s.Name] = true
+	}
+	for _, want := range []string{"sort/distribute-pass", "sort/run-formation", "sort/base-case", "disk/flush"} {
+		if !phases[want] {
+			t.Fatalf("trace has no %q span; recorded phases: %v", want, phases)
+		}
+	}
+	totals := onRes.Trace.PhaseTotals()
+	if totals["sort/distribute-pass"] <= 0 {
+		t.Fatalf("PhaseTotals has no positive distribute-pass time: %v", totals)
+	}
+
+	// The /metrics endpoint must expose the sort's phase histograms.
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"balancesort_phase_seconds_bucket",
+		`layer="sort",phase="distribute-pass"`,
+		`le="+Inf"`,
+		"balancesort_phase_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestClusterTraceMergedTimeline is the acceptance scenario: a 4-worker
+// in-process cluster sort with tracing must produce one Chrome trace-event
+// JSON containing coordinator spans (pid 0) and every worker's spans
+// (pids 1..4) for every cluster phase — and the traced run's output must be
+// byte-identical to the observability-off single-process reference.
+func TestClusterTraceMergedTimeline(t *testing.T) {
+	dir := t.TempDir()
+	const W = 4
+	addrs := make([]string, W)
+	for i := 0; i < W; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		scratch := filepath.Join(dir, fmt.Sprintf("w%d", i))
+		if err := os.MkdirAll(scratch, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = ServeWorker(ctx, ln, WorkerOptions{ScratchDir: scratch, Sort: clusterShardConfig()})
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+	}
+
+	inPath, refPath := writeClusterInput(t, dir, 60_000, 23)
+	outPath := filepath.Join(dir, "out.dat")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{
+		Workers: addrs,
+		Obs:     ObsConfig{Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameBytes(t, refPath, outPath)
+	if res.Trace == nil {
+		t.Fatal("cluster sort with tracing returned no trace")
+	}
+
+	var buf bytes.Buffer
+	if err := res.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr := parseChromeTrace(t, buf.Bytes())
+
+	// Index the complete events by (pid, name).
+	type key struct {
+		pid  int
+		name string
+	}
+	have := make(map[key]int)
+	pids := make(map[int]bool)
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		pids[*e.Pid] = true
+		if e.Cat == "cluster" {
+			have[key{*e.Pid, e.Name}]++
+		}
+	}
+	for pid := 0; pid <= W; pid++ {
+		if !pids[pid] {
+			t.Fatalf("merged trace has no spans for pid %d (0 = coordinator, 1..%d = workers)", pid, W)
+		}
+	}
+	for _, phase := range cluster.CoordinatorPhases {
+		if have[key{0, phase}] == 0 {
+			t.Fatalf("coordinator phase %q missing from merged trace", phase)
+		}
+	}
+	for w := 1; w <= W; w++ {
+		for _, phase := range cluster.WorkerPhases {
+			if have[key{w, phase}] == 0 {
+				t.Fatalf("worker %d phase %q missing from merged trace", w-1, phase)
+			}
+		}
+	}
+	if res.Trace.Dropped() != 0 {
+		t.Fatalf("trace dropped %d spans; ring too small for this test", res.Trace.Dropped())
+	}
+}

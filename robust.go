@@ -48,20 +48,20 @@ type RobustConfig struct {
 // CorruptBlock identifies one scratch block whose data disagreed with its
 // checksum.
 type CorruptBlock struct {
-	Disk  int
-	Block int
-	Want  uint32 // checksum on record
-	Got   uint32 // checksum of the data actually read
+	Disk  int    `json:"disk"`
+	Block int    `json:"block"`
+	Want  uint32 `json:"want"` // checksum on record
+	Got   uint32 `json:"got"`  // checksum of the data actually read
 }
 
 // ScrubReport summarises a full-array integrity sweep.
 type ScrubReport struct {
 	// Checksummed is false when the array carries no checksums to verify.
-	Checksummed bool
+	Checksummed bool `json:"checksummed"`
 	// BlocksChecked counts written blocks that were re-read and verified.
-	BlocksChecked int
+	BlocksChecked int `json:"blocks_checked"`
 	// Corrupt lists the blocks that failed verification.
-	Corrupt []CorruptBlock
+	Corrupt []CorruptBlock `json:"corrupt,omitempty"`
 }
 
 func scrubReportFrom(rep pdm.ScrubReport) *ScrubReport {

@@ -79,6 +79,8 @@ func ResumeSortFileContext(ctx context.Context, inPath, outPath, scratchDir stri
 func sortFile(ctx context.Context, inPath, outPath, scratchDir string, cfg Config, resume bool) (*Result, error) {
 	cfg.fill()
 	cfg.ctx = ctx
+	cfg.tracer = cfg.Obs.tracer()
+	cfg.Obs.attach("sort", cfg.tracer)
 
 	cleanup := func() {}
 	if scratchDir == "" {
@@ -137,7 +139,7 @@ func sortFile(ctx context.Context, inPath, outPath, scratchDir string, cfg Confi
 
 		opts := pdm.FileOptions{NoChecksums: cfg.Robust.NoChecksums}
 		if cfg.IO.Engine {
-			ecfg := cfg.IO.engineConfig(ctx)
+			ecfg := cfg.IO.engineConfig(ctx, cfg.tracer)
 			opts.Engine = &ecfg
 		}
 		arr, err = pdm.NewFileBackedOpts(p, scratchDir, opts)
@@ -263,6 +265,7 @@ func runAndDrain(ds *core.DiskSorter, arr *pdm.Array, done []core.Region, work [
 		Depth:              m.Depth,
 		Passes:             m.Passes,
 		MemPeak:            m.MemPeak,
+		Trace:              traceFrom(cfg.tracer),
 	}
 	if cfg.Robust.ScrubAfter {
 		if err := arr.Sync(); err != nil {
@@ -314,7 +317,7 @@ func reopenScratch(ctx context.Context, scratchDir string, cfg *Config) (*pdm.Ar
 	var none core.Metrics
 	opts := pdm.FileOptions{}
 	if cfg.IO.Engine {
-		ecfg := cfg.IO.engineConfig(ctx)
+		ecfg := cfg.IO.engineConfig(ctx, cfg.tracer)
 		opts.Engine = &ecfg
 	}
 	arr, err := pdm.OpenFileBackedOpts(scratchDir, opts)

@@ -17,6 +17,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipped (CI runs the pinned version)"
+fi
+
 echo "== go build =="
 go build ./...
 
