@@ -23,6 +23,28 @@ import (
 // across the coordinator/worker process boundary.
 type WorkerLostError = cluster.WorkerLostError
 
+// ClusterDegradedError is returned when worker losses drop the cluster
+// below quorum (⌊W/2⌋+1 survivors) and failover can no longer rebuild the
+// job. It wraps the quorum-breaking *WorkerLostError.
+type ClusterDegradedError = cluster.ClusterDegradedError
+
+// ClusterHeartbeat configures the coordinator's failure detector; see
+// ClusterConfig.Heartbeat.
+type ClusterHeartbeat = cluster.Heartbeat
+
+// ChaosSpec injects one worker fault at a chosen coordinator phase; see
+// ClusterConfig.Chaos.
+type ChaosSpec = cluster.ChaosSpec
+
+// ClusterRecovery reports what a failover cost; see ClusterResult.Recovery.
+type ClusterRecovery = cluster.RecoveryStats
+
+// ClusterPhases are the coordinator phase names, in order — the legal
+// values for ChaosSpec.Phase and the vocabulary of RecoveryStats.LostPhases.
+func ClusterPhases() []string {
+	return append([]string(nil), cluster.CoordinatorPhases...)
+}
+
 // ClusterConfig configures a coordinator-driven cluster sort.
 type ClusterConfig struct {
 	// Workers are the worker addresses, in worker-ID order.
@@ -39,6 +61,20 @@ type ClusterConfig struct {
 	DialAttempts int
 	DialBackoff  time.Duration
 	IOTimeout    time.Duration
+	// Heartbeat tunes the failure detector: a dedicated ping connection
+	// per worker whose missed-pong budget declares a silent worker lost.
+	// The zero value means 500ms pings with a budget of 3 misses; set
+	// Disable to turn monitoring off.
+	Heartbeat ClusterHeartbeat
+	// Chaos, when non-nil, kills (or hangs) one worker at the start of the
+	// named coordinator phase — the built-in chaos harness behind the
+	// `-chaos-kill` flag. The job must still produce byte-identical
+	// output, recovering through failover.
+	Chaos *ChaosSpec
+	// JournalPath, when non-empty, appends a crash-consistent journal of
+	// phase transitions, scatter extents, worker losses, and failovers —
+	// the audit trail for a recovery decision.
+	JournalPath string
 	// Obs configures coordinator-side phase tracing. With Obs.Trace set,
 	// every worker also records its phases and ships them back over the
 	// protocol at the end of the job; ClusterResult.Trace is the merged
@@ -64,6 +100,10 @@ type ClusterResult struct {
 	RecvBlocks     []int   `json:"recv_blocks"`     // per-worker received blocks (column sums of X)
 	X              [][]int `json:"x,omitempty"`     // X[b][h]: blocks of bucket b placed on worker h
 	GatherRecords  []int   `json:"gather_records"`  // per-worker final shard sizes
+	// Recovery is non-nil when the job survived worker losses: who died,
+	// in which phase, what was re-scattered, and what failover cost in
+	// wall time. X's columns then cover only Recovery.ActiveWorkers.
+	Recovery *ClusterRecovery `json:"recovery,omitempty"`
 	// Trace is the merged coordinator+worker timeline when ClusterConfig.Obs
 	// asked for one; nil otherwise.
 	Trace *Trace `json:"-"`
@@ -79,11 +119,14 @@ func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterCon
 	tr := cfg.Obs.tracer()
 	cfg.Obs.attach("coordinator", tr)
 	stats, err := cluster.Sort(ctx, inPath, outPath, cluster.SortSpec{
-		Workers:   cfg.Workers,
-		Buckets:   cfg.Buckets,
-		BlockRecs: cfg.BlockRecs,
-		Dial:      cfg.dial(),
-		Trace:     tr,
+		Workers:     cfg.Workers,
+		Buckets:     cfg.Buckets,
+		BlockRecs:   cfg.BlockRecs,
+		Dial:        cfg.dial(),
+		Heartbeat:   cfg.Heartbeat,
+		Chaos:       cfg.Chaos,
+		JournalPath: cfg.JournalPath,
+		Trace:       tr,
 	})
 	if err != nil {
 		return nil, err
@@ -96,6 +139,7 @@ func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterCon
 		RecvBlocks:     stats.RecvBlocks,
 		X:              stats.X,
 		GatherRecords:  stats.GatherRecords,
+		Recovery:       stats.Recovery,
 		Trace:          traceFrom(tr),
 	}, nil
 }

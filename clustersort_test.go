@@ -215,6 +215,68 @@ func TestClusterOSProcesses(t *testing.T) {
 	requireSameBytes(t, refPath, outPath)
 }
 
+// TestClusterChaosMatchesSortFile: the exported chaos harness kills one of
+// four workers mid-exchange; the job must fail over, finish, report the
+// recovery, and still match single-process SortFile byte-for-byte.
+func TestClusterChaosMatchesSortFile(t *testing.T) {
+	dir := t.TempDir()
+	const W = 4
+	addrs := make([]string, W)
+	for i := 0; i < W; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		scratch := filepath.Join(dir, fmt.Sprintf("w%d", i))
+		if err := os.MkdirAll(scratch, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = ServeWorker(ctx, ln, WorkerOptions{
+				ScratchDir:  scratch,
+				Sort:        clusterShardConfig(),
+				DialBackoff: time.Millisecond,
+			})
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+	}
+
+	inPath, refPath := writeClusterInput(t, dir, 100_000, 99)
+	outPath := filepath.Join(dir, "out.dat")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{
+		Workers:     addrs,
+		DialBackoff: time.Millisecond,
+		Heartbeat:   ClusterHeartbeat{Interval: 25 * time.Millisecond},
+		Chaos:       &ChaosSpec{Phase: "exchange", Worker: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Recovery
+	if rec == nil || rec.Failovers < 1 {
+		t.Fatalf("chaos kill left no recovery record: %+v", rec)
+	}
+	found := false
+	for _, w := range rec.LostWorkers {
+		if w == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim 2 missing from LostWorkers %v", rec.LostWorkers)
+	}
+	requireSameBytes(t, refPath, outPath)
+}
+
 // TestClusterSortFileWorkerLost: the exported API must fail fast with the
 // aliased *WorkerLostError when a worker address answers nothing.
 func TestClusterSortFileWorkerLost(t *testing.T) {
@@ -292,6 +354,23 @@ func TestTypedErrorRoundTrips(t *testing.T) {
 		}
 		if !errors.Is(err, cause) {
 			t.Fatal("errors.Is lost the transport error through Unwrap")
+		}
+	})
+	t.Run("cluster.ClusterDegradedError", func(t *testing.T) {
+		inner := &cluster.WorkerLostError{Worker: 3, Addr: "127.0.0.1:9", Err: errors.New("EOF")}
+		orig := &cluster.ClusterDegradedError{Lost: []int{1, 3}, Workers: 4, Quorum: 3, Err: inner}
+		err := fmt.Errorf("cluster sort: %w", orig)
+		var viaAlias *ClusterDegradedError
+		var viaPkg *cluster.ClusterDegradedError
+		if !errors.As(err, &viaAlias) || !errors.As(err, &viaPkg) {
+			t.Fatalf("errors.As failed: %v", err)
+		}
+		if len(viaAlias.Lost) != 2 || viaAlias.Quorum != 3 {
+			t.Fatalf("recovered %+v", viaAlias)
+		}
+		var lost *WorkerLostError
+		if !errors.As(err, &lost) || lost.Worker != 3 {
+			t.Fatal("degraded error does not expose the quorum-breaking WorkerLostError")
 		}
 	})
 }

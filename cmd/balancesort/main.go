@@ -18,6 +18,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -75,6 +76,9 @@ func main() {
 		xblock    = flag.Int("xblock", 0, "cluster exchange block size in records (0 = 2048)")
 		inMem     = flag.Bool("inmem", false, "with -join: sort worker shards in memory instead of the file-backed engine")
 		dropAfter = flag.Int("dropafter", 0, "with -join: force-close a peer connection once after this many sent blocks (fault injection)")
+		chaosKill = flag.String("chaos-kill", "", "with -cluster: kill worker W at coordinator phase P, as phase:worker (e.g. exchange:2); append :hang to hang it instead")
+		hbEvery   = flag.Duration("heartbeat", 0, "with -cluster: heartbeat ping interval (0 = 500ms default, negative disables the failure detector)")
+		cjournal  = flag.String("cjournal", "", "with -cluster: append the coordinator's phase/loss/failover journal to this file")
 
 		// Observability (tracing, progress, metrics endpoint).
 		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the sort's phase spans to this file (load at ui.perfetto.dev)")
@@ -190,9 +194,20 @@ func main() {
 			log.Fatal(err)
 		}
 		defer srv.Close()
+		chaos, err := parseChaosKill(*chaosKill)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hb := balancesort.ClusterHeartbeat{}
+		if *hbEvery > 0 {
+			hb.Interval = *hbEvery
+		} else if *hbEvery < 0 {
+			hb.Disable = true
+		}
 		start := time.Now()
 		res, err := balancesort.ClusterSortFile(ctx, *inFile, *outFile, balancesort.ClusterConfig{
 			Workers: workers, Buckets: *cbuckets, BlockRecs: *xblock,
+			Heartbeat: hb, Chaos: chaos, JournalPath: *cjournal,
 			Obs: obsCfg(srv),
 		})
 		if err != nil {
@@ -211,6 +226,13 @@ func main() {
 		for w := range res.RecvBlocks {
 			fmt.Printf("  worker %-2d              recv %d blocks, sorted %d records\n",
 				w, res.RecvBlocks[w], res.GatherRecords[w])
+		}
+		if rec := res.Recovery; rec != nil {
+			fmt.Printf("  failover:              lost workers %v (phases %v), %d failover(s)\n",
+				rec.LostWorkers, rec.LostPhases, rec.Failovers)
+			fmt.Printf("    re-scattered:        %d chunks / %d records to %d survivors in %v\n",
+				rec.RescatteredBlocks, rec.RescatteredRecords, len(rec.ActiveWorkers),
+				time.Duration(rec.FailoverWallNanos).Round(time.Millisecond))
 		}
 		fmt.Println("  verification:          OK (checked while streaming out)")
 		writeTrace(res.Trace)
@@ -503,6 +525,29 @@ func runHierarchy(recs []balancesort.Record, model string, h int, alpha float64,
 	fmt.Printf("  bucket balance:  %.2fx even share; log skew %.2fx\n", res.MaxBucketFrac, res.MaxLogSkew)
 	fmt.Printf("  recursion depth: %d (%d distribution passes)\n", res.Depth, res.Passes)
 	fmt.Println("  verification:    OK")
+}
+
+// parseChaosKill decodes -chaos-kill's phase:worker[:hang] syntax.
+func parseChaosKill(s string) (*balancesort.ChaosSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("-chaos-kill %q: want phase:worker or phase:worker:hang", s)
+	}
+	w, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("-chaos-kill %q: bad worker id: %v", s, err)
+	}
+	spec := &balancesort.ChaosSpec{Phase: parts[0], Worker: w}
+	if len(parts) == 3 {
+		if parts[2] != "hang" {
+			return nil, fmt.Errorf("-chaos-kill %q: third field must be \"hang\"", s)
+		}
+		spec.Hang = true
+	}
+	return spec, nil
 }
 
 func parseWorkload(s string) (balancesort.Workload, error) {

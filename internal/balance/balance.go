@@ -223,6 +223,18 @@ func (bl *Balancer) CheckInvariant2() error {
 	return nil
 }
 
+// CheckInvariants verifies Invariants 1 and 2 together — the full Theorem 4
+// precondition. Callers that re-plan a placement over a shrunk disk set
+// (cluster failover drops H to H−1 per lost worker) use this to assert the
+// balance guarantees still hold on the smaller matrix before committing to
+// the new plan.
+func (bl *Balancer) CheckInvariants() error {
+	if err := bl.CheckInvariant1(); err != nil {
+		return err
+	}
+	return bl.CheckInvariant2()
+}
+
 // PlaceTrack processes one track of formed virtual blocks. buckets[j] is the
 // bucket of block j; len(buckets) must be at most H. It returns the final
 // placements (grouped into parallel write rounds) and the indices of blocks

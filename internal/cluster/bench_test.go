@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"balancesort/internal/obs"
 )
 
 // benchSort runs one cluster sort over w in-process workers and returns the
@@ -94,4 +96,84 @@ func TestEmitClusterBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", path)
+}
+
+// TestEmitFailoverBench measures what a mid-exchange worker kill costs a
+// 4-worker job against an identical clean run, and writes the comparison to
+// BENCH_failover.json plus a merged Chrome trace of the failover run
+// (TRACE_failover.json) whose timeline shows the failover span between the
+// aborted and re-run phases. Gated on EMIT_BENCH; CI uploads both.
+func TestEmitFailoverBench(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") == "" {
+		t.Skip("set EMIT_BENCH=1 to emit BENCH_failover.json")
+	}
+	const n = 1 << 18
+	run := func(chaos *ChaosSpec, tr *obs.Tracer) (time.Duration, *SortStats) {
+		addrs := startWorkers(t, 4, fastWorker)
+		inPath, _ := makeInput(t, n, 321, false)
+		outPath := filepath.Join(t.TempDir(), "out.dat")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		start := time.Now()
+		stats, err := Sort(ctx, inPath, outPath, SortSpec{
+			Workers:   addrs,
+			Dial:      fastDial,
+			Heartbeat: fastHeartbeat(),
+			Chaos:     chaos,
+			Trace:     tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), stats
+	}
+
+	cleanDur, _ := run(nil, nil)
+	tr := obs.New(0, nil)
+	chaosDur, stats := run(&ChaosSpec{Phase: "exchange", Worker: 1}, tr)
+	if stats.Recovery == nil {
+		t.Fatal("chaos run recorded no recovery")
+	}
+
+	out := struct {
+		Benchmark          string  `json:"benchmark"`
+		Records            int     `json:"records"`
+		Workers            int     `json:"workers"`
+		ChaosPhase         string  `json:"chaos_phase"`
+		CleanSeconds       float64 `json:"clean_seconds"`
+		FailoverSeconds    float64 `json:"failover_seconds"`
+		OverheadRatio      float64 `json:"overhead_ratio"`
+		FailoverWallNanos  int64   `json:"failover_wall_nanos"`
+		RescatteredBlocks  int     `json:"rescattered_blocks"`
+		RescatteredRecords int     `json:"rescattered_records"`
+	}{
+		Benchmark: "cluster_failover", Records: n, Workers: 4, ChaosPhase: "exchange",
+		CleanSeconds:       cleanDur.Seconds(),
+		FailoverSeconds:    chaosDur.Seconds(),
+		OverheadRatio:      chaosDur.Seconds() / cleanDur.Seconds(),
+		FailoverWallNanos:  stats.Recovery.FailoverWallNanos,
+		RescatteredBlocks:  stats.Recovery.RescatteredBlocks,
+		RescatteredRecords: stats.Recovery.RescatteredRecords,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "BENCH_failover.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (clean %.3fs, failover %.3fs, %.2fx)", path,
+		cleanDur.Seconds(), chaosDur.Seconds(), out.OverheadRatio)
+
+	tracePath := filepath.Join("..", "..", "TRACE_failover.json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d spans)", tracePath, len(tr.Spans()))
 }

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"balancesort/internal/pdm"
+	"balancesort/internal/record"
+)
+
+// fastDial keeps chaos tests snappy: failover spends most of its wall time
+// in redial backoff and heartbeat intervals, all of which can shrink by two
+// orders of magnitude on loopback.
+var fastDial = DialConfig{Attempts: 2, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+
+func fastWorker(_ int, cfg *WorkerConfig) { cfg.Dial = fastDial }
+
+func fastHeartbeat() Heartbeat {
+	return Heartbeat{Interval: 25 * time.Millisecond, MissBudget: 3}
+}
+
+// checkRecovery asserts that stats records exactly the expected worker
+// losses and that the surviving column set is consistent with them.
+func checkRecovery(t *testing.T, stats *SortStats, workers int, victims ...int) {
+	t.Helper()
+	rec := stats.Recovery
+	if rec == nil {
+		t.Fatal("job recovered from worker loss but SortStats.Recovery is nil")
+	}
+	if rec.Failovers < 1 {
+		t.Fatalf("recovery recorded %d failovers, want >= 1", rec.Failovers)
+	}
+	lost := make(map[int]bool)
+	for _, w := range rec.LostWorkers {
+		lost[w] = true
+	}
+	for _, v := range victims {
+		if !lost[v] {
+			t.Fatalf("victim %d missing from LostWorkers %v", v, rec.LostWorkers)
+		}
+	}
+	if len(rec.LostPhases) != len(rec.LostWorkers) {
+		t.Fatalf("%d lost phases for %d lost workers", len(rec.LostPhases), len(rec.LostWorkers))
+	}
+	if len(rec.ActiveWorkers) != workers-len(rec.LostWorkers) {
+		t.Fatalf("ActiveWorkers %v after losing %v of %d", rec.ActiveWorkers, rec.LostWorkers, workers)
+	}
+	for _, a := range rec.ActiveWorkers {
+		if lost[a] {
+			t.Fatalf("worker %d is both lost and active", a)
+		}
+	}
+	if len(stats.X) > 0 && len(stats.X[0]) != len(rec.ActiveWorkers) {
+		t.Fatalf("X has %d columns, want one per survivor (%d)", len(stats.X[0]), len(rec.ActiveWorkers))
+	}
+}
+
+// TestChaosMatrix kills one of four workers at the start of every
+// coordinator phase. Each run must still produce byte-identical sorted
+// output (runClusterSort compares against the reference order), record the
+// loss, and re-plan over the shrunk disk set without breaking the balance
+// bound on the post-failover matrix.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is slow under -short")
+	}
+	for i, phase := range CoordinatorPhases {
+		victim := i % 4
+		t.Run(phase, func(t *testing.T) {
+			addrs := startWorkers(t, 4, fastWorker)
+			stats := runClusterSort(t, addrs, 20000, int64(100+i), false, SortSpec{
+				BlockRecs: 128,
+				Dial:      fastDial,
+				Heartbeat: fastHeartbeat(),
+				Chaos:     &ChaosSpec{Phase: phase, Worker: victim},
+			})
+			checkRecovery(t, stats, 4, victim)
+			checkBalanceBound(t, stats.X)
+		})
+	}
+}
+
+// TestChaosKillDuringDrain pins down the hardest edge of the matrix: the
+// victim dies while the coordinator is already streaming sorted shards into
+// the output file. The partial output must be thrown away and rebuilt, and
+// the loss must be attributed to the drain phase.
+func TestChaosKillDuringDrain(t *testing.T) {
+	addrs := startWorkers(t, 4, fastWorker)
+	stats := runClusterSort(t, addrs, 20000, 71, true, SortSpec{
+		BlockRecs: 128,
+		Dial:      fastDial,
+		Heartbeat: fastHeartbeat(),
+		Chaos:     &ChaosSpec{Phase: "drain", Worker: 0},
+	})
+	checkRecovery(t, stats, 4, 0)
+	found := false
+	for _, p := range stats.Recovery.LostPhases {
+		if p == "drain" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("loss phases %v do not include the drain phase", stats.Recovery.LostPhases)
+	}
+}
+
+// TestChaosHangDetectedByHeartbeat makes the victim go silent instead of
+// dying: its connections stay open but it stops answering pings and stops
+// making progress. Only the heartbeat detector can notice that, so a
+// passing run proves the ping monitors work end to end.
+func TestChaosHangDetectedByHeartbeat(t *testing.T) {
+	addrs := startWorkers(t, 4, fastWorker)
+	stats := runClusterSort(t, addrs, 20000, 53, false, SortSpec{
+		BlockRecs: 128,
+		Dial:      fastDial,
+		Heartbeat: Heartbeat{Interval: 25 * time.Millisecond, MissBudget: 2},
+		Chaos:     &ChaosSpec{Phase: "plan", Worker: 1, Hang: true},
+	})
+	checkRecovery(t, stats, 4, 1)
+}
+
+// TestHeartbeatFlapNoFailover injects pong latency spikes that each exceed
+// the ping interval but never exhaust the miss budget. The run must finish
+// with no failover at all: a slow pong resets the miss counter even when it
+// arrives a full interval late.
+func TestHeartbeatFlapNoFailover(t *testing.T) {
+	addrs := startWorkers(t, 4, func(i int, cfg *WorkerConfig) {
+		cfg.Dial = fastDial
+		cfg.PongDelay = 60 * time.Millisecond
+		cfg.PongDelayCount = 2
+	})
+	stats := runClusterSort(t, addrs, 10000, 59, false, SortSpec{
+		BlockRecs: 128,
+		Dial:      fastDial,
+		Heartbeat: Heartbeat{Interval: 30 * time.Millisecond, MissBudget: 3},
+	})
+	if stats.Recovery != nil {
+		t.Fatalf("heartbeat flap escalated to failover: %+v", stats.Recovery)
+	}
+}
+
+// TestClusterDegradedBelowQuorum kills two of four workers at local sort,
+// dropping the cluster below ⌊W/2⌋+1 survivors. However the two deaths
+// interleave with failover (one at a time, or both inside one recovery
+// window), the job must converge to a typed ClusterDegradedError that still
+// exposes the underlying WorkerLostError.
+func TestClusterDegradedBelowQuorum(t *testing.T) {
+	const W = 4
+	kills := make([]context.CancelFunc, W)
+	addrs := make([]string, W)
+	for i := 0; i < W; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := WorkerConfig{ScratchDir: t.TempDir(), Dial: fastDial}
+		if i >= 2 {
+			i := i
+			cfg.SortShard = func(ctx context.Context, _, _, _ string) error {
+				kills[i]() // sever this worker's every connection
+				<-ctx.Done()
+				return ctx.Err()
+			}
+		}
+		w := NewWorker(cfg)
+		ctx, cancel := context.WithCancel(context.Background())
+		kills[i] = cancel
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = w.Serve(ctx, ln)
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+		addrs[i] = ln.Addr().String()
+	}
+
+	inPath, _ := makeInput(t, 20000, 31, false)
+	outPath := filepath.Join(t.TempDir(), "out.dat")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	_, err := Sort(ctx, inPath, outPath, SortSpec{
+		Workers:   addrs,
+		BlockRecs: 128,
+		Dial:      fastDial,
+		Heartbeat: fastHeartbeat(),
+	})
+	var deg *ClusterDegradedError
+	if !errors.As(err, &deg) {
+		t.Fatalf("two losses below quorum returned %v, want *ClusterDegradedError", err)
+	}
+	if len(deg.Lost) < 2 || deg.Workers != W || deg.Quorum != W/2+1 {
+		t.Fatalf("degraded error %+v, want >= 2 lost of %d, quorum %d", deg, W, W/2+1)
+	}
+	var lost *WorkerLostError
+	if !errors.As(err, &lost) {
+		t.Fatal("degraded error does not expose the quorum-breaking WorkerLostError")
+	}
+}
+
+// TestFailoverJournal runs a chaos kill with journaling on and replays the
+// journal: it must narrate the job as phases, the loss, and the failover,
+// with the scatter extents needed to audit a re-scatter decision.
+func TestFailoverJournal(t *testing.T) {
+	addrs := startWorkers(t, 4, fastWorker)
+	jpath := filepath.Join(t.TempDir(), "cluster.journal")
+	runClusterSort(t, addrs, 20000, 41, false, SortSpec{
+		BlockRecs:   128,
+		Dial:        fastDial,
+		Heartbeat:   fastHeartbeat(),
+		Chaos:       &ChaosSpec{Phase: "gather", Worker: 2},
+		JournalPath: jpath,
+	})
+	entries, err := pdm.LoadJournal(jpath)
+	if err != nil {
+		t.Fatalf("load journal: %v", err)
+	}
+	var sawLost, sawFailover, sawExtents bool
+	phases := make(map[string]bool)
+	for _, e := range entries {
+		var ev journalEvent
+		if err := json.Unmarshal(e.Payload, &ev); err != nil {
+			t.Fatalf("journal entry %d: %v", e.Seq, err)
+		}
+		switch ev.Event {
+		case "phase":
+			phases[ev.Phase] = true
+		case "lost":
+			if ev.Worker == 2 {
+				sawLost = true
+			}
+		case "failover":
+			if ev.Epoch >= 1 && ev.Blocks > 0 {
+				sawFailover = true
+			}
+		case "scatter-done":
+			if len(ev.Extents) == 4 {
+				sawExtents = true
+			}
+		}
+	}
+	for _, p := range CoordinatorPhases {
+		if !phases[p] {
+			t.Fatalf("journal never entered phase %q (saw %v)", p, phases)
+		}
+	}
+	if !sawLost || !sawFailover || !sawExtents {
+		t.Fatalf("journal incomplete: lost=%v failover=%v extents=%v", sawLost, sawFailover, sawExtents)
+	}
+}
+
+// TestDedupSetBounded: the receiver's retransmit-dedup state must be
+// O(streams), not O(blocks received). Each (phase, source) stream has at
+// most one unacked block in flight, so remembering only the newest key per
+// stream is both sufficient and bounded.
+func TestDedupSetBounded(t *testing.T) {
+	w := NewWorker(WorkerConfig{ScratchDir: t.TempDir()})
+	s, err := newSession(w, &msgHello{JobID: 1, Worker: 0, Workers: 4, S: 8, BlockRecs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.teardown()
+	data := make([]byte, 4*record.EncodedSize)
+	const blocks = 50
+	for src := uint32(0); src < 3; src++ {
+		for seq := uint32(0); seq < blocks; seq++ {
+			stale, err := s.storeBlock(&msgBlock{
+				Phase: 1, Src: src, Bucket: seq % 8, Seq: seq, Data: data,
+			}, 0)
+			if stale || err != nil {
+				t.Fatalf("src %d seq %d: stale=%v err=%v", src, seq, stale, err)
+			}
+		}
+	}
+	if s.recvBlocks != 3*blocks {
+		t.Fatalf("stored %d blocks, want %d", s.recvBlocks, 3*blocks)
+	}
+	if len(s.last) != 3 {
+		t.Fatalf("dedup state holds %d entries after %d blocks, want one per stream (3)",
+			len(s.last), 3*blocks)
+	}
+	// A retransmission of each stream's newest block — the only block that
+	// can legally be retransmitted — must be a stored-nothing no-op.
+	for src := uint32(0); src < 3; src++ {
+		stale, err := s.storeBlock(&msgBlock{
+			Phase: 1, Src: src, Bucket: uint32((blocks - 1) % 8), Seq: blocks - 1, Data: data,
+		}, 0)
+		if stale || err != nil {
+			t.Fatalf("replay src %d: stale=%v err=%v", src, stale, err)
+		}
+	}
+	if s.recvBlocks != 3*blocks {
+		t.Fatalf("retransmissions were double-stored: recvBlocks = %d", s.recvBlocks)
+	}
+}
+
+// TestDialCancelDuringBackoff: canceling the context while dial sleeps
+// between attempts must return promptly with context.Canceled, not ride out
+// the remaining backoff schedule.
+func TestDialCancelDuringBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore: every attempt fails fast
+	d := DialConfig{Attempts: 50, Backoff: 5 * time.Second, MaxBackoff: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = d.dial(ctx, 1, addr)
+	if err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("dial returned %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("cancel took %v to interrupt the backoff sleep", waited)
+	}
+}

@@ -3,13 +3,17 @@ package cluster
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"balancesort/internal/balance"
 	"balancesort/internal/obs"
+	"balancesort/internal/pdm"
 	"balancesort/internal/record"
 )
 
@@ -25,6 +29,18 @@ type SortSpec struct {
 	BlockRecs int
 	// Dial tunes connection retry/backoff and per-op timeouts.
 	Dial DialConfig
+	// Heartbeat tunes the v3 failure detector.
+	Heartbeat Heartbeat
+	// Chaos, when non-nil, injects one fault: the named worker is killed
+	// (or hung) the moment the coordinator enters the named phase. It
+	// requires an all-v3 cluster; against v2 workers it is ignored.
+	Chaos *ChaosSpec
+	// JournalPath, when nonempty, appends the coordinator's recovery
+	// state — per-worker partition extents after the scatter, each phase
+	// entered, each loss, each completed failover — to a checksummed
+	// journal (the pdm journal format), so an operator can reconstruct
+	// what a degraded job did.
+	JournalPath string
 	// Trace, when non-nil, records a span per coordinator phase (see
 	// CoordinatorPhases) and asks every worker — via the Hello trace flag —
 	// to record its own phase spans and ship them back after the drain.
@@ -32,6 +48,45 @@ type SortSpec struct {
 	// Trace ends up holding the whole job's timeline: node 0 is the
 	// coordinator, node w+1 is worker w.
 	Trace *obs.Tracer
+}
+
+// Heartbeat configures the coordinator's failure detector: a dedicated
+// monitor connection per v3 worker carrying mPing/mPong. A worker whose
+// pong is late Interval·(MissBudget+1) in a row is declared lost. Any pong
+// — however late — resets the miss counter, so a flapping link does not
+// trigger failover.
+type Heartbeat struct {
+	// Interval is the ping period and the per-ping pong deadline.
+	// Default 500ms.
+	Interval time.Duration
+	// MissBudget is how many consecutive missed pongs are tolerated
+	// before the worker is declared lost. Default 3.
+	MissBudget int
+	// Disable turns the ping monitors off. Failover still triggers on
+	// connection errors and worker peer-loss reports.
+	Disable bool
+}
+
+func (h Heartbeat) withDefaults() Heartbeat {
+	if h.Interval <= 0 {
+		h.Interval = 500 * time.Millisecond
+	}
+	if h.MissBudget <= 0 {
+		h.MissBudget = 3
+	}
+	return h
+}
+
+// ChaosSpec is one injected fault for the chaos harness.
+type ChaosSpec struct {
+	// Phase is the coordinator phase (a CoordinatorPhases name) at whose
+	// start the fault fires.
+	Phase string
+	// Worker is the victim's ID.
+	Worker int
+	// Hang makes the victim go silent (stop ponging, stop progressing)
+	// instead of dying; only the heartbeat detector can see it.
+	Hang bool
 }
 
 // CoordinatorPhases are the span names the coordinator records under the
@@ -73,6 +128,21 @@ func (s SortSpec) withDefaults() (SortSpec, error) {
 		return s, fmt.Errorf("cluster: BlockRecs = %d does not fit a frame", s.BlockRecs)
 	}
 	s.Dial = s.Dial.withDefaults()
+	s.Heartbeat = s.Heartbeat.withDefaults()
+	if c := s.Chaos; c != nil {
+		if c.Worker < 0 || c.Worker >= w {
+			return s, fmt.Errorf("cluster: chaos targets worker %d of %d", c.Worker, w)
+		}
+		ok := false
+		for _, p := range CoordinatorPhases {
+			if p == c.Phase {
+				ok = true
+			}
+		}
+		if !ok {
+			return s, fmt.Errorf("cluster: chaos phase %q is not a coordinator phase", c.Phase)
+		}
+	}
 	return s, nil
 }
 
@@ -86,62 +156,134 @@ type SortStats struct {
 	// ExchangeBlocks is the total block count of the placement exchange;
 	// RecvBlocks[h] is how many of them worker h received (the column sums
 	// of X). X[b][h] is the full histogram matrix — blocks of bucket b
-	// placed on worker h — on which Invariant 2 (x_bh <= m_b + 1) holds.
+	// placed on the h-th active worker — on which Invariants 1 and 2 hold.
+	// After a failover X has one column per surviving worker (H' columns);
+	// Recovery.ActiveWorkers maps columns back to worker IDs.
 	ExchangeBlocks int     `json:"exchange_blocks"`
 	RecvBlocks     []int   `json:"recv_blocks"`
 	X              [][]int `json:"x,omitempty"`
 
 	// GatherRecords[h] is the shard size worker h locally sorted.
 	GatherRecords []int `json:"gather_records"`
+
+	// Recovery is non-nil when at least one worker was lost and the job
+	// completed anyway.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
 
-// link is one framed coordinator<->worker control connection.
+// RecoveryStats describes how a sort survived worker loss.
+type RecoveryStats struct {
+	// LostWorkers are the dead workers' IDs, in detection order;
+	// LostPhases[i] is the coordinator phase during which loss i was
+	// detected.
+	LostWorkers []int    `json:"lost_workers"`
+	LostPhases  []string `json:"lost_phases"`
+	// Failovers counts recovery epochs (a single failover can absorb
+	// several simultaneous losses).
+	Failovers int `json:"failovers"`
+	// RescatteredBlocks / RescatteredRecords measure the shard data
+	// re-streamed to survivors.
+	RescatteredBlocks  int `json:"rescattered_blocks"`
+	RescatteredRecords int `json:"rescattered_records"`
+	// FailoverWallNanos is the total wall time spent inside recovery
+	// (detection to last survivor's ack), excluding the re-run phases.
+	FailoverWallNanos int64 `json:"failover_wall_nanos"`
+	// ActiveWorkers are the IDs that finished the job, ascending. They
+	// are the columns of SortStats.X.
+	ActiveWorkers []int `json:"active_workers"`
+}
+
+// errFailover is the internal sentinel that unwinds the current epoch's
+// phase machinery back to the recovery loop. It never escapes Sort.
+var errFailover = errors.New("cluster: worker lost, failover required")
+
+// frameMsg is one frame (or terminal read error) from a link's reader.
+type frameMsg struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// link is one framed coordinator->worker control connection. A dedicated
+// reader goroutine pushes inbound frames to ch so the coordinator can wait
+// on a frame and a loss signal simultaneously; writes go straight out.
 type link struct {
+	id   int
 	conn net.Conn
-	br   *bufio.Reader
 	cfg  DialConfig
+	ch   chan frameMsg
+	done chan struct{} // closed when the job ends; unblocks a stuck reader
 }
 
-func newLink(conn net.Conn, cfg DialConfig) *link {
-	return &link{conn: conn, br: bufio.NewReaderSize(conn, 1<<16), cfg: cfg}
+func newLink(id int, conn net.Conn, cfg DialConfig) *link {
+	l := &link{id: id, conn: conn, cfg: cfg, ch: make(chan frameMsg, 4), done: make(chan struct{})}
+	go func() {
+		br := bufio.NewReaderSize(conn, 1<<16)
+		for {
+			clearDeadline(conn) // liveness comes from heartbeats, not read deadlines
+			typ, payload, err := readFrame(br)
+			fr := frameMsg{typ: typ, payload: payload, err: err}
+			select {
+			case l.ch <- fr:
+			case <-l.done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return l
 }
 
 func (l *link) send(typ byte, payload []byte) error {
-	setOpDeadline(l.conn, l.cfg)
+	setWriteDeadline(l.conn, l.cfg)
 	return writeFrame(l.conn, typ, payload)
 }
 
-// recv reads the next frame. With slow set the read blocks without a
-// deadline — used across phase barriers, where a healthy worker may
-// legitimately take a long time; a dead worker's connection still errors
-// out of the read.
-func (l *link) recv(slow bool) (byte, []byte, error) {
-	if slow {
-		clearDeadline(l.conn)
-	} else {
-		setOpDeadline(l.conn, l.cfg)
-	}
-	return readFrame(l.br)
-}
+// coordinator is the per-job state of one cluster Sort call.
+type coordinator struct {
+	spec    SortSpec
+	W, S    int
+	n       int // total records
+	in      *os.File
+	inPath  string
+	outPath string
+	tr      *obs.Tracer
+	jobID   uint64
 
-// expect reads the next frame and requires it to be of type want,
-// converting a worker-reported mError into its typed Go error.
-func (l *link) expect(want byte, slow bool) ([]byte, error) {
-	typ, payload, err := l.recv(slow)
-	if err != nil {
-		return nil, err
-	}
-	if typ == mError {
-		var e msgError
-		if derr := e.decode(payload); derr != nil {
-			return nil, derr
-		}
-		return nil, wireToError(&e)
-	}
-	if typ != want {
-		return nil, fmt.Errorf("cluster: expected message %d, got %d", want, typ)
-	}
-	return payload, nil
+	links    []*link // immutable after connect; dead entries keep a closed conn
+	vers     []int   // negotiated protocol version per worker
+	failover bool    // all workers v3: losses trigger recovery, not failure
+
+	mu       sync.Mutex
+	deadErr  map[int]error // worker -> first loss, as a *WorkerLostError
+	handled  int           // losses already absorbed by a completed failover
+	lastLost error
+	lostSig  chan struct{} // cap 1: wakes phase waits when a loss lands
+	phase    string
+
+	monCancel context.CancelFunc
+	monWG     sync.WaitGroup
+
+	jmu sync.Mutex
+	jr  *pdm.Journal
+
+	// Scatter bookkeeping: chunk t holds records [t·scatterChunk, …).
+	chunks    int
+	assign    []int32 // chunk -> worker, -1 while unassigned
+	perWorker []uint64
+
+	epoch      uint32
+	chaosFired bool
+	rec        RecoveryStats
+
+	// Plan state of the (last) epoch, for the final stats.
+	pivots       []uint64
+	streamLen    int
+	bl           *balance.Balancer
+	expectRecv   []uint64
+	expectGather []uint64
 }
 
 // Sort externally sorts inPath into outPath across the cluster: it scatters
@@ -149,15 +291,14 @@ func (l *link) expect(want byte, slow bool) ([]byte, error) {
 // gather, and local-sort phases, and drains the sorted shards in key order.
 // The output is byte-identical to a single-process SortFile of the same
 // input because both produce the unique nondecreasing arrangement of the
-// record multiset under the strict (Key, Loc) order.
-func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *SortStats, err error) {
-	spec, err = spec.withDefaults()
+// record multiset under the strict (Key, Loc) order — which is also why a
+// failover mid-job, which re-plans the placement from scratch over the
+// survivors, cannot change a single output byte.
+func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortStats, error) {
+	spec, err := spec.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	W := len(spec.Workers)
-	S := spec.Buckets
-
 	in, err := os.Open(inPath)
 	if err != nil {
 		return nil, err
@@ -171,24 +312,47 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 		return nil, fmt.Errorf("cluster: %s is %d bytes, not a whole number of %d-byte records",
 			inPath, st.Size(), record.EncodedSize)
 	}
-	n := int(st.Size() / record.EncodedSize)
-
-	// Dial every worker up front; a worker that cannot be reached at all
-	// fails the job fast with a typed *WorkerLostError.
-	links := make([]*link, W)
+	c := &coordinator{
+		spec:    spec,
+		W:       len(spec.Workers),
+		S:       spec.Buckets,
+		n:       int(st.Size() / record.EncodedSize),
+		in:      in,
+		inPath:  inPath,
+		outPath: outPath,
+		tr:      spec.Trace,
+		jobID:   uint64(time.Now().UnixNano()),
+		deadErr: make(map[int]error),
+		lostSig: make(chan struct{}, 1),
+	}
 	defer func() {
-		for _, l := range links {
+		if c.monCancel != nil {
+			c.monCancel()
+			c.monWG.Wait()
+		}
+		for _, l := range c.links {
 			if l != nil {
 				l.conn.Close()
+				close(l.done)
 			}
 		}
-	}()
-	for i, addr := range spec.Workers {
-		conn, derr := spec.Dial.dial(ctx, i, addr)
-		if derr != nil {
-			return nil, fmt.Errorf("cluster: dialing worker %d: %w", i, derr)
+		if c.jr != nil {
+			c.jr.Close()
 		}
-		links[i] = newLink(conn, spec.Dial)
+	}()
+	return c.run(ctx)
+}
+
+func (c *coordinator) run(ctx context.Context) (*SortStats, error) {
+	if c.spec.JournalPath != "" {
+		jr, err := pdm.CreateJournal(c.spec.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: recovery journal: %w", err)
+		}
+		c.jr = jr
+	}
+	if err := c.connect(ctx); err != nil {
+		return nil, err
 	}
 
 	// A canceled context tears the connections down so no phase can block
@@ -198,128 +362,502 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 	go func() {
 		select {
 		case <-ctx.Done():
-			for _, l := range links {
+			for _, l := range c.links {
 				l.conn.Close()
 			}
 		case <-watchDone:
 		}
 	}()
 
-	tr := spec.Trace
-	var flags uint32
-	if tr != nil {
-		flags |= helloFlagTrace
-	}
-	jobID := uint64(time.Now().UnixNano())
-	for i, l := range links {
-		h := msgHello{
-			Version: protocolVersion, JobID: jobID,
-			Worker: uint32(i), Workers: uint32(W),
-			S: uint32(S), BlockRecs: uint32(spec.BlockRecs),
-			Flags: flags,
-			Peers: spec.Workers,
+	c.startMonitors(ctx)
+
+	err := c.scatter(ctx)
+	for {
+		if err == nil {
+			err = c.pipeline(ctx)
 		}
-		if err := l.send(mHello, h.encode()); err != nil {
-			return nil, fmt.Errorf("cluster: hello to worker %d: %w", i, err)
+		if err == nil {
+			break
 		}
-		if _, err := l.expect(mHelloAck, false); err != nil {
-			return nil, fmt.Errorf("cluster: worker %d handshake: %w", i, err)
+		if !errors.Is(err, errFailover) {
+			return nil, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		err = c.recoverLost(ctx)
+		if err != nil && !errors.Is(err, errFailover) {
+			return nil, err
+		}
+		if errors.Is(err, errFailover) {
+			continue // another worker died mid-recovery: go again
 		}
 	}
 
-	// Scatter: stream the input round-robin, one chunk per frame.
-	spScatter := tr.Begin("cluster", "scatter", 0)
-	perWorker := make([]uint64, W)
+	// Collect worker traces and merge them into the job timeline before
+	// saying goodbye: node 0 is the coordinator, node w+1 is worker w. The
+	// output is already complete, so with failover enabled a worker dying
+	// here only costs its spans, not the job.
+	if c.tr != nil {
+		for _, i := range c.active() {
+			if terr := c.collectTrace(i); terr != nil {
+				if !c.failover {
+					return nil, fmt.Errorf("cluster: trace from worker %d: %w", i, terr)
+				}
+			}
+		}
+	}
+
+	if c.monCancel != nil {
+		c.monCancel()
+		c.monWG.Wait()
+		c.monCancel = nil
+	}
+	for _, i := range c.active() {
+		_ = c.links[i].send(mBye, nil) // best effort: workers also reset on conn close
+	}
+
+	stats := &SortStats{
+		Records:        c.n,
+		Workers:        c.W,
+		Buckets:        c.S,
+		ExchangeBlocks: c.streamLen,
+		X:              c.bl.Histogram(),
+		GatherRecords:  make([]int, c.W),
+		RecvBlocks:     make([]int, c.W),
+	}
+	for w := 0; w < c.W; w++ {
+		stats.RecvBlocks[w] = int(c.expectRecv[w])
+		stats.GatherRecords[w] = int(c.expectGather[w])
+	}
+	c.mu.Lock()
+	if len(c.deadErr) > 0 {
+		rec := c.rec
+		rec.ActiveWorkers = append([]int(nil), c.rec.ActiveWorkers...)
+		stats.Recovery = &rec
+	}
+	c.mu.Unlock()
+	return stats, nil
+}
+
+// connect dials every worker, starts its reader, and runs the version
+// handshake. A worker unreachable here fails the job fast with a typed
+// *WorkerLostError — failover only covers workers that joined the job.
+func (c *coordinator) connect(ctx context.Context) error {
+	c.links = make([]*link, c.W)
+	c.vers = make([]int, c.W)
+	for i, addr := range c.spec.Workers {
+		conn, derr := c.spec.Dial.dial(ctx, i, addr)
+		if derr != nil {
+			return fmt.Errorf("cluster: dialing worker %d: %w", i, derr)
+		}
+		c.links[i] = newLink(i, conn, c.spec.Dial)
+	}
+	var flags uint32
+	if c.tr != nil {
+		flags |= helloFlagTrace
+	}
+	for i, l := range c.links {
+		h := msgHello{
+			Version: protocolVersion, JobID: c.jobID,
+			Worker: uint32(i), Workers: uint32(c.W),
+			S: uint32(c.S), BlockRecs: uint32(c.spec.BlockRecs),
+			Flags: flags,
+			Peers: c.spec.Workers,
+		}
+		if err := l.send(mHello, h.encode()); err != nil {
+			return fmt.Errorf("cluster: hello to worker %d: %w", i, err)
+		}
+	}
+	for i := range c.links {
+		payload, err := c.expectHandshake(i, mHelloAck)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d handshake: %w", i, err)
+		}
+		var v msgVersion
+		if err := v.decode(payload); err != nil {
+			return fmt.Errorf("cluster: worker %d handshake: %w", i, err)
+		}
+		c.vers[i] = int(v.Version)
+	}
+	c.failover = true
+	for _, v := range c.vers {
+		if v < 3 {
+			c.failover = false
+		}
+	}
+	return nil
+}
+
+// expectHandshake reads one frame from worker i with the handshake timeout
+// (the only read the coordinator bounds by a deadline: past this point
+// liveness comes from the failure detector).
+func (c *coordinator) expectHandshake(i int, want byte) ([]byte, error) {
+	t := time.NewTimer(c.spec.Dial.IOTimeout)
+	defer t.Stop()
+	select {
+	case fr := <-c.links[i].ch:
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		if fr.typ == mError {
+			var e msgError
+			if derr := e.decode(fr.payload); derr != nil {
+				return nil, derr
+			}
+			return nil, wireToError(&e)
+		}
+		if fr.typ != want {
+			return nil, fmt.Errorf("cluster: expected message %d, got %d", want, fr.typ)
+		}
+		return fr.payload, nil
+	case <-t.C:
+		return nil, fmt.Errorf("cluster: handshake timed out after %v", c.spec.Dial.IOTimeout)
+	}
+}
+
+// lost marks worker i dead (idempotently), closes its control connection,
+// and returns the error the caller should propagate: errFailover when the
+// cluster can recover, the transport error itself when it cannot.
+func (c *coordinator) lost(i int, err error) error {
+	c.mu.Lock()
+	if _, dup := c.deadErr[i]; !dup {
+		wl := c.asLost(i, err)
+		c.deadErr[i] = wl
+		c.lastLost = wl
+		c.rec.LostWorkers = append(c.rec.LostWorkers, i)
+		c.rec.LostPhases = append(c.rec.LostPhases, c.phase)
+		phase, epoch := c.phase, c.epoch
+		select {
+		case c.lostSig <- struct{}{}:
+		default:
+		}
+		c.mu.Unlock()
+		c.links[i].conn.Close()
+		c.tr.Count("cluster", "workers-lost", 0, 1)
+		c.journal(journalEvent{Event: "lost", Epoch: epoch, Phase: phase, Worker: i})
+	} else {
+		c.mu.Unlock()
+	}
+	if c.failover {
+		return errFailover
+	}
+	return err
+}
+
+// lostAsync is lost() for the monitor goroutines, which have no phase
+// error to return into.
+func (c *coordinator) lostAsync(i int, err error) { _ = c.lost(i, err) }
+
+// asLost wraps err as a *WorkerLostError naming worker i, unless it
+// already is one.
+func (c *coordinator) asLost(i int, err error) error {
+	var wl *WorkerLostError
+	if errors.As(err, &wl) {
+		return err
+	}
+	return &WorkerLostError{Worker: i, Addr: c.spec.Workers[i], Err: err}
+}
+
+func (c *coordinator) isDead(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, dead := c.deadErr[i]
+	return dead
+}
+
+// active returns the surviving worker IDs, ascending.
+func (c *coordinator) active() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, c.W)
+	for i := 0; i < c.W; i++ {
+		if _, dead := c.deadErr[i]; !dead {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pendingLoss reports a loss not yet absorbed by a completed failover.
+func (c *coordinator) pendingLoss() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.deadErr) > c.handled
+}
+
+// sendTo writes one frame to worker i, converting a write failure into a
+// loss.
+func (c *coordinator) sendTo(i int, typ byte, payload []byte) error {
+	if c.isDead(i) {
+		return c.deadSendErr(i)
+	}
+	if err := c.links[i].send(typ, payload); err != nil {
+		return c.lost(i, err)
+	}
+	return nil
+}
+
+func (c *coordinator) deadSendErr(i int) error {
+	if c.failover {
+		return errFailover
+	}
+	c.mu.Lock()
+	err := c.deadErr[i]
+	c.mu.Unlock()
+	return err
+}
+
+// recvFrom returns the next frame from worker i, handling losses, peer-loss
+// reports, worker errors, and frames left over from an epoch a failover
+// aborted. It blocks until a frame or any loss signal arrives.
+func (c *coordinator) recvFrom(i int) (byte, []byte, error) {
+	if c.isDead(i) {
+		return 0, nil, c.deadSendErr(i)
+	}
+	l := c.links[i]
+	for {
+		select {
+		case fr := <-l.ch:
+			if fr.err != nil {
+				return 0, nil, c.lost(i, fr.err)
+			}
+			switch fr.typ {
+			case mPeerLost:
+				var pl msgPeerLost
+				if err := pl.decode(fr.payload); err != nil {
+					return 0, nil, err
+				}
+				t := int(pl.Worker)
+				if t < 0 || t >= c.W {
+					return 0, nil, fmt.Errorf("cluster: worker %d reported peer %d lost", i, t)
+				}
+				if c.isDead(t) {
+					continue // duplicate report of a loss already being handled
+				}
+				return 0, nil, c.lost(t, &WorkerLostError{Worker: t, Addr: pl.Addr, Err: errors.New(pl.Text)})
+			case mError:
+				var e msgError
+				if derr := e.decode(fr.payload); derr != nil {
+					return 0, nil, derr
+				}
+				return 0, nil, wireToError(&e)
+			case mRescatterAck:
+				var a msgRescatterAck
+				if err := a.decode(fr.payload); err != nil {
+					return 0, nil, err
+				}
+				if a.Epoch != c.epoch {
+					continue // ack of a superseded recovery exchange
+				}
+				return fr.typ, fr.payload, nil
+			case mPong:
+				continue // straggler from an aborted recovery exchange
+			default:
+				return fr.typ, fr.payload, nil
+			}
+		case <-c.lostSig:
+			return 0, nil, errFailover
+		}
+	}
+}
+
+// expectFrom is recvFrom constrained to one message type.
+func (c *coordinator) expectFrom(i int, want byte) ([]byte, error) {
+	typ, payload, err := c.recvFrom(i)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("cluster: expected message %d from worker %d, got %d", want, i, typ)
+	}
+	return payload, nil
+}
+
+// enterPhase records the phase for loss attribution and the journal, bails
+// to the recovery loop if a loss is pending, and fires chaos if armed.
+func (c *coordinator) enterPhase(name string) error {
+	c.mu.Lock()
+	c.phase = name
+	c.mu.Unlock()
+	c.journal(journalEvent{Event: "phase", Epoch: c.epoch, Phase: name})
+	if c.failover && c.pendingLoss() {
+		return errFailover
+	}
+	c.maybeChaos(name)
+	return nil
+}
+
+// maybeChaos fires the configured fault if this is its phase. It fires at
+// most once per job, in epoch 0 only — the harness proves one induced
+// death is survivable, not that the job outlives arbitrary repetition.
+func (c *coordinator) maybeChaos(phase string) {
+	ch := c.spec.Chaos
+	if ch == nil || c.chaosFired || ch.Phase != phase || !c.failover || c.epoch != 0 {
+		return
+	}
+	c.chaosFired = true
+	mode := crashKill
+	if ch.Hang {
+		mode = crashHang
+	}
+	if !c.isDead(ch.Worker) {
+		_ = c.links[ch.Worker].send(mCrash, (&msgCrash{Mode: mode}).encode())
+	}
+}
+
+// scatter streams the input round-robin, one chunk per frame, recording
+// which worker owns each chunk so a failover can re-stream exactly the
+// dead workers' extents.
+func (c *coordinator) scatter(ctx context.Context) error {
+	if err := c.enterPhase("scatter"); err != nil {
+		return err
+	}
+	sp := c.tr.Begin("cluster", "scatter", 0)
+	c.chunks = (c.n + scatterChunk - 1) / scatterChunk
+	c.assign = make([]int32, c.chunks)
+	for t := range c.assign {
+		c.assign[t] = -1
+	}
+	c.perWorker = make([]uint64, c.W)
 	buf := make([]byte, scatterChunk*record.EncodedSize)
-	r := bufio.NewReaderSize(in, 1<<16)
-	for pos, turn := 0, 0; pos < n; turn++ {
+	r := bufio.NewReaderSize(c.in, 1<<16)
+	for pos, turn := 0, 0; pos < c.n; turn++ {
 		m := scatterChunk
-		if pos+m > n {
-			m = n - pos
+		if pos+m > c.n {
+			m = c.n - pos
 		}
 		chunk := buf[:m*record.EncodedSize]
 		if _, err := readFull(r, chunk); err != nil {
-			return nil, fmt.Errorf("cluster: reading %s at record %d: %w", inPath, pos, err)
+			return fmt.Errorf("cluster: reading %s at record %d: %w", c.inPath, pos, err)
 		}
-		w := turn % W
-		if err := links[w].send(mRecords, chunk); err != nil {
-			return nil, fmt.Errorf("cluster: scattering to worker %d: %w", w, err)
+		w := turn % c.W
+		if c.isDead(w) {
+			return c.deadSendErr(w) // errFailover: recovery re-streams from here
 		}
-		perWorker[w] += uint64(m)
+		if err := c.sendTo(w, mRecords, chunk); err != nil {
+			if errors.Is(err, errFailover) {
+				return err
+			}
+			return fmt.Errorf("cluster: scattering to worker %d: %w", w, err)
+		}
+		c.assign[turn] = int32(w)
+		c.perWorker[w] += uint64(m)
 		pos += m
 	}
-	for i, l := range links {
-		if err := l.send(mScatterDone, (&msgCount{Count: perWorker[i]}).encode()); err != nil {
-			return nil, fmt.Errorf("cluster: finishing scatter to worker %d: %w", i, err)
+	for i := 0; i < c.W; i++ {
+		if err := c.sendTo(i, mScatterDone, (&msgCount{Count: c.perWorker[i]}).encode()); err != nil {
+			if errors.Is(err, errFailover) {
+				return err
+			}
+			return fmt.Errorf("cluster: finishing scatter to worker %d: %w", i, err)
 		}
 	}
-	spScatter.End(obs.Attr{Key: "records", Val: int64(n)}, obs.Attr{Key: "workers", Val: int64(W)})
+	c.journal(journalEvent{Event: "scatter-done", Epoch: c.epoch, Extents: append([]uint64(nil), c.perWorker...)})
+	sp.End(obs.Attr{Key: "records", Val: int64(c.n)}, obs.Attr{Key: "workers", Val: int64(c.W)})
+	return nil
+}
 
-	// Histograms -> deterministic pivots.
-	spHist := tr.Begin("cluster", "histogram-merge", 0)
+// pipeline runs the post-scatter phases for the current epoch. Any return
+// of errFailover unwinds to the recovery loop in run.
+func (c *coordinator) pipeline(ctx context.Context) error {
+	if err := c.histogramPhase(); err != nil {
+		return err
+	}
+	if err := c.planPhase(); err != nil {
+		return err
+	}
+	if err := c.exchangePhase(); err != nil {
+		return err
+	}
+	if err := c.gatherPhase(); err != nil {
+		return err
+	}
+	if err := c.sortPhase(); err != nil {
+		return err
+	}
+	return c.drainPhase()
+}
+
+func (c *coordinator) histogramPhase() error {
+	if err := c.enterPhase("histogram-merge"); err != nil {
+		return err
+	}
+	sp := c.tr.Begin("cluster", "histogram-merge", 0)
 	merged := make([]uint64, histBins)
-	for i, l := range links {
-		payload, err := l.expect(mHistogram, true)
+	for _, i := range c.active() {
+		payload, err := c.expectFrom(i, mHistogram)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: histogram from worker %d: %w", i, err)
+			return phaseErr("histogram from worker", i, err)
 		}
 		var h msgHistogram
 		if err := h.decode(payload); err != nil {
-			return nil, err
+			return err
 		}
 		for b, v := range h.Bins {
 			merged[b] += v
 		}
 	}
-	pivots := pickPivots(merged, uint64(n), S)
-	pv := (&msgPivots{Pivots: pivots}).encode()
-	for i, l := range links {
-		if err := l.send(mPivots, pv); err != nil {
-			return nil, fmt.Errorf("cluster: pivots to worker %d: %w", i, err)
+	c.pivots = pickPivots(merged, uint64(c.n), c.S)
+	pv := (&msgPivots{Pivots: c.pivots}).encode()
+	for _, i := range c.active() {
+		if err := c.sendTo(i, mPivots, pv); err != nil {
+			return phaseErr("pivots to worker", i, err)
 		}
 	}
-	spHist.End(obs.Attr{Key: "pivots", Val: int64(len(pivots))})
+	sp.End(obs.Attr{Key: "pivots", Val: int64(len(c.pivots))})
+	return nil
+}
 
-	spPlan := tr.Begin("cluster", "plan", 0)
+func (c *coordinator) planPhase() error {
+	if err := c.enterPhase("plan"); err != nil {
+		return err
+	}
+	sp := c.tr.Begin("cluster", "plan", 0)
+	activeList := c.active()
+	H := len(activeList)
 
-	// Per-bucket record counts from every worker.
-	counts := make([][]uint64, W)
-	for i, l := range links {
-		payload, err := l.expect(mCounts, true)
+	// Per-bucket record counts from every surviving worker.
+	counts := make([][]uint64, c.W)
+	for _, i := range activeList {
+		payload, err := c.expectFrom(i, mCounts)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: counts from worker %d: %w", i, err)
+			return phaseErr("counts from worker", i, err)
 		}
-		var c msgCounts
-		if err := c.decode(payload); err != nil {
-			return nil, err
+		var m msgCounts
+		if err := m.decode(payload); err != nil {
+			return err
 		}
-		if len(c.PerBucket) != S {
-			return nil, fmt.Errorf("cluster: worker %d counted %d buckets, want %d", i, len(c.PerBucket), S)
+		if len(m.PerBucket) != c.S {
+			return fmt.Errorf("cluster: worker %d counted %d buckets, want %d", i, len(m.PerBucket), c.S)
 		}
 		var total uint64
-		for _, v := range c.PerBucket {
+		for _, v := range m.PerBucket {
 			total += v
 		}
-		if total != perWorker[i] {
-			return nil, fmt.Errorf("cluster: worker %d partitioned %d of %d records", i, total, perWorker[i])
+		if total != c.perWorker[i] {
+			return fmt.Errorf("cluster: worker %d partitioned %d of %d records", i, total, c.perWorker[i])
 		}
-		counts[i] = c.PerBucket
+		counts[i] = m.PerBucket
 	}
 
 	// Balance-Sort placement: enumerate every block each worker will form
 	// (bucket-major per worker), interleave across workers so each
 	// placement track holds at most one block per worker — the cluster
 	// analogue of "one block formed per processor per step" — and let the
-	// histogram/auxiliary-matrix machinery pick destinations.
+	// histogram/auxiliary-matrix machinery pick destinations. The balancer
+	// runs over H' = |survivors| virtual disks: losing a worker shrinks
+	// the disk set exactly as the paper's model allows, and the invariant
+	// check below asserts the placement guarantees on the shrunk matrix.
 	type blockRef struct {
-		worker int
+		worker int // worker ID (not active index)
 		bucket int
 		seq    int
 	}
-	blocksOf := make([][]blockRef, W)
-	for w := 0; w < W; w++ {
-		for b := 0; b < S; b++ {
-			nb := int((counts[w][b] + uint64(spec.BlockRecs) - 1) / uint64(spec.BlockRecs))
+	blocksOf := make(map[int][]blockRef, H)
+	for _, w := range activeList {
+		for b := 0; b < c.S; b++ {
+			nb := int((counts[w][b] + uint64(c.spec.BlockRecs) - 1) / uint64(c.spec.BlockRecs))
 			for seq := 0; seq < nb; seq++ {
 				blocksOf[w] = append(blocksOf[w], blockRef{worker: w, bucket: b, seq: seq})
 			}
@@ -328,7 +866,7 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 	var stream []blockRef
 	for t := 0; ; t++ {
 		any := false
-		for w := 0; w < W; w++ {
+		for _, w := range activeList {
 			if t < len(blocksOf[w]) {
 				stream = append(stream, blocksOf[w][t])
 				any = true
@@ -342,233 +880,195 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (stats *So
 	for i, ref := range stream {
 		labels[i] = ref.bucket
 	}
-	bl := balance.New(balance.Config{S: S, H: W})
-	dests := bl.PlaceStream(labels)
-	if err := bl.CheckInvariant2(); err != nil {
-		return nil, fmt.Errorf("cluster: placement broke the balance bound: %w", err)
+	bl := balance.New(balance.Config{S: c.S, H: H})
+	dests := bl.PlaceStream(labels) // dest is an index into activeList
+	if err := bl.CheckInvariants(); err != nil {
+		return fmt.Errorf("cluster: placement over %d disks broke the balance invariants: %w", H, err)
 	}
 
-	planDests := make([][][]uint32, W) // [worker][bucket][seq]
-	for w := 0; w < W; w++ {
-		planDests[w] = make([][]uint32, S)
-		for b := 0; b < S; b++ {
-			nb := int((counts[w][b] + uint64(spec.BlockRecs) - 1) / uint64(spec.BlockRecs))
-			planDests[w][b] = make([]uint32, nb)
+	planDests := make(map[int][][]uint32, H) // worker ID -> [bucket][seq]
+	for _, w := range activeList {
+		rows := make([][]uint32, c.S)
+		for b := 0; b < c.S; b++ {
+			nb := int((counts[w][b] + uint64(c.spec.BlockRecs) - 1) / uint64(c.spec.BlockRecs))
+			rows[b] = make([]uint32, nb)
 		}
+		planDests[w] = rows
 	}
-	expectRecv := make([]uint64, W)
+	expectRecv := make([]uint64, c.W)
 	for i, ref := range stream {
-		planDests[ref.worker][ref.bucket][ref.seq] = uint32(dests[i])
-		expectRecv[dests[i]]++
+		dest := activeList[dests[i]]
+		planDests[ref.worker][ref.bucket][ref.seq] = uint32(dest)
+		expectRecv[dest]++
 	}
 
-	// Bucket ownership: contiguous runs of buckets per worker, balanced by
-	// record volume, so each worker's final shard is one key range and the
-	// drain in worker order is the global key order.
-	bucketTotal := make([]uint64, S)
-	for w := 0; w < W; w++ {
-		for b := 0; b < S; b++ {
+	// Bucket ownership: contiguous runs of buckets per surviving worker,
+	// balanced by record volume, so each worker's final shard is one key
+	// range and the drain in ascending survivor order is the global key
+	// order.
+	bucketTotal := make([]uint64, c.S)
+	for _, w := range activeList {
+		for b := 0; b < c.S; b++ {
 			bucketTotal[b] += counts[w][b]
 		}
 	}
-	owners := assignOwners(bucketTotal, W)
-	expectGather := make([]uint64, W)
+	ownerPos := assignOwners(bucketTotal, H)
+	owners := make([]uint32, c.S)
+	for b, p := range ownerPos {
+		owners[b] = uint32(activeList[p])
+	}
+	expectGather := make([]uint64, c.W)
 	for b, o := range owners {
 		expectGather[o] += bucketTotal[b]
 	}
 
-	for i, l := range links {
+	for _, i := range activeList {
 		p := msgPlan{
 			Dests:            planDests[i],
 			ExpectRecvBlocks: expectRecv[i],
 			Owners:           owners,
 			ExpectGatherRecs: expectGather[i],
 		}
-		if err := l.send(mPlan, p.encode()); err != nil {
-			return nil, fmt.Errorf("cluster: plan to worker %d: %w", i, err)
+		if err := c.sendTo(i, mPlan, p.encode()); err != nil {
+			return phaseErr("plan to worker", i, err)
 		}
 	}
-	spPlan.End(obs.Attr{Key: "blocks", Val: int64(len(stream))}, obs.Attr{Key: "buckets", Val: int64(S)})
-
-	// Exchange barrier: every worker has sent its blocks (all acked) and
-	// received exactly what the plan promised it.
-	spExchange := tr.Begin("cluster", "exchange", 0)
-	for i, l := range links {
-		payload, err := l.expect(mPhaseDone, true)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: exchange on worker %d: %w", i, err)
-		}
-		var d msgPhaseDone
-		if err := d.decode(payload); err != nil {
-			return nil, err
-		}
-		if d.Phase != 1 || d.BlocksRecv != expectRecv[i] {
-			return nil, fmt.Errorf("cluster: worker %d finished exchange with %d of %d blocks",
-				i, d.BlocksRecv, expectRecv[i])
-		}
-	}
-	spExchange.End(obs.Attr{Key: "blocks", Val: int64(len(stream))})
-	spGather := tr.Begin("cluster", "gather", 0)
-	for i, l := range links {
-		if err := l.send(mStartGather, nil); err != nil {
-			return nil, fmt.Errorf("cluster: starting gather on worker %d: %w", i, err)
-		}
-	}
-	for i, l := range links {
-		payload, err := l.expect(mPhaseDone, true)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: gather on worker %d: %w", i, err)
-		}
-		var d msgPhaseDone
-		if err := d.decode(payload); err != nil {
-			return nil, err
-		}
-		if d.Phase != 2 || d.RecsRecv != expectGather[i] {
-			return nil, fmt.Errorf("cluster: worker %d gathered %d of %d records",
-				i, d.RecsRecv, expectGather[i])
-		}
-	}
-	spGather.End()
-
-	// Local sorts.
-	spSort := tr.Begin("cluster", "local-sort", 0)
-	for i, l := range links {
-		if err := l.send(mSortReq, nil); err != nil {
-			return nil, fmt.Errorf("cluster: sort request to worker %d: %w", i, err)
-		}
-	}
-	for i, l := range links {
-		payload, err := l.expect(mSortDone, true)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: local sort on worker %d: %w", i, err)
-		}
-		var c msgCount
-		if err := c.decode(payload); err != nil {
-			return nil, err
-		}
-		if c.Count != expectGather[i] {
-			return nil, fmt.Errorf("cluster: worker %d sorted %d of %d records", i, c.Count, expectGather[i])
-		}
-	}
-	spSort.End()
-
-	// Drain shards in owner order, verifying global sortedness and record
-	// conservation while streaming, exactly like the single-process path.
-	spDrain := tr.Begin("cluster", "drain", 0)
-	if err := drainShards(links, outPath, n, expectGather); err != nil {
-		return nil, err
-	}
-	spDrain.End(obs.Attr{Key: "records", Val: int64(n)})
-
-	// Collect worker traces and merge them into the job timeline before
-	// saying goodbye: node 0 is the coordinator, node w+1 is worker w.
-	if tr != nil {
-		for i, l := range links {
-			if err := collectTrace(l, tr, i); err != nil {
-				return nil, fmt.Errorf("cluster: trace from worker %d: %w", i, err)
-			}
-		}
-	}
-
-	for _, l := range links {
-		_ = l.send(mBye, nil) // best effort: workers also reset on conn close
-	}
-
-	stats = &SortStats{
-		Records:        n,
-		Workers:        W,
-		Buckets:        S,
-		ExchangeBlocks: len(stream),
-		X:              bl.Histogram(),
-		GatherRecords:  make([]int, W),
-		RecvBlocks:     make([]int, W),
-	}
-	for w := 0; w < W; w++ {
-		stats.RecvBlocks[w] = int(expectRecv[w])
-		stats.GatherRecords[w] = int(expectGather[w])
-	}
-	return stats, nil
+	c.bl = bl
+	c.streamLen = len(stream)
+	c.expectRecv = expectRecv
+	c.expectGather = expectGather
+	sp.End(obs.Attr{Key: "blocks", Val: int64(len(stream))}, obs.Attr{Key: "buckets", Val: int64(c.S)},
+		obs.Attr{Key: "disks", Val: int64(H)})
+	return nil
 }
 
-// collectTrace requests worker w's recorded spans and merges them into tr,
-// rebasing the worker tracer's epoch (shipped as wall-clock UnixNano) onto
-// the coordinator's. Wall clocks are only used for the epoch shift — span
-// offsets themselves are monotonic — so cross-machine skew displaces a
-// worker's track but never distorts durations.
-func collectTrace(l *link, tr *obs.Tracer, w int) error {
-	if err := l.send(mTraceReq, nil); err != nil {
+func (c *coordinator) exchangePhase() error {
+	if err := c.enterPhase("exchange"); err != nil {
 		return err
 	}
-	coordEpoch := tr.Epoch().UnixNano()
-	for {
-		typ, payload, err := l.recv(true)
+	sp := c.tr.Begin("cluster", "exchange", 0)
+	for _, i := range c.active() {
+		payload, err := c.expectFrom(i, mPhaseDone)
 		if err != nil {
+			return phaseErr("exchange on worker", i, err)
+		}
+		var d msgPhaseDone
+		if err := d.decode(payload); err != nil {
 			return err
 		}
-		switch typ {
-		case mTrace:
-			var m msgTrace
-			if err := m.decode(payload); err != nil {
-				return err
-			}
-			shift := time.Duration(int64(m.EpochNanos) - coordEpoch)
-			tr.Merge(m.Spans, shift, w+1)
-		case mTraceDone:
-			return nil
-		case mError:
-			var e msgError
-			if derr := e.decode(payload); derr != nil {
-				return derr
-			}
-			return wireToError(&e)
-		default:
-			return fmt.Errorf("cluster: unexpected message %d during trace collection", typ)
+		if d.Phase != 1 || d.BlocksRecv != c.expectRecv[i] {
+			return fmt.Errorf("cluster: worker %d finished exchange with %d of %d blocks",
+				i, d.BlocksRecv, c.expectRecv[i])
 		}
 	}
+	sp.End(obs.Attr{Key: "blocks", Val: int64(c.streamLen)})
+	return nil
 }
 
-// drainShards pulls every worker's sorted shard in order into outPath,
-// leaving no partial output behind on failure.
-func drainShards(links []*link, outPath string, n int, expect []uint64) (err error) {
-	out, err := os.Create(outPath)
+func (c *coordinator) gatherPhase() error {
+	if err := c.enterPhase("gather"); err != nil {
+		return err
+	}
+	sp := c.tr.Begin("cluster", "gather", 0)
+	for _, i := range c.active() {
+		if err := c.sendTo(i, mStartGather, nil); err != nil {
+			return phaseErr("starting gather on worker", i, err)
+		}
+	}
+	for _, i := range c.active() {
+		payload, err := c.expectFrom(i, mPhaseDone)
+		if err != nil {
+			return phaseErr("gather on worker", i, err)
+		}
+		var d msgPhaseDone
+		if err := d.decode(payload); err != nil {
+			return err
+		}
+		if d.Phase != 2 || d.RecsRecv != c.expectGather[i] {
+			return fmt.Errorf("cluster: worker %d gathered %d of %d records",
+				i, d.RecsRecv, c.expectGather[i])
+		}
+	}
+	sp.End()
+	return nil
+}
+
+func (c *coordinator) sortPhase() error {
+	if err := c.enterPhase("local-sort"); err != nil {
+		return err
+	}
+	sp := c.tr.Begin("cluster", "local-sort", 0)
+	for _, i := range c.active() {
+		if err := c.sendTo(i, mSortReq, nil); err != nil {
+			return phaseErr("sort request to worker", i, err)
+		}
+	}
+	for _, i := range c.active() {
+		payload, err := c.expectFrom(i, mSortDone)
+		if err != nil {
+			return phaseErr("local sort on worker", i, err)
+		}
+		var m msgCount
+		if err := m.decode(payload); err != nil {
+			return err
+		}
+		if m.Count != c.expectGather[i] {
+			return fmt.Errorf("cluster: worker %d sorted %d of %d records", i, m.Count, c.expectGather[i])
+		}
+	}
+	sp.End()
+	return nil
+}
+
+func (c *coordinator) drainPhase() error {
+	if err := c.enterPhase("drain"); err != nil {
+		return err
+	}
+	sp := c.tr.Begin("cluster", "drain", 0)
+	if err := c.drainShards(); err != nil {
+		return err
+	}
+	sp.End(obs.Attr{Key: "records", Val: int64(c.n)})
+	return nil
+}
+
+// drainShards pulls every surviving worker's sorted shard in ascending ID
+// order into outPath, verifying global sortedness and record conservation
+// while streaming, and leaving no partial output behind on failure (a
+// failover here re-creates the file from scratch).
+func (c *coordinator) drainShards() (err error) {
+	out, err := os.Create(c.outPath)
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			out.Close()
-			os.Remove(outPath)
+			os.Remove(c.outPath)
 		}
 	}()
 	w := bufio.NewWriterSize(out, 1<<16)
 	var prev record.Record
 	first := true
 	written := uint64(0)
-	for i, l := range links {
-		if err := l.send(mFetch, nil); err != nil {
-			return fmt.Errorf("cluster: fetch from worker %d: %w", i, err)
+	for _, i := range c.active() {
+		if err := c.sendTo(i, mFetch, nil); err != nil {
+			return phaseErr("fetch from worker", i, err)
 		}
 		var got uint64
 		for {
-			typ, payload, rerr := l.recv(true)
+			typ, payload, rerr := c.recvFrom(i)
 			if rerr != nil {
-				return fmt.Errorf("cluster: draining worker %d: %w", i, rerr)
-			}
-			if typ == mError {
-				var e msgError
-				if derr := e.decode(payload); derr != nil {
-					return derr
-				}
-				return wireToError(&e)
+				return phaseErr("draining worker", i, rerr)
 			}
 			if typ == mFetchDone {
-				var c msgCount
-				if derr := c.decode(payload); derr != nil {
+				var m msgCount
+				if derr := m.decode(payload); derr != nil {
 					return derr
 				}
-				if c.Count != got || got != expect[i] {
+				if m.Count != got || got != c.expectGather[i] {
 					return fmt.Errorf("cluster: worker %d drained %d records, reported %d, expected %d",
-						i, got, c.Count, expect[i])
+						i, got, m.Count, c.expectGather[i])
 				}
 				break
 			}
@@ -590,17 +1090,324 @@ func drainShards(links []*link, outPath string, n int, expect []uint64) (err err
 			}
 			got += uint64(len(recs))
 		}
+		written += got
 	}
-	for _, e := range expect {
-		written += e
-	}
-	if written != uint64(n) {
-		return fmt.Errorf("cluster: drained %d of %d records", written, n)
+	if written != uint64(c.n) {
+		return fmt.Errorf("cluster: drained %d of %d records", written, c.n)
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
 	return out.Close()
+}
+
+// recoverLost is the failover path: snapshot the dead set, check quorum,
+// open a new epoch on every survivor, re-stream the dead workers' chunk
+// extents round-robin across the survivors, and wait for every survivor to
+// acknowledge the reset. The pipeline then reruns from the histogram phase
+// — the shards are the only durable state a worker carries, so rewinding
+// to post-scatter is a complete recovery from loss at any phase.
+func (c *coordinator) recoverLost(ctx context.Context) error {
+	t0 := time.Now()
+	sp := c.tr.Begin("cluster", "failover", 0)
+	defer func() {
+		c.mu.Lock()
+		c.rec.FailoverWallNanos += time.Since(t0).Nanoseconds()
+		c.mu.Unlock()
+	}()
+
+	c.mu.Lock()
+	select {
+	case <-c.lostSig:
+	default:
+	}
+	dead := make([]int, 0, len(c.deadErr))
+	for i := 0; i < c.W; i++ {
+		if _, d := c.deadErr[i]; d {
+			dead = append(dead, i)
+		}
+	}
+	lastLost := c.lastLost
+	c.mu.Unlock()
+
+	survivors := c.W - len(dead)
+	quorum := c.W/2 + 1
+	if survivors < quorum {
+		sp.End()
+		return &ClusterDegradedError{
+			Lost: dead, Workers: c.W, Quorum: quorum, Err: lastLost,
+		}
+	}
+
+	activeList := c.active()
+	c.mu.Lock()
+	c.epoch++
+	c.rec.Failovers++
+	c.rec.ActiveWorkers = append([]int(nil), activeList...)
+	c.mu.Unlock()
+
+	// Open the epoch on every survivor. The worker's control reader acts
+	// on this immediately — canceling its in-flight phase — even if its
+	// job loop is deep inside exchange or sort.
+	ann := (&msgRescatter{Epoch: c.epoch, Active: toU32(activeList)}).encode()
+	for _, i := range activeList {
+		if err := c.sendTo(i, mRescatter, ann); err != nil {
+			sp.End()
+			return err
+		}
+	}
+
+	// Re-stream every chunk owned by a dead worker (or never delivered,
+	// if the loss hit mid-scatter) round-robin across the survivors.
+	pending := 0
+	var rescatteredRecs uint64
+	buf := make([]byte, scatterChunk*record.EncodedSize)
+	rr := 0
+	for t := 0; t < c.chunks; t++ {
+		w := c.assign[t]
+		if w >= 0 && !c.isDead(int(w)) {
+			continue
+		}
+		m := scatterChunk
+		if (t+1)*scatterChunk > c.n {
+			m = c.n - t*scatterChunk
+		}
+		chunk := buf[:m*record.EncodedSize]
+		if _, err := c.in.ReadAt(chunk, int64(t)*scatterChunk*record.EncodedSize); err != nil {
+			sp.End()
+			return fmt.Errorf("cluster: re-reading %s chunk %d: %w", c.inPath, t, err)
+		}
+		dest := activeList[rr%len(activeList)]
+		rr++
+		if err := c.sendTo(dest, mRecords, chunk); err != nil {
+			sp.End()
+			return err
+		}
+		c.assign[t] = int32(dest)
+		pending++
+		rescatteredRecs += uint64(m)
+	}
+
+	// Rebuild the extents from the assignment and tell each survivor its
+	// authoritative shard size.
+	for i := range c.perWorker {
+		c.perWorker[i] = 0
+	}
+	for t, w := range c.assign {
+		m := scatterChunk
+		if (t+1)*scatterChunk > c.n {
+			m = c.n - t*scatterChunk
+		}
+		c.perWorker[w] += uint64(m)
+	}
+	for _, i := range activeList {
+		done := (&msgRescatterDone{Epoch: c.epoch, Total: c.perWorker[i]}).encode()
+		if err := c.sendTo(i, mRescatterDone, done); err != nil {
+			sp.End()
+			return err
+		}
+	}
+
+	// Wait for every survivor's reset ack, discarding frames the aborted
+	// epoch left in flight. TCP ordering makes the first epoch-matching
+	// ack a clean cut: everything after it belongs to the new epoch.
+	for _, i := range activeList {
+		for {
+			typ, payload, err := c.recvFrom(i)
+			if err != nil {
+				sp.End()
+				return err
+			}
+			if typ != mRescatterAck {
+				continue
+			}
+			var a msgRescatterAck
+			if err := a.decode(payload); err != nil {
+				sp.End()
+				return err
+			}
+			if a.Epoch != c.epoch {
+				continue // ack of an earlier, superseded failover
+			}
+			if a.ShardRecs != c.perWorker[i] {
+				sp.End()
+				return fmt.Errorf("cluster: worker %d holds %d records after re-scatter, coordinator expects %d",
+					i, a.ShardRecs, c.perWorker[i])
+			}
+			break
+		}
+	}
+
+	c.mu.Lock()
+	c.handled = len(c.deadErr)
+	c.rec.RescatteredBlocks += pending
+	c.rec.RescatteredRecords += int(rescatteredRecs)
+	c.mu.Unlock()
+	c.tr.Count("cluster", "blocks-rescattered", 0, int64(pending))
+	c.journal(journalEvent{
+		Event: "failover", Epoch: c.epoch, Blocks: pending,
+		Extents: append([]uint64(nil), c.perWorker...),
+	})
+	sp.End(
+		obs.Attr{Key: "epoch", Val: int64(c.epoch)},
+		obs.Attr{Key: "rescattered-blocks", Val: int64(pending)},
+		obs.Attr{Key: "rescattered-records", Val: int64(rescatteredRecs)},
+	)
+	return nil
+}
+
+// startMonitors launches one heartbeat goroutine per worker. Monitors are
+// the only detector that can see a hung-but-connected worker.
+func (c *coordinator) startMonitors(ctx context.Context) {
+	if !c.failover || c.spec.Heartbeat.Disable {
+		return
+	}
+	mctx, cancel := context.WithCancel(ctx)
+	c.monCancel = cancel
+	for i := 0; i < c.W; i++ {
+		c.monWG.Add(1)
+		go c.monitor(mctx, i)
+	}
+}
+
+func (c *coordinator) monitor(ctx context.Context, i int) {
+	defer c.monWG.Done()
+	hb := c.spec.Heartbeat
+	conn, err := c.spec.Dial.dial(ctx, i, c.spec.Workers[i])
+	if err != nil {
+		if ctx.Err() == nil {
+			c.lostAsync(i, fmt.Errorf("cluster: heartbeat dial: %w", err))
+		}
+		return
+	}
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	setOpDeadline(conn, c.spec.Dial)
+	if err := writeFrame(conn, mMonHello, (&msgMonHello{JobID: c.jobID}).encode()); err != nil {
+		if ctx.Err() == nil {
+			c.lostAsync(i, err)
+		}
+		return
+	}
+	br := bufio.NewReaderSize(conn, 1<<12)
+	misses := 0
+	for seq := uint64(1); ; seq++ {
+		setOpDeadline(conn, c.spec.Dial)
+		if err := writeFrame(conn, mPing, (&msgPing{Seq: seq}).encode()); err != nil {
+			if ctx.Err() == nil {
+				c.lostAsync(i, err)
+			}
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(hb.Interval))
+		typ, _, err := readFrame(br)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// A miss. A later pong still counts — the next read will
+				// find it buffered and clear the counter (flap, not death).
+				misses++
+				if misses > hb.MissBudget {
+					c.lostAsync(i, fmt.Errorf("cluster: heartbeat: %d consecutive pongs missed at %v interval",
+						misses, hb.Interval))
+					return
+				}
+				continue
+			}
+			c.lostAsync(i, err)
+			return
+		}
+		if typ == mPong {
+			misses = 0
+		}
+		if sleepCtx(ctx, hb.Interval) != nil {
+			return
+		}
+	}
+}
+
+// collectTrace requests worker i's recorded spans and merges them into the
+// job tracer, rebasing the worker tracer's epoch (shipped as wall-clock
+// UnixNano) onto the coordinator's. Wall clocks are only used for the epoch
+// shift — span offsets themselves are monotonic — so cross-machine skew
+// displaces a worker's track but never distorts durations.
+func (c *coordinator) collectTrace(i int) error {
+	if err := c.sendTo(i, mTraceReq, nil); err != nil {
+		return err
+	}
+	coordEpoch := c.tr.Epoch().UnixNano()
+	for {
+		typ, payload, err := c.recvFrom(i)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case mTrace:
+			var m msgTrace
+			if err := m.decode(payload); err != nil {
+				return err
+			}
+			shift := time.Duration(int64(m.EpochNanos) - coordEpoch)
+			c.tr.Merge(m.Spans, shift, i+1)
+		case mTraceDone:
+			return nil
+		default:
+			return fmt.Errorf("cluster: unexpected message %d during trace collection", typ)
+		}
+	}
+}
+
+// journalEvent is one checksummed line of the coordinator's recovery
+// journal: phase progress, per-worker partition extents, losses, and
+// completed failovers.
+type journalEvent struct {
+	Event   string   `json:"event"` // "phase" | "scatter-done" | "lost" | "failover"
+	Epoch   uint32   `json:"epoch"`
+	Phase   string   `json:"phase,omitempty"`
+	Worker  int      `json:"worker,omitempty"`
+	Extents []uint64 `json:"extents,omitempty"` // per-worker shard records
+	Blocks  int      `json:"blocks,omitempty"`  // chunks re-scattered
+}
+
+func (c *coordinator) journal(ev journalEvent) {
+	if c.jr == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	c.jmu.Lock()
+	_, _ = c.jr.Append(b)
+	c.jmu.Unlock()
+}
+
+// phaseErr wraps a phase-scoped error, passing the failover sentinel (and
+// context errors) through untouched so the recovery loop can see them.
+func phaseErr(what string, worker int, err error) error {
+	if errors.Is(err, errFailover) {
+		return err
+	}
+	return fmt.Errorf("cluster: %s %d: %w", what, worker, err)
+}
+
+func toU32(xs []int) []uint32 {
+	out := make([]uint32, len(xs))
+	for i, x := range xs {
+		out[i] = uint32(x)
+	}
+	return out
 }
 
 // pickPivots chooses the S-1 bucket pivots from the merged histogram: the

@@ -91,6 +91,16 @@ func setOpDeadline(conn net.Conn, cfg DialConfig) {
 	_ = conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
 }
 
+// setWriteDeadline bounds only the write side. Send paths on connections
+// whose reads belong to a dedicated reader goroutine must use this: a full
+// SetDeadline would arm a read deadline under a reader that is already
+// blocked (it clears deadlines only before each read), turning a quiet
+// 30-second stretch into a spurious connection loss.
+func setWriteDeadline(conn net.Conn, cfg DialConfig) {
+	cfg = cfg.withDefaults()
+	_ = conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+}
+
 // clearDeadline removes any pending deadline (used between phases, where a
 // worker may legitimately sit idle while its peers catch up).
 func clearDeadline(conn net.Conn) {

@@ -23,6 +23,26 @@ func (e *WorkerLostError) Error() string {
 
 func (e *WorkerLostError) Unwrap() error { return e.Err }
 
+// ClusterDegradedError reports a job abandoned because too many workers
+// died: failover needs a majority of the original cluster (⌊W/2⌋+1
+// survivors) to keep the re-scattered shards and the placement matrix
+// meaningful. It wraps the *WorkerLostError of the loss that broke quorum,
+// so errors.As reaches both types. It is built on the coordinator and
+// never crosses the wire.
+type ClusterDegradedError struct {
+	Lost    []int // every worker lost so far, in detection order
+	Workers int   // original cluster width W
+	Quorum  int   // minimum survivors required
+	Err     error // the quorum-breaking loss (a *WorkerLostError)
+}
+
+func (e *ClusterDegradedError) Error() string {
+	return fmt.Sprintf("cluster: degraded below quorum: %d of %d workers lost (need %d alive): %v",
+		len(e.Lost), e.Workers, e.Quorum, e.Err)
+}
+
+func (e *ClusterDegradedError) Unwrap() error { return e.Err }
+
 // errorToWire flattens err into a msgError, preserving WorkerLostError's
 // identity across the process boundary.
 func errorToWire(self int, err error) *msgError {

@@ -59,3 +59,28 @@ func TestGenericErrorSurvivesWire(t *testing.T) {
 		t.Fatal("generic error reconstructed as WorkerLostError")
 	}
 }
+
+// TestClusterDegradedErrorIdentity: errors.As must reach both the degraded
+// error and the quorum-breaking WorkerLostError it wraps, through extra
+// wrap layers.
+func TestClusterDegradedErrorIdentity(t *testing.T) {
+	inner := &WorkerLostError{Worker: 1, Addr: "peer:2", Err: errors.New("EOF")}
+	err := fmt.Errorf("job: %w", &ClusterDegradedError{
+		Lost: []int{1, 3}, Workers: 4, Quorum: 3, Err: inner,
+	})
+
+	var deg *ClusterDegradedError
+	if !errors.As(err, &deg) {
+		t.Fatal("errors.As failed to find ClusterDegradedError")
+	}
+	if len(deg.Lost) != 2 || deg.Quorum != 3 {
+		t.Fatalf("recovered %+v", deg)
+	}
+	var lost *WorkerLostError
+	if !errors.As(err, &lost) {
+		t.Fatal("errors.As failed to reach the wrapped WorkerLostError")
+	}
+	if lost.Worker != 1 {
+		t.Fatalf("wrapped loss names worker %d, want 1", lost.Worker)
+	}
+}

@@ -10,9 +10,21 @@ import (
 )
 
 // protocolVersion is bumped on any incompatible wire change; Hello carries
-// it and mismatches abort the handshake before any data moves. Version 2
-// added the Hello Flags word and the trace-collection messages.
-const protocolVersion = 2
+// it and the two sides settle on min(coordinator, worker) before any data
+// moves. Version 2 added the Hello Flags word and the trace-collection
+// messages. Version 3 added the failure-detector messages (mMonHello,
+// mPing/mPong), the failover messages (mPeerLost, mRescatter,
+// mRescatterDone, mRescatterAck), the chaos message (mCrash), a version
+// payload on mHelloAck, and an optional epoch suffix on mPeerHello.
+//
+// A v3 worker still serves a v2 coordinator byte-for-byte (empty HelloAck,
+// no epochs on the wire, fail-fast on peer loss); a v3 coordinator driving
+// any v2 worker disables heartbeats and failover for the whole job, so a
+// mixed cluster degrades to v2 semantics rather than failing the handshake.
+const (
+	protocolVersion    = 3
+	minProtocolVersion = 2
+)
 
 // Message types. Coordinator<->worker control messages and worker<->worker
 // block messages share one frame namespace so a single decoder serves both.
@@ -40,6 +52,15 @@ const (
 	mTraceReq
 	mTrace
 	mTraceDone
+	// v3 messages below. A v2 peer never sees them on the wire.
+	mMonHello      // coordinator opens a heartbeat connection to a worker
+	mPing          // coordinator liveness probe on the monitor connection
+	mPong          // worker liveness reply
+	mPeerLost      // worker -> coordinator: a peer stopped answering; keep me alive
+	mCrash         // coordinator -> worker chaos injection: die or hang now
+	mRescatter     // coordinator -> survivor: new epoch begins, extra shard records follow
+	mRescatterDone // coordinator -> survivor: re-scatter stream complete, total shard size
+	mRescatterAck  // survivor -> coordinator: reset done, ready for the new epoch
 )
 
 // Hello flag bits.
@@ -403,16 +424,25 @@ func (m *msgPhaseDone) decode(p []byte) error {
 	return r.done()
 }
 
-// msgPeerHello opens a worker-to-worker block connection.
+// msgPeerHello opens a worker-to-worker block connection. Epoch is the
+// failover epoch the sender believes the job is in; it is appended to the
+// payload only when nonzero, so the epoch-0 encoding is byte-identical to
+// the v2 wire format (recovery epochs only exist in all-v3 clusters). A
+// receiver refuses connections from a stale epoch: the sender is a zombie
+// from before a failover and its blocks must not land in the reset shard.
 type msgPeerHello struct {
 	JobID uint64
 	Src   uint32
+	Epoch uint32
 }
 
 func (m *msgPeerHello) encode() []byte {
 	var w wcur
 	w.u64(m.JobID)
 	w.u32(m.Src)
+	if m.Epoch != 0 {
+		w.u32(m.Epoch)
+	}
 	return w.b
 }
 
@@ -420,6 +450,197 @@ func (m *msgPeerHello) decode(p []byte) error {
 	r := rcur{b: p}
 	m.JobID = r.u64()
 	m.Src = r.u32()
+	m.Epoch = 0
+	if r.off < len(r.b) {
+		m.Epoch = r.u32()
+	}
+	return r.done()
+}
+
+// msgVersion is the mHelloAck payload from a v3 worker carrying the
+// protocol version it settled on. A v2 worker acks with an empty payload,
+// which decodes as version 2, so the coordinator learns each worker's
+// dialect from the ack alone.
+type msgVersion struct {
+	Version uint32
+}
+
+func (m *msgVersion) encode() []byte {
+	var w wcur
+	w.u32(m.Version)
+	return w.b
+}
+
+func (m *msgVersion) decode(p []byte) error {
+	if len(p) == 0 {
+		m.Version = minProtocolVersion
+		return nil
+	}
+	r := rcur{b: p}
+	m.Version = r.u32()
+	return r.done()
+}
+
+// msgMonHello opens the coordinator's heartbeat connection to a worker.
+// The worker attaches it to the running job's session (so chaos kills and
+// session teardown close it) and answers every mPing with an mPong.
+type msgMonHello struct {
+	JobID uint64
+}
+
+func (m *msgMonHello) encode() []byte {
+	var w wcur
+	w.u64(m.JobID)
+	return w.b
+}
+
+func (m *msgMonHello) decode(p []byte) error {
+	r := rcur{b: p}
+	m.JobID = r.u64()
+	return r.done()
+}
+
+// msgPing / msgPong carry a sequence number so a delayed pong is still
+// recognizably a liveness signal (any pong resets the miss counter; the
+// sequence exists for debugging, not matching).
+type msgPing struct {
+	Seq uint64
+}
+
+func (m *msgPing) encode() []byte {
+	var w wcur
+	w.u64(m.Seq)
+	return w.b
+}
+
+func (m *msgPing) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Seq = r.u64()
+	return r.done()
+}
+
+// Chaos modes carried by msgCrash.
+const (
+	crashKill uint8 = iota // drop the session and close every connection
+	crashHang              // go silent: stop ponging and stop making progress
+)
+
+// msgCrash is the chaos-harness injection: the worker dies or hangs the
+// instant its control reader sees it, whatever phase the job is in.
+type msgCrash struct {
+	Mode uint8
+}
+
+func (m *msgCrash) encode() []byte {
+	var w wcur
+	w.u8(m.Mode)
+	return w.b
+}
+
+func (m *msgCrash) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Mode = r.u8()
+	return r.done()
+}
+
+// msgPeerLost is a v3 worker's report that a peer stopped answering during
+// the exchange or gather phase. Unlike the v2 mError path the reporter
+// stays alive and waits for the coordinator's recovery instructions.
+type msgPeerLost struct {
+	Worker uint32
+	Addr   string
+	Text   string
+}
+
+func (m *msgPeerLost) encode() []byte {
+	var w wcur
+	w.u32(m.Worker)
+	w.str(m.Addr)
+	w.str(m.Text)
+	return w.b
+}
+
+func (m *msgPeerLost) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Worker = r.u32()
+	m.Addr = r.str()
+	m.Text = r.str()
+	return r.done()
+}
+
+// msgRescatter opens a failover epoch on a surviving worker: discard all
+// exchange/gather state, keep the scattered shard, adopt the new epoch and
+// the shrunk active set. The dead workers' shard records follow as
+// mRecords frames, then mRescatterDone closes the stream.
+type msgRescatter struct {
+	Epoch  uint32
+	Active []uint32 // surviving worker IDs, ascending
+}
+
+func (m *msgRescatter) encode() []byte {
+	var w wcur
+	w.u32(m.Epoch)
+	w.u32(uint32(len(m.Active)))
+	for _, a := range m.Active {
+		w.u32(a)
+	}
+	return w.b
+}
+
+func (m *msgRescatter) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Epoch = r.u32()
+	n := int(r.u32())
+	if n < 0 || n > maxWorkers {
+		return fmt.Errorf("cluster: rescatter lists %d active workers", n)
+	}
+	m.Active = make([]uint32, 0, n)
+	for i := 0; i < n && !r.bad; i++ {
+		m.Active = append(m.Active, r.u32())
+	}
+	return r.done()
+}
+
+// msgRescatterDone ends a re-scatter stream; Total is the shard size the
+// coordinator now expects on this worker, which the worker cross-checks.
+type msgRescatterDone struct {
+	Epoch uint32
+	Total uint64
+}
+
+func (m *msgRescatterDone) encode() []byte {
+	var w wcur
+	w.u32(m.Epoch)
+	w.u64(m.Total)
+	return w.b
+}
+
+func (m *msgRescatterDone) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Epoch = r.u32()
+	m.Total = r.u64()
+	return r.done()
+}
+
+// msgRescatterAck reports a survivor reset and re-fed: old exchange and
+// gather state dropped, shard extended, ready to rerun from the histogram
+// phase under the new epoch.
+type msgRescatterAck struct {
+	Epoch     uint32
+	ShardRecs uint64
+}
+
+func (m *msgRescatterAck) encode() []byte {
+	var w wcur
+	w.u32(m.Epoch)
+	w.u64(m.ShardRecs)
+	return w.b
+}
+
+func (m *msgRescatterAck) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Epoch = r.u32()
+	m.ShardRecs = r.u64()
 	return r.done()
 }
 

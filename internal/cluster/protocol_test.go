@@ -81,6 +81,46 @@ func TestMessageRoundTrips(t *testing.T) {
 		},
 	}, &msgTrace{})
 	roundTrip(t, "trace-empty", &msgTrace{EpochNanos: 1}, &msgTrace{})
+	// Protocol v3 messages.
+	roundTrip(t, "peerhello-epoch", &msgPeerHello{JobID: 42, Src: 3, Epoch: 2}, &msgPeerHello{})
+	roundTrip(t, "version", &msgVersion{Version: protocolVersion}, &msgVersion{})
+	roundTrip(t, "monhello", &msgMonHello{JobID: 0xFEEDFACE}, &msgMonHello{})
+	roundTrip(t, "ping", &msgPing{Seq: 1 << 50}, &msgPing{})
+	roundTrip(t, "crash", &msgCrash{Mode: crashHang}, &msgCrash{})
+	roundTrip(t, "peerlost", &msgPeerLost{Worker: 2, Addr: "h:9", Text: "conn reset"}, &msgPeerLost{})
+	roundTrip(t, "rescatter", &msgRescatter{Epoch: 1, Active: []uint32{0, 2, 3}}, &msgRescatter{})
+	roundTrip(t, "rescatterdone", &msgRescatterDone{Epoch: 1, Total: 1 << 33}, &msgRescatterDone{})
+	roundTrip(t, "rescatterack", &msgRescatterAck{Epoch: 1, ShardRecs: 77}, &msgRescatterAck{})
+}
+
+func TestPeerHelloEpochZeroIsV2Compatible(t *testing.T) {
+	// Epoch 0 must encode to the exact v2 wire format (no epoch field), so
+	// a v2 worker can parse a v3 peer's first-epoch handshake and vice
+	// versa; a nonzero epoch extends the payload.
+	v2 := (&msgPeerHello{JobID: 7, Src: 1}).encode()
+	var m msgPeerHello
+	if err := m.decode(v2); err != nil {
+		t.Fatalf("decode v2 peer hello: %v", err)
+	}
+	if m.Epoch != 0 || m.JobID != 7 || m.Src != 1 {
+		t.Fatalf("v2 peer hello decoded as %+v", m)
+	}
+	withEpoch := (&msgPeerHello{JobID: 7, Src: 1, Epoch: 3}).encode()
+	if len(withEpoch) != len(v2)+4 {
+		t.Fatalf("epoch field is %d bytes, want 4", len(withEpoch)-len(v2))
+	}
+}
+
+func TestVersionDecodeEmptyMeansV2(t *testing.T) {
+	// A v2 worker acks Hello with an empty payload; the coordinator must
+	// read that as the minimum protocol version.
+	var m msgVersion
+	if err := m.decode(nil); err != nil {
+		t.Fatalf("decode empty version: %v", err)
+	}
+	if m.Version != minProtocolVersion {
+		t.Fatalf("empty version payload decoded as %d, want %d", m.Version, minProtocolVersion)
+	}
 }
 
 func TestBlockRejectsPartialRecords(t *testing.T) {

@@ -35,10 +35,19 @@ type WorkerConfig struct {
 	// gather barrier for blocks that never arrive (its peers' failure
 	// reports normally arrive much sooner). Default 2 minutes.
 	PhaseTimeout time.Duration
+	// ProtocolVersion pins the highest protocol version this worker
+	// negotiates; 0 means the newest it speaks. Pinning to 2 exercises the
+	// mixed-cluster downgrade path: no heartbeats, no failover.
+	ProtocolVersion int
 	// DropAfterBlocks is a fault-injection knob: after this many blocks
 	// have been sent to peers, the worker force-closes that connection
 	// once, exercising the redial/retransmit/dedup path. 0 disables.
 	DropAfterBlocks int
+	// PongDelay and PongDelayCount inject heartbeat flap: the first
+	// PongDelayCount pongs are answered PongDelay late. The coordinator's
+	// miss counter must absorb the flap without declaring the worker lost.
+	PongDelay      time.Duration
+	PongDelayCount int
 	// Obs, when non-nil, receives each job's tracer under the key "job",
 	// so the worker's /metrics endpoint exposes live phase histograms and
 	// event counts. Independent of the Hello trace flag: a worker can
@@ -54,6 +63,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.SortShard == nil {
 		c.SortShard = memorySortShard
+	}
+	if c.ProtocolVersion == 0 {
+		c.ProtocolVersion = protocolVersion
 	}
 	return c
 }
@@ -110,8 +122,8 @@ func NewWorker(cfg WorkerConfig) *Worker {
 }
 
 // Serve accepts connections on ln until ctx is canceled or the listener
-// fails. Coordinator connections run jobs; peer connections stream blocks
-// into the active job.
+// fails. Coordinator connections run jobs; peer and monitor connections
+// attach to the active job.
 func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
 	watchDone := make(chan struct{})
 	defer close(watchDone)
@@ -146,6 +158,16 @@ func (w *Worker) current() *session {
 	return w.sess
 }
 
+// clearSession detaches s if it is still the active session (compare-and-
+// clear: a chaos kill may have already detached it and a new job begun).
+func (w *Worker) clearSession(s *session) {
+	w.mu.Lock()
+	if w.sess == s {
+		w.sess = nil
+	}
+	w.mu.Unlock()
+}
+
 // handleConn classifies an inbound connection by its first frame.
 func (w *Worker) handleConn(ctx context.Context, conn net.Conn) {
 	setOpDeadline(conn, w.cfg.Dial)
@@ -170,9 +192,11 @@ func (w *Worker) handleConn(ctx context.Context, conn net.Conn) {
 			return
 		}
 		s := w.current()
-		if s == nil || s.jobID != ph.JobID || int(ph.Src) < 0 || int(ph.Src) >= s.workers {
-			// Unknown job: refuse silently. The dialing peer retries with
-			// backoff and eventually declares this worker lost.
+		if s == nil || s.jobID != ph.JobID || int(ph.Src) < 0 || int(ph.Src) >= s.workers ||
+			ph.Epoch != s.curEpoch() {
+			// Unknown job or a stale epoch: refuse silently. The dialing
+			// peer retries with backoff; a stale-epoch sender is about to
+			// be canceled by its own re-scatter anyway.
 			conn.Close()
 			return
 		}
@@ -180,7 +204,19 @@ func (w *Worker) handleConn(ctx context.Context, conn net.Conn) {
 			conn.Close()
 			return
 		}
-		s.servePeer(conn, br)
+		s.servePeer(conn, br, ph.Epoch)
+	case mMonHello:
+		var mh msgMonHello
+		if err := mh.decode(payload); err != nil {
+			conn.Close()
+			return
+		}
+		s := w.current()
+		if s == nil || s.jobID != mh.JobID {
+			conn.Close()
+			return
+		}
+		s.serveMonitor(conn, br)
 	default:
 		conn.Close()
 	}
@@ -193,8 +229,18 @@ func (w *Worker) runJob(ctx context.Context, conn net.Conn, br *bufio.Reader, h 
 		setOpDeadline(conn, w.cfg.Dial)
 		_ = writeFrame(conn, mError, errorToWire(self, err).encode())
 	}
-	if h.Version != protocolVersion {
-		sendErr(int(h.Worker), fmt.Errorf("protocol version %d, worker speaks %d", h.Version, protocolVersion))
+	if h.Version < minProtocolVersion {
+		sendErr(int(h.Worker), fmt.Errorf("protocol version %d, worker requires at least %d",
+			h.Version, minProtocolVersion))
+		return
+	}
+	ver := w.cfg.ProtocolVersion
+	if int(h.Version) < ver {
+		ver = int(h.Version)
+	}
+	if ver < minProtocolVersion {
+		sendErr(int(h.Worker), fmt.Errorf("worker pinned to protocol %d, below minimum %d",
+			ver, minProtocolVersion))
 		return
 	}
 	if h.Workers < 1 || h.Worker >= h.Workers || int(h.Workers) != len(h.Peers) ||
@@ -209,6 +255,7 @@ func (w *Worker) runJob(ctx context.Context, conn net.Conn, br *bufio.Reader, h 
 		sendErr(int(h.Worker), err)
 		return
 	}
+	s.version = ver
 	w.mu.Lock()
 	if w.sess != nil {
 		w.mu.Unlock()
@@ -219,22 +266,58 @@ func (w *Worker) runJob(ctx context.Context, conn net.Conn, br *bufio.Reader, h 
 	w.sess = s
 	w.mu.Unlock()
 	defer func() {
-		w.mu.Lock()
-		w.sess = nil
-		w.mu.Unlock()
+		w.clearSession(s)
 		s.teardown()
 	}()
 
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s.ctx = jobCtx
-	s.registerConn(conn)
+	s.cancel = cancel
+	s.mu.Lock()
+	s.ctlConn = conn
+	s.mu.Unlock()
 
-	if err := s.run(newLink(conn, w.cfg.Dial)); err != nil {
+	if err := s.run(&wlink{conn: conn, br: br, cfg: w.cfg.Dial, s: s}); err != nil {
 		s.abort(err)
 		sendErr(s.self, err)
 	}
 }
+
+// wlink is the worker's framed control connection to the coordinator. Under
+// protocol v3 only the control reader goroutine reads from it; sends stay
+// on the job goroutine. A hung session (chaos) blocks every send until the
+// session dies, simulating a live TCP peer that has stopped participating.
+type wlink struct {
+	conn net.Conn
+	br   *bufio.Reader
+	cfg  DialConfig
+	s    *session
+}
+
+func (l *wlink) send(typ byte, payload []byte) error {
+	if l.s != nil && l.s.isHung() {
+		<-l.s.done
+		return errors.New("cluster: worker hung")
+	}
+	setWriteDeadline(l.conn, l.cfg)
+	return writeFrame(l.conn, typ, payload)
+}
+
+// recv reads directly from the connection — protocol v2 only (under v3 the
+// control reader owns all reads).
+func (l *wlink) recv(slow bool) (byte, []byte, error) {
+	if slow {
+		clearDeadline(l.conn)
+	} else {
+		setOpDeadline(l.conn, l.cfg)
+	}
+	return readFrame(l.br)
+}
+
+// errInterrupted unwinds the worker's phase machinery when a re-scatter
+// announcement opens a new epoch. It never crosses the wire.
+var errInterrupted = errors.New("cluster: epoch interrupted by re-scatter")
 
 // blockKey identifies one block forever; retransmissions deduplicate on it.
 type blockKey struct {
@@ -242,6 +325,16 @@ type blockKey struct {
 	src    uint32
 	bucket uint32
 	seq    uint32
+}
+
+// streamKey names one sender's block stream into this worker. Each stream
+// delivers blocks strictly in order with at most the newest block ever
+// retransmitted (the sender redials and replays only its in-flight block),
+// so remembering the last stored key per stream is a complete dedup — and
+// it keeps the dedup state at O(streams), not O(blocks).
+type streamKey struct {
+	phase uint8
+	src   uint32
 }
 
 // blockLoc locates one stored exchange block in the spill file.
@@ -258,25 +351,36 @@ type session struct {
 	workers   int
 	s         int // bucket count S
 	blockRecs int
+	version   int
 	peers     []string
 	dir       string
 	dial      DialConfig
 	ctx       context.Context
+	cancel    context.CancelFunc
 	trace     *obs.Tracer // non-nil when the Hello trace flag or cfg.Obs asked for it
 
 	// Control-plane state, touched only by the job goroutine.
 	shardRecs uint64
 	pivots    []uint64
 	plan      *msgPlan
+	reFrame   *frameMsg // single-slot pushback for recvCtlRaw
+	ctlCh     chan frameMsg
 
 	// Shared receive state: peer-serving goroutines store blocks, the job
-	// goroutine waits on the barriers.
+	// goroutine waits on the barriers. done is closed exactly once, by
+	// abort, and unblocks everything that cannot watch the cond.
 	mu             sync.Mutex
 	cond           *sync.Cond
+	done           chan struct{}
 	aborted        bool
 	abortErr       error
+	hung           bool
+	epoch          uint32
+	epochCtx       context.Context
+	epochCancel    context.CancelFunc
+	pending        *msgRescatter // announced but not yet recovered epoch
 	recvErr        error
-	seen           map[blockKey]struct{}
+	last           map[streamKey]blockKey
 	exFile         *os.File
 	exSize         int64
 	exIndex        map[int][]blockLoc
@@ -284,10 +388,13 @@ type session struct {
 	gaFile         *os.File
 	gaSize         int64
 	recvGatherRecs uint64
-	conns          map[net.Conn]struct{}
+	ctlConn        net.Conn
+	conns          map[net.Conn]struct{} // peer data conns: closed on abort and on epoch reset
+	monConns       map[net.Conn]struct{} // monitor conns: closed on abort only
 
-	sentNet  atomic.Int64 // blocks pushed over the network, feeds DropAfterBlocks
-	dropOnce sync.Once
+	sentNet     atomic.Int64 // blocks pushed over the network, feeds DropAfterBlocks
+	dropOnce    sync.Once
+	pongsServed atomic.Int64 // feeds PongDelayCount
 }
 
 func newSession(w *Worker, h *msgHello) (*session, error) {
@@ -309,9 +416,12 @@ func newSession(w *Worker, h *msgHello) (*session, error) {
 		peers:     append([]string(nil), h.Peers...),
 		dir:       dir,
 		dial:      w.cfg.Dial,
-		seen:      make(map[blockKey]struct{}),
+		ctlCh:     make(chan frameMsg, 16),
+		done:      make(chan struct{}),
+		last:      make(map[streamKey]blockKey),
 		exIndex:   make(map[int][]blockLoc),
 		conns:     make(map[net.Conn]struct{}),
+		monConns:  make(map[net.Conn]struct{}),
 	}
 	if h.Flags&helloFlagTrace != 0 || w.cfg.Obs != nil {
 		s.trace = obs.New(0, nil)
@@ -337,6 +447,44 @@ func (s *session) shardPath() string  { return filepath.Join(s.dir, "in.shard") 
 func (s *session) gatherPath() string { return filepath.Join(s.dir, "gather.dat") }
 func (s *session) sortedPath() string { return filepath.Join(s.dir, "sorted.dat") }
 
+func (s *session) curEpoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// ectx is the context phase work should run under: canceled the moment a
+// re-scatter opens a new epoch (or the job dies), so in-flight sends and
+// local sorts stop promptly instead of finishing doomed work.
+func (s *session) ectx() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epochCtx != nil {
+		return s.epochCtx
+	}
+	return s.ctx
+}
+
+func (s *session) isHung() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hung
+}
+
+func (s *session) setHung() {
+	s.mu.Lock()
+	s.hung = true
+	s.mu.Unlock()
+}
+
+// interrupted reports an announced epoch this goroutine has not yet
+// recovered into.
+func (s *session) interrupted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending != nil
+}
+
 func (s *session) registerConn(c net.Conn) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -353,20 +501,57 @@ func (s *session) unregisterConn(c net.Conn) {
 	delete(s.conns, c)
 }
 
-// abort marks the session dead, closes every connection so no goroutine can
-// block on I/O, and wakes the barrier waiters.
-func (s *session) abort(err error) {
+func (s *session) registerMonConn(c net.Conn) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.aborted {
+		c.Close()
+		return
+	}
+	s.monConns[c] = struct{}{}
+}
+
+func (s *session) unregisterMonConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.monConns, c)
+}
+
+// abort marks the session dead, closes every connection so no goroutine can
+// block on I/O, cancels the job context, and wakes everything.
+func (s *session) abort(err error) {
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
 		return
 	}
 	s.aborted = true
 	s.abortErr = err
+	close(s.done)
+	if s.ctlConn != nil {
+		s.ctlConn.Close()
+	}
 	for c := range s.conns {
 		c.Close()
 	}
+	for c := range s.monConns {
+		c.Close()
+	}
+	cancel := s.cancel
 	s.cond.Broadcast()
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (s *session) abortReason() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.abortErr != nil {
+		return s.abortErr
+	}
+	return errors.New("cluster: job aborted")
 }
 
 func (s *session) teardown() {
@@ -392,10 +577,184 @@ func (s *session) fail(err error) {
 	s.cond.Broadcast()
 }
 
-// servePeer handles one inbound block stream. A connection error here is
-// not fatal to the job: the sending side redials and retransmits, and the
-// dedup map keeps replays idempotent.
-func (s *session) servePeer(conn net.Conn, br *bufio.Reader) {
+// initEpoch arms epoch 0's context (protocol v3).
+func (s *session) initEpoch() {
+	s.mu.Lock()
+	s.epochCtx, s.epochCancel = context.WithCancel(s.ctx)
+	s.mu.Unlock()
+}
+
+// noteRescatter is the control reader's half of a failover: record the
+// announced epoch, cancel the current one so senders and sorts stop, and
+// wake the barrier waiters. The job goroutine completes the switch in
+// doRecover.
+func (s *session) noteRescatter(m *msgRescatter) {
+	s.mu.Lock()
+	if s.pending == nil || s.pending.Epoch < m.Epoch {
+		s.pending = m
+	}
+	if s.epochCancel != nil {
+		s.epochCancel()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// resetEpoch rewinds the session to its post-scatter state for epoch m:
+// received blocks, plan, pivots, and peer connections all belong to the
+// dead epoch and are discarded; the shard file is the one durable input.
+func (s *session) resetEpoch(m *msgRescatter) error {
+	s.mu.Lock()
+	s.epoch = m.Epoch
+	if s.epochCancel != nil {
+		s.epochCancel()
+	}
+	s.epochCtx, s.epochCancel = context.WithCancel(s.ctx)
+	s.last = make(map[streamKey]blockKey)
+	s.exIndex = make(map[int][]blockLoc)
+	s.exSize, s.gaSize = 0, 0
+	s.recvBlocks, s.recvGatherRecs = 0, 0
+	s.recvErr = nil
+	if s.pending != nil && s.pending.Epoch <= m.Epoch {
+		s.pending = nil
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	exFile, gaFile := s.exFile, s.gaFile
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.pivots, s.plan = nil, nil
+	s.sentNet.Store(0)
+	if err := exFile.Truncate(0); err != nil {
+		return err
+	}
+	if err := gaFile.Truncate(0); err != nil {
+		return err
+	}
+	os.RemoveAll(filepath.Join(s.dir, "sortscratch"))
+	os.Remove(s.sortedPath())
+	return nil
+}
+
+// readCtl is the protocol-v3 control reader: it owns every read from the
+// coordinator connection, acts on chaos and re-scatter frames immediately
+// (even while the job goroutine is deep inside a phase), and forwards the
+// rest — including the re-scatter frame itself, which doubles as the
+// recovery sync point — to the job goroutine.
+func (s *session) readCtl(ctl *wlink) {
+	for {
+		clearDeadline(ctl.conn)
+		typ, payload, err := readFrame(ctl.br)
+		if err != nil {
+			if s.isHung() {
+				// Nobody will read the error: the job goroutine is blocked
+				// in the hang gate. Put the session down directly.
+				s.abort(err)
+			}
+			s.pushCtl(frameMsg{err: err})
+			return
+		}
+		if s.isHung() {
+			continue // a hung worker consumes silently and answers nothing
+		}
+		switch typ {
+		case mCrash:
+			var mc msgCrash
+			if err := mc.decode(payload); err != nil {
+				s.pushCtl(frameMsg{err: err})
+				return
+			}
+			if mc.Mode == crashHang {
+				s.setHung()
+				continue
+			}
+			// Kill: simulate sudden process death — detach from the worker
+			// and close every connection without a word on any of them.
+			s.w.clearSession(s)
+			s.abort(errors.New("cluster: chaos kill"))
+			return
+		case mRescatter:
+			var m msgRescatter
+			if err := m.decode(payload); err != nil {
+				s.pushCtl(frameMsg{err: err})
+				return
+			}
+			s.noteRescatter(&m)
+			s.pushCtl(frameMsg{typ: typ, payload: payload})
+		default:
+			s.pushCtl(frameMsg{typ: typ, payload: payload})
+		}
+	}
+}
+
+func (s *session) pushCtl(f frameMsg) {
+	select {
+	case s.ctlCh <- f:
+	case <-s.done:
+	}
+}
+
+// recvCtlRaw returns the next control frame: the pushed-back one first,
+// then the reader channel (v3) or the connection itself (v2).
+func (s *session) recvCtlRaw(ctl *wlink) (frameMsg, error) {
+	if s.version < 3 {
+		typ, payload, err := ctl.recv(true)
+		return frameMsg{typ: typ, payload: payload, err: err}, err
+	}
+	if f := s.reFrame; f != nil {
+		s.reFrame = nil
+		return *f, f.err
+	}
+	select {
+	case f := <-s.ctlCh:
+		return f, f.err
+	case <-s.done:
+		return frameMsg{}, s.abortReason()
+	}
+}
+
+// recvCtl is recvCtlRaw with the epoch turn: a re-scatter frame is pushed
+// back (so doRecover can re-read it) and surfaced as errInterrupted.
+func (s *session) recvCtl(ctl *wlink) (byte, []byte, error) {
+	f, err := s.recvCtlRaw(ctl)
+	if err != nil {
+		return 0, nil, err
+	}
+	if f.typ == mRescatter {
+		cp := f
+		s.reFrame = &cp
+		return 0, nil, errInterrupted
+	}
+	return f.typ, f.payload, nil
+}
+
+// expectCtl reads the next control frame and requires it to be of type
+// want, converting a coordinator-reported mError into its typed Go error.
+func (s *session) expectCtl(ctl *wlink, want byte) ([]byte, error) {
+	typ, payload, err := s.recvCtl(ctl)
+	if err != nil {
+		return nil, err
+	}
+	if typ == mError {
+		var e msgError
+		if derr := e.decode(payload); derr != nil {
+			return nil, derr
+		}
+		return nil, wireToError(&e)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("cluster: expected message %d, got %d", want, typ)
+	}
+	return payload, nil
+}
+
+// servePeer handles one inbound block stream for one epoch. A connection
+// error here is not fatal to the job: the sending side redials and
+// retransmits, and the per-stream dedup keeps replays idempotent.
+func (s *session) servePeer(conn net.Conn, br *bufio.Reader, epoch uint32) {
 	s.registerConn(conn)
 	defer func() {
 		s.unregisterConn(conn)
@@ -414,9 +773,13 @@ func (s *session) servePeer(conn net.Conn, br *bufio.Reader) {
 		if err := b.decode(payload); err != nil {
 			return
 		}
-		if err := s.storeBlock(&b); err != nil {
+		stale, err := s.storeBlock(&b, epoch)
+		if err != nil {
 			s.fail(err)
 			return
+		}
+		if stale {
+			return // epoch moved on mid-stream: drop the conn, no ack
 		}
 		ack := msgBlockAck{Phase: b.Phase, Bucket: b.Bucket, Seq: b.Seq}
 		setOpDeadline(conn, s.dial)
@@ -426,24 +789,63 @@ func (s *session) servePeer(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
+// serveMonitor answers the coordinator's heartbeat pings. A hung session
+// goes silent — the whole point of the monitor is to notice that.
+func (s *session) serveMonitor(conn net.Conn, br *bufio.Reader) {
+	s.registerMonConn(conn)
+	defer func() {
+		s.unregisterMonConn(conn)
+		conn.Close()
+	}()
+	for {
+		clearDeadline(conn)
+		typ, payload, err := readFrame(br)
+		if err != nil || typ != mPing {
+			return
+		}
+		if s.isHung() {
+			<-s.done
+			return
+		}
+		if d := s.w.cfg.PongDelay; d > 0 && s.pongsServed.Add(1) <= int64(s.w.cfg.PongDelayCount) {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-s.done:
+				t.Stop()
+				return
+			}
+		}
+		setOpDeadline(conn, s.dial)
+		if err := writeFrame(conn, mPong, payload); err != nil {
+			return
+		}
+	}
+}
+
 // storeBlock persists one received (or self-delivered) block, exactly once.
-func (s *session) storeBlock(b *msgBlock) error {
+// It reports stale=true when the block belongs to a superseded epoch.
+func (s *session) storeBlock(b *msgBlock, epoch uint32) (stale bool, err error) {
 	key := blockKey{phase: b.Phase, src: b.Src, bucket: b.Bucket, seq: b.Seq}
+	sk := streamKey{phase: b.Phase, src: b.Src}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.aborted {
-		return errors.New("cluster: job aborted")
+		return false, errors.New("cluster: job aborted")
+	}
+	if epoch != s.epoch {
+		return true, nil
 	}
 	if int(b.Bucket) >= s.s {
-		return fmt.Errorf("cluster: block for bucket %d of %d", b.Bucket, s.s)
+		return false, fmt.Errorf("cluster: block for bucket %d of %d", b.Bucket, s.s)
 	}
-	if _, dup := s.seen[key]; dup {
-		return nil // retransmission after a lost ack: already stored
+	if s.last[sk] == key {
+		return false, nil // retransmission after a lost ack: already stored
 	}
 	switch b.Phase {
 	case 1:
 		if _, err := s.exFile.WriteAt(b.Data, s.exSize); err != nil {
-			return err
+			return false, err
 		}
 		s.exIndex[int(b.Bucket)] = append(s.exIndex[int(b.Bucket)],
 			blockLoc{off: s.exSize, bytes: int32(len(b.Data))})
@@ -451,14 +853,14 @@ func (s *session) storeBlock(b *msgBlock) error {
 		s.recvBlocks++
 	case 2:
 		if _, err := s.gaFile.WriteAt(b.Data, s.gaSize); err != nil {
-			return err
+			return false, err
 		}
 		s.gaSize += int64(len(b.Data))
 		s.recvGatherRecs += uint64(len(b.Data) / record.EncodedSize)
 	default:
-		return fmt.Errorf("cluster: block phase %d", b.Phase)
+		return false, fmt.Errorf("cluster: block phase %d", b.Phase)
 	}
-	s.seen[key] = struct{}{}
+	s.last[sk] = key
 	s.cond.Broadcast()
 	switch b.Phase {
 	case 1:
@@ -466,11 +868,12 @@ func (s *session) storeBlock(b *msgBlock) error {
 	case 2:
 		s.trace.Count("cluster", "records-gathered", s.self, int64(len(b.Data)/record.EncodedSize))
 	}
-	return nil
+	return false, nil
 }
 
 // waitRecv blocks until done() holds (under the session lock), a receive
-// error lands, the session aborts, or the phase times out.
+// error lands, a re-scatter interrupts the epoch, the session aborts, or
+// the phase times out.
 func (s *session) waitRecv(phase string, done func() bool) error {
 	timer := time.AfterFunc(s.w.cfg.PhaseTimeout, func() {
 		s.fail(fmt.Errorf("cluster: %s barrier timed out after %v", phase, s.w.cfg.PhaseTimeout))
@@ -478,8 +881,11 @@ func (s *session) waitRecv(phase string, done func() bool) error {
 	defer timer.Stop()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for !done() && s.recvErr == nil && !s.aborted {
+	for !done() && s.recvErr == nil && !s.aborted && s.pending == nil {
 		s.cond.Wait()
+	}
+	if s.pending != nil {
+		return errInterrupted
 	}
 	if s.recvErr != nil {
 		return s.recvErr
@@ -505,6 +911,8 @@ type outBlock struct {
 // the first error once every queue has drained. It returns the number of
 // blocks emitted.
 func (s *session) runSenders(phase uint8, produce func(emit func(dest int, blk outBlock) error) error) (uint64, error) {
+	ctx := s.ectx()
+	epoch := s.curEpoch()
 	chans := make([]chan outBlock, s.workers)
 	errs := make([]error, s.workers)
 	var wg sync.WaitGroup
@@ -517,7 +925,7 @@ func (s *session) runSenders(phase uint8, produce func(emit func(dest int, blk o
 		wg.Add(1)
 		go func(d int, ch chan outBlock) {
 			defer wg.Done()
-			errs[d] = s.sendLoop(phase, d, ch)
+			errs[d] = s.sendLoop(ctx, epoch, phase, d, ch)
 		}(d, ch)
 	}
 	var emitted uint64
@@ -527,16 +935,20 @@ func (s *session) runSenders(phase uint8, produce func(emit func(dest int, blk o
 			return fmt.Errorf("cluster: plan routes a block to worker %d of %d", dest, s.workers)
 		}
 		if dest == s.self {
-			return s.storeBlock(&msgBlock{
+			stale, err := s.storeBlock(&msgBlock{
 				Phase: phase, Src: uint32(s.self),
 				Bucket: blk.bucket, Seq: blk.seq, Data: blk.data,
-			})
+			}, epoch)
+			if err == nil && stale {
+				return errInterrupted
+			}
+			return err
 		}
 		select {
 		case chans[dest] <- blk:
 			return nil
-		case <-s.ctx.Done():
-			return s.ctx.Err()
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	})
 	for _, ch := range chans {
@@ -567,7 +979,7 @@ const maxDeliverRetries = 3
 // the receiver deduplicates. A peer that stays unreachable surfaces as a
 // typed *WorkerLostError. On failure the loop keeps draining its queue so
 // the producer never blocks.
-func (s *session) sendLoop(phase uint8, dest int, ch chan outBlock) error {
+func (s *session) sendLoop(ctx context.Context, epoch uint32, phase uint8, dest int, ch chan outBlock) error {
 	var conn net.Conn
 	var br *bufio.Reader
 	closeConn := func() {
@@ -585,15 +997,15 @@ func (s *session) sendLoop(phase uint8, dest int, ch chan outBlock) error {
 		}
 		consec := 0
 		for {
-			if s.ctx.Err() != nil {
-				firstErr = s.ctx.Err()
+			if ctx.Err() != nil {
+				firstErr = ctx.Err()
 				break
 			}
 			if conn == nil {
-				c, b, err := s.dialPeer(dest)
+				c, b, err := s.dialPeer(ctx, epoch, dest)
 				if err != nil {
 					var lost *WorkerLostError
-					if errors.As(err, &lost) || s.ctx.Err() != nil {
+					if errors.As(err, &lost) || ctx.Err() != nil {
 						firstErr = err
 					} else if consec++; consec > maxDeliverRetries {
 						firstErr = &WorkerLostError{Worker: dest, Addr: s.peers[dest], Err: err}
@@ -618,14 +1030,14 @@ func (s *session) sendLoop(phase uint8, dest int, ch chan outBlock) error {
 	return firstErr
 }
 
-// dialPeer opens and handshakes a block connection to dest.
-func (s *session) dialPeer(dest int) (net.Conn, *bufio.Reader, error) {
-	conn, err := s.dial.dial(s.ctx, dest, s.peers[dest])
+// dialPeer opens and handshakes a block connection to dest for one epoch.
+func (s *session) dialPeer(ctx context.Context, epoch uint32, dest int) (net.Conn, *bufio.Reader, error) {
+	conn, err := s.dial.dial(ctx, dest, s.peers[dest])
 	if err != nil {
 		return nil, nil, err
 	}
 	br := bufio.NewReaderSize(conn, 1<<16)
-	ph := msgPeerHello{JobID: s.jobID, Src: uint32(s.self)}
+	ph := msgPeerHello{JobID: s.jobID, Src: uint32(s.self), Epoch: epoch}
 	setOpDeadline(conn, s.dial)
 	if err := writeFrame(conn, mPeerHello, ph.encode()); err != nil {
 		conn.Close()
@@ -674,18 +1086,47 @@ func (s *session) deliver(conn net.Conn, br *bufio.Reader, phase uint8, blk *out
 	return nil
 }
 
-// run is the worker side of the job protocol, phase by phase.
-func (s *session) run(ctl *link) error {
-	if err := ctl.send(mHelloAck, nil); err != nil {
+// run is the worker side of the job protocol: the scatter, then epochs of
+// the phase pipeline, re-entered through doRecover whenever the
+// coordinator announces a failover re-scatter.
+func (s *session) run(ctl *wlink) error {
+	var ack []byte
+	if s.version >= 3 {
+		ack = (&msgVersion{Version: uint32(s.version)}).encode()
+	}
+	if err := ctl.send(mHelloAck, ack); err != nil {
 		return err
+	}
+	if s.version >= 3 {
+		s.initEpoch()
+		go s.readCtl(ctl)
 	}
 
-	// Scatter: stream the coordinator's chunks into the shard file.
-	spScatter := s.trace.Begin("cluster", "scatter-recv", s.self)
-	if err := s.recvScatter(ctl); err != nil {
+	sp := s.trace.Begin("cluster", "scatter-recv", s.self)
+	err := s.recvScatter(ctl)
+	sp.End(obs.Attr{Key: "records", Val: int64(s.shardRecs)})
+	if err != nil && !errors.Is(err, errInterrupted) {
 		return err
 	}
-	spScatter.End(obs.Attr{Key: "records", Val: int64(s.shardRecs)})
+	for {
+		if err == nil {
+			err = s.pipeline(ctl)
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, errInterrupted) {
+			return err
+		}
+		err = s.doRecover(ctl)
+	}
+}
+
+// pipeline runs one epoch's phases after the shard is in place.
+func (s *session) pipeline(ctl *wlink) error {
+	if s.interrupted() {
+		return errInterrupted
+	}
 
 	// Histogram over the shard.
 	spHist := s.trace.Begin("cluster", "histogram", s.self)
@@ -699,7 +1140,7 @@ func (s *session) run(ctl *link) error {
 	spHist.End()
 
 	// Pivots, then per-bucket counts.
-	payload, err := ctl.expect(mPivots, true)
+	payload, err := s.expectCtl(ctl, mPivots)
 	if err != nil {
 		return err
 	}
@@ -722,7 +1163,7 @@ func (s *session) run(ctl *link) error {
 	spCounts.End(obs.Attr{Key: "buckets", Val: int64(s.s)})
 
 	// Plan.
-	payload, err = ctl.expect(mPlan, true)
+	payload, err = s.expectCtl(ctl, mPlan)
 	if err != nil {
 		return err
 	}
@@ -740,10 +1181,10 @@ func (s *session) run(ctl *link) error {
 	spEx := s.trace.Begin("cluster", "exchange", s.self)
 	sent, err := s.runSenders(1, s.produceExchange)
 	if err != nil {
-		return err
+		return s.phaseFail(ctl, err)
 	}
 	if err := s.waitRecv("exchange", func() bool { return s.recvBlocks >= plan.ExpectRecvBlocks }); err != nil {
-		return err
+		return s.phaseFail(ctl, err)
 	}
 	s.mu.Lock()
 	recvBlocks := s.recvBlocks
@@ -758,16 +1199,16 @@ func (s *session) run(ctl *link) error {
 	)
 
 	// Gather: push every stored block to its bucket's owner.
-	if _, err := ctl.expect(mStartGather, true); err != nil {
+	if _, err := s.expectCtl(ctl, mStartGather); err != nil {
 		return err
 	}
 	spGather := s.trace.Begin("cluster", "gather", s.self)
 	sent, err = s.runSenders(2, s.produceGather)
 	if err != nil {
-		return err
+		return s.phaseFail(ctl, err)
 	}
 	if err := s.waitRecv("gather", func() bool { return s.recvGatherRecs >= plan.ExpectGatherRecs }); err != nil {
-		return err
+		return s.phaseFail(ctl, err)
 	}
 	s.mu.Lock()
 	gatherRecs := s.recvGatherRecs
@@ -779,12 +1220,15 @@ func (s *session) run(ctl *link) error {
 	spGather.End(obs.Attr{Key: "records", Val: int64(gatherRecs)})
 
 	// Local sort of the final shard.
-	if _, err := ctl.expect(mSortReq, true); err != nil {
+	if _, err := s.expectCtl(ctl, mSortReq); err != nil {
 		return err
 	}
 	spSort := s.trace.Begin("cluster", "shard-sort", s.self)
 	count, err := s.sortShard()
 	if err != nil {
+		if s.interrupted() {
+			return errInterrupted
+		}
 		return fmt.Errorf("cluster: worker %d local sort: %w", s.self, err)
 	}
 	spSort.End(obs.Attr{Key: "records", Val: int64(count)})
@@ -796,7 +1240,7 @@ func (s *session) run(ctl *link) error {
 	}
 
 	// Drain the sorted shard back to the coordinator.
-	if _, err := ctl.expect(mFetch, true); err != nil {
+	if _, err := s.expectCtl(ctl, mFetch); err != nil {
 		return err
 	}
 	spDrain := s.trace.Begin("cluster", "drain", s.self)
@@ -806,9 +1250,14 @@ func (s *session) run(ctl *link) error {
 	spDrain.End(obs.Attr{Key: "records", Val: int64(count)})
 
 	// The coordinator may now collect this worker's trace; then Bye (or
-	// the coordinator just closing the connection) ends the job.
+	// the coordinator just closing the connection) ends the job. A
+	// re-scatter can still land here: another worker died while the
+	// coordinator was draining a later shard.
 	for {
-		typ, _, err := ctl.recv(true)
+		typ, _, err := s.recvCtl(ctl)
+		if errors.Is(err, errInterrupted) {
+			return err
+		}
 		if err != nil || typ == mBye {
 			return nil
 		}
@@ -823,10 +1272,136 @@ func (s *session) run(ctl *link) error {
 	}
 }
 
+// phaseFail triages a phase error. Interruption wins: the epoch is being
+// replaced and the error is just its debris. A peer loss under protocol v3
+// is reported to the coordinator — which answers with a re-scatter (we
+// join the new epoch) or gives up (we fail with the original error). Under
+// v2 the error propagates and fails the job, exactly as before.
+func (s *session) phaseFail(ctl *wlink, err error) error {
+	if s.interrupted() || errors.Is(err, errInterrupted) {
+		return errInterrupted
+	}
+	var lost *WorkerLostError
+	if s.version >= 3 && errors.As(err, &lost) {
+		pl := msgPeerLost{Worker: uint32(lost.Worker), Addr: lost.Addr, Text: lost.Err.Error()}
+		if serr := ctl.send(mPeerLost, pl.encode()); serr != nil {
+			return err
+		}
+		for {
+			f, rerr := s.recvCtlRaw(ctl)
+			if rerr != nil {
+				return err
+			}
+			if f.typ == mRescatter {
+				cp := f
+				s.reFrame = &cp
+				return errInterrupted
+			}
+			if f.typ == mBye {
+				return err
+			}
+			// Anything else is pre-failover debris; discard and keep
+			// waiting for the coordinator's verdict.
+		}
+	}
+	return err
+}
+
+// doRecover joins the epoch a re-scatter announced: sync to the re-scatter
+// frame (discarding the dead epoch's stragglers), rewind the session to its
+// post-scatter state, append the re-streamed chunks to the shard, and ack.
+// A newer re-scatter arriving mid-recovery preempts the current one.
+func (s *session) doRecover(ctl *wlink) error {
+	var m msgRescatter
+	for {
+		f, err := s.recvCtlRaw(ctl)
+		if err != nil {
+			return err
+		}
+		if f.typ == mRescatter {
+			if err := m.decode(f.payload); err != nil {
+				return err
+			}
+			break
+		}
+		// A frame the dead epoch left in the channel; drop it.
+	}
+
+restart:
+	if err := s.resetEpoch(&m); err != nil {
+		return err
+	}
+	shard, err := os.OpenFile(s.shardPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(shard, 1<<16)
+	got := s.shardRecs
+	finish := func() error {
+		if err := bw.Flush(); err != nil {
+			shard.Close()
+			return err
+		}
+		return shard.Close()
+	}
+	for {
+		f, err := s.recvCtlRaw(ctl)
+		if err != nil {
+			shard.Close()
+			return err
+		}
+		switch f.typ {
+		case mRecords:
+			if len(f.payload)%record.EncodedSize != 0 {
+				shard.Close()
+				return fmt.Errorf("cluster: re-scatter chunk of %d bytes", len(f.payload))
+			}
+			if _, err := bw.Write(f.payload); err != nil {
+				shard.Close()
+				return err
+			}
+			got += uint64(len(f.payload) / record.EncodedSize)
+		case mRescatterDone:
+			var d msgRescatterDone
+			if err := d.decode(f.payload); err != nil {
+				shard.Close()
+				return err
+			}
+			if d.Epoch != m.Epoch {
+				shard.Close()
+				return fmt.Errorf("cluster: re-scatter done for epoch %d inside epoch %d", d.Epoch, m.Epoch)
+			}
+			if d.Total != got {
+				shard.Close()
+				return fmt.Errorf("cluster: re-scatter left %d records, coordinator says %d", got, d.Total)
+			}
+			if err := finish(); err != nil {
+				return err
+			}
+			s.shardRecs = got
+			a := msgRescatterAck{Epoch: m.Epoch, ShardRecs: got}
+			return ctl.send(mRescatterAck, a.encode())
+		case mRescatter:
+			// A newer failover preempts this recovery.
+			if err := finish(); err != nil {
+				return err
+			}
+			s.shardRecs = got
+			if err := m.decode(f.payload); err != nil {
+				return err
+			}
+			goto restart
+		default:
+			shard.Close()
+			return fmt.Errorf("cluster: unexpected message %d during re-scatter", f.typ)
+		}
+	}
+}
+
 // sendTrace ships every locally recorded span to the coordinator in bounded
 // chunks, tagged with this worker's epoch so the coordinator can rebase the
 // offsets onto its own timeline, and finishes with mTraceDone.
-func (s *session) sendTrace(ctl *link) error {
+func (s *session) sendTrace(ctl *wlink) error {
 	spans := s.trace.Spans()
 	epoch := uint64(s.trace.Epoch().UnixNano())
 	for len(spans) > 0 {
@@ -844,7 +1419,10 @@ func (s *session) sendTrace(ctl *link) error {
 }
 
 // recvScatter streams the coordinator's record chunks into the shard file.
-func (s *session) recvScatter(ctl *link) error {
+// A re-scatter landing mid-stream (the coordinator lost some other worker
+// while scattering) flushes what arrived — those records are ours to keep —
+// and hands control to doRecover.
+func (s *session) recvScatter(ctl *wlink) error {
 	shard, err := os.Create(s.shardPath())
 	if err != nil {
 		return err
@@ -852,9 +1430,13 @@ func (s *session) recvScatter(ctl *link) error {
 	bw := bufio.NewWriterSize(shard, 1<<16)
 	var got uint64
 	for {
-		typ, payload, err := ctl.recv(true)
+		typ, payload, err := s.recvCtl(ctl)
 		if err != nil {
-			shard.Close()
+			ferr := bw.Flush()
+			cerr := shard.Close()
+			if errors.Is(err, errInterrupted) && ferr == nil && cerr == nil {
+				s.shardRecs = got
+			}
 			return err
 		}
 		switch typ {
@@ -1026,7 +1608,8 @@ func (s *session) produceGather(emit func(dest int, blk outBlock) error) error {
 	return nil
 }
 
-// sortShard runs the configured local sorter over the gathered records.
+// sortShard runs the configured local sorter over the gathered records,
+// under the epoch context so a failover cancels it promptly.
 func (s *session) sortShard() (uint64, error) {
 	s.mu.Lock()
 	size := s.gaSize
@@ -1047,7 +1630,7 @@ func (s *session) sortShard() (uint64, error) {
 	if err := os.MkdirAll(sortScratch, 0o755); err != nil {
 		return 0, err
 	}
-	if err := s.w.cfg.SortShard(s.ctx, s.gatherPath(), s.sortedPath(), sortScratch); err != nil {
+	if err := s.w.cfg.SortShard(s.ectx(), s.gatherPath(), s.sortedPath(), sortScratch); err != nil {
 		return 0, err
 	}
 	st, err := os.Stat(s.sortedPath())
@@ -1060,8 +1643,9 @@ func (s *session) sortShard() (uint64, error) {
 	return uint64(st.Size() / record.EncodedSize), nil
 }
 
-// sendSorted streams the sorted shard to the coordinator in chunks.
-func (s *session) sendSorted(ctl *link, count uint64) error {
+// sendSorted streams the sorted shard to the coordinator in chunks,
+// checking for epoch interruption between chunks.
+func (s *session) sendSorted(ctl *wlink, count uint64) error {
 	f, err := os.Open(s.sortedPath())
 	if err != nil {
 		return err
@@ -1071,6 +1655,9 @@ func (s *session) sendSorted(ctl *link, count uint64) error {
 	buf := make([]byte, scatterChunk*record.EncodedSize)
 	left := count
 	for left > 0 {
+		if s.interrupted() {
+			return errInterrupted
+		}
 		m := uint64(scatterChunk)
 		if m > left {
 			m = left

@@ -36,4 +36,7 @@ go test -race ./internal/diskio/... ./internal/pdm/... ./internal/cluster/...
 echo "== go test -race (crash recovery) =="
 go test -race -run 'Robust|Crash|Resume|Cancel|Scrub' .
 
+echo "== go test -race (cluster chaos matrix: kill a worker at every phase) =="
+go test -race -count=1 -run 'Chaos|Degraded|Flap|FailoverJournal' ./internal/cluster/
+
 echo "verify.sh: all checks passed"
