@@ -8,6 +8,7 @@
 //	go run ./cmd/balancesort -workload bucketskew -placement random
 //	go run ./cmd/balancesort -join 127.0.0.1:7101 -scratch /tmp/w1
 //	go run ./cmd/balancesort -infile in.bin -outfile out.bin -cluster 127.0.0.1:7101,127.0.0.1:7102
+//	go run ./cmd/balancesort -serve 127.0.0.1:8080 -data-dir /var/lib/balancesort
 package main
 
 import (
@@ -18,12 +19,15 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"balancesort"
+	"balancesort/internal/jobs"
 )
 
 func main() {
@@ -79,6 +83,16 @@ func main() {
 		chaosKill = flag.String("chaos-kill", "", "with -cluster: kill worker W at coordinator phase P, as phase:worker (e.g. exchange:2); append :hang to hang it instead")
 		hbEvery   = flag.Duration("heartbeat", 0, "with -cluster: heartbeat ping interval (0 = 500ms default, negative disables the failure detector)")
 		cjournal  = flag.String("cjournal", "", "with -cluster: append the coordinator's phase/loss/failover journal to this file")
+
+		// Sort-as-a-service job server (-serve).
+		serveAddr    = flag.String("serve", "", "run the multi-tenant sort job server on this address (e.g. 127.0.0.1:8080); needs -data-dir")
+		dataDir      = flag.String("data-dir", "", "with -serve: durable root for job manifests, inputs, scratch, and outputs")
+		serveWorkers = flag.Int("serve-workers", 2, "with -serve: concurrently running sorts")
+		budgetMem    = flag.String("budget-mem", "1G", "with -serve: total memory budget for running sorts (bytes, K/M/G suffix ok)")
+		budgetDisk   = flag.String("budget-disk", "16G", "with -serve: total disk budget for admitted jobs (bytes, K/M/G suffix ok)")
+		tenantJobs   = flag.Int("tenant-quota", 0, "with -serve: max live (queued+running) jobs per tenant (0 = unlimited)")
+		tenantDisk   = flag.String("tenant-disk", "", "with -serve: max reserved disk per tenant (bytes, K/M/G suffix ok; empty = unlimited)")
+		tenantWts    = flag.String("tenant-weights", "", "with -serve: fair-queueing weights as name=w,name=w (default weight 1)")
 
 		// Observability (tracing, progress, metrics endpoint).
 		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the sort's phase spans to this file (load at ui.perfetto.dev)")
@@ -144,6 +158,61 @@ func main() {
 				ScrubAfter:  *scrubAfter,
 			},
 		}
+	}
+
+	if *serveAddr != "" {
+		if *dataDir == "" {
+			log.Fatal("-serve requires -data-dir")
+		}
+		memB, err := parseBytes(*budgetMem)
+		if err != nil {
+			log.Fatalf("-budget-mem: %v", err)
+		}
+		diskB, err := parseBytes(*budgetDisk)
+		if err != nil {
+			log.Fatalf("-budget-disk: %v", err)
+		}
+		var tdisk int64
+		if *tenantDisk != "" {
+			if tdisk, err = parseBytes(*tenantDisk); err != nil {
+				log.Fatalf("-tenant-disk: %v", err)
+			}
+		}
+		weights, err := parseWeights(*tenantWts)
+		if err != nil {
+			log.Fatalf("-tenant-weights: %v", err)
+		}
+		srv, err := jobs.New(jobs.Options{
+			DataDir:       *dataDir,
+			Workers:       *serveWorkers,
+			Budget:        jobs.Budget{MemoryBytes: memB, DiskBytes: diskB},
+			Quota:         jobs.Quota{MaxJobsPerTenant: *tenantJobs, MaxDiskPerTenant: tdisk},
+			TenantWeights: weights,
+			Sort:          fileCfg(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("job server on http://%s (data in %s, %d workers, mem %d disk %d)",
+			addr, *dataDir, *serveWorkers, memB, diskB)
+
+		// SIGTERM/SIGINT drains: stop admitting, let running jobs reach a
+		// journal commit point, leave everything resumable, exit 0.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+		<-sig
+		log.Printf("draining: no new admissions; running jobs stop at their next journal commit")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		log.Printf("drained; queued and interrupted jobs resume on next start")
+		return
 	}
 
 	if *join != "" {
@@ -548,6 +617,45 @@ func parseChaosKill(s string) (*balancesort.ChaosSpec, error) {
 		spec.Hang = true
 	}
 	return spec, nil
+}
+
+// parseBytes decodes a byte count with an optional K/M/G suffix (powers
+// of 1024).
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	return n * mult, nil
+}
+
+// parseWeights decodes -tenant-weights' name=w,name=w syntax.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad entry %q: want name=weight", part)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad weight in %q: want a positive integer", part)
+		}
+		out[name] = n
+	}
+	return out, nil
 }
 
 func parseWorkload(s string) (balancesort.Workload, error) {

@@ -1,0 +1,116 @@
+package jobs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"balancesort"
+)
+
+// TestEmitServerBench writes the job-server load measurement to
+// BENCH_server.json at the repository root: a burst of jobs from three
+// weighted tenants through a bounded worker pool, reporting throughput
+// (jobs/s) and the submit-to-done latency distribution (p50/p99). Gated
+// on EMIT_BENCH so the ordinary test run stays fast and side-effect free;
+// CI sets the variable.
+func TestEmitServerBench(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") == "" {
+		t.Skip("set EMIT_BENCH=1 to emit BENCH_server.json")
+	}
+	const (
+		jobsPerTenant = 8
+		records       = 6000
+		workers       = 4
+	)
+	tenants := []string{"alpha", "beta", "gamma"}
+
+	srv, err := New(Options{
+		DataDir: t.TempDir(), Workers: workers, Logf: t.Logf,
+		TenantWeights: map[string]int{"alpha": 1, "beta": 2, "gamma": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Kill()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	in := balancesort.NewWorkload(balancesort.Zipf, records, 21)
+	path := filepath.Join(dir, "in.bin")
+	if err := balancesort.WriteRecordFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	input, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst-submit everything, then wait each job to done, measuring
+	// per-job submit→done wall time.
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for _, tenant := range tenants {
+		for i := 0; i < jobsPerTenant; i++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				t0 := time.Now()
+				st := submitUpload(t, ts.URL, tenant, matrixQuery, input)
+				waitState(t, ts.URL, tenant, st.ID, StateDone, 5*time.Minute)
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	total := len(latencies)
+	pct := func(p float64) float64 {
+		i := int(p * float64(total-1))
+		return latencies[i].Seconds()
+	}
+
+	out := struct {
+		Benchmark  string  `json:"benchmark"`
+		Jobs       int     `json:"jobs"`
+		Tenants    int     `json:"tenants"`
+		Workers    int     `json:"workers"`
+		RecordsPer int     `json:"records_per_job"`
+		Seconds    float64 `json:"seconds"`
+		JobsPerSec float64 `json:"jobs_per_sec"`
+		P50Seconds float64 `json:"submit_to_done_p50_seconds"`
+		P99Seconds float64 `json:"submit_to_done_p99_seconds"`
+		MaxSeconds float64 `json:"submit_to_done_max_seconds"`
+		RecsPerSec float64 `json:"records_per_sec"`
+	}{
+		Benchmark: "server_load", Jobs: total, Tenants: len(tenants), Workers: workers,
+		RecordsPer: records, Seconds: elapsed.Seconds(),
+		JobsPerSec: float64(total) / elapsed.Seconds(),
+		P50Seconds: pct(0.50), P99Seconds: pct(0.99),
+		MaxSeconds: latencies[total-1].Seconds(),
+		RecsPerSec: float64(total*records) / elapsed.Seconds(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("..", "..", "BENCH_server.json"), append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_server.json: %d jobs in %.2fs (%.1f jobs/s, p50 %.3fs, p99 %.3fs)",
+		total, elapsed.Seconds(), out.JobsPerSec, out.P50Seconds, out.P99Seconds)
+}

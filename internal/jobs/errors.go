@@ -1,0 +1,153 @@
+// Package jobs is the sort-as-a-service layer: a persistent, multi-tenant
+// job server that turns the one-shot SortFile entry points into
+// schedulable, budgeted, observable units of work behind an HTTP/JSON API.
+//
+// It composes machinery that already exists elsewhere in the repository —
+// journaled resumable sorts (ResumeSortFile), context cancellation,
+// per-phase tracing and the Prometheus /metrics endpoint (internal/obs) —
+// and adds the three things a service needs on top of a library:
+//
+//   - an API: submit (streaming record upload or a server-local path),
+//     status with live phase progress, list, cancel, and streaming download
+//     of the sorted output;
+//   - a scheduler: admission control against a configurable memory/disk
+//     budget, per-tenant quotas, weighted-fair queueing across tenants, and
+//     a bounded worker pool;
+//   - durability: every accepted job gets a checksummed manifest in the
+//     data directory, in-flight jobs run with the pass journal on, and a
+//     restarted server resumes incomplete jobs from their journals with
+//     byte-identical output.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"balancesort/internal/cluster"
+	"balancesort/internal/diskio"
+	"balancesort/internal/pdm"
+)
+
+// Sentinel errors of the API surface.
+var (
+	// ErrNotFound reports a job ID (or a tenant's view of it) that does not
+	// exist.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrDraining reports a submission rejected because the server is
+	// shutting down and no longer admits work.
+	ErrDraining = errors.New("jobs: server is draining")
+	// ErrNotDone reports an output download requested before the job
+	// produced one.
+	ErrNotDone = errors.New("jobs: job has not completed")
+	// ErrBadRequest reports a malformed submission (bad geometry, bad
+	// tenant name, input not a whole number of records, ...). Wrap it with
+	// detail via fmt.Errorf("...: %w", ErrBadRequest).
+	ErrBadRequest = errors.New("jobs: bad request")
+)
+
+// QuotaError rejects a submission that would push a tenant past one of its
+// quotas. It maps to HTTP 429: the tenant can retry after its own jobs
+// finish or are deleted.
+type QuotaError struct {
+	Tenant string
+	Kind   string // "jobs" or "disk"
+	Limit  int64
+	Used   int64
+	Need   int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("jobs: tenant %q over %s quota: using %d of %d, need %d more",
+		e.Tenant, e.Kind, e.Used, e.Limit, e.Need)
+}
+
+// BudgetError rejects a submission the server can never (or currently
+// not) hold within its global memory/disk budget. It maps to HTTP 507
+// (Insufficient Storage): no amount of client retrying with the same job
+// helps until capacity is freed.
+type BudgetError struct {
+	Resource string // "memory" or "disk"
+	Need     int64  // bytes the job requires
+	Avail    int64  // bytes currently unreserved
+	Budget   int64  // total configured bytes
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("jobs: %s budget exceeded: job needs %d bytes, %d of %d available",
+		e.Resource, e.Need, e.Avail, e.Budget)
+}
+
+// Error codes carried in API error bodies, one per distinguishable failure
+// class. Clients branch on the code; the HTTP status is the coarse
+// summary.
+const (
+	CodeBadRequest   = "bad_request"    // 400: malformed submission
+	CodeNotFound     = "not_found"      // 404: unknown job
+	CodeNotDone      = "not_done"       // 409: output requested early
+	CodeQuota        = "quota"          // 429: per-tenant quota exceeded
+	CodeBudget       = "budget"         // 507: server memory/disk budget exceeded
+	CodeDraining     = "draining"       // 503: server shutting down
+	CodeCanceled     = "canceled"       // 499: job canceled by the client
+	CodeCorruptInput = "corrupt_input"  // 422: input or scratch data failed integrity checks
+	CodeDiskFailed   = "disk_failed"    // 503: a scratch disk is permanently down
+	CodeWorkerLost   = "worker_lost"    // 502: a cluster worker vanished mid-job
+	CodeInternal     = "internal_error" // 500: anything else
+)
+
+// Classify maps any error surfaced by the job machinery — admission,
+// scheduling, or the sort engines themselves — onto (HTTP status, error
+// code). This is the single mapping table of the API: it distinguishes
+// corrupt input (*pdm.CorruptBlockError, *pdm.TruncatedDiskError → 422)
+// from capacity (QuotaError → 429, BudgetError → 507) from internal
+// failure (*diskio.DiskFailedError → 503, *cluster.WorkerLostError → 502,
+// everything else → 500), however deeply the typed error is wrapped.
+func Classify(err error) (status int, code string) {
+	var (
+		quota     *QuotaError
+		budget    *BudgetError
+		corrupt   *pdm.CorruptBlockError
+		truncated *pdm.TruncatedDiskError
+		failed    *diskio.DiskFailedError
+		lost      *cluster.WorkerLostError
+	)
+	switch {
+	case err == nil:
+		return http.StatusOK, ""
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, CodeNotFound
+	case errors.Is(err, ErrNotDone):
+		return http.StatusConflict, CodeNotDone
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, CodeBadRequest
+	case errors.As(err, &quota):
+		return http.StatusTooManyRequests, CodeQuota
+	case errors.As(err, &budget):
+		return http.StatusInsufficientStorage, CodeBudget
+	case errors.As(err, &corrupt), errors.As(err, &truncated):
+		return http.StatusUnprocessableEntity, CodeCorruptInput
+	case errors.As(err, &failed):
+		return http.StatusServiceUnavailable, CodeDiskFailed
+	case errors.As(err, &lost):
+		return http.StatusBadGateway, CodeWorkerLost
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeInternal
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a request
+// the client abandoned; net/http has no name for it.
+const statusClientClosedRequest = 499
+
+// HTTPStatus is Classify's status half, for callers that only route.
+func HTTPStatus(err error) int {
+	status, _ := Classify(err)
+	return status
+}

@@ -1,0 +1,94 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"balancesort/internal/cluster"
+	"balancesort/internal/diskio"
+	"balancesort/internal/pdm"
+)
+
+// TestClassifyTable drives every row of the error → (status, code)
+// mapping, with each typed error buried under two layers of %w wrapping
+// the way real call chains deliver them.
+func TestClassifyTable(t *testing.T) {
+	wrap := func(err error) error {
+		return fmt.Errorf("serve job: %w", fmt.Errorf("sort pass 3: %w", err))
+	}
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		code   string
+	}{
+		{"nil", nil, http.StatusOK, ""},
+		{"not found", ErrNotFound, http.StatusNotFound, CodeNotFound},
+		{"not done", wrap(ErrNotDone), http.StatusConflict, CodeNotDone},
+		{"draining", wrap(ErrDraining), http.StatusServiceUnavailable, CodeDraining},
+		{"bad request", fmt.Errorf("tenant %q: %w", "x y", ErrBadRequest), http.StatusBadRequest, CodeBadRequest},
+		{"quota", wrap(&QuotaError{Tenant: "a", Kind: "jobs", Limit: 2, Used: 2, Need: 1}), http.StatusTooManyRequests, CodeQuota},
+		{"budget", wrap(&BudgetError{Resource: "disk", Need: 10, Avail: 5, Budget: 8}), http.StatusInsufficientStorage, CodeBudget},
+		{"corrupt block", wrap(&pdm.CorruptBlockError{Disk: 2, Block: 7, Want: 1, Got: 2}), http.StatusUnprocessableEntity, CodeCorruptInput},
+		{"truncated disk", wrap(&pdm.TruncatedDiskError{Disk: 1, Path: "d1.bin", WantBlocks: 9}), http.StatusUnprocessableEntity, CodeCorruptInput},
+		{"disk failed", wrap(&diskio.DiskFailedError{Disk: 3, Trips: 5, Err: errors.New("io")}), http.StatusServiceUnavailable, CodeDiskFailed},
+		{"worker lost", wrap(&cluster.WorkerLostError{Worker: 2, Addr: "10.0.0.2:7101", Err: errors.New("eof")}), http.StatusBadGateway, CodeWorkerLost},
+		{"canceled", wrap(context.Canceled), statusClientClosedRequest, CodeCanceled},
+		{"deadline", wrap(context.DeadlineExceeded), http.StatusGatewayTimeout, CodeInternal},
+		{"unknown", wrap(errors.New("oops")), http.StatusInternalServerError, CodeInternal},
+	}
+	for _, tc := range cases {
+		status, code := Classify(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("%s: Classify = (%d, %q), want (%d, %q)", tc.name, status, code, tc.status, tc.code)
+		}
+		if got := HTTPStatus(tc.err); got != tc.status {
+			t.Errorf("%s: HTTPStatus = %d, want %d", tc.name, got, tc.status)
+		}
+	}
+}
+
+// TestTypedErrorRoundTrip checks the typed errors survive wrapping with
+// their fields intact — errors.As must recover the original struct, not
+// just the class, so API error bodies can carry the specifics.
+func TestTypedErrorRoundTrip(t *testing.T) {
+	corrupt := &pdm.CorruptBlockError{Disk: 4, Block: 17, Want: 0xdead, Got: 0xbeef}
+	wrapped := fmt.Errorf("pass 2: %w", fmt.Errorf("read bucket 3: %w", corrupt))
+	var gotCorrupt *pdm.CorruptBlockError
+	if !errors.As(wrapped, &gotCorrupt) {
+		t.Fatal("CorruptBlockError lost through wrapping")
+	}
+	if gotCorrupt.Disk != 4 || gotCorrupt.Block != 17 || gotCorrupt.Want != 0xdead || gotCorrupt.Got != 0xbeef {
+		t.Fatalf("CorruptBlockError fields mangled: %+v", gotCorrupt)
+	}
+
+	lost := &cluster.WorkerLostError{Worker: 1, Addr: "w1:1", Err: errors.New("conn reset")}
+	var gotLost *cluster.WorkerLostError
+	if !errors.As(fmt.Errorf("exchange: %w", lost), &gotLost) || gotLost.Worker != 1 {
+		t.Fatalf("WorkerLostError lost through wrapping: %+v", gotLost)
+	}
+
+	failed := &diskio.DiskFailedError{Disk: 6, Trips: 3, Err: errors.New("dev gone")}
+	var gotFailed *diskio.DiskFailedError
+	if !errors.As(fmt.Errorf("flush: %w", failed), &gotFailed) || gotFailed.Disk != 6 {
+		t.Fatalf("DiskFailedError lost through wrapping: %+v", gotFailed)
+	}
+
+	trunc := &pdm.TruncatedDiskError{Disk: 0, Path: "p", WantBlocks: 8, GotBytes: 100, BlockBytes: 1024}
+	var gotTrunc *pdm.TruncatedDiskError
+	if !errors.As(fmt.Errorf("attach: %w", trunc), &gotTrunc) || gotTrunc.WantBlocks != 8 {
+		t.Fatalf("TruncatedDiskError lost through wrapping: %+v", gotTrunc)
+	}
+
+	// Sentinels match by identity through wrapping, and distinct sentinels
+	// never cross-match.
+	if !errors.Is(fmt.Errorf("x: %w", ErrDraining), ErrDraining) {
+		t.Fatal("ErrDraining lost through wrapping")
+	}
+	if errors.Is(fmt.Errorf("x: %w", ErrDraining), ErrNotFound) {
+		t.Fatal("ErrDraining matched ErrNotFound")
+	}
+}

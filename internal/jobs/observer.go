@@ -1,0 +1,54 @@
+package jobs
+
+import (
+	"sync"
+
+	"balancesort/internal/obs"
+)
+
+// progress is the per-job live Observer: it is handed to the sort through
+// ObsConfig.Observer and distills the span stream into the phase/pass
+// snapshot the status API reports. Callbacks run on the sorting
+// goroutines, so it does nothing but update a few fields under a mutex.
+type progress struct {
+	mu     sync.Mutex
+	phase  string // "layer/name" of the innermost open phase
+	passes int64  // completed distribute passes
+	spans  int64  // completed spans of any kind
+}
+
+// ProgressSnapshot is the live view of a running job.
+type ProgressSnapshot struct {
+	// Phase is the most recently started phase, as "layer/name" (e.g.
+	// "sort/distribute-pass"); empty before the first span.
+	Phase string `json:"phase,omitempty"`
+	// Passes counts completed distribute passes — the sort's own commit
+	// cadence, so it is also how many journal commits the job has made
+	// beyond the input load.
+	Passes int64 `json:"passes"`
+	// Spans counts all completed phase spans.
+	Spans int64 `json:"spans"`
+}
+
+func (p *progress) SpanStart(layer, name string, id int) {
+	p.mu.Lock()
+	p.phase = layer + "/" + name
+	p.mu.Unlock()
+}
+
+func (p *progress) SpanEnd(s obs.Span) {
+	p.mu.Lock()
+	p.spans++
+	if s.Layer == "sort" && s.Name == "distribute-pass" {
+		p.passes++
+	}
+	p.mu.Unlock()
+}
+
+func (p *progress) Count(layer, name string, id int, delta int64) {}
+
+func (p *progress) snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProgressSnapshot{Phase: p.phase, Passes: p.passes, Spans: p.spans}
+}

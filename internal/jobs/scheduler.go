@@ -1,0 +1,349 @@
+package jobs
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Budget is the server-wide resource envelope jobs are admitted against.
+// Memory is reserved while a job runs (a sort holds O(M) records in host
+// memory); disk is reserved from admission until the job's files are
+// deleted, because the uploaded input, the scratch array, and the sorted
+// output all live in the data directory.
+type Budget struct {
+	// MemoryBytes bounds the summed in-memory working sets (M records ×
+	// the record size, per running job).
+	MemoryBytes int64
+	// DiskBytes bounds the summed on-disk footprints of admitted jobs.
+	DiskBytes int64
+}
+
+// Quota bounds one tenant's share of the server. Zero fields are
+// unlimited.
+type Quota struct {
+	// MaxJobsPerTenant caps a tenant's live (queued + running) jobs.
+	MaxJobsPerTenant int
+	// MaxDiskPerTenant caps a tenant's reserved disk bytes.
+	MaxDiskPerTenant int64
+}
+
+// Ticket is the scheduler's view of one job: who owns it and what it
+// costs. The server holds the rest of the job state.
+type Ticket struct {
+	ID     string
+	Tenant string
+	// MemBytes is reserved against Budget.MemoryBytes while the job runs.
+	MemBytes int64
+	// DiskBytes is reserved against Budget.DiskBytes from admission until
+	// the job's files are deleted.
+	DiskBytes int64
+	// Weight is the tenant's fair-queueing weight (minimum 1): a tenant
+	// with weight 2 receives twice the dispatch service of weight 1 under
+	// contention.
+	Weight int
+
+	seq int64 // admission order, the final queue tie-break
+}
+
+// tenantState is one tenant's scheduler bookkeeping.
+type tenantState struct {
+	name  string
+	queue []*Ticket // FIFO of not-yet-dispatched tickets
+	live  int       // queued + running + retained-terminal jobs
+	disk  int64     // reserved disk bytes
+	vtime float64   // normalized service received (cost/weight at dispatch)
+}
+
+// Scheduler is the admission-control and weighted-fair-queueing core of
+// the job server, usable (and tested) in isolation from HTTP and the sort
+// engines. Dispatch order is deterministic: among tenants with queued
+// work, the lowest virtual time wins, ties break by tenant name, and each
+// tenant's own queue is FIFO.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	budget  Budget
+	quota   Quota
+	tenants map[string]*tenantState
+
+	freeMem  int64
+	freeDisk int64
+	queued   int
+	running  int
+	seq      int64
+	closed   bool
+}
+
+// NewScheduler creates a scheduler over the given budget and quotas.
+func NewScheduler(budget Budget, quota Quota) *Scheduler {
+	s := &Scheduler{
+		budget:   budget,
+		quota:    quota,
+		tenants:  make(map[string]*tenantState),
+		freeMem:  budget.MemoryBytes,
+		freeDisk: budget.DiskBytes,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *Scheduler) tenant(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{name: name}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// minQueuedVtime returns the smallest virtual time among tenants with
+// queued work, and whether any exists.
+func (s *Scheduler) minQueuedVtime() (float64, bool) {
+	min, ok := 0.0, false
+	for _, t := range s.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if !ok || t.vtime < min {
+			min, ok = t.vtime, true
+		}
+	}
+	return min, ok
+}
+
+// Admit checks quotas and the budget, reserves the ticket's disk bytes,
+// and enqueues it. A ticket whose memory need exceeds the whole memory
+// budget, or whose disk need exceeds the currently unreserved disk, is
+// rejected with a *BudgetError; a tenant past its quota gets a
+// *QuotaError. On success the ticket is queued and will be handed to a
+// worker by Next in weighted-fair order.
+func (s *Scheduler) Admit(t *Ticket) error {
+	if t.Weight < 1 {
+		t.Weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrDraining
+	}
+	if t.MemBytes > s.budget.MemoryBytes {
+		return &BudgetError{Resource: "memory", Need: t.MemBytes, Avail: s.budget.MemoryBytes, Budget: s.budget.MemoryBytes}
+	}
+	if t.DiskBytes > s.freeDisk {
+		return &BudgetError{Resource: "disk", Need: t.DiskBytes, Avail: s.freeDisk, Budget: s.budget.DiskBytes}
+	}
+	ts := s.tenant(t.Tenant)
+	if s.quota.MaxJobsPerTenant > 0 && ts.live >= s.quota.MaxJobsPerTenant {
+		return &QuotaError{Tenant: t.Tenant, Kind: "jobs", Limit: int64(s.quota.MaxJobsPerTenant), Used: int64(ts.live), Need: 1}
+	}
+	if s.quota.MaxDiskPerTenant > 0 && ts.disk+t.DiskBytes > s.quota.MaxDiskPerTenant {
+		return &QuotaError{Tenant: t.Tenant, Kind: "disk", Limit: s.quota.MaxDiskPerTenant, Used: ts.disk, Need: t.DiskBytes}
+	}
+	if len(ts.queue) == 0 {
+		// (Re)activation: a tenant returning from idleness competes from
+		// the current service frontier, not from credit banked while away.
+		if min, ok := s.minQueuedVtime(); ok && ts.vtime < min {
+			ts.vtime = min
+		}
+	}
+	s.freeDisk -= t.DiskBytes
+	ts.disk += t.DiskBytes
+	ts.live++
+	s.seq++
+	t.seq = s.seq
+	ts.queue = append(ts.queue, t)
+	s.queued++
+	s.cond.Broadcast()
+	return nil
+}
+
+// next picks the dispatchable ticket under the WFQ discipline, or nil.
+// The head-of-line ticket of the minimum-vtime tenant must also fit the
+// free memory; if it does not, nothing is dispatched (strict order, so a
+// large job cannot be starved by small ones slipping past it).
+func (s *Scheduler) next() *Ticket {
+	var pick *tenantState
+	for _, t := range s.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if pick == nil || t.vtime < pick.vtime || (t.vtime == pick.vtime && t.name < pick.name) {
+			pick = t
+		}
+	}
+	if pick == nil || pick.queue[0].MemBytes > s.freeMem {
+		return nil
+	}
+	t := pick.queue[0]
+	pick.queue = pick.queue[1:]
+	s.queued--
+	s.running++
+	s.freeMem -= t.MemBytes
+	cost := float64(t.DiskBytes)
+	if cost == 0 {
+		cost = 1
+	}
+	pick.vtime += cost / float64(t.Weight)
+	return t
+}
+
+// Next blocks until a ticket is dispatchable (or ctx is done, or the
+// scheduler is closed) and returns it with its memory reserved. Callers
+// must pair every successful Next with EndJob.
+func (s *Scheduler) Next(ctx context.Context) (*Ticket, error) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if t := s.next(); t != nil {
+			return t, nil
+		}
+		if s.closed {
+			return nil, ErrDraining
+		}
+		s.cond.Wait()
+	}
+}
+
+// Readmit enqueues a ticket recovered from a restarted server's
+// manifests, reserving its disk but bypassing the quota and budget
+// checks: the job was already admitted once, and a shrunk budget must not
+// orphan durable work (the free counters may go briefly negative, which
+// only delays new admissions).
+func (s *Scheduler) Readmit(t *Ticket) {
+	if t.Weight < 1 {
+		t.Weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenant(t.Tenant)
+	if len(ts.queue) == 0 {
+		if min, ok := s.minQueuedVtime(); ok && ts.vtime < min {
+			ts.vtime = min
+		}
+	}
+	s.freeDisk -= t.DiskBytes
+	ts.disk += t.DiskBytes
+	ts.live++
+	s.seq++
+	t.seq = s.seq
+	ts.queue = append(ts.queue, t)
+	s.queued++
+	s.cond.Broadcast()
+}
+
+// Restore re-reserves the disk a recovered terminal job still holds (its
+// retained output), without queueing anything.
+func (s *Scheduler) Restore(tenant string, diskBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.freeDisk -= diskBytes
+	s.tenant(tenant).disk += diskBytes
+}
+
+// CancelQueued removes a not-yet-dispatched ticket from its tenant's
+// queue and returns it, or nil if no such ticket is queued. The caller
+// decides what to do with the reservations (EndJob releases them).
+func (s *Scheduler) CancelQueued(id string) *Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ts := range s.tenants {
+		for i, t := range ts.queue {
+			if t.ID == id {
+				ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+				s.queued--
+				s.cond.Broadcast()
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// EndJob retires a ticket: it releases the memory reservation (when the
+// ticket had been dispatched), returns freeDisk bytes of the disk
+// reservation to the pool, and drops the job from the tenant's live
+// count. A completed job that keeps its output passes freeDisk less than
+// its full reservation; FreeDisk returns the rest when the job is
+// deleted.
+func (s *Scheduler) EndJob(t *Ticket, dispatched bool, freeDisk int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dispatched {
+		s.freeMem += t.MemBytes
+		s.running--
+	}
+	ts := s.tenant(t.Tenant)
+	s.freeDisk += freeDisk
+	ts.disk -= freeDisk
+	ts.live--
+	s.cond.Broadcast()
+}
+
+// FreeDisk returns bytes of a tenant's disk reservation to the pool —
+// the deletion path for terminal jobs whose files were just removed.
+func (s *Scheduler) FreeDisk(tenant string, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.freeDisk += bytes
+	s.tenant(tenant).disk -= bytes
+	s.cond.Broadcast()
+}
+
+// Close stops admission and unblocks every waiter: Admit and Next return
+// ErrDraining (once the queue has no dispatchable work).
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SchedStats is a point-in-time scheduler snapshot for /metrics and the
+// status API.
+type SchedStats struct {
+	Queued      int              `json:"queued"`
+	Running     int              `json:"running"`
+	FreeMem     int64            `json:"free_memory_bytes"`
+	FreeDisk    int64            `json:"free_disk_bytes"`
+	BudgetMem   int64            `json:"budget_memory_bytes"`
+	BudgetDisk  int64            `json:"budget_disk_bytes"`
+	TenantQueue map[string]int   `json:"tenant_queue,omitempty"`
+	TenantDisk  map[string]int64 `json:"tenant_disk,omitempty"`
+}
+
+// Stats snapshots the scheduler.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedStats{
+		Queued: s.queued, Running: s.running,
+		FreeMem: s.freeMem, FreeDisk: s.freeDisk,
+		BudgetMem: s.budget.MemoryBytes, BudgetDisk: s.budget.DiskBytes,
+		TenantQueue: map[string]int{}, TenantDisk: map[string]int64{},
+	}
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := s.tenants[name]
+		if len(ts.queue) > 0 {
+			st.TenantQueue[name] = len(ts.queue)
+		}
+		if ts.disk > 0 {
+			st.TenantDisk[name] = ts.disk
+		}
+	}
+	return st
+}

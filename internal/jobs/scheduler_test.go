@@ -1,0 +1,250 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain pulls every immediately-dispatchable ticket, in order.
+func drainSched(t *testing.T, s *Scheduler, n int) []*Ticket {
+	t.Helper()
+	out := make([]*Ticket, 0, n)
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		tk, err := s.Next(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("Next #%d: %v", i, err)
+		}
+		out = append(out, tk)
+	}
+	return out
+}
+
+// TestWFQOrdering pins the weighted-fair dispatch order: with tenant A at
+// weight 1 and B at weight 2 submitting four equal-cost jobs each, B gets
+// twice the service and the exact deterministic sequence is
+// A B B A B B A A (lexical tie-break, FIFO within a tenant).
+func TestWFQOrdering(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 1 << 40, DiskBytes: 1 << 40}, Quota{})
+	const cost = 1000
+	for i := 0; i < 4; i++ {
+		for _, tc := range []struct {
+			tenant string
+			weight int
+		}{{"A", 1}, {"B", 2}} {
+			tk := &Ticket{ID: tc.tenant + string(rune('1'+i)), Tenant: tc.tenant, MemBytes: 1, DiskBytes: cost, Weight: tc.weight}
+			if err := s.Admit(tk); err != nil {
+				t.Fatalf("Admit %s: %v", tk.ID, err)
+			}
+		}
+	}
+	var got []string
+	for _, tk := range drainSched(t, s, 8) {
+		got = append(got, tk.Tenant)
+		s.EndJob(tk, true, tk.DiskBytes)
+	}
+	want := []string{"A", "B", "B", "A", "B", "B", "A", "A"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWFQFIFOWithinTenant checks a single tenant's jobs dispatch in
+// admission order.
+func TestWFQFIFOWithinTenant(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 1 << 30, DiskBytes: 1 << 30}, Quota{})
+	for _, id := range []string{"j1", "j2", "j3"} {
+		if err := s.Admit(&Ticket{ID: id, Tenant: "t", MemBytes: 1, DiskBytes: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tk := range drainSched(t, s, 3) {
+		if want := []string{"j1", "j2", "j3"}[i]; tk.ID != want {
+			t.Fatalf("position %d: got %s, want %s", i, tk.ID, want)
+		}
+		s.EndJob(tk, true, tk.DiskBytes)
+	}
+}
+
+// TestQuotaEnforcement drives both quota kinds over their limits and back.
+func TestQuotaEnforcement(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 1 << 30, DiskBytes: 1 << 30},
+		Quota{MaxJobsPerTenant: 2, MaxDiskPerTenant: 100})
+
+	a1 := &Ticket{ID: "a1", Tenant: "a", MemBytes: 1, DiskBytes: 40}
+	a2 := &Ticket{ID: "a2", Tenant: "a", MemBytes: 1, DiskBytes: 40}
+	if err := s.Admit(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(a2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third live job: jobs quota.
+	var qe *QuotaError
+	err := s.Admit(&Ticket{ID: "a3", Tenant: "a", MemBytes: 1, DiskBytes: 10})
+	if !errors.As(err, &qe) || qe.Kind != "jobs" {
+		t.Fatalf("third job: got %v, want jobs QuotaError", err)
+	}
+	if status, code := Classify(err); status != 429 || code != CodeQuota {
+		t.Fatalf("quota error classifies as %d/%s", status, code)
+	}
+
+	// Other tenants are unaffected.
+	if err := s.Admit(&Ticket{ID: "b1", Tenant: "b", MemBytes: 1, DiskBytes: 10}); err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+
+	// Retiring one of a's jobs frees the slot, but the disk quota now
+	// binds: 40 reserved + 70 requested > 100.
+	tk := drainSched(t, s, 1)[0]
+	if tk.ID != "a1" {
+		t.Fatalf("dispatched %s, want a1", tk.ID)
+	}
+	s.EndJob(tk, true, tk.DiskBytes)
+	err = s.Admit(&Ticket{ID: "a4", Tenant: "a", MemBytes: 1, DiskBytes: 70})
+	if !errors.As(err, &qe) || qe.Kind != "disk" {
+		t.Fatalf("disk-quota admit: got %v, want disk QuotaError", err)
+	}
+	if err := s.Admit(&Ticket{ID: "a5", Tenant: "a", MemBytes: 1, DiskBytes: 60}); err != nil {
+		t.Fatalf("within disk quota: %v", err)
+	}
+}
+
+// TestBudgetBoundary pins the admission boundary: exactly-fits is
+// admitted, one byte over is rejected with the right resource.
+func TestBudgetBoundary(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 1000, DiskBytes: 500}, Quota{})
+
+	var be *BudgetError
+	err := s.Admit(&Ticket{ID: "m", Tenant: "t", MemBytes: 1001, DiskBytes: 1})
+	if !errors.As(err, &be) || be.Resource != "memory" {
+		t.Fatalf("oversized memory: got %v, want memory BudgetError", err)
+	}
+	if status, code := Classify(err); status != 507 || code != CodeBudget {
+		t.Fatalf("budget error classifies as %d/%s", status, code)
+	}
+	err = s.Admit(&Ticket{ID: "d", Tenant: "t", MemBytes: 1, DiskBytes: 501})
+	if !errors.As(err, &be) || be.Resource != "disk" {
+		t.Fatalf("oversized disk: got %v, want disk BudgetError", err)
+	}
+
+	// Exactly the budget fits.
+	fit := &Ticket{ID: "fit", Tenant: "t", MemBytes: 1000, DiskBytes: 500}
+	if err := s.Admit(fit); err != nil {
+		t.Fatalf("exact fit: %v", err)
+	}
+	// With all disk reserved, even one more byte is over.
+	err = s.Admit(&Ticket{ID: "d2", Tenant: "t", MemBytes: 1, DiskBytes: 1})
+	if !errors.As(err, &be) || be.Resource != "disk" {
+		t.Fatalf("disk exhausted: got %v, want disk BudgetError", err)
+	}
+
+	// Retiring the job frees both resources and admission recovers.
+	tk := drainSched(t, s, 1)[0]
+	s.EndJob(tk, true, tk.DiskBytes)
+	if err := s.Admit(&Ticket{ID: "again", Tenant: "t", MemBytes: 1000, DiskBytes: 500}); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestMemoryGatesDispatch checks a job admitted within the total budget
+// waits for free memory, and strict head-of-line order holds: a big job
+// at the head blocks a small one behind it (no sneaking past).
+func TestMemoryGatesDispatch(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 100, DiskBytes: 1 << 30}, Quota{})
+	big1 := &Ticket{ID: "big1", Tenant: "t", MemBytes: 80, DiskBytes: 1}
+	big2 := &Ticket{ID: "big2", Tenant: "t", MemBytes: 80, DiskBytes: 1}
+	small := &Ticket{ID: "small", Tenant: "t", MemBytes: 10, DiskBytes: 1}
+	for _, tk := range []*Ticket{big1, big2, small} {
+		if err := s.Admit(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainSched(t, s, 1)[0]
+	if got.ID != "big1" {
+		t.Fatalf("dispatched %s first, want big1", got.ID)
+	}
+	// big2 does not fit while big1 runs, and small must NOT jump the line.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if tk, err := s.Next(ctx); err == nil {
+		t.Fatalf("dispatched %s while blocked, want timeout", tk.ID)
+	}
+	s.EndJob(big1, true, big1.DiskBytes)
+	if got := drainSched(t, s, 2); got[0].ID != "big2" || got[1].ID != "small" {
+		t.Fatalf("after release got %s,%s want big2,small", got[0].ID, got[1].ID)
+	}
+}
+
+// TestCancelQueued removes a queued ticket and checks its reservations
+// are returned and dispatch skips it.
+func TestCancelQueued(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 1 << 20, DiskBytes: 1000}, Quota{})
+	for _, id := range []string{"j1", "j2", "j3"} {
+		if err := s.Admit(&Ticket{ID: id, Tenant: "t", MemBytes: 1, DiskBytes: 300}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tk := s.CancelQueued("j2")
+	if tk == nil || tk.ID != "j2" {
+		t.Fatalf("CancelQueued returned %v", tk)
+	}
+	s.EndJob(tk, false, tk.DiskBytes)
+	if st := s.Stats(); st.FreeDisk != 1000-600 {
+		t.Fatalf("free disk %d after cancel, want 400", st.FreeDisk)
+	}
+	if got := drainSched(t, s, 2); got[0].ID != "j1" || got[1].ID != "j3" {
+		t.Fatalf("dispatched %s,%s want j1,j3", got[0].ID, got[1].ID)
+	}
+	if s.CancelQueued("j2") != nil {
+		t.Fatal("second CancelQueued found the removed ticket")
+	}
+	if s.CancelQueued("nope") != nil {
+		t.Fatal("CancelQueued invented a ticket")
+	}
+}
+
+// TestSchedulerClose checks Close turns both Admit and Next into
+// ErrDraining.
+func TestSchedulerClose(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 100, DiskBytes: 100}, Quota{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Next(context.Background())
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("Next after Close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not unblock on Close")
+	}
+	if err := s.Admit(&Ticket{ID: "x", Tenant: "t", MemBytes: 1, DiskBytes: 1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Admit after Close: %v", err)
+	}
+}
+
+// TestReadmitBypassesChecks checks recovery readmission ignores quotas
+// and budgets — durable work must never be orphaned by a shrunk config.
+func TestReadmitBypassesChecks(t *testing.T) {
+	s := NewScheduler(Budget{MemoryBytes: 100, DiskBytes: 100}, Quota{MaxJobsPerTenant: 1})
+	s.Readmit(&Ticket{ID: "r1", Tenant: "t", MemBytes: 50, DiskBytes: 90})
+	s.Readmit(&Ticket{ID: "r2", Tenant: "t", MemBytes: 50, DiskBytes: 90}) // over quota AND over disk
+	got := drainSched(t, s, 1)
+	if got[0].ID != "r1" {
+		t.Fatalf("dispatched %s, want r1", got[0].ID)
+	}
+	if st := s.Stats(); st.FreeDisk != 100-180 {
+		t.Fatalf("free disk %d, want -80 (readmission may run negative)", st.FreeDisk)
+	}
+}

@@ -45,6 +45,18 @@ func (s *Server) SetTracer(key string, t *Tracer) {
 	s.mu.Unlock()
 }
 
+// Mount registers the /metrics and /debug/pprof/* handlers on an external
+// mux, for servers that already own a listener (the job server exposes
+// metrics on its API port this way). The Server need not be Started.
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // Start binds addr and begins serving. It returns once the listener is
 // bound, so Addr is valid immediately after.
 func (s *Server) Start(addr string) error {
@@ -53,12 +65,7 @@ func (s *Server) Start(addr string) error {
 		return err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.Mount(mux)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.mu.Lock()
 	s.ln = ln
@@ -110,10 +117,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, src := range sources {
 		ms = append(ms, src()...)
 	}
+	// Sum identical (layer, event) counters across tracers before emitting:
+	// with one tracer per concurrent job, the same label set shows up in
+	// many registries, and duplicate series would break the exposition.
+	eventTotals := map[statKey]int64{}
+	var eventOrder []statKey
 	var hists []HistSnapshot
 	for _, t := range tracers {
-		ms = append(ms, TracerMetrics(t)...)
+		for _, c := range t.Counts() {
+			k := statKey{c.Layer, c.Name}
+			if _, ok := eventTotals[k]; !ok {
+				eventOrder = append(eventOrder, k)
+			}
+			eventTotals[k] += c.Val
+		}
 		hists = append(hists, t.Hists()...)
+	}
+	for _, k := range eventOrder {
+		ms = append(ms, Metric{
+			Name:   "balancesort_events_total",
+			Type:   "counter",
+			Help:   "Observability event counts by layer and event.",
+			Labels: []Label{{"layer", k.layer}, {"event", k.name}},
+			Value:  float64(eventTotals[k]),
+		})
 	}
 	if err := WriteMetrics(w, ms); err != nil {
 		return

@@ -47,6 +47,12 @@ type ObsConfig struct {
 	// counters on the server's /metrics endpoint for the duration of the
 	// sort (see StartObsServer).
 	Server *ObsServer
+	// ServerKey overrides the registry key the sort's tracer is published
+	// under on Server ("sort" for disk sorts, "coordinator" for cluster
+	// jobs). A server that runs many sorts at once — the job server — gives
+	// each one a distinct key so concurrent sorts don't evict each other
+	// from /metrics.
+	ServerKey string
 }
 
 // tracer builds the tracer this configuration calls for — nil (free,
@@ -59,8 +65,12 @@ func (c ObsConfig) tracer() *obs.Tracer {
 }
 
 // attach registers tr's histograms and counters on the configured metrics
-// server, if both exist.
+// server, if both exist. ServerKey, when set, wins over the entry point's
+// default key.
 func (c ObsConfig) attach(key string, tr *obs.Tracer) {
+	if c.ServerKey != "" {
+		key = c.ServerKey
+	}
 	if c.Server != nil && tr != nil {
 		c.Server.srv.SetTracer(key, tr)
 	}
@@ -124,6 +134,17 @@ func (t *Trace) PhaseTotals() map[string]time.Duration {
 // listener and mux (http.DefaultServeMux is never touched).
 type ObsServer struct {
 	srv *obs.Server
+}
+
+// WrapObsServer adopts an already-built internal metrics server as the
+// facade type ObsConfig.Server accepts. It exists for in-module composers
+// (the job server mounts /metrics on its own API mux and still needs each
+// sort's tracer registered there); external callers use StartObsServer.
+func WrapObsServer(s *obs.Server) *ObsServer {
+	if s == nil {
+		return nil
+	}
+	return &ObsServer{srv: s}
 }
 
 // StartObsServer binds addr and serves /metrics and /debug/pprof/*. An

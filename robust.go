@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 
 	"balancesort/internal/core"
 	"balancesort/internal/diskio"
@@ -85,6 +86,24 @@ func Scrub(scratchDir string) (*ScrubReport, error) {
 		return nil, err
 	}
 	return scrubReportFrom(rep), nil
+}
+
+// JournalCommits reports how many sort passes have been committed to the
+// journal of a journaled sort's scratch directory — 0 when no journal
+// exists or nothing was committed yet. It is the "has this sort reached a
+// durable commit point?" probe: a scratch directory with at least one
+// commit resumes through ResumeSortFile without re-reading the input. The
+// job server uses it to decide whether an interrupted job is resumable,
+// and the kill-and-restart tests use it to aim their kills mid-sort.
+func JournalCommits(scratchDir string) (int, error) {
+	entries, err := pdm.LoadJournal(pdm.JournalPath(scratchDir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return len(entries), nil
 }
 
 // sortJournalState is the payload of one journal commit: everything a

@@ -31,10 +31,11 @@ echo "== go test (tier 1) =="
 go test ./...
 
 echo "== go test -race (concurrency layer) =="
-go test -race ./internal/diskio/... ./internal/pdm/... ./internal/cluster/...
+go test -race ./internal/diskio/... ./internal/pdm/... ./internal/cluster/... ./internal/jobs/...
 
 echo "== go test -race (crash recovery) =="
 go test -race -run 'Robust|Crash|Resume|Cancel|Scrub' .
+go test -race -count=1 -run 'KillRestart|DrainRestart|RecoveryQuarantine' ./internal/jobs/
 
 echo "== go test -race (cluster chaos matrix: kill a worker at every phase) =="
 go test -race -count=1 -run 'Chaos|Degraded|Flap|FailoverJournal' ./internal/cluster/
