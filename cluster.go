@@ -33,8 +33,24 @@ type ClusterDegradedError = cluster.ClusterDegradedError
 type ClusterHeartbeat = cluster.Heartbeat
 
 // ChaosSpec injects one worker fault at a chosen coordinator phase; see
-// ClusterConfig.Chaos.
+// ClusterConfig.Chaos. With Coordinator set, the coordinator itself is the
+// victim: Sort aborts with ErrCoordinatorChaosKill at the named phase, and
+// ResumeClusterSortFile must finish the job from the journal.
 type ChaosSpec = cluster.ChaosSpec
+
+// ClusterJoin admits one extra worker at a chosen coordinator phase; see
+// ClusterConfig.Join.
+type ClusterJoin = cluster.JoinSpec
+
+// ErrCoordinatorChaosKill is the sentinel ClusterSortFile returns when
+// ChaosSpec.Coordinator simulated a coordinator crash — the point where a
+// real deployment would call ResumeClusterSortFile.
+var ErrCoordinatorChaosKill = cluster.ErrCoordinatorChaosKill
+
+// ErrNoJournaledStart means ResumeClusterSortFile found a journal that
+// never recorded a job start; callers fall back to a fresh ClusterSortFile
+// (the input file is still the source of truth).
+var ErrNoJournaledStart = cluster.ErrNoJournaledStart
 
 // ClusterRecovery reports what a failover cost; see ClusterResult.Recovery.
 type ClusterRecovery = cluster.RecoveryStats
@@ -71,6 +87,12 @@ type ClusterConfig struct {
 	// `-chaos-kill` flag. The job must still produce byte-identical
 	// output, recovering through failover.
 	Chaos *ChaosSpec
+	// Join, when non-nil, admits one extra worker mid-job at the start of
+	// the named coordinator phase — the elastic scale-out harness behind
+	// `-chaos-join`. The joiner becomes an added virtual disk: the epoch is
+	// bumped, bucket placement is re-planned over W+1 workers, and the
+	// output stays byte-identical.
+	Join *ClusterJoin
 	// JournalPath, when non-empty, appends a crash-consistent journal of
 	// phase transitions, scatter extents, worker losses, and failovers —
 	// the audit trail for a recovery decision.
@@ -125,12 +147,42 @@ func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterCon
 		Dial:        cfg.dial(),
 		Heartbeat:   cfg.Heartbeat,
 		Chaos:       cfg.Chaos,
+		Join:        cfg.Join,
 		JournalPath: cfg.JournalPath,
 		Trace:       tr,
 	})
 	if err != nil {
 		return nil, err
 	}
+	return clusterResultFrom(stats, tr), nil
+}
+
+// ResumeClusterSortFile restarts a crashed coordinator's job from the
+// journal at cfg.JournalPath (which must be the path the original
+// ClusterSortFile wrote). It replays the phase-commit log, re-dials the
+// workers with the v4 resume handshake — each reports which epoch-tagged
+// shard it still holds, and only lost shards are re-scattered — and
+// re-enters the pipeline at the last committed phase. The output is
+// byte-identical to an uninterrupted sort; the journaled pivots are
+// cross-checked against the recomputed ones as a determinism assertion.
+// Workers, Buckets, and BlockRecs are taken from the journal, not cfg.
+func ResumeClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterConfig) (*ClusterResult, error) {
+	tr := cfg.Obs.tracer()
+	cfg.Obs.attach("coordinator", tr)
+	stats, err := cluster.Resume(ctx, inPath, outPath, cluster.SortSpec{
+		Workers:     cfg.Workers,
+		Dial:        cfg.dial(),
+		Heartbeat:   cfg.Heartbeat,
+		JournalPath: cfg.JournalPath,
+		Trace:       tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return clusterResultFrom(stats, tr), nil
+}
+
+func clusterResultFrom(stats *cluster.SortStats, tr *obs.Tracer) *ClusterResult {
 	return &ClusterResult{
 		Records:        stats.Records,
 		Workers:        stats.Workers,
@@ -141,7 +193,7 @@ func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterCon
 		GatherRecords:  stats.GatherRecords,
 		Recovery:       stats.Recovery,
 		Trace:          traceFrom(tr),
-	}, nil
+	}
 }
 
 // WorkerOptions configures one cluster worker process.
@@ -165,6 +217,10 @@ type WorkerOptions struct {
 	// DropAfterBlocks force-closes a peer connection once after that many
 	// sent blocks — fault injection for the retransmit path. 0 disables.
 	DropAfterBlocks int
+	// ResumeWindow bounds how long a worker parks its shard after losing a
+	// v4 coordinator, waiting for a resumed coordinator to re-attach. Past
+	// the window the parked scratch is reclaimed. 0 means 2 minutes.
+	ResumeWindow time.Duration
 	// ObsAddr, when non-empty, serves this worker's Prometheus /metrics
 	// and pprof endpoints on the address for the lifetime of ServeWorker.
 	// Empty opens no listener.
@@ -184,6 +240,7 @@ func ServeWorker(ctx context.Context, ln net.Listener, opt WorkerOptions) error 
 			IOTimeout: opt.IOTimeout,
 		},
 		DropAfterBlocks: opt.DropAfterBlocks,
+		ResumeWindow:    opt.ResumeWindow,
 	}
 	if opt.ObsAddr != "" {
 		srv := obs.NewServer()

@@ -80,9 +80,11 @@ func main() {
 		xblock    = flag.Int("xblock", 0, "cluster exchange block size in records (0 = 2048)")
 		inMem     = flag.Bool("inmem", false, "with -join: sort worker shards in memory instead of the file-backed engine")
 		dropAfter = flag.Int("dropafter", 0, "with -join: force-close a peer connection once after this many sent blocks (fault injection)")
-		chaosKill = flag.String("chaos-kill", "", "with -cluster: kill worker W at coordinator phase P, as phase:worker (e.g. exchange:2); append :hang to hang it instead")
+		chaosKill = flag.String("chaos-kill", "", "with -cluster: kill worker W at coordinator phase P, as phase:worker (e.g. exchange:2); append :hang to hang it instead; coordinator@P kills the coordinator itself")
+		chaosJoin = flag.String("chaos-join", "", "with -cluster: hold the last -cluster address back and join it as a new worker at this coordinator phase (e.g. exchange)")
 		hbEvery   = flag.Duration("heartbeat", 0, "with -cluster: heartbeat ping interval (0 = 500ms default, negative disables the failure detector)")
 		cjournal  = flag.String("cjournal", "", "with -cluster: append the coordinator's phase/loss/failover journal to this file")
+		cresume   = flag.Bool("cresume", false, "with -cluster: resume a crashed coordinator's job from the -cjournal phase-commit log instead of starting over")
 
 		// Sort-as-a-service job server (-serve).
 		serveAddr    = flag.String("serve", "", "run the multi-tenant sort job server on this address (e.g. 127.0.0.1:8080); needs -data-dir")
@@ -182,6 +184,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("-tenant-weights: %v", err)
 		}
+		var clusterAddrs []string
+		if *clusterWs != "" {
+			clusterAddrs = strings.Split(*clusterWs, ",")
+		}
 		srv, err := jobs.New(jobs.Options{
 			DataDir:       *dataDir,
 			Workers:       *serveWorkers,
@@ -189,6 +195,7 @@ func main() {
 			Quota:         jobs.Quota{MaxJobsPerTenant: *tenantJobs, MaxDiskPerTenant: tdisk},
 			TenantWeights: weights,
 			Sort:          fileCfg(),
+			Cluster:       clusterAddrs,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -267,18 +274,35 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var joinSpec *balancesort.ClusterJoin
+		if *chaosJoin != "" {
+			if len(workers) < 2 {
+				log.Fatal("-chaos-join needs at least two -cluster addresses (the last one is the joiner)")
+			}
+			joinSpec = &balancesort.ClusterJoin{Phase: *chaosJoin, Addr: workers[len(workers)-1]}
+			workers = workers[:len(workers)-1]
+		}
 		hb := balancesort.ClusterHeartbeat{}
 		if *hbEvery > 0 {
 			hb.Interval = *hbEvery
 		} else if *hbEvery < 0 {
 			hb.Disable = true
 		}
-		start := time.Now()
-		res, err := balancesort.ClusterSortFile(ctx, *inFile, *outFile, balancesort.ClusterConfig{
+		ccfg := balancesort.ClusterConfig{
 			Workers: workers, Buckets: *cbuckets, BlockRecs: *xblock,
-			Heartbeat: hb, Chaos: chaos, JournalPath: *cjournal,
+			Heartbeat: hb, Chaos: chaos, Join: joinSpec, JournalPath: *cjournal,
 			Obs: obsCfg(srv),
-		})
+		}
+		start := time.Now()
+		var res *balancesort.ClusterResult
+		if *cresume {
+			if *cjournal == "" {
+				log.Fatal("-cresume requires -cjournal (the journal the crashed run was writing)")
+			}
+			res, err = balancesort.ResumeClusterSortFile(ctx, *inFile, *outFile, ccfg)
+		} else {
+			res, err = balancesort.ClusterSortFile(ctx, *inFile, *outFile, ccfg)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -297,9 +321,18 @@ func main() {
 				w, res.RecvBlocks[w], res.GatherRecords[w])
 		}
 		if rec := res.Recovery; rec != nil {
-			fmt.Printf("  failover:              lost workers %v (phases %v), %d failover(s)\n",
-				rec.LostWorkers, rec.LostPhases, rec.Failovers)
-			fmt.Printf("    re-scattered:        %d chunks / %d records to %d survivors in %v\n",
+			if rec.Resumed {
+				fmt.Printf("  resumed:               from journaled phase %q\n", rec.ResumePhase)
+			}
+			if rec.Joins > 0 {
+				fmt.Printf("  joined:                workers %v admitted mid-job (%d join(s))\n",
+					rec.JoinedWorkers, rec.Joins)
+			}
+			if len(rec.LostWorkers) > 0 || rec.Failovers > 0 {
+				fmt.Printf("  failover:              lost workers %v (phases %v), %d failover(s)\n",
+					rec.LostWorkers, rec.LostPhases, rec.Failovers)
+			}
+			fmt.Printf("    re-scattered:        %d chunks / %d records to %d active workers in %v\n",
 				rec.RescatteredBlocks, rec.RescatteredRecords, len(rec.ActiveWorkers),
 				time.Duration(rec.FailoverWallNanos).Round(time.Millisecond))
 		}
@@ -596,10 +629,18 @@ func runHierarchy(recs []balancesort.Record, model string, h int, alpha float64,
 	fmt.Println("  verification:    OK")
 }
 
-// parseChaosKill decodes -chaos-kill's phase:worker[:hang] syntax.
+// parseChaosKill decodes -chaos-kill's phase:worker[:hang] syntax, plus the
+// coordinator@phase form that kills the coordinator itself (recover with
+// -cresume against the same -cjournal).
 func parseChaosKill(s string) (*balancesort.ChaosSpec, error) {
 	if s == "" {
 		return nil, nil
+	}
+	if phase, ok := strings.CutPrefix(s, "coordinator@"); ok {
+		if phase == "" {
+			return nil, fmt.Errorf("-chaos-kill %q: want coordinator@phase", s)
+		}
+		return &balancesort.ChaosSpec{Phase: phase, Coordinator: true}, nil
 	}
 	parts := strings.Split(s, ":")
 	if len(parts) < 2 || len(parts) > 3 {

@@ -35,6 +35,12 @@ type SortSpec struct {
 	// (or hung) the moment the coordinator enters the named phase. It
 	// requires an all-v3 cluster; against v2 workers it is ignored.
 	Chaos *ChaosSpec
+	// Join, when non-nil, admits one extra worker mid-job: the moment the
+	// coordinator enters the named phase it dials Addr, attaches it as
+	// worker W via the v4 mJoin handshake — an *added* virtual disk, the
+	// dual of failover's removed one — and reseeds the cluster under a new
+	// epoch. It requires an all-v4 cluster; otherwise it is ignored.
+	Join *JoinSpec
 	// JournalPath, when nonempty, appends the coordinator's recovery
 	// state — per-worker partition extents after the scatter, each phase
 	// entered, each loss, each completed failover — to a checksummed
@@ -87,6 +93,18 @@ type ChaosSpec struct {
 	// Hang makes the victim go silent (stop ponging, stop progressing)
 	// instead of dying; only the heartbeat detector can see it.
 	Hang bool
+	// Coordinator makes the coordinator itself the victim: entering the
+	// phase returns ErrCoordinatorChaosKill without a word on any link, so
+	// every connection dies abruptly (v4 workers park their shards) and
+	// the job is left for Resume. Worker and Hang are ignored.
+	Coordinator bool
+}
+
+// JoinSpec schedules one mid-job elastic join: when the coordinator enters
+// Phase, the worker listening at Addr is added to the cluster.
+type JoinSpec struct {
+	Phase string
+	Addr  string
 }
 
 // CoordinatorPhases are the span names the coordinator records under the
@@ -130,20 +148,31 @@ func (s SortSpec) withDefaults() (SortSpec, error) {
 	s.Dial = s.Dial.withDefaults()
 	s.Heartbeat = s.Heartbeat.withDefaults()
 	if c := s.Chaos; c != nil {
-		if c.Worker < 0 || c.Worker >= w {
+		if !c.Coordinator && (c.Worker < 0 || c.Worker >= w) {
 			return s, fmt.Errorf("cluster: chaos targets worker %d of %d", c.Worker, w)
 		}
-		ok := false
-		for _, p := range CoordinatorPhases {
-			if p == c.Phase {
-				ok = true
-			}
-		}
-		if !ok {
+		if !isCoordinatorPhase(c.Phase) {
 			return s, fmt.Errorf("cluster: chaos phase %q is not a coordinator phase", c.Phase)
 		}
 	}
+	if j := s.Join; j != nil {
+		if !isCoordinatorPhase(j.Phase) {
+			return s, fmt.Errorf("cluster: join phase %q is not a coordinator phase", j.Phase)
+		}
+		if j.Addr == "" {
+			return s, fmt.Errorf("cluster: join has no address")
+		}
+	}
 	return s, nil
+}
+
+func isCoordinatorPhase(name string) bool {
+	for _, p := range CoordinatorPhases {
+		if p == name {
+			return true
+		}
+	}
+	return false
 }
 
 // SortStats reports what a completed cluster sort moved and how evenly the
@@ -191,11 +220,29 @@ type RecoveryStats struct {
 	// ActiveWorkers are the IDs that finished the job, ascending. They
 	// are the columns of SortStats.X.
 	ActiveWorkers []int `json:"active_workers"`
+	// Joins counts mid-job elastic admissions; JoinedWorkers are the IDs
+	// the joiners were assigned.
+	Joins         int   `json:"joins,omitempty"`
+	JoinedWorkers []int `json:"joined_workers,omitempty"`
+	// Resumed marks a job completed by a restarted coordinator replaying
+	// its journal; ResumePhase is the last phase the journal had entered
+	// before the crash.
+	Resumed     bool   `json:"resumed,omitempty"`
+	ResumePhase string `json:"resume_phase,omitempty"`
 }
 
 // errFailover is the internal sentinel that unwinds the current epoch's
 // phase machinery back to the recovery loop. It never escapes Sort.
 var errFailover = errors.New("cluster: worker lost, failover required")
+
+// errRejoin unwinds the phase machinery to admit the configured mid-job
+// joiner; like errFailover it never escapes Sort.
+var errRejoin = errors.New("cluster: join admission required")
+
+// ErrCoordinatorChaosKill is what Sort returns when ChaosSpec.Coordinator
+// fired: the coordinator "crashed" at the phase boundary, its connections
+// died without a goodbye, and the job is left for Resume to finish.
+var ErrCoordinatorChaosKill = errors.New("cluster: chaos: coordinator killed")
 
 // frameMsg is one frame (or terminal read error) from a link's reader.
 type frameMsg struct {
@@ -252,9 +299,11 @@ type coordinator struct {
 	tr      *obs.Tracer
 	jobID   uint64
 
-	links    []*link // immutable after connect; dead entries keep a closed conn
+	links    []*link // grows only on join (under mu); dead entries keep a closed conn
 	vers     []int   // negotiated protocol version per worker
 	failover bool    // all workers v3: losses trigger recovery, not failure
+	elastic  bool    // all workers v4: join and resume are available
+	joined   bool    // the configured Join already fired
 
 	mu       sync.Mutex
 	deadErr  map[int]error // worker -> first loss, as a *WorkerLostError
@@ -263,6 +312,7 @@ type coordinator struct {
 	lostSig  chan struct{} // cap 1: wakes phase waits when a loss lands
 	phase    string
 
+	monCtx    context.Context
 	monCancel context.CancelFunc
 	monWG     sync.WaitGroup
 
@@ -277,6 +327,15 @@ type coordinator struct {
 	epoch      uint32
 	chaosFired bool
 	rec        RecoveryStats
+
+	// First computed (or journal-replayed) pivot set and histogram digest.
+	// Pivots are a pure function of the merged histogram, and the merged
+	// histogram is a pure function of the whole input — the shards always
+	// partition it — so every later epoch, whatever its membership, must
+	// reproduce them exactly. Checked in histogramPhase as a determinism
+	// assertion.
+	wantPivots []uint64
+	wantDigest uint64
 
 	// Plan state of the (last) epoch, for the final stats.
 	pivots       []uint64
@@ -351,27 +410,45 @@ func (c *coordinator) run(ctx context.Context) (*SortStats, error) {
 		}
 		c.jr = jr
 	}
+	c.journal(journalEvent{
+		Event: "start", JobID: c.jobID, Addrs: c.spec.Workers,
+		S: c.S, BlockRecs: c.spec.BlockRecs, Records: c.n,
+	})
 	if err := c.connect(ctx); err != nil {
 		return nil, err
 	}
+	stop := c.watchCancel(ctx)
+	defer stop()
+	c.startMonitors(ctx)
+	return c.finish(ctx, c.scatter(ctx))
+}
 
-	// A canceled context tears the connections down so no phase can block
-	// past it.
+// watchCancel tears the connections down when ctx is canceled so no phase
+// can block past it; the returned func retires the watcher.
+func (c *coordinator) watchCancel(ctx context.Context) func() {
 	watchDone := make(chan struct{})
-	defer close(watchDone)
 	go func() {
 		select {
 		case <-ctx.Done():
-			for _, l := range c.links {
-				l.conn.Close()
+			c.mu.Lock()
+			links := append([]*link(nil), c.links...)
+			c.mu.Unlock()
+			for _, l := range links {
+				if l != nil {
+					l.conn.Close()
+				}
 			}
 		case <-watchDone:
 		}
 	}()
+	return func() { close(watchDone) }
+}
 
-	c.startMonitors(ctx)
-
-	err := c.scatter(ctx)
+// finish drives the pipeline/recovery/join loop to completion and builds
+// the final stats. run and resume both land here once their entry work —
+// scatter for a fresh job, the journal-replay reseed for a resumed one —
+// has produced its first verdict.
+func (c *coordinator) finish(ctx context.Context, err error) (*SortStats, error) {
 	for {
 		if err == nil {
 			err = c.pipeline(ctx)
@@ -379,20 +456,19 @@ func (c *coordinator) run(ctx context.Context) (*SortStats, error) {
 		if err == nil {
 			break
 		}
-		if !errors.Is(err, errFailover) {
-			return nil, err
-		}
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
-		err = c.recoverLost(ctx)
-		if err != nil && !errors.Is(err, errFailover) {
+		switch {
+		case errors.Is(err, errRejoin):
+			err = c.admitJoin(ctx)
+		case errors.Is(err, errFailover):
+			err = c.recoverLost(ctx)
+		default:
 			return nil, err
 		}
-		if errors.Is(err, errFailover) {
-			continue // another worker died mid-recovery: go again
-		}
 	}
+	c.journal(journalEvent{Event: "done", Epoch: c.epoch})
 
 	// Collect worker traces and merge them into the job timeline before
 	// saying goodbye: node 0 is the coordinator, node w+1 is worker w. The
@@ -431,9 +507,10 @@ func (c *coordinator) run(ctx context.Context) (*SortStats, error) {
 		stats.GatherRecords[w] = int(c.expectGather[w])
 	}
 	c.mu.Lock()
-	if len(c.deadErr) > 0 {
+	if len(c.deadErr) > 0 || c.rec.Joins > 0 || c.rec.Resumed {
 		rec := c.rec
 		rec.ActiveWorkers = append([]int(nil), c.rec.ActiveWorkers...)
+		rec.JoinedWorkers = append([]int(nil), c.rec.JoinedWorkers...)
 		stats.Recovery = &rec
 	}
 	c.mu.Unlock()
@@ -481,9 +558,13 @@ func (c *coordinator) connect(ctx context.Context) error {
 		c.vers[i] = int(v.Version)
 	}
 	c.failover = true
+	c.elastic = true
 	for _, v := range c.vers {
 		if v < 3 {
 			c.failover = false
+		}
+		if v < 4 {
+			c.elastic = false
 		}
 	}
 	return nil
@@ -493,10 +574,16 @@ func (c *coordinator) connect(ctx context.Context) error {
 // (the only read the coordinator bounds by a deadline: past this point
 // liveness comes from the failure detector).
 func (c *coordinator) expectHandshake(i int, want byte) ([]byte, error) {
+	return c.expectHandshakeOn(c.links[i], want)
+}
+
+// expectHandshakeOn is expectHandshake for a link not (yet) registered in
+// c.links — a joiner being vetted before the membership commit.
+func (c *coordinator) expectHandshakeOn(l *link, want byte) ([]byte, error) {
 	t := time.NewTimer(c.spec.Dial.IOTimeout)
 	defer t.Stop()
 	select {
-	case fr := <-c.links[i].ch:
+	case fr := <-l.ch:
 		if fr.err != nil {
 			return nil, fr.err
 		}
@@ -528,12 +615,15 @@ func (c *coordinator) lost(i int, err error) error {
 		c.rec.LostWorkers = append(c.rec.LostWorkers, i)
 		c.rec.LostPhases = append(c.rec.LostPhases, c.phase)
 		phase, epoch := c.phase, c.epoch
+		l := c.links[i]
 		select {
 		case c.lostSig <- struct{}{}:
 		default:
 		}
 		c.mu.Unlock()
-		c.links[i].conn.Close()
+		if l != nil {
+			l.conn.Close()
+		}
 		c.tr.Count("cluster", "workers-lost", 0, 1)
 		c.journal(journalEvent{Event: "lost", Epoch: epoch, Phase: phase, Worker: i})
 	} else {
@@ -564,6 +654,14 @@ func (c *coordinator) isDead(i int) bool {
 	defer c.mu.Unlock()
 	_, dead := c.deadErr[i]
 	return dead
+}
+
+// addr returns worker i's address under the lock: a join grows the peer
+// table mid-job, so monitor goroutines cannot read it bare.
+func (c *coordinator) addr(i int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spec.Workers[i]
 }
 
 // active returns the surviving worker IDs, ascending.
@@ -675,7 +773,8 @@ func (c *coordinator) expectFrom(i int, want byte) ([]byte, error) {
 }
 
 // enterPhase records the phase for loss attribution and the journal, bails
-// to the recovery loop if a loss is pending, and fires chaos if armed.
+// to the recovery loop if a loss is pending, and fires chaos or the
+// scheduled join if this is their phase.
 func (c *coordinator) enterPhase(name string) error {
 	c.mu.Lock()
 	c.phase = name
@@ -684,7 +783,18 @@ func (c *coordinator) enterPhase(name string) error {
 	if c.failover && c.pendingLoss() {
 		return errFailover
 	}
+	if ch := c.spec.Chaos; ch != nil && ch.Coordinator && !c.chaosFired && ch.Phase == name && c.epoch == 0 {
+		// Simulated coordinator crash: die without a word on any link. The
+		// deferred cleanup closes every connection abruptly; v4 workers
+		// park their shards and wait for a Resume.
+		c.chaosFired = true
+		return ErrCoordinatorChaosKill
+	}
 	c.maybeChaos(name)
+	if j := c.spec.Join; j != nil && !c.joined && c.elastic && j.Phase == name {
+		c.joined = true
+		return errRejoin
+	}
 	return nil
 }
 
@@ -753,7 +863,11 @@ func (c *coordinator) scatter(ctx context.Context) error {
 			return fmt.Errorf("cluster: finishing scatter to worker %d: %w", i, err)
 		}
 	}
-	c.journal(journalEvent{Event: "scatter-done", Epoch: c.epoch, Extents: append([]uint64(nil), c.perWorker...)})
+	c.journal(journalEvent{
+		Event: "scatter-done", Epoch: c.epoch,
+		Extents: append([]uint64(nil), c.perWorker...),
+		Assign:  append([]int32(nil), c.assign...),
+	})
 	sp.End(obs.Attr{Key: "records", Val: int64(c.n)}, obs.Attr{Key: "workers", Val: int64(c.W)})
 	return nil
 }
@@ -799,6 +913,19 @@ func (c *coordinator) histogramPhase() error {
 		}
 	}
 	c.pivots = pickPivots(merged, uint64(c.n), c.S)
+	digest := histDigest(merged)
+	if c.wantPivots == nil {
+		c.wantPivots = append([]uint64(nil), c.pivots...)
+		c.wantDigest = digest
+		c.journal(journalEvent{Event: "pivots", Epoch: c.epoch, Pivots: c.pivots, Digest: digest})
+	} else if digest != c.wantDigest || !equalU64(c.pivots, c.wantPivots) {
+		// The merged histogram is membership-independent — the shards
+		// always partition the whole input — so any divergence across
+		// epochs (or across a crash, via the journal) means the shards no
+		// longer hold the input and the output could not be trusted.
+		return fmt.Errorf("cluster: epoch %d merged histogram diverged (digest %#x, committed %#x)",
+			c.epoch, digest, c.wantDigest)
+	}
 	pv := (&msgPivots{Pivots: c.pivots}).encode()
 	for _, i := range c.active() {
 		if err := c.sendTo(i, mPivots, pv); err != nil {
@@ -960,6 +1087,7 @@ func (c *coordinator) exchangePhase() error {
 			return fmt.Errorf("cluster: worker %d finished exchange with %d of %d blocks",
 				i, d.BlocksRecv, c.expectRecv[i])
 		}
+		c.journalWDone("exchange", i)
 	}
 	sp.End(obs.Attr{Key: "blocks", Val: int64(c.streamLen)})
 	return nil
@@ -988,6 +1116,7 @@ func (c *coordinator) gatherPhase() error {
 			return fmt.Errorf("cluster: worker %d gathered %d of %d records",
 				i, d.RecsRecv, c.expectGather[i])
 		}
+		c.journalWDone("gather", i)
 	}
 	sp.End()
 	return nil
@@ -1015,6 +1144,7 @@ func (c *coordinator) sortPhase() error {
 		if m.Count != c.expectGather[i] {
 			return fmt.Errorf("cluster: worker %d sorted %d of %d records", i, m.Count, c.expectGather[i])
 		}
+		c.journalWDone("local-sort", i)
 	}
 	sp.End()
 	return nil
@@ -1091,6 +1221,7 @@ func (c *coordinator) drainShards() (err error) {
 			got += uint64(len(recs))
 		}
 		written += got
+		c.journalWDone("drain", i)
 	}
 	if written != uint64(c.n) {
 		return fmt.Errorf("cluster: drained %d of %d records", written, c.n)
@@ -1146,26 +1277,69 @@ func (c *coordinator) recoverLost(ctx context.Context) error {
 	c.rec.ActiveWorkers = append([]int(nil), activeList...)
 	c.mu.Unlock()
 
-	// Open the epoch on every survivor. The worker's control reader acts
-	// on this immediately — canceling its in-flight phase — even if its
-	// job loop is deep inside exchange or sort.
-	ann := (&msgRescatter{Epoch: c.epoch, Active: toU32(activeList)}).encode()
-	for _, i := range activeList {
-		if err := c.sendTo(i, mRescatter, ann); err != nil {
-			sp.End()
-			return err
+	pending, rescatteredRecs, err := c.reseed(nil)
+	if err != nil {
+		sp.End()
+		return err
+	}
+	c.journal(journalEvent{
+		Event: "failover", Epoch: c.epoch, Blocks: pending,
+		Extents: append([]uint64(nil), c.perWorker...),
+		Assign:  append([]int32(nil), c.assign...),
+	})
+	sp.End(
+		obs.Attr{Key: "epoch", Val: int64(c.epoch)},
+		obs.Attr{Key: "rescattered-blocks", Val: int64(pending)},
+		obs.Attr{Key: "rescattered-records", Val: int64(rescatteredRecs)},
+	)
+	return nil
+}
+
+// reseed opens the (already bumped) epoch on every active worker and
+// re-streams every chunk that no live, shard-intact worker owns. fresh[i]
+// marks workers whose shard must be rebuilt from scratch — a joiner, or a
+// resumed worker whose parked state did not survive: their announcement
+// carries the Fresh flag (truncate before appending) and every chunk they
+// own is re-fed to them. Chunks with no live owner are re-dealt
+// round-robin across the actives. On an elastic (all-v4) cluster the
+// announcement also carries the full peer table, so worker-side
+// membership changes atomically with the epoch; on v3 clusters fresh is
+// always nil and the wire encoding is unchanged.
+func (c *coordinator) reseed(fresh map[int]bool) (pending int, rescatteredRecs uint64, err error) {
+	activeList := c.active()
+	var peers []string
+	if c.elastic {
+		peers = append([]string(nil), c.spec.Workers...)
+	}
+	if c.assign == nil {
+		// The interruption predates scatter-done: nothing is known to be
+		// delivered, so deal every chunk out as if scattering afresh.
+		c.chunks = (c.n + scatterChunk - 1) / scatterChunk
+		c.assign = make([]int32, c.chunks)
+		for t := range c.assign {
+			c.assign[t] = -1
 		}
 	}
 
-	// Re-stream every chunk owned by a dead worker (or never delivered,
-	// if the loss hit mid-scatter) round-robin across the survivors.
-	pending := 0
-	var rescatteredRecs uint64
+	// Open the epoch on every active worker. The worker's control reader
+	// acts on this immediately — canceling its in-flight phase — even if
+	// its job loop is deep inside exchange or sort.
+	for _, i := range activeList {
+		ann := (&msgRescatter{Epoch: c.epoch, Active: toU32(activeList), Fresh: fresh[i], Peers: peers}).encode()
+		if err := c.sendTo(i, mRescatter, ann); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Re-stream every chunk owned by a dead or fresh worker (or never
+	// delivered, if the interruption hit mid-scatter). A fresh-but-live
+	// owner keeps its chunks — they are re-fed to it — while ownerless
+	// chunks go round-robin across the actives.
 	buf := make([]byte, scatterChunk*record.EncodedSize)
 	rr := 0
 	for t := 0; t < c.chunks; t++ {
-		w := c.assign[t]
-		if w >= 0 && !c.isDead(int(w)) {
+		w := int(c.assign[t])
+		if c.assign[t] >= 0 && !c.isDead(w) && !fresh[w] {
 			continue
 		}
 		m := scatterChunk
@@ -1174,25 +1348,24 @@ func (c *coordinator) recoverLost(ctx context.Context) error {
 		}
 		chunk := buf[:m*record.EncodedSize]
 		if _, err := c.in.ReadAt(chunk, int64(t)*scatterChunk*record.EncodedSize); err != nil {
-			sp.End()
-			return fmt.Errorf("cluster: re-reading %s chunk %d: %w", c.inPath, t, err)
+			return 0, 0, fmt.Errorf("cluster: re-reading %s chunk %d: %w", c.inPath, t, err)
 		}
-		dest := activeList[rr%len(activeList)]
-		rr++
+		dest := w
+		if c.assign[t] < 0 || c.isDead(w) {
+			dest = activeList[rr%len(activeList)]
+			rr++
+		}
 		if err := c.sendTo(dest, mRecords, chunk); err != nil {
-			sp.End()
-			return err
+			return 0, 0, err
 		}
 		c.assign[t] = int32(dest)
 		pending++
 		rescatteredRecs += uint64(m)
 	}
 
-	// Rebuild the extents from the assignment and tell each survivor its
-	// authoritative shard size.
-	for i := range c.perWorker {
-		c.perWorker[i] = 0
-	}
+	// Rebuild the extents from the assignment and tell each active worker
+	// its authoritative shard size.
+	c.perWorker = make([]uint64, c.W)
 	for t, w := range c.assign {
 		m := scatterChunk
 		if (t+1)*scatterChunk > c.n {
@@ -1203,35 +1376,32 @@ func (c *coordinator) recoverLost(ctx context.Context) error {
 	for _, i := range activeList {
 		done := (&msgRescatterDone{Epoch: c.epoch, Total: c.perWorker[i]}).encode()
 		if err := c.sendTo(i, mRescatterDone, done); err != nil {
-			sp.End()
-			return err
+			return 0, 0, err
 		}
 	}
 
-	// Wait for every survivor's reset ack, discarding frames the aborted
-	// epoch left in flight. TCP ordering makes the first epoch-matching
-	// ack a clean cut: everything after it belongs to the new epoch.
+	// Wait for every active worker's reset ack, discarding frames the
+	// aborted epoch left in flight. TCP ordering makes the first
+	// epoch-matching ack a clean cut: everything after it belongs to the
+	// new epoch.
 	for _, i := range activeList {
 		for {
 			typ, payload, err := c.recvFrom(i)
 			if err != nil {
-				sp.End()
-				return err
+				return 0, 0, err
 			}
 			if typ != mRescatterAck {
 				continue
 			}
 			var a msgRescatterAck
 			if err := a.decode(payload); err != nil {
-				sp.End()
-				return err
+				return 0, 0, err
 			}
 			if a.Epoch != c.epoch {
-				continue // ack of an earlier, superseded failover
+				continue // ack of an earlier, superseded recovery
 			}
 			if a.ShardRecs != c.perWorker[i] {
-				sp.End()
-				return fmt.Errorf("cluster: worker %d holds %d records after re-scatter, coordinator expects %d",
+				return 0, 0, fmt.Errorf("cluster: worker %d holds %d records after re-scatter, coordinator expects %d",
 					i, a.ShardRecs, c.perWorker[i])
 			}
 			break
@@ -1244,16 +1414,120 @@ func (c *coordinator) recoverLost(ctx context.Context) error {
 	c.rec.RescatteredRecords += int(rescatteredRecs)
 	c.mu.Unlock()
 	c.tr.Count("cluster", "blocks-rescattered", 0, int64(pending))
-	c.journal(journalEvent{
-		Event: "failover", Epoch: c.epoch, Blocks: pending,
-		Extents: append([]uint64(nil), c.perWorker...),
-	})
+	return pending, rescatteredRecs, nil
+}
+
+// admitJoin dials the scheduled joiner and runs the v4 attach handshake;
+// only once the joiner is known good does it commit the membership growth
+// — worker W exists from the epoch bump onward, its whole (empty) shard
+// streamed to it under the Fresh flag while every incumbent rewinds to the
+// same epoch cut. A joiner that cannot be reached or refuses the
+// handshake is abandoned: the incumbents are reseeded as-is so the
+// interrupted pipeline restarts coherently.
+func (c *coordinator) admitJoin(ctx context.Context) error {
+	j := c.spec.Join
+	sp := c.tr.Begin("cluster", "join", 0)
+	id := c.W
+	newPeers := append(append([]string(nil), c.spec.Workers...), j.Addr)
+	l, aerr := c.attachJoiner(ctx, id, j.Addr, newPeers)
+
+	c.mu.Lock()
+	c.epoch++
+	epoch := c.epoch
+	if aerr == nil {
+		// Commit: from here the joiner is a full member and its loss is a
+		// failover like any other's.
+		c.links = append(c.links, l)
+		c.vers = append(c.vers, protocolVersion)
+		c.spec.Workers = newPeers
+		c.W = id + 1
+		c.rec.Joins++
+		c.rec.JoinedWorkers = append(c.rec.JoinedWorkers, id)
+	}
+	c.mu.Unlock()
+
+	var fresh map[int]bool
+	if aerr == nil {
+		fresh = map[int]bool{id: true}
+		c.startMonitor(id)
+	}
+	activeList := c.active()
+	c.mu.Lock()
+	c.rec.ActiveWorkers = append([]int(nil), activeList...)
+	c.mu.Unlock()
+
+	pending, recs, err := c.reseed(fresh)
+	if err != nil {
+		sp.End()
+		return err
+	}
+	if aerr == nil {
+		c.journal(journalEvent{
+			Event: "join", Epoch: epoch, Worker: id, Addr: j.Addr, Blocks: pending,
+			Extents: append([]uint64(nil), c.perWorker...),
+			Assign:  append([]int32(nil), c.assign...),
+		})
+		c.tr.Count("cluster", "workers-joined", 0, 1)
+	} else {
+		c.journal(journalEvent{Event: "join-failed", Epoch: epoch, Addr: j.Addr})
+	}
 	sp.End(
-		obs.Attr{Key: "epoch", Val: int64(c.epoch)},
-		obs.Attr{Key: "rescattered-blocks", Val: int64(pending)},
-		obs.Attr{Key: "rescattered-records", Val: int64(rescatteredRecs)},
+		obs.Attr{Key: "epoch", Val: int64(epoch)},
+		obs.Attr{Key: "worker", Val: int64(id)},
+		obs.Attr{Key: "rescattered-records", Val: int64(recs)},
+		obs.Attr{Key: "admitted", Val: boolAttr(aerr == nil)},
 	)
 	return nil
+}
+
+// attachJoiner performs the joiner's dial + mJoin handshake without
+// touching any membership state; the caller commits on success.
+func (c *coordinator) attachJoiner(ctx context.Context, id int, addr string, newPeers []string) (*link, error) {
+	conn, err := c.spec.Dial.dial(ctx, id, addr)
+	if err != nil {
+		return nil, err
+	}
+	l := newLink(id, conn, c.spec.Dial)
+	drop := func() {
+		conn.Close()
+		close(l.done)
+	}
+	var flags uint32
+	if c.tr != nil {
+		flags |= helloFlagTrace
+	}
+	a := msgAttach{
+		Version: protocolVersion, JobID: c.jobID,
+		Worker: uint32(id), Workers: uint32(id + 1),
+		S: uint32(c.S), BlockRecs: uint32(c.spec.BlockRecs),
+		Flags: flags, Epoch: c.epoch + 1, Peers: newPeers,
+	}
+	if err := l.send(mJoin, a.encode()); err != nil {
+		drop()
+		return nil, err
+	}
+	payload, err := c.expectHandshakeOn(l, mHelloAck)
+	if err != nil {
+		drop()
+		return nil, err
+	}
+	var v msgVersion
+	if err := v.decode(payload); err != nil {
+		drop()
+		return nil, err
+	}
+	if v.Version < 4 {
+		drop()
+		return nil, fmt.Errorf("cluster: joiner %s speaks protocol %d, join needs 4", addr, v.Version)
+	}
+	return l, nil
+}
+
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // startMonitors launches one heartbeat goroutine per worker. Monitors are
@@ -1263,17 +1537,26 @@ func (c *coordinator) startMonitors(ctx context.Context) {
 		return
 	}
 	mctx, cancel := context.WithCancel(ctx)
-	c.monCancel = cancel
+	c.monCtx, c.monCancel = mctx, cancel
 	for i := 0; i < c.W; i++ {
-		c.monWG.Add(1)
-		go c.monitor(mctx, i)
+		c.startMonitor(i)
 	}
+}
+
+// startMonitor adds a heartbeat monitor for one worker — used at startup
+// and when a join grows the membership mid-job.
+func (c *coordinator) startMonitor(i int) {
+	if c.monCtx == nil || c.monCtx.Err() != nil || c.isDead(i) {
+		return
+	}
+	c.monWG.Add(1)
+	go c.monitor(c.monCtx, i)
 }
 
 func (c *coordinator) monitor(ctx context.Context, i int) {
 	defer c.monWG.Done()
 	hb := c.spec.Heartbeat
-	conn, err := c.spec.Dial.dial(ctx, i, c.spec.Workers[i])
+	conn, err := c.spec.Dial.dial(ctx, i, c.addr(i))
 	if err != nil {
 		if ctx.Err() == nil {
 			c.lostAsync(i, fmt.Errorf("cluster: heartbeat dial: %w", err))
@@ -1369,15 +1652,36 @@ func (c *coordinator) collectTrace(i int) error {
 }
 
 // journalEvent is one checksummed line of the coordinator's recovery
-// journal: phase progress, per-worker partition extents, losses, and
-// completed failovers.
+// journal. Beyond the failover bookkeeping (phase progress, per-worker
+// partition extents, losses), it now carries everything a restarted
+// coordinator needs to resume the job: the job identity ("start"), the
+// per-chunk ownership map (Assign, on "scatter-done"/"failover"/"join"/
+// "reseed"), the committed pivot set and histogram digest ("pivots"),
+// per-worker phase completions ("wdone"), membership growth ("join"), and
+// the terminal "done".
 type journalEvent struct {
-	Event   string   `json:"event"` // "phase" | "scatter-done" | "lost" | "failover"
+	Event   string   `json:"event"` // "start" | "phase" | "scatter-done" | "pivots" | "wdone" | "lost" | "failover" | "join" | "join-failed" | "resume" | "reseed" | "done"
 	Epoch   uint32   `json:"epoch"`
 	Phase   string   `json:"phase,omitempty"`
 	Worker  int      `json:"worker,omitempty"`
 	Extents []uint64 `json:"extents,omitempty"` // per-worker shard records
 	Blocks  int      `json:"blocks,omitempty"`  // chunks re-scattered
+
+	JobID     uint64   `json:"job_id,omitempty"`
+	Addrs     []string `json:"addrs,omitempty"` // membership at "start"
+	Addr      string   `json:"addr,omitempty"`  // the joiner's address
+	S         int      `json:"s,omitempty"`
+	BlockRecs int      `json:"block_recs,omitempty"`
+	Records   int      `json:"records,omitempty"`
+	Assign    []int32  `json:"assign,omitempty"` // chunk -> owning worker
+	Pivots    []uint64 `json:"pivots,omitempty"`
+	Digest    uint64   `json:"digest,omitempty"` // merged-histogram digest
+}
+
+// journalWDone marks worker i's completion of a pipeline phase, so a
+// resumed coordinator can report how far the job had provably gotten.
+func (c *coordinator) journalWDone(phase string, i int) {
+	c.journal(journalEvent{Event: "wdone", Epoch: c.epoch, Phase: phase, Worker: i})
 }
 
 func (c *coordinator) journal(ev journalEvent) {

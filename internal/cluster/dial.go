@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"math/rand/v2"
 	"net"
 	"time"
 )
@@ -44,13 +45,23 @@ func (d DialConfig) withDefaults() DialConfig {
 
 // dial connects to addr with the configured retry/backoff budget. On
 // exhaustion it returns a *WorkerLostError naming the peer.
+//
+// The per-attempt delay is exponential but capped at MaxBackoff and
+// jittered to 50-100% of the nominal value: when a restarted coordinator
+// comes back and every parked worker redials at once, full synchronized
+// backoff would have the whole fleet sleeping through the resume window in
+// lockstep. Cancellation is honored before the first attempt too, so a
+// caller that is already dead never dials at all.
 func (d DialConfig) dial(ctx context.Context, worker int, addr string) (net.Conn, error) {
 	d = d.withDefaults()
 	backoff := d.Backoff
 	var lastErr error
 	for attempt := 0; attempt < d.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if attempt > 0 {
-			if err := sleepCtx(ctx, backoff); err != nil {
+			if err := sleepCtx(ctx, jitter(backoff)); err != nil {
 				return nil, err
 			}
 			backoff *= 2
@@ -70,6 +81,15 @@ func (d DialConfig) dial(ctx context.Context, worker int, addr string) (net.Conn
 		}
 	}
 	return nil, &WorkerLostError{Worker: worker, Addr: addr, Err: lastErr}
+}
+
+// jitter maps t to a uniform value in [t/2, t], desynchronizing retry
+// storms without ever shrinking the delay below half its nominal budget.
+func jitter(t time.Duration) time.Duration {
+	if t <= 1 {
+		return t
+	}
+	return t/2 + time.Duration(rand.Int64N(int64(t/2)+1))
 }
 
 // sleepCtx waits for t or until ctx is done, whichever comes first.

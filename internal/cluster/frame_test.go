@@ -93,6 +93,10 @@ func FuzzFrame(f *testing.F) {
 	f.Add(appendFrame(nil, mHello, (&msgHello{Version: 1, Workers: 2, Peers: []string{"a", "b"}}).encode()))
 	f.Add(appendFrame(nil, mBlock, (&msgBlock{Phase: 1, Bucket: 3, Data: make([]byte, 32)}).encode()))
 	f.Add(appendFrame(nil, mError, (&msgError{Code: ecWorkerLost, Addr: "x", Text: "y"}).encode()))
+	f.Add(appendFrame(nil, mRescatter, (&msgRescatter{Epoch: 2, Active: []uint32{0, 2}, Fresh: true, Peers: []string{"a", "b", "c"}}).encode()))
+	f.Add(appendFrame(nil, mJoin, (&msgAttach{Version: 4, JobID: 7, Worker: 4, Workers: 5, S: 16, BlockRecs: 128, Epoch: 1, Peers: []string{"a", "b"}}).encode()))
+	f.Add(appendFrame(nil, mResume, (&msgAttach{Version: 4, JobID: 7, Worker: 0, Workers: 4, S: 16, BlockRecs: 128, Epoch: 3}).encode()))
+	f.Add(appendFrame(nil, mResumeState, (&msgResumeState{Version: 4, HaveShard: 1, Epoch: 3, ShardRecs: 5000}).encode()))
 	trunc := appendFrame(nil, mPlan, []byte("truncate me"))
 	f.Add(trunc[:len(trunc)-3])
 	corrupt := appendFrame(nil, mPivots, []byte("corrupt me"))
@@ -133,4 +137,7 @@ func decodeAny(p []byte) {
 	_ = (&msgBlock{}).decode(p)
 	_ = (&msgBlockAck{}).decode(p)
 	_ = (&msgError{}).decode(p)
+	_ = (&msgRescatter{}).decode(p)
+	_ = (&msgAttach{}).decode(p)
+	_ = (&msgResumeState{}).decode(p)
 }

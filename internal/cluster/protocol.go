@@ -21,8 +21,19 @@ import (
 // no epochs on the wire, fail-fast on peer loss); a v3 coordinator driving
 // any v2 worker disables heartbeats and failover for the whole job, so a
 // mixed cluster degrades to v2 semantics rather than failing the handshake.
+//
+// Version 4 added the membership-churn messages: mJoin (a worker added
+// mid-job as a new virtual disk), mResume/mResumeState (coordinator crash
+// recovery: a restarted coordinator re-attaches to parked worker sessions
+// and learns which epoch-tagged shard state each still holds), and two
+// optional trailing fields on mRescatter — a Fresh flag that forces the
+// shard to be truncated before the re-scatter stream, and a Peers list that
+// replaces the session's peer table so survivors learn a joiner's address.
+// All of it degrades: a v4 coordinator driving any v<4 worker disables
+// join and resume for the job (c.elastic), and the epoch-0/no-churn wire
+// encoding stays byte-identical to v3.
 const (
-	protocolVersion    = 3
+	protocolVersion    = 4
 	minProtocolVersion = 2
 )
 
@@ -61,6 +72,10 @@ const (
 	mRescatter     // coordinator -> survivor: new epoch begins, extra shard records follow
 	mRescatterDone // coordinator -> survivor: re-scatter stream complete, total shard size
 	mRescatterAck  // survivor -> coordinator: reset done, ready for the new epoch
+	// v4 messages below. A v<4 peer never sees them on the wire.
+	mJoin        // coordinator -> new worker: attach mid-job as an added virtual disk
+	mResume      // restarted coordinator -> worker: re-open the job's control link
+	mResumeState // worker -> coordinator: the epoch-tagged shard state it still holds
 )
 
 // Hello flag bits.
@@ -572,9 +587,18 @@ func (m *msgPeerLost) decode(p []byte) error {
 // exchange/gather state, keep the scattered shard, adopt the new epoch and
 // the shrunk active set. The dead workers' shard records follow as
 // mRecords frames, then mRescatterDone closes the stream.
+//
+// Two v4 trailing fields are appended only when churn needs them, so the
+// v3 failover encoding is unchanged: Fresh forces the shard to be truncated
+// before the stream (a resumed worker whose shard no longer matches the
+// journal must be re-fed from scratch), and a non-empty Peers list replaces
+// the session's peer address table (a join grows it; the active set can now
+// name a worker the session has never met).
 type msgRescatter struct {
 	Epoch  uint32
 	Active []uint32 // surviving worker IDs, ascending
+	Fresh  bool     // v4: truncate the shard before applying the stream
+	Peers  []string // v4: full replacement peer table, empty = keep current
 }
 
 func (m *msgRescatter) encode() []byte {
@@ -583,6 +607,17 @@ func (m *msgRescatter) encode() []byte {
 	w.u32(uint32(len(m.Active)))
 	for _, a := range m.Active {
 		w.u32(a)
+	}
+	if m.Fresh || len(m.Peers) > 0 {
+		if m.Fresh {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u32(uint32(len(m.Peers)))
+		for _, p := range m.Peers {
+			w.str(p)
+		}
 	}
 	return w.b
 }
@@ -597,6 +632,18 @@ func (m *msgRescatter) decode(p []byte) error {
 	m.Active = make([]uint32, 0, n)
 	for i := 0; i < n && !r.bad; i++ {
 		m.Active = append(m.Active, r.u32())
+	}
+	m.Fresh, m.Peers = false, nil
+	if !r.bad && r.off < len(r.b) {
+		m.Fresh = r.u8() != 0
+		np := int(r.u32())
+		if np > maxWorkers {
+			return fmt.Errorf("cluster: rescatter lists %d peers", np)
+		}
+		m.Peers = make([]string, 0, np)
+		for i := 0; i < np && !r.bad; i++ {
+			m.Peers = append(m.Peers, r.str())
+		}
 	}
 	return r.done()
 }
@@ -639,6 +686,92 @@ func (m *msgRescatterAck) encode() []byte {
 
 func (m *msgRescatterAck) decode(p []byte) error {
 	r := rcur{b: p}
+	m.Epoch = r.u32()
+	m.ShardRecs = r.u64()
+	return r.done()
+}
+
+// msgAttach is the payload shared by mJoin and mResume (v4): the full job
+// description a fresh mHello would carry, plus the epoch the attaching
+// worker must adopt. For mJoin the recipient is a brand-new worker added as
+// an extra virtual disk mid-job; for mResume the recipient may still hold a
+// parked session from before the coordinator crashed, and answers with
+// mResumeState describing whatever epoch-tagged shard it kept.
+type msgAttach struct {
+	Version   uint32
+	JobID     uint64
+	Worker    uint32 // the recipient's ID in this job
+	Workers   uint32 // cluster width W after the attach
+	S         uint32 // bucket count
+	BlockRecs uint32 // records per exchange block
+	Flags     uint32 // helloFlag* bits
+	Epoch     uint32 // the epoch the attach establishes / resumes into
+	Peers     []string
+}
+
+func (m *msgAttach) encode() []byte {
+	var w wcur
+	w.u32(m.Version)
+	w.u64(m.JobID)
+	w.u32(m.Worker)
+	w.u32(m.Workers)
+	w.u32(m.S)
+	w.u32(m.BlockRecs)
+	w.u32(m.Flags)
+	w.u32(m.Epoch)
+	w.u32(uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		w.str(p)
+	}
+	return w.b
+}
+
+func (m *msgAttach) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Version = r.u32()
+	m.JobID = r.u64()
+	m.Worker = r.u32()
+	m.Workers = r.u32()
+	m.S = r.u32()
+	m.BlockRecs = r.u32()
+	m.Flags = r.u32()
+	m.Epoch = r.u32()
+	n := int(r.u32())
+	if n > maxWorkers {
+		return fmt.Errorf("cluster: attach lists %d peers", n)
+	}
+	m.Peers = make([]string, 0, n)
+	for i := 0; i < n && !r.bad; i++ {
+		m.Peers = append(m.Peers, r.str())
+	}
+	return r.done()
+}
+
+// msgResumeState is a worker's answer to mResume: whether it still holds a
+// parked shard for the job, and if so under which epoch and how many
+// records. A coordinator re-streams a worker's scatter extents only when
+// the reported state does not match its journal; matching shards are
+// adopted as-is, which is what makes resume cheap after a clean park.
+type msgResumeState struct {
+	Version   uint32
+	HaveShard uint8 // 1 when a parked shard for the job was adopted
+	Epoch     uint32
+	ShardRecs uint64
+}
+
+func (m *msgResumeState) encode() []byte {
+	var w wcur
+	w.u32(m.Version)
+	w.u8(m.HaveShard)
+	w.u32(m.Epoch)
+	w.u64(m.ShardRecs)
+	return w.b
+}
+
+func (m *msgResumeState) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Version = r.u32()
+	m.HaveShard = r.u8()
 	m.Epoch = r.u32()
 	m.ShardRecs = r.u64()
 	return r.done()

@@ -6,12 +6,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"balancesort/internal/obs"
@@ -48,6 +50,12 @@ type WorkerConfig struct {
 	// miss counter must absorb the flap without declaring the worker lost.
 	PongDelay      time.Duration
 	PongDelayCount int
+	// ResumeWindow is how long a v4 worker keeps a parked shard after its
+	// coordinator connection dies on a transport error, waiting for a
+	// restarted coordinator's mResume. Past the window the shard is
+	// deleted and a resume starts the worker from scratch (the coordinator
+	// re-streams its extents). Default 2 minutes.
+	ResumeWindow time.Duration
 	// Obs, when non-nil, receives each job's tracer under the key "job",
 	// so the worker's /metrics endpoint exposes live phase histograms and
 	// event counts. Independent of the Hello trace flag: a worker can
@@ -66,6 +74,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.ProtocolVersion == 0 {
 		c.ProtocolVersion = protocolVersion
+	}
+	if c.ResumeWindow <= 0 {
+		c.ResumeWindow = 2 * time.Minute
 	}
 	return c
 }
@@ -112,8 +123,104 @@ func writeRecordFile(path string, recs []record.Record) error {
 type Worker struct {
 	cfg WorkerConfig
 
-	mu   sync.Mutex
-	sess *session
+	mu     sync.Mutex
+	sess   *session
+	parked *parkedShard
+}
+
+// parkedShard is the state a worker keeps after its coordinator vanished on
+// a transport error: just the scratch directory (whose in.shard is the only
+// durable state an epoch reset preserves anyway) and enough metadata to
+// answer a restarted coordinator's mResume. The timer deletes it when the
+// resume window closes.
+type parkedShard struct {
+	jobID     uint64
+	worker    int
+	dir       string
+	epoch     uint32
+	shardRecs uint64
+	timer     *time.Timer
+}
+
+// maybePark decides whether a failed session is worth keeping for a
+// coordinator resume: the session must speak v4, the failure must look like
+// the coordinator dying (a transport error — not a chaos kill, not a local
+// cancellation, not a lost peer the coordinator would have handled), and
+// the shard file must be exactly the records the session accounted for.
+func (w *Worker) maybePark(s *session, err error) bool {
+	if s.version < 4 || s.isHung() {
+		return false
+	}
+	var lost *WorkerLostError
+	if errors.As(err, &lost) {
+		return false
+	}
+	if !isTransportErr(err) {
+		return false
+	}
+	st, serr := os.Stat(s.shardPath())
+	if serr != nil || st.Size() != int64(s.shardRecs)*int64(record.EncodedSize) {
+		return false
+	}
+	s.mu.Lock()
+	s.keepDir = true
+	epoch := s.epoch
+	s.mu.Unlock()
+	p := &parkedShard{
+		jobID: s.jobID, worker: s.self, dir: s.dir,
+		epoch: epoch, shardRecs: s.shardRecs,
+	}
+	p.timer = time.AfterFunc(w.cfg.ResumeWindow, func() {
+		w.mu.Lock()
+		expired := w.parked == p
+		if expired {
+			w.parked = nil
+		}
+		w.mu.Unlock()
+		if expired {
+			os.RemoveAll(p.dir)
+		}
+	})
+	w.mu.Lock()
+	old := w.parked
+	w.parked = p
+	w.mu.Unlock()
+	if old != nil {
+		old.timer.Stop()
+		os.RemoveAll(old.dir)
+	}
+	return true
+}
+
+// takeParked claims the parked shard for (jobID, worker), if one exists,
+// stopping its expiry timer. The caller owns the directory afterwards.
+func (w *Worker) takeParked(jobID uint64, worker int) *parkedShard {
+	w.mu.Lock()
+	p := w.parked
+	if p != nil && p.jobID == jobID && p.worker == worker {
+		w.parked = nil
+	} else {
+		p = nil
+	}
+	w.mu.Unlock()
+	if p != nil {
+		p.timer.Stop()
+	}
+	return p
+}
+
+// isTransportErr classifies connection-death errors: the kind a coordinator
+// crash produces on the worker's end of the wire.
+func isTransportErr(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 // NewWorker builds a worker from cfg.
@@ -185,6 +292,13 @@ func (w *Worker) handleConn(ctx context.Context, conn net.Conn) {
 			return
 		}
 		w.runJob(ctx, conn, br, &h)
+	case mJoin, mResume:
+		var a msgAttach
+		if err := a.decode(payload); err != nil {
+			conn.Close()
+			return
+		}
+		w.runAttach(ctx, conn, br, &a, typ == mResume)
 	case mPeerHello:
 		var ph msgPeerHello
 		if err := ph.decode(payload); err != nil {
@@ -192,8 +306,7 @@ func (w *Worker) handleConn(ctx context.Context, conn net.Conn) {
 			return
 		}
 		s := w.current()
-		if s == nil || s.jobID != ph.JobID || int(ph.Src) < 0 || int(ph.Src) >= s.workers ||
-			ph.Epoch != s.curEpoch() {
+		if s == nil || !s.peerHelloOK(&ph) {
 			// Unknown job or a stale epoch: refuse silently. The dialing
 			// peer retries with backoff; a stale-epoch sender is about to
 			// be canceled by its own re-scatter anyway.
@@ -279,6 +392,84 @@ func (w *Worker) runJob(ctx context.Context, conn net.Conn, br *bufio.Reader, h 
 	s.mu.Unlock()
 
 	if err := s.run(&wlink{conn: conn, br: br, cfg: w.cfg.Dial, s: s}); err != nil {
+		if w.maybePark(s, err) {
+			return // shard kept for a coordinator resume; defers abort + close
+		}
+		s.abort(err)
+		sendErr(s.self, err)
+	}
+}
+
+// runAttach executes a v4 mid-job attach — a join (new virtual disk) or a
+// coordinator resume — on the calling goroutine. Both end up in the same
+// place as a failover survivor: waiting for the coordinator's mRescatter to
+// open the attach epoch, then running the pipeline loop.
+func (w *Worker) runAttach(ctx context.Context, conn net.Conn, br *bufio.Reader, a *msgAttach, resume bool) {
+	defer conn.Close()
+	sendErr := func(self int, err error) {
+		setOpDeadline(conn, w.cfg.Dial)
+		_ = writeFrame(conn, mError, errorToWire(self, err).encode())
+	}
+	ver := w.cfg.ProtocolVersion
+	if int(a.Version) < ver {
+		ver = int(a.Version)
+	}
+	if ver < 4 {
+		sendErr(int(a.Worker), fmt.Errorf("cluster: join/resume needs protocol 4, settled on %d", ver))
+		return
+	}
+	if a.Workers < 1 || a.Worker >= a.Workers || int(a.Workers) != len(a.Peers) ||
+		a.S < 1 || a.BlockRecs < 1 || int(a.BlockRecs)*record.EncodedSize+64 > MaxFramePayload {
+		sendErr(int(a.Worker), fmt.Errorf("malformed attach: W=%d self=%d peers=%d S=%d blockRecs=%d",
+			a.Workers, a.Worker, len(a.Peers), a.S, a.BlockRecs))
+		return
+	}
+	var parked *parkedShard
+	if resume {
+		// A matching parked shard lives in the exact directory newSession
+		// derives from (jobID, worker), so adoption is just not deleting it.
+		parked = w.takeParked(a.JobID, int(a.Worker))
+	}
+	h := &msgHello{
+		Version: a.Version, JobID: a.JobID, Worker: a.Worker, Workers: a.Workers,
+		S: a.S, BlockRecs: a.BlockRecs, Flags: a.Flags, Peers: a.Peers,
+	}
+	s, err := newSession(w, h)
+	if err != nil {
+		sendErr(int(a.Worker), err)
+		return
+	}
+	s.version = ver
+	if parked != nil {
+		s.shardRecs = parked.shardRecs
+		s.epoch = parked.epoch
+	}
+	w.mu.Lock()
+	if w.sess != nil {
+		w.mu.Unlock()
+		s.teardown()
+		sendErr(int(a.Worker), errors.New("worker busy with another job"))
+		return
+	}
+	w.sess = s
+	w.mu.Unlock()
+	defer func() {
+		w.clearSession(s)
+		s.teardown()
+	}()
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.ctx = jobCtx
+	s.cancel = cancel
+	s.mu.Lock()
+	s.ctlConn = conn
+	s.mu.Unlock()
+
+	if err := s.runAttached(&wlink{conn: conn, br: br, cfg: w.cfg.Dial, s: s}, resume, parked != nil); err != nil {
+		if w.maybePark(s, err) {
+			return
+		}
 		s.abort(err)
 		sendErr(s.self, err)
 	}
@@ -337,6 +528,16 @@ type streamKey struct {
 	src   uint32
 }
 
+// dedupEntry is one stream's dedup state, tagged with the epoch it belongs
+// to. Entries from superseded epochs are dead weight — their streams will
+// restart from seq 0 under the new epoch — so resetEpoch drops them
+// eagerly, keeping the map bounded by the live streams of the current
+// epoch no matter how much membership churn the job absorbs.
+type dedupEntry struct {
+	epoch uint32
+	key   blockKey
+}
+
 // blockLoc locates one stored exchange block in the spill file.
 type blockLoc struct {
 	off   int64
@@ -379,8 +580,9 @@ type session struct {
 	epochCtx       context.Context
 	epochCancel    context.CancelFunc
 	pending        *msgRescatter // announced but not yet recovered epoch
+	keepDir        bool          // parked: teardown must not delete the dir
 	recvErr        error
-	last           map[streamKey]blockKey
+	last           map[streamKey]dedupEntry
 	exFile         *os.File
 	exSize         int64
 	exIndex        map[int][]blockLoc
@@ -418,7 +620,7 @@ func newSession(w *Worker, h *msgHello) (*session, error) {
 		dial:      w.cfg.Dial,
 		ctlCh:     make(chan frameMsg, 16),
 		done:      make(chan struct{}),
-		last:      make(map[streamKey]blockKey),
+		last:      make(map[streamKey]dedupEntry),
 		exIndex:   make(map[int][]blockLoc),
 		conns:     make(map[net.Conn]struct{}),
 		monConns:  make(map[net.Conn]struct{}),
@@ -451,6 +653,15 @@ func (s *session) curEpoch() uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.epoch
+}
+
+// peerHelloOK validates an inbound peer handshake against the session's
+// current membership and epoch, under the lock: a join grows s.workers
+// mid-job, so the width check can no longer read an immutable field.
+func (s *session) peerHelloOK(ph *msgPeerHello) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobID == ph.JobID && int(ph.Src) >= 0 && int(ph.Src) < s.workers && ph.Epoch == s.epoch
 }
 
 // ectx is the context phase work should run under: canceled the moment a
@@ -563,8 +774,11 @@ func (s *session) teardown() {
 	if s.gaFile != nil {
 		s.gaFile.Close()
 	}
+	keep := s.keepDir
 	s.mu.Unlock()
-	os.RemoveAll(s.dir)
+	if !keep {
+		os.RemoveAll(s.dir)
+	}
 }
 
 // fail records the first receive-side error and wakes the barrier waiters.
@@ -603,6 +817,8 @@ func (s *session) noteRescatter(m *msgRescatter) {
 // resetEpoch rewinds the session to its post-scatter state for epoch m:
 // received blocks, plan, pivots, and peer connections all belong to the
 // dead epoch and are discarded; the shard file is the one durable input.
+// A v4 announcement may also replace the peer table (a join grew the
+// cluster) — the new width takes effect atomically with the epoch.
 func (s *session) resetEpoch(m *msgRescatter) error {
 	s.mu.Lock()
 	s.epoch = m.Epoch
@@ -610,7 +826,18 @@ func (s *session) resetEpoch(m *msgRescatter) error {
 		s.epochCancel()
 	}
 	s.epochCtx, s.epochCancel = context.WithCancel(s.ctx)
-	s.last = make(map[streamKey]blockKey)
+	if len(m.Peers) > 0 {
+		s.peers = append([]string(nil), m.Peers...)
+		s.workers = len(m.Peers)
+	}
+	// Drop dedup entries of superseded epochs eagerly: every stream
+	// restarts from seq 0 under the new epoch, so stale entries can only
+	// accumulate across churn, never match again.
+	for sk, e := range s.last {
+		if e.epoch < m.Epoch {
+			delete(s.last, sk)
+		}
+	}
 	s.exIndex = make(map[int][]blockLoc)
 	s.exSize, s.gaSize = 0, 0
 	s.recvBlocks, s.recvGatherRecs = 0, 0
@@ -649,9 +876,12 @@ func (s *session) readCtl(ctl *wlink) {
 		clearDeadline(ctl.conn)
 		typ, payload, err := readFrame(ctl.br)
 		if err != nil {
-			if s.isHung() {
-				// Nobody will read the error: the job goroutine is blocked
-				// in the hang gate. Put the session down directly.
+			if s.isHung() || s.version >= 4 {
+				// v4: a dead control link means the coordinator is gone.
+				// Abort so phase barriers wake promptly; the job goroutine
+				// surfaces the transport error and may park the shard for
+				// a resume. (Hung sessions need it too: nobody else will
+				// ever read the pushed error.)
 				s.abort(err)
 			}
 			s.pushCtl(frameMsg{err: err})
@@ -839,7 +1069,7 @@ func (s *session) storeBlock(b *msgBlock, epoch uint32) (stale bool, err error) 
 	if int(b.Bucket) >= s.s {
 		return false, fmt.Errorf("cluster: block for bucket %d of %d", b.Bucket, s.s)
 	}
-	if s.last[sk] == key {
+	if e, ok := s.last[sk]; ok && e.epoch == epoch && e.key == key {
 		return false, nil // retransmission after a lost ack: already stored
 	}
 	switch b.Phase {
@@ -860,7 +1090,7 @@ func (s *session) storeBlock(b *msgBlock, epoch uint32) (stale bool, err error) 
 	default:
 		return false, fmt.Errorf("cluster: block phase %d", b.Phase)
 	}
-	s.last[sk] = key
+	s.last[sk] = dedupEntry{epoch: epoch, key: key}
 	s.cond.Broadcast()
 	switch b.Phase {
 	case 1:
@@ -1122,6 +1352,49 @@ func (s *session) run(ctl *wlink) error {
 	}
 }
 
+// runAttached is run's counterpart for a v4 mid-job attach. A joiner
+// answers with mHelloAck and starts from an empty shard; a resumed worker
+// answers with mResumeState reporting the epoch-tagged shard it still
+// holds (if any). Either way the coordinator's next control frame is the
+// mRescatter opening the attach epoch, so the session enters the pipeline
+// through doRecover exactly like a failover survivor.
+func (s *session) runAttached(ctl *wlink, resume, adopted bool) error {
+	if resume {
+		st := msgResumeState{Version: uint32(s.version), Epoch: s.epoch, ShardRecs: s.shardRecs}
+		if adopted {
+			st.HaveShard = 1
+		}
+		if err := ctl.send(mResumeState, st.encode()); err != nil {
+			return err
+		}
+	} else {
+		if err := ctl.send(mHelloAck, (&msgVersion{Version: uint32(s.version)}).encode()); err != nil {
+			return err
+		}
+		// A joiner's durable input starts empty: the attach epoch's
+		// re-scatter streams its whole shard with Fresh set.
+		if err := os.WriteFile(s.shardPath(), nil, 0o644); err != nil {
+			return err
+		}
+	}
+	s.initEpoch()
+	go s.readCtl(ctl)
+
+	err := s.doRecover(ctl)
+	for {
+		if err == nil {
+			err = s.pipeline(ctl)
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, errInterrupted) {
+			return err
+		}
+		err = s.doRecover(ctl)
+	}
+}
+
 // pipeline runs one epoch's phases after the shard is in place.
 func (s *session) pipeline(ctl *wlink) error {
 	if s.interrupted() {
@@ -1331,12 +1604,20 @@ restart:
 	if err := s.resetEpoch(&m); err != nil {
 		return err
 	}
-	shard, err := os.OpenFile(s.shardPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	got := s.shardRecs
+	if m.Fresh {
+		// The coordinator is re-streaming this worker's whole shard (it is
+		// a joiner, or its shard did not survive the crash): drop whatever
+		// is on disk and count from zero.
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		got = 0
+	}
+	shard, err := os.OpenFile(s.shardPath(), flags, 0o644)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriterSize(shard, 1<<16)
-	got := s.shardRecs
 	finish := func() error {
 		if err := bw.Flush(); err != nil {
 			shard.Close()

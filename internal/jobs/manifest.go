@@ -24,6 +24,11 @@ type SortParams struct {
 	Memory    int  `json:"memory"`
 	Buckets   int  `json:"buckets,omitempty"`
 	Engine    bool `json:"engine"`
+	// Cluster runs the job on the server's configured worker cluster
+	// (Options.Cluster) instead of the local file-backed engine. The
+	// coordinator journal lives in the job's scratch directory, so the job
+	// survives a server crash-restart via the cluster resume path.
+	Cluster bool `json:"cluster,omitempty"`
 }
 
 // Manifest is the durable record of one job — everything a restarted

@@ -47,6 +47,15 @@ type Options struct {
 	// Sort is the base engine configuration jobs inherit; per-job
 	// parameters (disks, block size, memory, buckets, engine) override it.
 	Sort balancesort.Config
+	// Cluster lists worker addresses for cluster-backed jobs (SortParams.
+	// Cluster). Empty refuses such jobs at submission. The workers must
+	// outlive the server: a cluster job's coordinator journal lands in the
+	// job's scratch directory, and a restarted server resumes the job
+	// against the same workers' parked shards.
+	Cluster []string
+	// ClusterHeartbeat tunes the coordinator failure detector for
+	// cluster-backed jobs; the zero value is the cluster default.
+	ClusterHeartbeat balancesort.ClusterHeartbeat
 	// Logf receives operational log lines. Default log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -326,34 +335,45 @@ func (s *Server) runJob(t *Ticket) {
 		s.opt.Logf("jobs: %s: %v", t.ID, err)
 	}
 
-	cfg := s.opt.Sort
-	cfg.Disks = man.Params.Disks
-	cfg.BlockSize = man.Params.BlockSize
-	cfg.Memory = man.Params.Memory
-	cfg.Buckets = man.Params.Buckets
-	cfg.IO.Engine = man.Params.Engine
-	cfg.Robust.Journal = true
-	cfg.Obs = balancesort.ObsConfig{
+	oc := balancesort.ObsConfig{
 		Observer:     j.prog,
 		SpanCapacity: 512,
 		Server:       s.obsWrap,
 		ServerKey:    "job-" + t.ID,
 	}
 
-	var res *balancesort.Result
+	var ios int64
+	var passes int
 	var err error
-	if commits, jerr := balancesort.JournalCommits(scratch); jerr == nil && commits > 0 {
-		// An earlier run of this job committed state; continue it.
-		res, err = balancesort.ResumeSortFileContext(ctx, inPath, outPath, scratch, cfg)
+	if man.Params.Cluster {
+		err = s.runClusterJob(ctx, inPath, outPath, scratch, &man, oc)
 	} else {
-		// Fresh start (also the crashed-before-first-commit path: the
-		// input file is still the source of truth, so wipe and redo).
-		if rmErr := os.RemoveAll(scratch); rmErr != nil {
-			err = rmErr
-		} else if mkErr := os.MkdirAll(scratch, 0o755); mkErr != nil {
-			err = mkErr
+		cfg := s.opt.Sort
+		cfg.Disks = man.Params.Disks
+		cfg.BlockSize = man.Params.BlockSize
+		cfg.Memory = man.Params.Memory
+		cfg.Buckets = man.Params.Buckets
+		cfg.IO.Engine = man.Params.Engine
+		cfg.Robust.Journal = true
+		cfg.Obs = oc
+
+		var res *balancesort.Result
+		if commits, jerr := balancesort.JournalCommits(scratch); jerr == nil && commits > 0 {
+			// An earlier run of this job committed state; continue it.
+			res, err = balancesort.ResumeSortFileContext(ctx, inPath, outPath, scratch, cfg)
 		} else {
-			res, err = balancesort.SortFileContext(ctx, inPath, outPath, scratch, cfg)
+			// Fresh start (also the crashed-before-first-commit path: the
+			// input file is still the source of truth, so wipe and redo).
+			if rmErr := os.RemoveAll(scratch); rmErr != nil {
+				err = rmErr
+			} else if mkErr := os.MkdirAll(scratch, 0o755); mkErr != nil {
+				err = mkErr
+			} else {
+				res, err = balancesort.SortFileContext(ctx, inPath, outPath, scratch, cfg)
+			}
+		}
+		if res != nil {
+			ios, passes = res.IOs, res.Passes
 		}
 	}
 
@@ -367,8 +387,8 @@ func (s *Server) runJob(t *Ticket) {
 		j.mu.Lock()
 		j.man.State = StateDone
 		j.man.FinishedUnix = time.Now().Unix()
-		j.man.IOs = res.IOs
-		j.man.SortPasses = res.Passes
+		j.man.IOs = ios
+		j.man.SortPasses = passes
 		man = j.man
 		j.mu.Unlock()
 		if werr := WriteManifest(dir, &man); werr != nil {
@@ -426,6 +446,42 @@ func (s *Server) runJob(t *Ticket) {
 		close(j.done)
 		return
 	}
+}
+
+// runClusterJob runs (or resumes) one cluster-backed job. The coordinator's
+// phase-commit journal lives in the job's scratch directory, so the same
+// crash-consistency contract as the local engine holds: if this server dies
+// mid-job, the restarted server finds the journal and resumes the sort
+// against the workers' parked shards instead of starting over.
+func (s *Server) runClusterJob(ctx context.Context, inPath, outPath, scratch string, man *Manifest, oc balancesort.ObsConfig) error {
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		return err
+	}
+	journal := filepath.Join(scratch, "cluster.journal")
+	ccfg := balancesort.ClusterConfig{
+		Workers:     s.opt.Cluster,
+		Buckets:     man.Params.Buckets,
+		Heartbeat:   s.opt.ClusterHeartbeat,
+		JournalPath: journal,
+	}
+	ccfg.Obs = oc
+	if _, err := os.Stat(journal); err == nil {
+		_, rerr := balancesort.ResumeClusterSortFile(ctx, inPath, outPath, ccfg)
+		if rerr == nil {
+			s.opt.Logf("jobs: %s resumed its cluster sort from %s", man.ID, journal)
+			return nil
+		}
+		if !errors.Is(rerr, balancesort.ErrNoJournaledStart) {
+			return rerr
+		}
+		// The coordinator died before journaling a start; the input is
+		// still the source of truth, so wipe the stub and run fresh.
+		if err := os.Remove(journal); err != nil {
+			return err
+		}
+	}
+	_, err := balancesort.ClusterSortFile(ctx, inPath, outPath, ccfg)
+	return err
 }
 
 // removeJobFiles deletes a job's data files (not its manifest).
@@ -631,15 +687,19 @@ type submitRequest struct {
 	Memory    int    `json:"memory"`
 	Buckets   int    `json:"buckets"`
 	Engine    *bool  `json:"engine"`
+	Cluster   bool   `json:"cluster"`
 }
 
 // params fills unset fields from the server's base Sort config and
 // validates the geometry the way SortFile will.
 func (s *Server) params(req submitRequest) (SortParams, error) {
 	base := s.opt.Sort
-	p := SortParams{Disks: req.Disks, BlockSize: req.BlockSize, Memory: req.Memory, Buckets: req.Buckets, Engine: base.IO.Engine}
+	p := SortParams{Disks: req.Disks, BlockSize: req.BlockSize, Memory: req.Memory, Buckets: req.Buckets, Engine: base.IO.Engine, Cluster: req.Cluster}
 	if req.Engine != nil {
 		p.Engine = *req.Engine
+	}
+	if p.Cluster && len(s.opt.Cluster) == 0 {
+		return p, fmt.Errorf("cluster job submitted but the server has no cluster workers configured: %w", ErrBadRequest)
 	}
 	if p.Disks == 0 {
 		p.Disks = base.Disks
@@ -724,6 +784,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			req.Engine = &b
+		}
+		if v := r.URL.Query().Get("cluster"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				writeError(w, fmt.Errorf("bad cluster=%q: %w", v, ErrBadRequest))
+				return
+			}
+			req.Cluster = b
 		}
 	}
 

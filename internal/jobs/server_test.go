@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"balancesort"
+	"balancesort/internal/pdm"
 )
 
 // matrixParams is the crash-test geometry shared with the root package's
@@ -495,6 +497,121 @@ func TestServerDrainRestart(t *testing.T) {
 		if got := download(t, ts2.URL, "", id); !bytes.Equal(got, want) {
 			t.Fatalf("job %s: drained-then-restarted output differs from direct sort", id)
 		}
+	}
+}
+
+// startClusterWorkers launches n in-process cluster workers (the same
+// ServeWorker entry a `balancesort -join` process uses) that outlive any
+// job server in the test — exactly the deployment shape where a coordinator
+// dies but its workers keep their shards parked.
+func startClusterWorkers(t *testing.T, n int, sort balancesort.Config) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		opt := balancesort.WorkerOptions{ScratchDir: t.TempDir(), Sort: sort}
+		go func() {
+			defer close(done)
+			_ = balancesort.ServeWorker(ctx, ln, opt)
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// TestServerClusterLifecycle runs one job over the cluster backend end to
+// end and checks the output matches the direct single-process sort.
+func TestServerClusterLifecycle(t *testing.T) {
+	input := matrixInput(t)
+	want := matrixReference(t, input)
+	workers := startClusterWorkers(t, 3, balancesort.Config{Disks: 4, BlockSize: 8, Memory: 1024})
+	_, ts := newTestServer(t, Options{Workers: 1, Cluster: workers})
+
+	st := submitUpload(t, ts.URL, "alice", matrixQuery+"&cluster=1", input)
+	waitState(t, ts.URL, "alice", st.ID, StateDone, 60*time.Second)
+	if got := download(t, ts.URL, "alice", st.ID); !bytes.Equal(got, want) {
+		t.Fatal("cluster-backed output differs from direct SortFile")
+	}
+}
+
+// TestServerClusterRejectedWithoutWorkers: a cluster job against a server
+// with no configured workers is a 400 at submission, not a doomed dispatch.
+func TestServerClusterRejectedWithoutWorkers(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if _, code := trySubmitUpload(t, ts.URL, "", matrixQuery+"&cluster=1", matrixInput(t)); code != http.StatusBadRequest {
+		t.Fatalf("cluster job without workers: %d, want 400", code)
+	}
+}
+
+// TestServerClusterKillRestartResume is the membership-churn durability
+// acceptance test: the job server (and with it the cluster coordinator) is
+// killed abruptly mid-sort, while the cluster workers live on and park
+// their shards. A fresh server over the same data directory must resume the
+// job through the coordinator journal's resume path — not start it over —
+// and the output must be byte-identical to a direct sort.
+func TestServerClusterKillRestartResume(t *testing.T) {
+	input := matrixInput(t)
+	want := matrixReference(t, input)
+	dataDir := t.TempDir()
+	// Slow worker-side shard sorts give the kill a wide mid-job window.
+	workers := startClusterWorkers(t, 3, balancesort.Config{
+		Disks: 4, BlockSize: 8, Memory: 1024,
+		IO: balancesort.IOConfig{Engine: true, LatencyJitter: time.Millisecond},
+	})
+
+	srv1, err := New(Options{DataDir: dataDir, Workers: 1, Logf: t.Logf, Cluster: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	st := submitUpload(t, ts1.URL, "alice", matrixQuery+"&cluster=1", input)
+	journal := filepath.Join(dataDir, "jobs", st.ID, "scratch", "cluster.journal")
+
+	// Kill once the coordinator journal has committed real progress.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if entries, err := pdm.LoadJournal(journal); err == nil && len(entries) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster job never committed journal progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv1.Kill()
+	ts1.Close()
+
+	man, err := ReadManifest(filepath.Join(dataDir, "jobs", st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.State != StateRunning {
+		t.Fatalf("manifest after kill says %q, want running", man.State)
+	}
+
+	srv2, err := New(Options{DataDir: dataDir, Workers: 1, Logf: t.Logf, Cluster: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Kill()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	fin := waitState(t, ts2.URL, "alice", st.ID, StateDone, 120*time.Second)
+	if fin.Resumes < 1 {
+		t.Fatalf("job reports %d resumes, want ≥1", fin.Resumes)
+	}
+	if got := download(t, ts2.URL, "alice", st.ID); !bytes.Equal(got, want) {
+		t.Fatal("resumed cluster output differs from the uninterrupted direct sort")
 	}
 }
 

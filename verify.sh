@@ -37,7 +37,8 @@ echo "== go test -race (crash recovery) =="
 go test -race -run 'Robust|Crash|Resume|Cancel|Scrub' .
 go test -race -count=1 -run 'KillRestart|DrainRestart|RecoveryQuarantine' ./internal/jobs/
 
-echo "== go test -race (cluster chaos matrix: kill a worker at every phase) =="
-go test -race -count=1 -run 'Chaos|Degraded|Flap|FailoverJournal' ./internal/cluster/
+echo "== go test -race (cluster churn matrix: worker kills, coordinator kill+resume, and joins at every phase) =="
+go test -race -count=1 -run 'Chaos|Degraded|Flap|FailoverJournal|Join|Resume|Dedup' ./internal/cluster/
+go test -race -count=1 -run 'ServerCluster' ./internal/jobs/
 
 echo "verify.sh: all checks passed"
