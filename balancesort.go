@@ -32,6 +32,7 @@ import (
 	"balancesort/internal/balance"
 	"balancesort/internal/baseline"
 	"balancesort/internal/core"
+	"balancesort/internal/guidesort"
 	"balancesort/internal/hier"
 	"balancesort/internal/hmm"
 	"balancesort/internal/matching"
@@ -113,9 +114,20 @@ type Config struct {
 	Match MatchStrategy
 	// Placement selects the block placement discipline.
 	Placement PlacementStrategy
-	// RadixInternal sorts memoryloads with the parallel radix sort that
-	// Section 5 invokes, instead of comparison sorting.
-	RadixInternal bool
+	// NoRadix sorts memoryloads with the comparison sort instead of the
+	// parallel LSD radix sort that Section 5 invokes. The radix base case
+	// is the default for every engine; the output is byte-identical either
+	// way (pinned by the parity tests).
+	NoRadix bool
+	// Engine selects the file-sort engine (SortFile and friends; in-memory
+	// Sort always runs Balance Sort). "" = EngineBalanceSort; EngineAuto
+	// lets the cost-model planner pick and records its decision in
+	// Result.Plan.
+	Engine Engine
+	// Throughput is the per-disk bandwidth the planner assumes for
+	// EngineAuto; the zero value assumes symmetric commodity disks. Derive
+	// a measured one from a prior run with MeasureThroughput.
+	Throughput Throughput
 	// CRCW charges internal work at concurrent-read/concurrent-write PRAM
 	// rates (Section 5's requirement when log(M/B) = o(log M)).
 	CRCW bool
@@ -141,9 +153,9 @@ type Config struct {
 
 // diskConfig translates the facade configuration to the core sorter's.
 func (c Config) diskConfig() core.DiskConfig {
-	internal := core.SortComparison
-	if c.RadixInternal {
-		internal = core.SortRadix
+	internal := core.SortRadix
+	if c.NoRadix {
+		internal = core.SortComparison
 	}
 	variant := pram.EREW
 	if c.CRCW {
@@ -214,6 +226,12 @@ type Result struct {
 	// Trace is the recorded phase timeline when Config.Obs asked for one;
 	// nil otherwise.
 	Trace *Trace `json:"-"`
+	// Engine names the engine that ran a file-backed sort ("" for
+	// in-memory Sort, which is always Balance Sort).
+	Engine string `json:"engine,omitempty"`
+	// Plan is the planner's decision when the sort ran with EngineAuto;
+	// nil otherwise.
+	Plan *Plan `json:"plan,omitempty"`
 }
 
 // Sort runs Balance Sort on a simulated disk array and returns the sorted
@@ -285,6 +303,10 @@ const (
 	// approximate merge (each disk independently fetches its most promising
 	// block; the pool emits eagerly) followed by the window-sort cleanup.
 	AlgoGreedSort
+	// AlgoGuideSort is the guided mergesort of internal/guidesort: block
+	// minima form a guide that precomputes the merge's exact block
+	// consumption order, restoring high merge arity with full-width I/Os.
+	AlgoGuideSort
 )
 
 // String names the algorithm for tables.
@@ -300,6 +322,8 @@ func (a Algorithm) String() string {
 		return "columnsort"
 	case AlgoGreedSort:
 		return "greedsort"
+	case AlgoGuideSort:
+		return "guidesort"
 	default:
 		return "unknown"
 	}
@@ -328,6 +352,31 @@ func SortWith(algo Algorithm, recs []Record, cfg Config) (*Result, error) {
 	}
 	off := arr.AllocStripe(perDisk)
 	arr.WriteStripe(off, recs)
+
+	if algo == AlgoGuideSort {
+		if 4*p.D*p.B > p.M {
+			return nil, fmt.Errorf("balancesort: DB = %d needs M >= %d (got %d)", p.D*p.B, 4*p.D*p.B, p.M)
+		}
+		s := guidesort.NewSorter(arr, guidesort.Config{P: cfg.Processors, NoRadix: cfg.NoRadix, Context: cfg.ctx})
+		gReg := s.Sort(off, len(recs))
+		gMet := s.Metrics()
+		out := make([]Record, gReg.N)
+		arr.ReadStripe(gReg.Off, out)
+		if !record.IsSorted(out) {
+			return nil, errors.New("balancesort: internal error: guidesort output not sorted")
+		}
+		return &Result{
+			Records:      out,
+			IOs:          gMet.IOs,
+			IOLowerBound: core.LowerBoundIOs(len(recs), p),
+			PRAMTime:     gMet.PRAMTime,
+			PRAMWork:     gMet.PRAMWork,
+			Passes:       gMet.Passes,
+			Depth:        gMet.Depth,
+			MemPeak:      gMet.MemPeak,
+			Engine:       "guidesort",
+		}, nil
+	}
 
 	var reg baseline.Region
 	var met baseline.Metrics

@@ -188,14 +188,28 @@ func TestSortWithColumnSortTooLarge(t *testing.T) {
 	}
 }
 
-func TestSortRadixInternalFacade(t *testing.T) {
+func TestSortBaseCaseParityFacade(t *testing.T) {
+	// The radix base case is the default; -nocradix keeps the comparison
+	// path. Both must produce the same bytes and the same model I/Os.
 	in := NewWorkload(FewDistinct, 9000, 13)
-	res, err := Sort(in, Config{RadixInternal: true})
+	radix, err := Sort(in, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !Verify(in, res.Records) {
-		t.Fatal("radix-internal sort failed")
+	comp, err := Sort(in, Config{NoRadix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(in, radix.Records) {
+		t.Fatal("radix-base-case sort failed")
+	}
+	for i := range radix.Records {
+		if radix.Records[i] != comp.Records[i] {
+			t.Fatalf("radix and comparison base cases disagree at %d", i)
+		}
+	}
+	if radix.IOs != comp.IOs {
+		t.Fatalf("base case changed model I/Os: radix %d, comparison %d", radix.IOs, comp.IOs)
 	}
 }
 

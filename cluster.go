@@ -202,7 +202,9 @@ type WorkerOptions struct {
 	// means the OS temp dir.
 	ScratchDir string
 	// Sort configures the worker-local file-backed sort (disks, block
-	// size, memory, I/O engine, robustness) exactly as for SortFile.
+	// size, memory, I/O engine, robustness) exactly as for SortFile. If
+	// Sort.Engine is empty the worker defaults to EngineAuto so the
+	// planner picks per shard.
 	Sort Config
 	// InMemory sorts shards in memory instead of through the file-backed
 	// engine — for tests and small shards.
@@ -252,6 +254,11 @@ func ServeWorker(ctx context.Context, ln net.Listener, opt WorkerOptions) error 
 	}
 	if !opt.InMemory {
 		sortCfg := opt.Sort
+		if sortCfg.Engine == "" {
+			// Shard sizes vary with W and the input, so let the planner pick
+			// the cheapest engine per shard unless the operator pinned one.
+			sortCfg.Engine = EngineAuto
+		}
 		wcfg.SortShard = func(ctx context.Context, inPath, outPath, scratchDir string) error {
 			_, err := SortFileContext(ctx, inPath, outPath, scratchDir, sortCfg)
 			return err

@@ -40,7 +40,7 @@ func main() {
 		m         = flag.Int("m", 0, "internal memory in records (M); 0 = 8*D*B")
 		p         = flag.Int("p", 1, "PRAM processors (P)")
 		v         = flag.Int("v", 0, "virtual disks for partial striping; 0 = D")
-		algo      = flag.String("algo", "balancesort", "balancesort|stripedmerge|forecastmerge|columnsort|greedsort")
+		algo      = flag.String("algo", "balancesort", "balancesort|guidesort|stripedmerge|forecastmerge|columnsort|greedsort")
 		placement = flag.String("placement", "balanced", "balanced|random|roundrobin")
 		match     = flag.String("match", "derandomized", "derandomized|randomized|greedy")
 		hierM     = flag.String("hier", "", "run on a hierarchy instead: hmm-log|hmm-power|bt-log|bt-power|umh")
@@ -61,8 +61,12 @@ func main() {
 		scrubAfter = flag.Bool("scrubafter", false, "scrub the scratch array after sorting and report the sweep")
 		timeout    = flag.Duration("timeout", 0, "cancel the file sort after this long (0 = no deadline)")
 
+		// Engine selection (with -infile and inside -serve/-join sorts).
+		engine   = flag.String("engine", "", "file-sort engine: auto|balancesort|guidesort|stripedmerge|inmem (empty = balancesort; auto asks the cost-model planner)")
+		noCRadix = flag.Bool("nocradix", false, "sort memoryloads with the comparison sort instead of the default LSD radix sort")
+
 		// Disk I/O engine knobs (with -infile).
-		engine      = flag.Bool("engine", true, "serve the file-backed disks with the concurrent I/O engine")
+		ioEngine    = flag.Bool("ioengine", true, "serve the file-backed disks with the concurrent I/O engine")
 		stats       = flag.Bool("stats", false, "print the engine's per-disk I/O metrics")
 		queueDepth  = flag.Int("queue", 0, "engine request-queue depth per disk (0 = default)")
 		prefetch    = flag.Int("prefetch", 0, "engine read-ahead window in blocks (0 = default, <0 = off)")
@@ -139,12 +143,19 @@ func main() {
 		}
 	}
 
+	sortEngine, err := balancesort.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fileCfg := func() balancesort.Config {
 		return balancesort.Config{
 			Disks: *d, BlockSize: *b, Memory: *m, Processors: *p,
 			VirtualDisks: *v, Seed: *seed,
+			Engine:  sortEngine,
+			NoRadix: *noCRadix,
 			IO: balancesort.IOConfig{
-				Engine:        *engine,
+				Engine:        *ioEngine,
 				QueueDepth:    *queueDepth,
 				Prefetch:      *prefetch,
 				WriteBehind:   *writeBehind,
@@ -424,12 +435,24 @@ func main() {
 			emitJSON(res)
 			return
 		}
-		fmt.Printf("externally sorted %s -> %s (D=%d B=%d M=%d, engine=%v, %v)\n",
-			*inFile, *outFile, cfg.Disks, cfg.BlockSize, cfg.Memory, *engine, elapsed.Round(time.Millisecond))
+		fmt.Printf("externally sorted %s -> %s (D=%d B=%d M=%d, engine=%s, ioengine=%v, %v)\n",
+			*inFile, *outFile, cfg.Disks, cfg.BlockSize, cfg.Memory, res.Engine, *ioEngine, elapsed.Round(time.Millisecond))
+		if res.Plan != nil {
+			pred := res.Plan.Predicted()
+			fmt.Printf("  planner:               chose %s (predicted %.0f I/Os, %.3fs; candidates", res.Plan.Engine, pred.IOs, pred.Seconds)
+			for _, c := range res.Plan.Candidates {
+				if c.Feasible {
+					fmt.Printf(" %s=%.0f", c.Engine, c.IOs)
+				}
+			}
+			fmt.Println(")")
+		}
 		fmt.Printf("  parallel I/Os:         %d\n", res.IOs)
 		fmt.Printf("  Theorem 1 lower bound: %.0f  (ratio %.2fx)\n",
 			res.IOLowerBound, float64(res.IOs)/res.IOLowerBound)
-		fmt.Printf("  bucket read balance:   %.2fx of optimal\n", res.MaxBucketReadRatio)
+		if res.MaxBucketReadRatio > 0 {
+			fmt.Printf("  bucket read balance:   %.2fx of optimal\n", res.MaxBucketReadRatio)
+		}
 		fmt.Println("  verification:          OK (checked while streaming out)")
 		if res.Scrub != nil {
 			fmt.Printf("  scrub:                 %d blocks checked, %d corrupt\n",
@@ -478,6 +501,8 @@ func main() {
 	switch strings.ToLower(*algo) {
 	case "balancesort":
 		a = balancesort.AlgoBalanceSort
+	case "guidesort":
+		a = balancesort.AlgoGuideSort
 	case "stripedmerge":
 		a = balancesort.AlgoStripedMerge
 	case "forecastmerge":
@@ -567,7 +592,7 @@ func (p *progressRenderer) Count(layer, name string, id int, delta int64) {}
 // printIOStats renders the engine's per-disk metrics table for -stats.
 func printIOStats(s *balancesort.IOStats) {
 	if s == nil {
-		fmt.Println("  I/O engine:            off (no engine metrics; run with -engine)")
+		fmt.Println("  I/O engine:            off (no engine metrics; run with -ioengine)")
 		return
 	}
 	agg := s.Aggregate()

@@ -1,0 +1,298 @@
+package balancesort
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"balancesort/internal/core"
+	"balancesort/internal/pdm"
+)
+
+func sortFileWithEngine(t *testing.T, dir, name, inPath string, eng Engine) ([]byte, *Result) {
+	t.Helper()
+	outPath := filepath.Join(dir, name+".out")
+	cfg := matrixConfig()
+	cfg.Engine = eng
+	res, err := SortFile(inPath, outPath, "", cfg)
+	if err != nil {
+		t.Fatalf("engine %s: %v", eng, err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != string(eng) {
+		t.Fatalf("result engine %q, ran %q", res.Engine, eng)
+	}
+	return got, res
+}
+
+// TestEngineParityMatrix pins that every engine produces byte-identical
+// output over skewed, duplicate-heavy, and reverse-sorted inputs — the
+// (Key, Loc) effective keys make the sorted permutation unique, so any
+// divergence is a bug.
+func TestEngineParityMatrix(t *testing.T) {
+	dir := t.TempDir()
+	for _, w := range []Workload{Zipf, FewDistinct, Reversed} {
+		in := NewWorkload(w, 6000, 21)
+		inPath := filepath.Join(dir, w.String()+".bin")
+		if err := WriteRecordFile(inPath, in); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := sortFileWithEngine(t, dir, w.String()+"-balance", inPath, EngineBalanceSort)
+		for _, eng := range []Engine{EngineGuideSort, EngineStripedMerge} {
+			got, _ := sortFileWithEngine(t, dir, w.String()+"-"+string(eng), inPath, eng)
+			if string(got) != string(want) {
+				t.Fatalf("%s/%s: output differs from balancesort", w, eng)
+			}
+		}
+	}
+}
+
+// TestEngineAutoParity pins the auto contract: the planner's pick sorts to
+// the same bytes as balancesort, records its decision, and does not
+// perform more model I/Os than balancesort at this geometry.
+func TestEngineAutoParity(t *testing.T) {
+	dir := t.TempDir()
+	inPath, _ := writeMatrixInput(t, dir)
+	want, bal := sortFileWithEngine(t, dir, "balance", inPath, EngineBalanceSort)
+
+	outPath := filepath.Join(dir, "auto.out")
+	cfg := matrixConfig()
+	cfg.Engine = EngineAuto
+	res, err := SortFile(inPath, outPath, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("auto output differs from balancesort")
+	}
+	if res.Plan == nil {
+		t.Fatal("auto did not record its plan")
+	}
+	if res.Engine != res.Plan.Engine {
+		t.Fatalf("ran %q but planned %q", res.Engine, res.Plan.Engine)
+	}
+	if res.IOs > bal.IOs {
+		t.Fatalf("auto picked %s at %d I/Os, worse than balancesort's %d", res.Engine, res.IOs, bal.IOs)
+	}
+}
+
+func TestEngineInMemFile(t *testing.T) {
+	dir := t.TempDir()
+	in := NewWorkload(Zipf, 400, 7)
+	inPath := filepath.Join(dir, "in.bin")
+	if err := WriteRecordFile(inPath, in); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sortFileWithEngine(t, dir, "balance", inPath, EngineBalanceSort)
+	got, res := sortFileWithEngine(t, dir, "inmem", inPath, EngineInMem)
+	if string(got) != string(want) {
+		t.Fatal("inmem output differs from balancesort")
+	}
+	if res.IOs == 0 || res.PRAMWork == 0 {
+		t.Fatalf("inmem result not metered: %+v", res)
+	}
+	// Too large for half a memoryload must be refused, not mis-sorted.
+	big := NewWorkload(Uniform, matrixConfig().Memory, 9)
+	bigPath := filepath.Join(dir, "big.bin")
+	if err := WriteRecordFile(bigPath, big); err != nil {
+		t.Fatal(err)
+	}
+	cfg := matrixConfig()
+	cfg.Engine = EngineInMem
+	if _, err := SortFile(bigPath, filepath.Join(dir, "big.out"), "", cfg); err == nil {
+		t.Fatal("inmem accepted an input larger than M/2")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+	}{
+		{"", EngineBalanceSort},
+		{"auto", EngineAuto},
+		{"balancesort", EngineBalanceSort},
+		{"guidesort", EngineGuideSort},
+		{"stripedmerge", EngineStripedMerge},
+		{"inmem", EngineInMem},
+	} {
+		got, err := ParseEngine(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseEngine("quantum"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestGuidesortCrashMatrixResume mirrors TestCrashMatrixResume for the
+// guidesort engine: kill immediately before every journal commit in turn,
+// resume, and demand byte-identical output plus a bounded I/O overhead
+// (at most one redone step).
+func TestGuidesortCrashMatrixResume(t *testing.T) {
+	dir := t.TempDir()
+	inPath, _ := writeMatrixInput(t, dir)
+
+	basePath := filepath.Join(dir, "base.bin")
+	cfg := matrixConfig()
+	cfg.Engine = EngineGuideSort
+	cfg.Robust = RobustConfig{Journal: true}
+	base, err := SortFile(inPath, basePath, filepath.Join(dir, "base-scratch"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBytes, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := pdm.LoadJournal(pdm.JournalPath(filepath.Join(dir, "base-scratch")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry 1 is the loaded-input commit; the rest are sorter steps.
+	commits := len(entries) - 1
+	if commits < 10 {
+		t.Fatalf("only %d commit boundaries; the matrix needs a multi-step sort", commits)
+	}
+	var maxStep, prevIOs int64
+	for _, e := range entries {
+		var js guideJournalState
+		if err := json.Unmarshal(e.Payload, &js); err != nil {
+			t.Fatal(err)
+		}
+		if js.Engine != string(EngineGuideSort) {
+			t.Fatalf("journal entry tagged %q", js.Engine)
+		}
+		if d := js.State.Metrics.IOs - prevIOs; d > maxStep {
+			maxStep = d
+		}
+		prevIOs = js.State.Metrics.IOs
+	}
+	if prevIOs != base.IOs {
+		t.Fatalf("journal final I/O count %d disagrees with the result's %d", prevIOs, base.IOs)
+	}
+
+	step := 1
+	if testing.Short() {
+		step = 5
+	}
+	for k := 1; k <= commits; k += step {
+		scratch := filepath.Join(dir, "scratch", "k")
+		outPath := filepath.Join(dir, "out.bin")
+		os.RemoveAll(scratch)
+		os.Remove(outPath)
+
+		cfg := matrixConfig()
+		cfg.Engine = EngineGuideSort
+		cfg.Robust = RobustConfig{Journal: true, crashAfterCommits: k}
+		_, err := SortFile(inPath, outPath, scratch, cfg)
+		if !errors.Is(err, core.ErrInjectedCrash) {
+			t.Fatalf("kill %d: got %v, want the injected crash", k, err)
+		}
+		if _, err := os.Stat(outPath); !os.IsNotExist(err) {
+			t.Fatalf("kill %d: crashed sort left an output file", k)
+		}
+
+		// Resume deliberately passes no Engine: the journal's tag must win.
+		res, err := ResumeSortFile(inPath, outPath, scratch, matrixConfig())
+		if err != nil {
+			t.Fatalf("resume after kill %d: %v", k, err)
+		}
+		if res.Engine != string(EngineGuideSort) {
+			t.Fatalf("resume after kill %d ran %q, journal said guidesort", k, res.Engine)
+		}
+		got, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(baseBytes) {
+			t.Fatalf("resume after kill %d: output differs from the uninterrupted run", k)
+		}
+		if res.IOs > base.IOs+maxStep {
+			t.Fatalf("resume after kill %d: %d committed I/Os, uninterrupted %d + one step %d",
+				k, res.IOs, base.IOs, maxStep)
+		}
+	}
+}
+
+// TestStripedMergeCrashResume spot-checks that the striped discipline
+// inherits the same journaling machinery.
+func TestStripedMergeCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	inPath, _ := writeMatrixInput(t, dir)
+	want, _ := sortFileWithEngine(t, dir, "striped-base", inPath, EngineStripedMerge)
+
+	scratch := filepath.Join(dir, "scratch")
+	outPath := filepath.Join(dir, "out.bin")
+	cfg := matrixConfig()
+	cfg.Engine = EngineStripedMerge
+	cfg.Robust = RobustConfig{Journal: true, crashAfterCommits: 3}
+	if _, err := SortFile(inPath, outPath, scratch, cfg); !errors.Is(err, core.ErrInjectedCrash) {
+		t.Fatalf("got %v, want the injected crash", err)
+	}
+	res, err := ResumeSortFile(inPath, outPath, scratch, matrixConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != string(EngineStripedMerge) {
+		t.Fatalf("resumed as %q", res.Engine)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("resumed striped output differs")
+	}
+}
+
+// TestGuidesortRatioAcceptance is the issue's acceptance bar: at the
+// committed bench geometry, guidesort's I/O ratio vs the lower bound is at
+// most 5.0 and strictly better than balancesort's.
+func TestGuidesortRatioAcceptance(t *testing.T) {
+	cfg := Config{Disks: 8, BlockSize: 64, Memory: 1 << 15}
+	in := NewWorkload(Uniform, 1<<16, 42)
+	guide, err := SortWith(AlgoGuideSort, in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(in, guide.Records) {
+		t.Fatal("guidesort output wrong")
+	}
+	ratio := float64(guide.IOs) / guide.IOLowerBound
+	if ratio > 5.0 {
+		t.Fatalf("guidesort ratio %.2f exceeds the 5.0 acceptance bar", ratio)
+	}
+	bal, err := Sort(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guide.IOs >= bal.IOs {
+		t.Fatalf("guidesort %d I/Os did not beat balancesort's %d", guide.IOs, bal.IOs)
+	}
+	t.Logf("guidesort %.2fx lower bound (%d I/Os) vs balancesort %.2fx (%d I/Os)",
+		ratio, guide.IOs, float64(bal.IOs)/bal.IOLowerBound, bal.IOs)
+}
+
+func TestPlanFile(t *testing.T) {
+	dir := t.TempDir()
+	inPath, _ := writeMatrixInput(t, dir)
+	pl, err := PlanFile(inPath, matrixConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Engine == "" || len(pl.Candidates) == 0 || pl.LowerBoundIOs <= 0 {
+		t.Fatalf("plan incomplete: %+v", pl)
+	}
+}

@@ -1,0 +1,249 @@
+package guidesort
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"balancesort/internal/core"
+	"balancesort/internal/pdm"
+	"balancesort/internal/record"
+)
+
+// pGuided is a geometry where the guided discipline fits comfortably.
+func pGuided() pdm.Params { return pdm.Params{D: 4, B: 8, M: 1024} }
+
+// run sorts in on a fresh in-memory array and returns the output.
+func run(t *testing.T, p pdm.Params, cfg Config, in []record.Record) ([]record.Record, Metrics) {
+	t.Helper()
+	arr := pdm.New(p)
+	t.Cleanup(func() { arr.Close() })
+	off := loadInput(arr, in)
+	s := NewSorter(arr, cfg)
+	reg := s.Sort(off, len(in))
+	out := make([]record.Record, reg.N)
+	readRegion(arr, reg.Off, out)
+	return out, s.Metrics()
+}
+
+func loadInput(arr *pdm.Array, in []record.Record) int {
+	p := arr.Params()
+	blocks := (len(in) + p.B - 1) / p.B
+	perDisk := (blocks + p.D - 1) / p.D
+	if perDisk == 0 {
+		perDisk = 1
+	}
+	off := arr.AllocStripe(perDisk)
+	arr.WriteStripe(off, in)
+	return off
+}
+
+// readRegion reads n records from a region laid out in guidesort's
+// blk%D striping (identical to WriteStripe's layout).
+func readRegion(arr *pdm.Array, off int, out []record.Record) {
+	arr.ReadStripe(off, out)
+}
+
+func check(t *testing.T, in, out []record.Record) {
+	t.Helper()
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	if !record.IsSorted(out) {
+		t.Fatal("output not sorted")
+	}
+	if !record.SameMultiset(in, out) {
+		t.Fatal("output not a permutation of input")
+	}
+}
+
+func TestGuidedSortsAllWorkloads(t *testing.T) {
+	for _, w := range record.AllWorkloads {
+		for _, n := range []int{1, 7, 64, 500, 4000} {
+			in := record.Generate(w, n, 11)
+			out, met := run(t, pGuided(), Config{}, in)
+			check(t, in, out)
+			if met.MemPeak > pGuided().M {
+				t.Fatalf("%v n=%d: mem peak %d exceeds M=%d", w, n, met.MemPeak, pGuided().M)
+			}
+		}
+	}
+}
+
+func TestStripedModeMatchesGuided(t *testing.T) {
+	for _, w := range record.AllWorkloads {
+		in := record.Generate(w, 3000, 13)
+		guided, _ := run(t, pGuided(), Config{}, in)
+		striped, _ := run(t, pGuided(), Config{Striped: true}, in)
+		check(t, in, guided)
+		for i := range guided {
+			if guided[i] != striped[i] {
+				t.Fatalf("%v: guided and striped outputs differ at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestRadixAndComparisonBaseCasesAgree(t *testing.T) {
+	in := record.Generate(record.Zipf, 2500, 17)
+	radix, mr := run(t, pGuided(), Config{}, in)
+	comp, mc := run(t, pGuided(), Config{NoRadix: true}, in)
+	check(t, in, radix)
+	for i := range radix {
+		if radix[i] != comp[i] {
+			t.Fatalf("radix and comparison outputs differ at %d", i)
+		}
+	}
+	if mr.IOs != mc.IOs {
+		t.Fatalf("base case changed I/O count: radix %d, comparison %d", mr.IOs, mc.IOs)
+	}
+}
+
+func TestTinyMemoryFallsBackToStriped(t *testing.T) {
+	p := pdm.Params{D: 2, B: 2, M: 16}
+	if GuidedFits(p) {
+		t.Fatalf("geometry %+v unexpectedly fits the guided discipline", p)
+	}
+	in := record.Generate(record.Uniform, 300, 19)
+	arr := pdm.New(p)
+	defer arr.Close()
+	off := loadInput(arr, in)
+	s := NewSorter(arr, Config{})
+	if !s.cfg.Striped {
+		t.Fatal("sorter did not degrade to striped mode")
+	}
+	reg := s.Sort(off, len(in))
+	out := make([]record.Record, reg.N)
+	readRegion(arr, reg.Off, out)
+	check(t, in, out)
+}
+
+func TestGuideThinningBoundsGuideSize(t *testing.T) {
+	// Small M relative to N forces totalBlocks >> guideCap.
+	p := pdm.Params{D: 2, B: 4, M: 256}
+	if !GuidedFits(p) {
+		t.Skip("geometry does not fit guided mode")
+	}
+	in := record.Generate(record.Uniform, 6000, 23)
+	out, met := run(t, p, Config{}, in)
+	check(t, in, out)
+	_, _, guideCap := guidedBudget(p)
+	// Thinning halves until totalBlocks/thin <= guideCap; per-run rounding
+	// adds at most one entry per run in the group.
+	if met.GuidePeak > guideCap+met.MergeArity {
+		t.Fatalf("guide peak %d exceeds cap %d + arity %d", met.GuidePeak, guideCap, met.MergeArity)
+	}
+	if met.GuidePeak == 0 {
+		t.Fatal("no guide was ever built")
+	}
+}
+
+func TestCancellationAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := record.Generate(record.Uniform, 2000, 29)
+	arr := pdm.New(pGuided())
+	defer arr.Close()
+	off := loadInput(arr, in)
+	s := NewSorter(arr, Config{Context: ctx})
+	defer func() {
+		r := recover()
+		ab, ok := r.(core.Abort)
+		if !ok {
+			t.Fatalf("want core.Abort panic, got %v", r)
+		}
+		if !errors.Is(ab.Err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", ab.Err)
+		}
+	}()
+	s.Sort(off, len(in))
+	t.Fatal("sort completed despite cancelled context")
+}
+
+// TestCrashAtEveryCommitResumes kills the sort immediately before every
+// commit in turn, then resumes from the last checkpointed state on the
+// same array and demands output identical to an uninterrupted run.
+func TestCrashAtEveryCommitResumes(t *testing.T) {
+	in := record.Generate(record.Zipf, 4000, 31)
+	want, _ := run(t, pGuided(), Config{}, in)
+
+	// Count the commits of a clean run first.
+	commits := 0
+	func() {
+		arr := pdm.New(pGuided())
+		defer arr.Close()
+		off := loadInput(arr, in)
+		s := NewSorter(arr, Config{Checkpoint: func(State) error { commits++; return nil }})
+		s.Sort(off, len(in))
+	}()
+	if commits < 3 {
+		t.Fatalf("expected a multi-commit sort, got %d commits", commits)
+	}
+
+	for k := 1; k <= commits; k++ {
+		arr := pdm.New(pGuided())
+		off := loadInput(arr, in)
+		var last State
+		have := false
+		func() {
+			defer func() {
+				r := recover()
+				ab, ok := r.(core.Abort)
+				if !ok || !errors.Is(ab.Err, core.ErrInjectedCrash) {
+					t.Fatalf("k=%d: want injected crash, got %v", k, r)
+				}
+			}()
+			s := NewSorter(arr, Config{
+				Checkpoint:        func(st State) error { last = st; have = true; return nil },
+				CrashAfterCommits: k,
+			})
+			s.Sort(off, len(in))
+			t.Fatalf("k=%d: sort survived the injected crash", k)
+		}()
+		if arr.Mem.Used() != 0 {
+			t.Fatalf("k=%d: crash left %d records charged against memory", k, arr.Mem.Used())
+		}
+
+		st := State{InputOff: off, InputN: len(in), Metrics: Metrics{N: len(in)}}
+		if have {
+			last.InputOff = off
+			st = last
+		}
+		s := NewSorter(arr, Config{})
+		reg := s.Resume(st)
+		out := make([]record.Record, reg.N)
+		readRegion(arr, reg.Off, out)
+		if len(out) != len(want) {
+			t.Fatalf("k=%d: resumed output has %d records, want %d", k, len(out), len(want))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("k=%d: resumed output differs at %d", k, i)
+			}
+		}
+		met := s.Metrics()
+		if met.IOs <= 0 || met.BlocksWrit <= 0 {
+			t.Fatalf("k=%d: cumulative metrics not carried: %+v", k, met)
+		}
+		arr.Close()
+	}
+}
+
+func TestMetricsPopulated(t *testing.T) {
+	in := record.Generate(record.Uniform, 4000, 37)
+	_, met := run(t, pGuided(), Config{}, in)
+	if met.N != 4000 || met.IOs == 0 || met.ReadIOs == 0 || met.WriteIOs == 0 ||
+		met.Passes == 0 || met.Depth == 0 || met.MergeArity < 2 ||
+		met.PRAMTime == 0 || met.PRAMWork == 0 || met.MemPeak == 0 {
+		t.Fatalf("metrics incomplete: %+v", met)
+	}
+}
+
+func TestDuplicateHeavyGuideSchedules(t *testing.T) {
+	// FewDistinct makes nearly every guide key equal — the schedule's
+	// (key, run, block) tie-break must still fetch every block exactly once.
+	in := record.Generate(record.FewDistinct, 5000, 41)
+	out, met := run(t, pGuided(), Config{}, in)
+	check(t, in, out)
+	t.Logf("demand fetches on dup-heavy input: %d of %d IOs", met.DemandFetches, met.IOs)
+}

@@ -24,6 +24,10 @@ type SortParams struct {
 	Memory    int  `json:"memory"`
 	Buckets   int  `json:"buckets,omitempty"`
 	Engine    bool `json:"engine"`
+	// SortEngine picks the sort engine for the job: "auto" consults the
+	// cost-model planner, "" means balancesort. (Engine above is the disk
+	// I/O concurrency toggle, kept for wire compatibility.)
+	SortEngine string `json:"sort_engine,omitempty"`
 	// Cluster runs the job on the server's configured worker cluster
 	// (Options.Cluster) instead of the local file-backed engine. The
 	// coordinator journal lives in the job's scratch directory, so the job

@@ -354,6 +354,7 @@ func (s *Server) runJob(t *Ticket) {
 		cfg.Memory = man.Params.Memory
 		cfg.Buckets = man.Params.Buckets
 		cfg.IO.Engine = man.Params.Engine
+		cfg.Engine = balancesort.Engine(man.Params.SortEngine)
 		cfg.Robust.Journal = true
 		cfg.Obs = oc
 
@@ -681,22 +682,30 @@ func writeError(w http.ResponseWriter, err error) {
 // Uploaded submissions carry the same parameters as query strings and the
 // records as the request body.
 type submitRequest struct {
-	InputPath string `json:"input_path"`
-	Disks     int    `json:"disks"`
-	BlockSize int    `json:"block_size"`
-	Memory    int    `json:"memory"`
-	Buckets   int    `json:"buckets"`
-	Engine    *bool  `json:"engine"`
-	Cluster   bool   `json:"cluster"`
+	InputPath  string `json:"input_path"`
+	Disks      int    `json:"disks"`
+	BlockSize  int    `json:"block_size"`
+	Memory     int    `json:"memory"`
+	Buckets    int    `json:"buckets"`
+	Engine     *bool  `json:"engine"`
+	SortEngine string `json:"sort_engine"`
+	Cluster    bool   `json:"cluster"`
 }
 
 // params fills unset fields from the server's base Sort config and
 // validates the geometry the way SortFile will.
 func (s *Server) params(req submitRequest) (SortParams, error) {
 	base := s.opt.Sort
-	p := SortParams{Disks: req.Disks, BlockSize: req.BlockSize, Memory: req.Memory, Buckets: req.Buckets, Engine: base.IO.Engine, Cluster: req.Cluster}
+	p := SortParams{Disks: req.Disks, BlockSize: req.BlockSize, Memory: req.Memory, Buckets: req.Buckets, Engine: base.IO.Engine, SortEngine: string(base.Engine), Cluster: req.Cluster}
 	if req.Engine != nil {
 		p.Engine = *req.Engine
+	}
+	if req.SortEngine != "" {
+		eng, err := balancesort.ParseEngine(req.SortEngine)
+		if err != nil {
+			return p, fmt.Errorf("%v: %w", err, ErrBadRequest)
+		}
+		p.SortEngine = string(eng)
 	}
 	if p.Cluster && len(s.opt.Cluster) == 0 {
 		return p, fmt.Errorf("cluster job submitted but the server has no cluster workers configured: %w", ErrBadRequest)
@@ -778,12 +787,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			*dst = n
 		}
 		if v := r.URL.Query().Get("engine"); v != "" {
-			b, err := strconv.ParseBool(v)
-			if err != nil {
-				writeError(w, fmt.Errorf("bad engine=%q: %w", v, ErrBadRequest))
-				return
+			// "engine" historically toggled the disk I/O engine (a bool);
+			// any non-boolean value now names a sort engine, so
+			// engine=auto or engine=guidesort routes to the planner.
+			if b, err := strconv.ParseBool(v); err == nil {
+				req.Engine = &b
+			} else {
+				req.SortEngine = v
 			}
-			req.Engine = &b
 		}
 		if v := r.URL.Query().Get("cluster"); v != "" {
 			b, err := strconv.ParseBool(v)

@@ -715,3 +715,34 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestServerSortEngineParam drives the per-job engine selector: engine=auto
+// routes the job through the planner, engine=guidesort pins the Guidesort
+// engine, a boolean value keeps its historical I/O-engine meaning, and an
+// unknown name is rejected at submission.
+func TestServerSortEngineParam(t *testing.T) {
+	input := matrixInput(t)
+	want := matrixReference(t, input)
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	for _, eng := range []string{"guidesort", "auto"} {
+		st := submitUpload(t, ts.URL, "", matrixQuery+"&engine="+eng, input)
+		if st.Params.SortEngine != eng {
+			t.Fatalf("engine=%s recorded as %q", eng, st.Params.SortEngine)
+		}
+		waitState(t, ts.URL, "", st.ID, StateDone, 30*time.Second)
+		if got := download(t, ts.URL, "", st.ID); !bytes.Equal(got, want) {
+			t.Fatalf("engine=%s output differs from direct SortFile", eng)
+		}
+	}
+
+	// A boolean still toggles the disk I/O engine, not the sort engine.
+	st := submitUpload(t, ts.URL, "", matrixQuery+"&engine=true", input)
+	if !st.Params.Engine || st.Params.SortEngine != "" {
+		t.Fatalf("engine=true parsed as %+v", st.Params)
+	}
+
+	if _, code := trySubmitUpload(t, ts.URL, "", matrixQuery+"&engine=quantum", input); code != http.StatusBadRequest {
+		t.Fatalf("engine=quantum: status %d, want 400", code)
+	}
+}

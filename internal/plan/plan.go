@@ -1,0 +1,294 @@
+// Package plan is the engine-selection subsystem: a cost-model planner
+// that, given the sort geometry (N records of a known width over D disks,
+// B-record blocks, M records of memory) and the measured or assumed
+// per-disk throughput, predicts the pass count, parallel I/O count, and
+// wall-clock of every available engine and picks the cheapest feasible
+// one. It is the "engineering over theory" layer of Rahn/Sanders/Singler
+// ("Scalable Distributed-Memory External Sorting", PAPERS.md) applied to
+// this repository's single-node hot path: the asymptotically optimal
+// algorithm is not always the fastest at a concrete geometry, so measure
+// the constants and choose per instance.
+//
+// The model is deliberately simple and closed-form. Every external engine
+// moves the dataset passes × 2 times (read + write) in ⌈N/DB⌉-I/O sweeps;
+// engines differ in how many passes their fan-in/fan-out affords and in a
+// calibrated per-engine efficiency factor (partial-width writes, sidecar
+// and bookkeeping traffic) fitted against the committed BENCH_sort.json:
+//
+//   - balancesort:  fan-out S = ⌊(M/B)^{1/4}⌋ per distribution pass,
+//     memoryload base case; factor ≈ 2.0 (tracks, partial-width bucket
+//     writes, partition-element sampling).
+//   - stripedmerge: fan-in M/(2DB); factor 1.0 (every I/O full-width).
+//   - guidesort:    fan-in M/(8B); factor ≈ 1.15 (minima sidecars, guide
+//     reads, occasional lone demand fetches).
+//   - inmem:        one read + one write pass, only when N fits a
+//     half-memory load.
+//
+// Predictions divide bytes moved by the aggregate disk bandwidth, so a
+// measured Throughput (e.g. derived from diskio metrics of a prior run)
+// changes which engine wins on hardware where reads and writes differ.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"balancesort/internal/guidesort"
+	"balancesort/internal/pdm"
+)
+
+// Engine names, shared with the root facade's Config.Engine.
+const (
+	EngineBalanceSort  = "balancesort"
+	EngineGuideSort    = "guidesort"
+	EngineStripedMerge = "stripedmerge"
+	EngineInMem        = "inmem"
+)
+
+// Engines lists every engine the planner ranks, in preference order for
+// cost ties (cheapest bookkeeping first).
+var Engines = []string{EngineInMem, EngineStripedMerge, EngineGuideSort, EngineBalanceSort}
+
+// Geometry is the instance the planner decides for.
+type Geometry struct {
+	// N is the record count; D, B, M the parallel-disk-model parameters.
+	N int `json:"n"`
+	D int `json:"d"`
+	B int `json:"b"`
+	M int `json:"m"`
+	// RecordBytes is the on-disk width of one record (0 = 16).
+	RecordBytes int `json:"record_bytes,omitempty"`
+}
+
+// Throughput is the assumed or measured per-disk bandwidth. Zero fields
+// take DefaultThroughput's values. Derive a measured one from diskio
+// metrics with Measure.
+type Throughput struct {
+	// ReadBytesPerSec and WriteBytesPerSec are per-disk, not aggregate.
+	ReadBytesPerSec  float64 `json:"read_bps,omitempty"`
+	WriteBytesPerSec float64 `json:"write_bps,omitempty"`
+}
+
+// DefaultThroughput is the planner's assumption when nothing was measured:
+// a commodity disk doing 200 MB/s either way. With symmetric defaults the
+// ranking reduces to predicted I/O volume, which is what the model-only
+// tests pin.
+var DefaultThroughput = Throughput{ReadBytesPerSec: 200 << 20, WriteBytesPerSec: 200 << 20}
+
+// Measure builds a Throughput from observed byte counts and elapsed time
+// of a prior run on the same disks (per-disk counts, wall seconds).
+func Measure(readBytes, writeBytes int64, disks int, seconds float64) Throughput {
+	if disks < 1 || seconds <= 0 {
+		return Throughput{}
+	}
+	return Throughput{
+		ReadBytesPerSec:  float64(readBytes) / float64(disks) / seconds,
+		WriteBytesPerSec: float64(writeBytes) / float64(disks) / seconds,
+	}
+}
+
+// Prediction is one engine's predicted cost at the geometry.
+type Prediction struct {
+	Engine string `json:"engine"`
+	// Feasible is false when the engine cannot run at this geometry (the
+	// Reason says why); infeasible engines are never chosen.
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
+	// Passes counts full sweeps over the data (run formation or the
+	// initial load counts as one).
+	Passes int `json:"passes"`
+	// IOs is the predicted parallel I/O count; Bytes the total volume
+	// moved; Seconds the predicted wall-clock at the throughput.
+	IOs     float64 `json:"ios"`
+	Bytes   float64 `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Plan is the planner's decision: the chosen engine plus every candidate's
+// prediction (sorted cheapest first), for reporting and for the bench
+// emitters.
+type Plan struct {
+	Engine        string       `json:"engine"`
+	LowerBoundIOs float64      `json:"io_lower_bound"`
+	Candidates    []Prediction `json:"candidates"`
+}
+
+// Predicted returns the chosen candidate's prediction.
+func (p *Plan) Predicted() Prediction {
+	for _, c := range p.Candidates {
+		if c.Engine == p.Engine {
+			return c
+		}
+	}
+	return Prediction{}
+}
+
+// Calibrated per-engine efficiency factors (measured I/Os ÷ ideal
+// passes·2·⌈N/DB⌉ at the committed bench geometries).
+const (
+	factorBalance = 2.0
+	factorStriped = 1.0
+	factorGuide   = 1.15
+)
+
+// Choose validates the geometry, predicts every engine, and picks the
+// cheapest feasible one (ties break by the Engines preference order).
+func Choose(g Geometry, t Throughput) (*Plan, error) {
+	if g.N < 0 {
+		return nil, fmt.Errorf("plan: negative N %d", g.N)
+	}
+	p := pdm.Params{D: g.D, B: g.B, M: g.M}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if g.RecordBytes <= 0 {
+		g.RecordBytes = 16
+	}
+	if t.ReadBytesPerSec <= 0 {
+		t.ReadBytesPerSec = DefaultThroughput.ReadBytesPerSec
+	}
+	if t.WriteBytesPerSec <= 0 {
+		t.WriteBytesPerSec = DefaultThroughput.WriteBytesPerSec
+	}
+
+	rank := make(map[string]int, len(Engines))
+	for i, e := range Engines {
+		rank[e] = i
+	}
+	var cands []Prediction
+	for _, e := range Engines {
+		cands = append(cands, predict(e, g, p, t))
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if ca.Feasible != cb.Feasible {
+			return ca.Feasible
+		}
+		if ca.Seconds != cb.Seconds {
+			return ca.Seconds < cb.Seconds
+		}
+		return rank[ca.Engine] < rank[cb.Engine]
+	})
+	if !cands[0].Feasible {
+		return nil, fmt.Errorf("plan: no engine feasible at D=%d B=%d M=%d N=%d", g.D, g.B, g.M, g.N)
+	}
+	return &Plan{
+		Engine:        cands[0].Engine,
+		LowerBoundIOs: lowerBoundIOs(g.N, p),
+		Candidates:    cands,
+	}, nil
+}
+
+// predict models one engine at the geometry.
+func predict(engine string, g Geometry, p pdm.Params, t Throughput) Prediction {
+	pr := Prediction{Engine: engine}
+	sweeps := math.Ceil(float64(g.N) / float64(p.D*p.B)) // I/Os per full read or write of the data
+	memload := (p.M / 2 / p.B) * p.B
+	if memload < 1 {
+		memload = 1
+	}
+	runs := ceilDiv(g.N, memload)
+
+	switch engine {
+	case EngineInMem:
+		if g.N > p.M/2 {
+			pr.Reason = fmt.Sprintf("N=%d exceeds the half-memory load M/2=%d", g.N, p.M/2)
+			return pr
+		}
+		pr.Feasible = true
+		pr.Passes = 1
+		pr.IOs = 2 * sweeps // host read + host write, expressed in sweep units
+	case EngineStripedMerge:
+		if 4*p.D*p.B > p.M {
+			pr.Reason = fmt.Sprintf("DB=%d needs M>=%d", p.D*p.B, 4*p.D*p.B)
+			return pr
+		}
+		arity := p.M / (2 * p.D * p.B)
+		if arity < 2 {
+			arity = 2
+		}
+		pr.Feasible = true
+		pr.Passes = 1 + mergePasses(runs, arity)
+		pr.IOs = float64(pr.Passes) * 2 * sweeps * factorStriped
+	case EngineGuideSort:
+		if 4*p.D*p.B > p.M {
+			pr.Reason = fmt.Sprintf("DB=%d needs M>=%d", p.D*p.B, 4*p.D*p.B)
+			return pr
+		}
+		arity := p.M / (8 * p.B)
+		if arity < 2 {
+			arity = 2
+		}
+		factor := factorGuide
+		if !guidesort.GuidedFits(p) {
+			// The engine degrades to its striped discipline at this
+			// geometry; model it as such.
+			arity = p.M / (2 * p.D * p.B)
+			if arity < 2 {
+				arity = 2
+			}
+			factor = factorStriped
+		}
+		pr.Feasible = true
+		pr.Passes = 1 + mergePasses(runs, arity)
+		pr.IOs = float64(pr.Passes) * 2 * sweeps * factor
+	case EngineBalanceSort:
+		if 4*p.D*p.B > p.M {
+			pr.Reason = fmt.Sprintf("DB=%d needs M>=%d", p.D*p.B, 4*p.D*p.B)
+			return pr
+		}
+		s := int(math.Floor(math.Pow(float64(p.M)/float64(p.B), 0.25)))
+		if s < 2 {
+			s = 2
+		}
+		// Distribution levels until buckets fit a memoryload.
+		levels := 0
+		for span := g.N; span > memload; span = ceilDiv(span, s) {
+			levels++
+		}
+		pr.Feasible = true
+		pr.Passes = levels + 1
+		pr.IOs = float64(pr.Passes) * 2 * sweeps * factorBalance
+	default:
+		pr.Reason = "unknown engine"
+		return pr
+	}
+
+	pr.Bytes = pr.IOs * float64(p.D*p.B) * float64(g.RecordBytes)
+	// Half the volume is read, half written, across D disks in parallel.
+	pr.Seconds = pr.Bytes/2/(float64(p.D)*t.ReadBytesPerSec) +
+		pr.Bytes/2/(float64(p.D)*t.WriteBytesPerSec)
+	return pr
+}
+
+// mergePasses is ⌈log_arity(runs)⌉ for runs ≥ 1.
+func mergePasses(runs, arity int) int {
+	if runs <= 1 {
+		return 0
+	}
+	passes := 0
+	for runs > 1 {
+		runs = ceilDiv(runs, arity)
+		passes++
+	}
+	return passes
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// lowerBoundIOs mirrors core.LowerBoundIOs exactly (duplicated to keep
+// this package's import graph to pdm + guidesort only).
+func lowerBoundIOs(n int, p pdm.Params) float64 {
+	if n == 0 {
+		return 0
+	}
+	lg := func(x float64) float64 {
+		if x <= 2 {
+			return 1
+		}
+		return math.Log2(x)
+	}
+	fn := float64(n)
+	return fn / float64(p.D*p.B) * lg(fn/float64(p.B)) / lg(float64(p.M)/float64(p.B))
+}

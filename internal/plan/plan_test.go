@@ -1,0 +1,202 @@
+package plan
+
+import (
+	"testing"
+
+	"balancesort/internal/guidesort"
+	"balancesort/internal/pdm"
+)
+
+// benchGeometries are the committed BENCH_sort.json points.
+var benchGeometries = []Geometry{
+	{N: 1 << 16, D: 8, B: 64, M: 1 << 15},
+	{N: 1 << 18, D: 8, B: 64, M: 1 << 15},
+}
+
+func mustChoose(t *testing.T, g Geometry) *Plan {
+	t.Helper()
+	pl, err := Choose(g, Throughput{})
+	if err != nil {
+		t.Fatalf("Choose(%+v): %v", g, err)
+	}
+	return pl
+}
+
+func find(pl *Plan, engine string) Prediction {
+	for _, c := range pl.Candidates {
+		if c.Engine == engine {
+			return c
+		}
+	}
+	return Prediction{}
+}
+
+func TestChoosePrefersInMemWhenItFits(t *testing.T) {
+	pl := mustChoose(t, Geometry{N: 100, D: 4, B: 8, M: 1024})
+	if pl.Engine != EngineInMem {
+		t.Fatalf("tiny input chose %s, want inmem", pl.Engine)
+	}
+}
+
+func TestChooseNeverWorseThanBalanceSortOnBenchGeometries(t *testing.T) {
+	for _, g := range benchGeometries {
+		pl := mustChoose(t, g)
+		chosen := pl.Predicted()
+		bal := find(pl, EngineBalanceSort)
+		if !bal.Feasible {
+			t.Fatalf("%+v: balancesort infeasible", g)
+		}
+		if chosen.Seconds > bal.Seconds {
+			t.Fatalf("%+v: chose %s at %.3fs, worse than balancesort's %.3fs",
+				g, pl.Engine, chosen.Seconds, bal.Seconds)
+		}
+		if pl.Engine == EngineBalanceSort {
+			t.Fatalf("%+v: planner still picks balancesort — the point of the planner is to beat it here", g)
+		}
+	}
+}
+
+func TestPredictedIOsTrackCommittedBench(t *testing.T) {
+	// The committed BENCH_sort.json: balancesort 1039/6122 model I/Os and
+	// stripedmerge 512/2048 at these geometries. The model must land within
+	// 15% of those measurements — that is the calibration contract.
+	want := map[string][2]float64{
+		EngineBalanceSort:  {1039, 6122},
+		EngineStripedMerge: {512, 2048},
+	}
+	for i, g := range benchGeometries {
+		pl := mustChoose(t, g)
+		for eng, ios := range want {
+			got := find(pl, eng).IOs
+			w := ios[i]
+			if got < w*0.85 || got > w*1.15 {
+				t.Errorf("%+v %s: predicted %.0f IOs, measured %.0f (off by >15%%)", g, eng, got, w)
+			}
+		}
+	}
+}
+
+func TestGuidesortBeatsBalanceSortInModel(t *testing.T) {
+	for _, g := range benchGeometries {
+		pl := mustChoose(t, g)
+		gd, bal := find(pl, EngineGuideSort), find(pl, EngineBalanceSort)
+		if !gd.Feasible {
+			t.Fatalf("%+v: guidesort infeasible", g)
+		}
+		if gd.IOs >= bal.IOs {
+			t.Fatalf("%+v: guidesort predicted %.0f IOs, not better than balancesort's %.0f", g, gd.IOs, bal.IOs)
+		}
+	}
+}
+
+func TestAsymmetricThroughputChangesSeconds(t *testing.T) {
+	g := benchGeometries[0]
+	fast, err := Choose(g, Throughput{ReadBytesPerSec: 1 << 30, WriteBytesPerSec: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Choose(g, Throughput{ReadBytesPerSec: 1 << 20, WriteBytesPerSec: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Predicted().Seconds >= slow.Predicted().Seconds {
+		t.Fatal("faster disks did not predict a faster sort")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	th := Measure(4<<20, 2<<20, 4, 2.0)
+	if th.ReadBytesPerSec != float64(4<<20)/4/2 || th.WriteBytesPerSec != float64(2<<20)/4/2 {
+		t.Fatalf("Measure wrong: %+v", th)
+	}
+	if z := Measure(1, 1, 0, 1); z != (Throughput{}) {
+		t.Fatalf("degenerate Measure should zero out, got %+v", z)
+	}
+}
+
+func TestChooseRejectsBadGeometry(t *testing.T) {
+	if _, err := Choose(Geometry{N: 100, D: 0, B: 8, M: 64}, Throughput{}); err == nil {
+		t.Fatal("want error for D=0")
+	}
+	if _, err := Choose(Geometry{N: -1, D: 4, B: 8, M: 1024}, Throughput{}); err == nil {
+		t.Fatal("want error for negative N")
+	}
+}
+
+func TestInfeasibleGeometryErrors(t *testing.T) {
+	// M < 4DB: no external engine fits, and N > M/2 rules out inmem.
+	if _, err := Choose(Geometry{N: 1 << 20, D: 8, B: 64, M: 1024}, Throughput{}); err == nil {
+		t.Fatal("want no-engine-feasible error")
+	}
+}
+
+// FuzzPlan asserts the planner's two safety properties on arbitrary
+// geometries: the chosen engine never violates the memory geometry, and
+// auto is never predicted worse than always-balancesort when balancesort
+// is feasible.
+func FuzzPlan(f *testing.F) {
+	f.Add(1<<16, 8, 64, 1<<15)
+	f.Add(1<<18, 8, 64, 1<<15)
+	f.Add(6000, 4, 8, 1024)
+	f.Add(100, 2, 2, 16)
+	f.Add(0, 1, 1, 4)
+	f.Add(1<<20, 16, 128, 1<<20)
+	f.Fuzz(func(t *testing.T, n, d, b, m int) {
+		if n < 0 || n > 1<<30 || d < 1 || d > 256 || b < 1 || b > 1<<16 || m < 1 || m > 1<<26 {
+			t.Skip()
+		}
+		g := Geometry{N: n, D: d, B: b, M: m}
+		pl, err := Choose(g, Throughput{})
+		if err != nil {
+			return // invalid or infeasible geometry is allowed to error
+		}
+		p := pdm.Params{D: d, B: b, M: m}
+		chosen := pl.Predicted()
+		if !chosen.Feasible {
+			t.Fatalf("chose infeasible engine %s at %+v", pl.Engine, g)
+		}
+		// Memory-geometry safety per engine.
+		switch pl.Engine {
+		case EngineInMem:
+			if n > m/2 {
+				t.Fatalf("inmem chosen with N=%d > M/2=%d", n, m/2)
+			}
+		case EngineGuideSort:
+			if 4*d*b > m {
+				t.Fatalf("guidesort chosen with 4DB=%d > M=%d", 4*d*b, m)
+			}
+			if guidesort.GuidedFits(p) {
+				arity, window, guideCap := 0, 0, 0
+				arity = m / (8 * b)
+				if arity < 2 {
+					arity = 2
+				}
+				window = m / (8 * b)
+				if window < 1 {
+					window = 1
+				}
+				guideCap = m / 8
+				if guideCap < 8 {
+					guideCap = 8
+				}
+				if need := arity*b + window*b + d*b + b + guideCap + arity; need > m {
+					t.Fatalf("GuidedFits lied: residents %d > M=%d", need, m)
+				}
+			}
+		case EngineStripedMerge, EngineBalanceSort:
+			if 4*d*b > m {
+				t.Fatalf("%s chosen with 4DB=%d > M=%d", pl.Engine, 4*d*b, m)
+			}
+		default:
+			t.Fatalf("unknown engine %q", pl.Engine)
+		}
+		// Auto is never predicted worse than always-balancesort.
+		if bal := find(pl, EngineBalanceSort); bal.Feasible && chosen.Seconds > bal.Seconds {
+			t.Fatalf("auto chose %s (%.4fs) over balancesort (%.4fs) at %+v",
+				pl.Engine, chosen.Seconds, bal.Seconds, g)
+		}
+		if pl.LowerBoundIOs < 0 {
+			t.Fatalf("negative lower bound at %+v", g)
+		}
+	})
+}

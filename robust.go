@@ -110,6 +110,10 @@ func JournalCommits(scratchDir string) (int, error) {
 // resume needs to continue the sort from this boundary. The geometry
 // fields double as a consistency check against the manifest.
 type sortJournalState struct {
+	// Engine tags the journal with the engine that wrote it ("" in
+	// journals from before engine selection; both mean balancesort).
+	Engine string `json:"engine,omitempty"`
+
 	N int `json:"n"`
 	D int `json:"d"`
 	B int `json:"b"`

@@ -75,8 +75,9 @@ func ResumeSortFileContext(ctx context.Context, inPath, outPath, scratchDir stri
 	return sortFile(ctx, inPath, outPath, scratchDir, cfg, true)
 }
 
-// sortFile is the shared engine behind the four entry points above.
-func sortFile(ctx context.Context, inPath, outPath, scratchDir string, cfg Config, resume bool) (*Result, error) {
+// balanceSortFile is the Balance Sort engine behind sortFile (see
+// engine.go for the dispatch across engines).
+func balanceSortFile(ctx context.Context, inPath, outPath, scratchDir string, cfg Config, resume bool) (*Result, error) {
 	cfg.fill()
 	cfg.ctx = ctx
 	cfg.tracer = cfg.Obs.tracer()
@@ -290,7 +291,8 @@ func commitState(arr *pdm.Array, jnl *pdm.Journal, cfg Config, st core.Checkpoin
 		v = p.D
 	}
 	js := sortJournalState{
-		N: st.Metrics.N, D: p.D, B: p.B, M: p.M, V: v, S: cfg.Buckets,
+		Engine: string(EngineBalanceSort),
+		N:      st.Metrics.N, D: p.D, B: p.B, M: p.M, V: v, S: cfg.Buckets,
 		Passes: st.Metrics.Passes, Depth: st.Metrics.Depth,
 		IOs: st.Metrics.IOs, ReadIOs: st.Metrics.ReadIOs, WriteIOs: st.Metrics.WriteIOs,
 		BlocksRead: st.Metrics.BlocksRead, BlocksWrit: st.Metrics.BlocksWrit,

@@ -33,9 +33,10 @@ go test ./...
 echo "== go test -race (concurrency layer) =="
 go test -race ./internal/diskio/... ./internal/pdm/... ./internal/cluster/... ./internal/jobs/...
 
-echo "== go test -race (crash recovery) =="
-go test -race -run 'Robust|Crash|Resume|Cancel|Scrub' .
+echo "== go test -race (crash recovery + engine parity) =="
+go test -race -run 'Robust|Crash|Resume|Cancel|Scrub|EngineParity|EngineAuto' .
 go test -race -count=1 -run 'KillRestart|DrainRestart|RecoveryQuarantine' ./internal/jobs/
+go test -race -count=1 -run 'Crash|Cancel' ./internal/guidesort/
 
 echo "== go test -race (cluster churn matrix: worker kills, coordinator kill+resume, and joins at every phase) =="
 go test -race -count=1 -run 'Chaos|Degraded|Flap|FailoverJournal|Join|Resume|Dedup' ./internal/cluster/
