@@ -220,6 +220,12 @@ type Result struct {
 	// IO carries the disk-engine metrics when the sort mounted the I/O
 	// engine (Config.IO.Engine with SortFile); nil otherwise.
 	IO *IOStats `json:"io,omitempty"`
+	// MeasuredThroughput is the per-disk device bandwidth the I/O engine
+	// observed during this sort (bytes over device-busy time). Feed it into
+	// Config.Throughput so EngineAuto plans with measured rates; cluster
+	// workers do this automatically between shard sorts. Nil when no engine
+	// ran.
+	MeasuredThroughput *Throughput `json:"measured_throughput,omitempty"`
 	// Scrub carries the post-sort integrity sweep when the sort ran with
 	// Config.Robust.ScrubAfter; nil otherwise.
 	Scrub *ScrubReport `json:"scrub,omitempty"`

@@ -11,6 +11,7 @@ package balancesort
 import (
 	"context"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"balancesort/internal/cluster"
@@ -150,6 +151,7 @@ func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterCon
 		Join:        cfg.Join,
 		JournalPath: cfg.JournalPath,
 		Trace:       tr,
+		Sample:      cfg.Obs.Sample,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +177,7 @@ func ResumeClusterSortFile(ctx context.Context, inPath, outPath string, cfg Clus
 		Heartbeat:   cfg.Heartbeat,
 		JournalPath: cfg.JournalPath,
 		Trace:       tr,
+		Sample:      cfg.Obs.Sample,
 	})
 	if err != nil {
 		return nil, err
@@ -227,6 +230,11 @@ type WorkerOptions struct {
 	// and pprof endpoints on the address for the lifetime of ServeWorker.
 	// Empty opens no listener.
 	ObsAddr string
+	// Sample, when positive, runs a background utilization sampler per
+	// job session: goroutines, heap, and wire throughput ride the shipped
+	// trace as counter tracks (see ObsConfig.Sample for the coordinator
+	// side).
+	Sample time.Duration
 }
 
 // ServeWorker runs a cluster worker on ln until ctx is canceled or the
@@ -243,6 +251,7 @@ func ServeWorker(ctx context.Context, ln net.Listener, opt WorkerOptions) error 
 		},
 		DropAfterBlocks: opt.DropAfterBlocks,
 		ResumeWindow:    opt.ResumeWindow,
+		Sample:          opt.Sample,
 	}
 	if opt.ObsAddr != "" {
 		srv := obs.NewServer()
@@ -259,8 +268,22 @@ func ServeWorker(ctx context.Context, ln net.Listener, opt WorkerOptions) error 
 			// the cheapest engine per shard unless the operator pinned one.
 			sortCfg.Engine = EngineAuto
 		}
+		// Feed each shard sort's measured device bandwidth into the next
+		// one's planner, so after the first shard EngineAuto ranks engines
+		// with this host's real throughput instead of the 200 MB/s default.
+		// An operator-pinned Throughput wins over the feedback loop.
+		var measured atomic.Pointer[Throughput]
 		wcfg.SortShard = func(ctx context.Context, inPath, outPath, scratchDir string) error {
-			_, err := SortFileContext(ctx, inPath, outPath, scratchDir, sortCfg)
+			cfg := sortCfg
+			if cfg.Throughput == (Throughput{}) {
+				if t := measured.Load(); t != nil {
+					cfg.Throughput = *t
+				}
+			}
+			res, err := SortFileContext(ctx, inPath, outPath, scratchDir, cfg)
+			if err == nil && res.MeasuredThroughput != nil {
+				measured.Store(res.MeasuredThroughput)
+			}
 			return err
 		}
 	}

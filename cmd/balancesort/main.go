@@ -105,13 +105,14 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the full result as one JSON line on stdout instead of the human report")
 		progress  = flag.Bool("progress", false, "render live sort/cluster phase events to stderr")
 		obsAddr   = flag.String("obs-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. 127.0.0.1:9100); empty opens no listener")
+		sample    = flag.Duration("sample", 0, "sample per-disk utilization, pool occupancy, and runtime gauges at this interval (e.g. 10ms); lands as Chrome counter tracks in -trace and balancesort_util gauges on -obs-addr")
 	)
 	flag.Parse()
 
 	// obsCfg assembles the observability knobs for the sorting paths; srv
 	// may be nil (no -obs-addr), which attaches nothing.
 	obsCfg := func(srv *balancesort.ObsServer) balancesort.ObsConfig {
-		oc := balancesort.ObsConfig{Trace: *traceFile != "", Server: srv}
+		oc := balancesort.ObsConfig{Trace: *traceFile != "", Server: srv, Sample: *sample}
 		if *progress {
 			oc.Observer = newProgressRenderer()
 		}
@@ -135,6 +136,9 @@ func main() {
 		}
 		if !*jsonOut {
 			fmt.Printf("  trace:                 %d spans -> %s\n", len(tr.Spans()), *traceFile)
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "warning: span ring overflowed; %d oldest spans dropped from %s (raise ObsConfig.SpanCapacity)\n", d, *traceFile)
 		}
 	}
 	emitJSON := func(v any) {
@@ -255,6 +259,7 @@ func main() {
 			InMemory:        *inMem,
 			DropAfterBlocks: *dropAfter,
 			ObsAddr:         *obsAddr,
+			Sample:          *sample,
 		}
 		if *obsAddr != "" {
 			log.Printf("worker metrics on http://%s/metrics", *obsAddr)
@@ -452,6 +457,10 @@ func main() {
 			res.IOLowerBound, float64(res.IOs)/res.IOLowerBound)
 		if res.MaxBucketReadRatio > 0 {
 			fmt.Printf("  bucket read balance:   %.2fx of optimal\n", res.MaxBucketReadRatio)
+		}
+		if t := res.MeasuredThroughput; t != nil {
+			fmt.Printf("  measured throughput:   %.0f MB/s read, %.0f MB/s write per disk\n",
+				t.ReadBytesPerSec/(1<<20), t.WriteBytesPerSec/(1<<20))
 		}
 		fmt.Println("  verification:          OK (checked while streaming out)")
 		if res.Scrub != nil {

@@ -1,0 +1,65 @@
+// Command sortanalyze reads a Chrome trace written by the sorter (the
+// -trace output of cmd/balancesort, or the merged cluster trace from
+// ClusterResult.Trace) and prints a bottleneck report: the critical path
+// through the coordinator's phases, per-phase worker overlap, and how idle
+// each resource track sat.
+//
+// Usage:
+//
+//	sortanalyze [-json] [-gate-overlap] trace.json
+//
+// -json emits the report as JSON instead of text. -gate-overlap exits
+// non-zero when the trace shows more than one worker but no phase ever ran
+// two workers at once — a CI tripwire for accidentally serialized clusters.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"balancesort/internal/analyze"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	gate := flag.Bool("gate-overlap", false, "exit non-zero when >1 worker but zero phase overlap (serialized cluster)")
+	coordPid := flag.Int("coordinator-pid", 0, "pid of the coordinator process in the trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sortanalyze [-json] [-gate-overlap] trace.json")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr, err := analyze.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep := analyze.Analyze(tr, *coordPid)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		analyze.WriteText(os.Stdout, rep)
+	}
+
+	if *gate {
+		if err := analyze.OverlapGate(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "gate failed:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -198,6 +198,7 @@ func journalEngine(scratchDir string) (string, error) {
 func inMemSortFile(ctx context.Context, inPath, outPath string, cfg Config) (*Result, error) {
 	cfg.tracer = cfg.Obs.tracer()
 	cfg.Obs.attach("sort", cfg.tracer)
+	defer startSortObs(cfg, nil)() // runtime gauges only: no scratch array
 
 	recs, err := ReadRecordFile(inPath)
 	if err != nil {
@@ -459,6 +460,8 @@ func guideSortFile(ctx context.Context, inPath, outPath, scratchDir string, cfg 
 		defer jnl.Close()
 	}
 
+	defer startSortObs(cfg, arr)()
+
 	gcfg := guidesort.Config{
 		P:                 cfg.Processors,
 		Striped:           striped,
@@ -537,16 +540,18 @@ func guideRunAndDrain(arr *pdm.Array, gcfg guidesort.Config, st guidesort.State,
 		return nil, fmt.Errorf("balancesort: internal error: wrote %d of %d records", written, n)
 	}
 
+	ioStats := ioStatsFrom(arr.IOMetrics())
 	res = &Result{
-		IO:           ioStatsFrom(arr.IOMetrics()),
-		IOs:          met.IOs,
-		IOLowerBound: core.LowerBoundIOs(n, p),
-		PRAMTime:     met.PRAMTime,
-		PRAMWork:     met.PRAMWork,
-		Depth:        met.Depth,
-		Passes:       met.Passes,
-		MemPeak:      met.MemPeak,
-		Trace:        traceFrom(cfg.tracer),
+		IO:                 ioStats,
+		MeasuredThroughput: measuredThroughput(ioStats),
+		IOs:                met.IOs,
+		IOLowerBound:       core.LowerBoundIOs(n, p),
+		PRAMTime:           met.PRAMTime,
+		PRAMWork:           met.PRAMWork,
+		Depth:              met.Depth,
+		Passes:             met.Passes,
+		MemPeak:            met.MemPeak,
+		Trace:              traceFrom(cfg.tracer),
 	}
 	if cfg.Robust.ScrubAfter {
 		if err := arr.Sync(); err != nil {

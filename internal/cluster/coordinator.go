@@ -54,6 +54,10 @@ type SortSpec struct {
 	// Trace ends up holding the whole job's timeline: node 0 is the
 	// coordinator, node w+1 is worker w.
 	Trace *obs.Tracer
+	// Sample, when positive, runs a background utilization sampler on the
+	// coordinator at this interval: goroutines, heap, and inbound/outbound
+	// network throughput land as counter tracks on Trace. Requires Trace.
+	Sample time.Duration
 }
 
 // Heartbeat configures the coordinator's failure detector: a dedicated
@@ -255,20 +259,24 @@ type frameMsg struct {
 // reader goroutine pushes inbound frames to ch so the coordinator can wait
 // on a frame and a loss signal simultaneously; writes go straight out.
 type link struct {
-	id   int
-	conn net.Conn
-	cfg  DialConfig
-	ch   chan frameMsg
-	done chan struct{} // closed when the job ends; unblocks a stuck reader
+	id    int
+	conn  net.Conn
+	cfg   DialConfig
+	meter *netMeter // nil-safe; counts the link's frames and wire bytes
+	ch    chan frameMsg
+	done  chan struct{} // closed when the job ends; unblocks a stuck reader
 }
 
-func newLink(id int, conn net.Conn, cfg DialConfig) *link {
-	l := &link{id: id, conn: conn, cfg: cfg, ch: make(chan frameMsg, 4), done: make(chan struct{})}
+func newLink(id int, conn net.Conn, cfg DialConfig, meter *netMeter) *link {
+	l := &link{id: id, conn: conn, cfg: cfg, meter: meter, ch: make(chan frameMsg, 4), done: make(chan struct{})}
 	go func() {
 		br := bufio.NewReaderSize(conn, 1<<16)
 		for {
 			clearDeadline(conn) // liveness comes from heartbeats, not read deadlines
 			typ, payload, err := readFrame(br)
+			if err == nil {
+				l.meter.in(len(payload))
+			}
 			fr := frameMsg{typ: typ, payload: payload, err: err}
 			select {
 			case l.ch <- fr:
@@ -285,7 +293,11 @@ func newLink(id int, conn net.Conn, cfg DialConfig) *link {
 
 func (l *link) send(typ byte, payload []byte) error {
 	setWriteDeadline(l.conn, l.cfg)
-	return writeFrame(l.conn, typ, payload)
+	if err := writeFrame(l.conn, typ, payload); err != nil {
+		return err
+	}
+	l.meter.out(len(payload))
+	return nil
 }
 
 // coordinator is the per-job state of one cluster Sort call.
@@ -297,6 +309,7 @@ type coordinator struct {
 	inPath  string
 	outPath string
 	tr      *obs.Tracer
+	net     *netMeter
 	jobID   uint64
 
 	links    []*link // grows only on join (under mu); dead entries keep a closed conn
@@ -380,9 +393,19 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortStat
 		inPath:  inPath,
 		outPath: outPath,
 		tr:      spec.Trace,
+		net:     &netMeter{},
 		jobID:   uint64(time.Now().UnixNano()),
 		deadErr: make(map[int]error),
 		lostSig: make(chan struct{}, 1),
+	}
+	if c.tr != nil {
+		// Every coordinator span closes with its network and allocation
+		// deltas; the optional sampler adds utilization counter tracks.
+		c.tr.SetResourceSource(c.net.resourceSource(), "cluster")
+		defer c.tr.SetResourceSource(nil)
+		smp := obs.StartSampler(c.tr, spec.Sample,
+			append(obs.RuntimeGauges(), c.net.gauges()...))
+		defer smp.Stop()
 	}
 	defer func() {
 		if c.monCancel != nil {
@@ -528,7 +551,7 @@ func (c *coordinator) connect(ctx context.Context) error {
 		if derr != nil {
 			return fmt.Errorf("cluster: dialing worker %d: %w", i, derr)
 		}
-		c.links[i] = newLink(i, conn, c.spec.Dial)
+		c.links[i] = newLink(i, conn, c.spec.Dial, c.net)
 	}
 	var flags uint32
 	if c.tr != nil {
@@ -931,6 +954,7 @@ func (c *coordinator) histogramPhase() error {
 		if err := c.sendTo(i, mPivots, pv); err != nil {
 			return phaseErr("pivots to worker", i, err)
 		}
+		c.flowOut("pivots", i)
 	}
 	sp.End(obs.Attr{Key: "pivots", Val: int64(len(c.pivots))})
 	return nil
@@ -1059,6 +1083,7 @@ func (c *coordinator) planPhase() error {
 		if err := c.sendTo(i, mPlan, p.encode()); err != nil {
 			return phaseErr("plan to worker", i, err)
 		}
+		c.flowOut("plan", i)
 	}
 	c.bl = bl
 	c.streamLen = len(stream)
@@ -1102,6 +1127,7 @@ func (c *coordinator) gatherPhase() error {
 		if err := c.sendTo(i, mStartGather, nil); err != nil {
 			return phaseErr("starting gather on worker", i, err)
 		}
+		c.flowOut("gather", i)
 	}
 	for _, i := range c.active() {
 		payload, err := c.expectFrom(i, mPhaseDone)
@@ -1131,6 +1157,7 @@ func (c *coordinator) sortPhase() error {
 		if err := c.sendTo(i, mSortReq, nil); err != nil {
 			return phaseErr("sort request to worker", i, err)
 		}
+		c.flowOut("local-sort", i)
 	}
 	for _, i := range c.active() {
 		payload, err := c.expectFrom(i, mSortDone)
@@ -1185,6 +1212,7 @@ func (c *coordinator) drainShards() (err error) {
 		if err := c.sendTo(i, mFetch, nil); err != nil {
 			return phaseErr("fetch from worker", i, err)
 		}
+		c.flowOut("drain", i)
 		var got uint64
 		for {
 			typ, payload, rerr := c.recvFrom(i)
@@ -1487,7 +1515,7 @@ func (c *coordinator) attachJoiner(ctx context.Context, id int, addr string, new
 	if err != nil {
 		return nil, err
 	}
-	l := newLink(id, conn, c.spec.Dial)
+	l := newLink(id, conn, c.spec.Dial, c.net)
 	drop := func() {
 		conn.Close()
 		close(l.done)
@@ -1521,6 +1549,15 @@ func (c *coordinator) attachJoiner(ctx context.Context, id int, addr string, new
 		return nil, fmt.Errorf("cluster: joiner %s speaks protocol %d, join needs 4", addr, v.Version)
 	}
 	return l, nil
+}
+
+// flowOut drops the outbound half of a coordinator->worker causality edge
+// right after the phase-triggering message leaves; the worker drops the
+// matching inbound half when it acts on it. Both ends derive the same flow
+// id from (phase, epoch, worker), so the edge binds in the merged trace
+// without shipping ids.
+func (c *coordinator) flowOut(phase string, worker int) {
+	c.tr.FlowPoint("cluster", "flow-"+phase, worker, flowID(phase, c.epoch, worker), true)
 }
 
 func boolAttr(b bool) int64 {

@@ -32,8 +32,14 @@ import (
 // All of it degrades: a v4 coordinator driving any v<4 worker disables
 // join and resume for the job (c.elastic), and the epoch-0/no-churn wire
 // encoding stays byte-identical to v3.
+//
+// Version 5 extended the mTrace span encoding with causality fields (span
+// id, parent id, flow id, flow direction) behind the traceExtFlag bit of
+// the span-count word. A v5 worker only emits the extended encoding when
+// the session settled on version 5, so a v<5 coordinator still receives
+// byte-identical v4 trace chunks; a v5 decoder reads both forms.
 const (
-	protocolVersion    = 4
+	protocolVersion    = 5
 	minProtocolVersion = 2
 )
 
@@ -876,19 +882,32 @@ func (m *msgError) decode(p []byte) error {
 // MaxFramePayload even with generous attribute lists.
 const traceChunkSpans = 8192
 
+// traceExtFlag marks a v5 extended trace chunk in the top bit of the
+// span-count word. Legitimate counts are bounded by traceChunkSpans, so
+// the bit is never set by a v4 encoder, and a v4 decoder fed an extended
+// chunk fails the count bound cleanly instead of mis-parsing.
+const traceExtFlag uint32 = 1 << 31
+
 // msgTrace ships one chunk of a worker's recorded spans back to the
 // coordinator. EpochNanos is the worker tracer's epoch as wall-clock
 // UnixNano, which the coordinator uses to rebase span offsets onto its
-// own epoch before merging into the job timeline.
+// own epoch before merging into the job timeline. Ext selects the v5
+// encoding that carries each span's causality fields; set it only when
+// the session settled on protocol 5.
 type msgTrace struct {
 	EpochNanos uint64
 	Spans      []obs.Span
+	Ext        bool
 }
 
 func (m *msgTrace) encode() []byte {
 	var w wcur
 	w.u64(m.EpochNanos)
-	w.u32(uint32(len(m.Spans)))
+	count := uint32(len(m.Spans))
+	if m.Ext {
+		count |= traceExtFlag
+	}
+	w.u32(count)
 	for _, s := range m.Spans {
 		w.str(s.Layer)
 		w.str(s.Name)
@@ -900,6 +919,16 @@ func (m *msgTrace) encode() []byte {
 			w.str(a.Key)
 			w.u64(uint64(a.Val))
 		}
+		if m.Ext {
+			w.u64(s.SpanID)
+			w.u64(s.Parent)
+			w.u64(s.Flow)
+			if s.FlowOut {
+				w.u8(1)
+			} else {
+				w.u8(0)
+			}
+		}
 	}
 	return w.b
 }
@@ -907,7 +936,9 @@ func (m *msgTrace) encode() []byte {
 func (m *msgTrace) decode(p []byte) error {
 	r := rcur{b: p}
 	m.EpochNanos = r.u64()
-	n := int(r.u32())
+	count := r.u32()
+	m.Ext = count&traceExtFlag != 0
+	n := int(count &^ traceExtFlag)
 	// A span is at least 32 bytes (two empty strings, id, start, dur,
 	// attr count); bound before allocating so a hostile count cannot
 	// balloon memory.
@@ -934,6 +965,12 @@ func (m *msgTrace) decode(p []byte) error {
 				a.Val = int64(r.u64())
 				s.Attrs = append(s.Attrs, a)
 			}
+		}
+		if m.Ext {
+			s.SpanID = r.u64()
+			s.Parent = r.u64()
+			s.Flow = r.u64()
+			s.FlowOut = r.u8() != 0
 		}
 		m.Spans = append(m.Spans, s)
 	}

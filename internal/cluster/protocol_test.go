@@ -81,6 +81,18 @@ func TestMessageRoundTrips(t *testing.T) {
 		},
 	}, &msgTrace{})
 	roundTrip(t, "trace-empty", &msgTrace{EpochNanos: 1}, &msgTrace{})
+	// Protocol v5: extended span encoding with causality and flow fields.
+	roundTrip(t, "trace-ext", &msgTrace{
+		EpochNanos: 0x1122334455667788,
+		Ext:        true,
+		Spans: []obs.Span{
+			{Layer: "cluster", Name: "exchange", ID: 3, Start: 5 * time.Millisecond, Dur: time.Millisecond,
+				SpanID: 7, Parent: 2,
+				Attrs: []obs.Attr{{Key: "net.bytes_out", Val: 4096}}},
+			{Layer: "cluster", Name: "flow-plan", ID: 1, Start: time.Microsecond,
+				SpanID: 9, Flow: 0xDEADBEEFCAFE, FlowOut: true},
+		},
+	}, &msgTrace{})
 	// Protocol v3 messages.
 	roundTrip(t, "peerhello-epoch", &msgPeerHello{JobID: 42, Src: 3, Epoch: 2}, &msgPeerHello{})
 	roundTrip(t, "version", &msgVersion{Version: protocolVersion}, &msgVersion{})

@@ -143,6 +143,7 @@ func Resume(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortSt
 		inPath:     inPath,
 		outPath:    outPath,
 		tr:         spec.Trace,
+		net:        &netMeter{},
 		jobID:      st.jobID,
 		jr:         jr,
 		epoch:      st.maxEpoch,
@@ -178,6 +179,13 @@ func Resume(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortSt
 }
 
 func (c *coordinator) resume(ctx context.Context, st *journalState) (*SortStats, error) {
+	if c.tr != nil {
+		c.tr.SetResourceSource(c.net.resourceSource(), "cluster")
+		defer c.tr.SetResourceSource(nil)
+		smp := obs.StartSampler(c.tr, c.spec.Sample,
+			append(obs.RuntimeGauges(), c.net.gauges()...))
+		defer smp.Stop()
+	}
 	sp := c.tr.Begin("cluster", "resume", 0)
 	c.links = make([]*link, c.W)
 	c.vers = make([]int, c.W)
@@ -275,7 +283,7 @@ func (c *coordinator) attachResume(ctx context.Context, i int, expected []uint64
 			lastErr = err
 			continue
 		}
-		l := newLink(i, conn, c.spec.Dial)
+		l := newLink(i, conn, c.spec.Dial, c.net)
 		c.links[i] = l
 		a := msgAttach{
 			Version: protocolVersion, JobID: c.jobID,

@@ -62,6 +62,11 @@ type WorkerConfig struct {
 	// serve metrics even when the coordinator is not collecting traces,
 	// and ship traces without serving metrics.
 	Obs *obs.Server
+	// Sample, when positive and a session trace is active, runs a
+	// background utilization sampler at this interval: goroutine count,
+	// heap, and wire throughput land as counter samples in the session
+	// trace and ship to the coordinator with the phase spans.
+	Sample time.Duration
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -492,7 +497,13 @@ func (l *wlink) send(typ byte, payload []byte) error {
 		return errors.New("cluster: worker hung")
 	}
 	setWriteDeadline(l.conn, l.cfg)
-	return writeFrame(l.conn, typ, payload)
+	if err := writeFrame(l.conn, typ, payload); err != nil {
+		return err
+	}
+	if l.s != nil {
+		l.s.net.out(len(payload))
+	}
+	return nil
 }
 
 // recv reads directly from the connection — protocol v2 only (under v3 the
@@ -503,7 +514,11 @@ func (l *wlink) recv(slow bool) (byte, []byte, error) {
 	} else {
 		setOpDeadline(l.conn, l.cfg)
 	}
-	return readFrame(l.br)
+	typ, payload, err := readFrame(l.br)
+	if err == nil && l.s != nil {
+		l.s.net.in(len(payload))
+	}
+	return typ, payload, err
 }
 
 // errInterrupted unwinds the worker's phase machinery when a re-scatter
@@ -558,7 +573,9 @@ type session struct {
 	dial      DialConfig
 	ctx       context.Context
 	cancel    context.CancelFunc
-	trace     *obs.Tracer // non-nil when the Hello trace flag or cfg.Obs asked for it
+	trace     *obs.Tracer  // non-nil when the Hello trace flag or cfg.Obs asked for it
+	net       *netMeter    // wire frames/bytes moved by this session
+	sampler   *obs.Sampler // utilization sampler; stopped by teardown
 
 	// Control-plane state, touched only by the job goroutine.
 	shardRecs uint64
@@ -625,8 +642,15 @@ func newSession(w *Worker, h *msgHello) (*session, error) {
 		conns:     make(map[net.Conn]struct{}),
 		monConns:  make(map[net.Conn]struct{}),
 	}
+	s.net = &netMeter{}
 	if h.Flags&helloFlagTrace != 0 || w.cfg.Obs != nil {
 		s.trace = obs.New(0, nil)
+		// Every phase span closes with the network and allocation deltas
+		// it caused, so the coordinator's merged timeline can attribute
+		// wire traffic per worker per phase.
+		s.trace.SetResourceSource(s.net.resourceSource(), "cluster")
+		s.sampler = obs.StartSampler(s.trace, w.cfg.Sample,
+			append(obs.RuntimeGauges(), s.net.gauges()...))
 		if w.cfg.Obs != nil {
 			w.cfg.Obs.SetTracer("job", s.trace)
 		}
@@ -766,6 +790,7 @@ func (s *session) abortReason() error {
 }
 
 func (s *session) teardown() {
+	s.sampler.Stop()
 	s.abort(errors.New("cluster: job torn down"))
 	s.mu.Lock()
 	if s.exFile != nil {
@@ -875,6 +900,9 @@ func (s *session) readCtl(ctl *wlink) {
 	for {
 		clearDeadline(ctl.conn)
 		typ, payload, err := readFrame(ctl.br)
+		if err == nil {
+			s.net.in(len(payload))
+		}
 		if err != nil {
 			if s.isHung() || s.version >= 4 {
 				// v4: a dead control link means the coordinator is gone.
@@ -996,6 +1024,7 @@ func (s *session) servePeer(conn net.Conn, br *bufio.Reader, epoch uint32) {
 		if err != nil {
 			return
 		}
+		s.net.in(len(payload))
 		if typ != mBlock {
 			return
 		}
@@ -1011,11 +1040,12 @@ func (s *session) servePeer(conn net.Conn, br *bufio.Reader, epoch uint32) {
 		if stale {
 			return // epoch moved on mid-stream: drop the conn, no ack
 		}
-		ack := msgBlockAck{Phase: b.Phase, Bucket: b.Bucket, Seq: b.Seq}
+		ack := (&msgBlockAck{Phase: b.Phase, Bucket: b.Bucket, Seq: b.Seq}).encode()
 		setOpDeadline(conn, s.dial)
-		if err := writeFrame(conn, mBlockAck, ack.encode()); err != nil {
+		if err := writeFrame(conn, mBlockAck, ack); err != nil {
 			return
 		}
+		s.net.out(len(ack))
 	}
 }
 
@@ -1267,17 +1297,19 @@ func (s *session) dialPeer(ctx context.Context, epoch uint32, dest int) (net.Con
 		return nil, nil, err
 	}
 	br := bufio.NewReaderSize(conn, 1<<16)
-	ph := msgPeerHello{JobID: s.jobID, Src: uint32(s.self), Epoch: epoch}
+	hello := (&msgPeerHello{JobID: s.jobID, Src: uint32(s.self), Epoch: epoch}).encode()
 	setOpDeadline(conn, s.dial)
-	if err := writeFrame(conn, mPeerHello, ph.encode()); err != nil {
+	if err := writeFrame(conn, mPeerHello, hello); err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
-	typ, _, err := readFrame(br)
+	s.net.out(len(hello))
+	typ, ackPayload, err := readFrame(br)
 	if err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
+	s.net.in(len(ackPayload))
 	if typ != mPeerHelloAck {
 		conn.Close()
 		return nil, nil, fmt.Errorf("cluster: peer %d answered handshake with message %d", dest, typ)
@@ -1289,10 +1321,12 @@ func (s *session) dialPeer(ctx context.Context, epoch uint32, dest int) (net.Con
 // deliver pushes one block and waits for its ack.
 func (s *session) deliver(conn net.Conn, br *bufio.Reader, phase uint8, blk *outBlock) error {
 	m := msgBlock{Phase: phase, Src: uint32(s.self), Bucket: blk.bucket, Seq: blk.seq, Data: blk.data}
+	payload := m.encode()
 	setOpDeadline(conn, s.dial)
-	if err := writeFrame(conn, mBlock, m.encode()); err != nil {
+	if err := writeFrame(conn, mBlock, payload); err != nil {
 		return err
 	}
+	s.net.out(len(payload))
 	// Fault injection: sever the connection once, after the configured
 	// number of network sends, before the ack is read — the retransmit
 	// path must recover without duplicating the block.
@@ -1303,6 +1337,7 @@ func (s *session) deliver(conn net.Conn, br *bufio.Reader, phase uint8, blk *out
 	if err != nil {
 		return err
 	}
+	s.net.in(len(payload))
 	if typ != mBlockAck {
 		return fmt.Errorf("cluster: peer answered block with message %d", typ)
 	}
@@ -1417,6 +1452,7 @@ func (s *session) pipeline(ctl *wlink) error {
 	if err != nil {
 		return err
 	}
+	s.flowIn("pivots")
 	var pv msgPivots
 	if err := pv.decode(payload); err != nil {
 		return err
@@ -1440,6 +1476,7 @@ func (s *session) pipeline(ctl *wlink) error {
 	if err != nil {
 		return err
 	}
+	s.flowIn("plan")
 	var plan msgPlan
 	if err := plan.decode(payload); err != nil {
 		return err
@@ -1475,6 +1512,7 @@ func (s *session) pipeline(ctl *wlink) error {
 	if _, err := s.expectCtl(ctl, mStartGather); err != nil {
 		return err
 	}
+	s.flowIn("gather")
 	spGather := s.trace.Begin("cluster", "gather", s.self)
 	sent, err = s.runSenders(2, s.produceGather)
 	if err != nil {
@@ -1496,6 +1534,7 @@ func (s *session) pipeline(ctl *wlink) error {
 	if _, err := s.expectCtl(ctl, mSortReq); err != nil {
 		return err
 	}
+	s.flowIn("local-sort")
 	spSort := s.trace.Begin("cluster", "shard-sort", s.self)
 	count, err := s.sortShard()
 	if err != nil {
@@ -1516,6 +1555,7 @@ func (s *session) pipeline(ctl *wlink) error {
 	if _, err := s.expectCtl(ctl, mFetch); err != nil {
 		return err
 	}
+	s.flowIn("drain")
 	spDrain := s.trace.Begin("cluster", "drain", s.self)
 	if err := s.sendSorted(ctl, count); err != nil {
 		return err
@@ -1681,22 +1721,32 @@ restart:
 
 // sendTrace ships every locally recorded span to the coordinator in bounded
 // chunks, tagged with this worker's epoch so the coordinator can rebase the
-// offsets onto its own timeline, and finishes with mTraceDone.
+// offsets onto its own timeline, and finishes with mTraceDone. Against a v5
+// coordinator the chunks carry each span's causality fields; a v<5 session
+// ships the byte-identical v4 encoding and loses only span ids and flows.
 func (s *session) sendTrace(ctl *wlink) error {
 	spans := s.trace.Spans()
 	epoch := uint64(s.trace.Epoch().UnixNano())
+	ext := s.version >= 5
 	for len(spans) > 0 {
 		n := traceChunkSpans
 		if n > len(spans) {
 			n = len(spans)
 		}
-		m := msgTrace{EpochNanos: epoch, Spans: spans[:n]}
+		m := msgTrace{EpochNanos: epoch, Spans: spans[:n], Ext: ext}
 		if err := ctl.send(mTrace, m.encode()); err != nil {
 			return err
 		}
 		spans = spans[n:]
 	}
 	return ctl.send(mTraceDone, nil)
+}
+
+// flowIn drops the inbound half of a coordinator->worker causality edge the
+// moment the phase-triggering control message is acted on; see the
+// coordinator's flowOut for the outbound half and the id derivation.
+func (s *session) flowIn(phase string) {
+	s.trace.FlowPoint("cluster", "flow-"+phase, s.self, flowID(phase, s.curEpoch(), s.self), false)
 }
 
 // recvScatter streams the coordinator's record chunks into the shard file.

@@ -277,7 +277,7 @@ func (ds *DiskSorter) Resume(done []Region, work []SourceDesc, prior Metrics) []
 			sp.End(obs.Attr{Key: "depth", Val: int64(d.Depth)}, obs.Attr{Key: "n", Val: int64(n)})
 		} else {
 			sp := ds.cfg.Trace.Begin("sort", "distribute-pass", 0)
-			work = append(ds.distribute(src, d.Depth), work...)
+			work = append(ds.distribute(sp, src, d.Depth), work...)
 			sp.End(obs.Attr{Key: "depth", Val: int64(d.Depth)}, obs.Attr{Key: "n", Val: int64(n)})
 		}
 		ds.cfg.Trace.Count("sort", "records-moved", 0, int64(n))
@@ -364,12 +364,15 @@ type formedBlock struct {
 // (phase 2), stream the runs through the balancer into per-bucket block
 // chains (phase 3), and return the per-bucket descriptors (in bucket
 // order) for the work-list to recurse into.
-func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
+// pass is the enclosing distribute-pass span; the three phase spans are
+// its children, so the trace shows the pass as a causal tree rather than
+// four disjoint siblings.
+func (ds *DiskSorter) distribute(pass obs.Active, src source, depth int) []SourceDesc {
 	n := src.Total()
 	ds.met.Passes++
 
 	// --- Phase 1: memoryload runs + evenly spaced sampling ---------------
-	phase1 := ds.cfg.Trace.Begin("sort", "run-formation", 0)
+	phase1 := pass.Child("sort", "run-formation", 0)
 	stride := (4*n + ds.arr.M() - 1) / ds.arr.M() // sample size <= M/4
 	if stride < 4 {
 		stride = 4
@@ -417,7 +420,7 @@ func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
 	phase1.End(obs.Attr{Key: "runs", Val: int64(len(runs))}, obs.Attr{Key: "sample", Val: int64(len(sample))})
 
 	// --- Phase 2: partition elements from the sample ---------------------
-	phase2 := ds.cfg.Trace.Begin("sort", "partition-elements", 0)
+	phase2 := pass.Child("sort", "partition-elements", 0)
 	ds.internalSort(sample)
 	s := ds.s
 	pivots := make([]record.Record, 0, s-1)
@@ -437,7 +440,7 @@ func (ds *DiskSorter) distribute(src source, depth int) []SourceDesc {
 	phase2.End(obs.Attr{Key: "pivots", Val: int64(len(pivots))})
 
 	// --- Phase 3: balanced distribution into block chains ----------------
-	phase3 := ds.cfg.Trace.Begin("sort", "distribute-tracks", 0)
+	phase3 := pass.Child("sort", "distribute-tracks", 0)
 	h := ds.vd.V()
 	vb := ds.vd.VB()
 	pl := ds.newPlacer(s, h)

@@ -1,12 +1,18 @@
 package diskio
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // bufPool recycles block-sized byte buffers so that steady-state transfers
-// — demand reads, write copies, prefetches — allocate nothing.
+// — demand reads, write copies, prefetches — allocate nothing. inUse counts
+// buffers currently checked out (gets minus puts), the occupancy signal the
+// utilization sampler reports.
 type bufPool struct {
-	size int
-	pool sync.Pool
+	size  int
+	inUse atomic.Int64
+	pool  sync.Pool
 }
 
 func newBufPool(size int) *bufPool {
@@ -15,9 +21,13 @@ func newBufPool(size int) *bufPool {
 	return p
 }
 
-func (p *bufPool) get() []byte { return p.pool.Get().([]byte) }
+func (p *bufPool) get() []byte {
+	p.inUse.Add(1)
+	return p.pool.Get().([]byte)
+}
 
 func (p *bufPool) put(buf []byte) {
+	p.inUse.Add(-1)
 	if cap(buf) == p.size {
 		p.pool.Put(buf[:p.size])
 	}

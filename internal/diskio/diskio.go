@@ -435,6 +435,7 @@ func (w *worker) read(blk int64, dst []byte) error {
 // write-behind is off) and reports any deferred flush error.
 func (w *worker) write(blk int64, buf []byte) error {
 	defer w.pool.put(buf)
+	defer w.syncWB()
 	w.invalidate(blk)
 	bb := int64(w.cfg.BlockBytes)
 	if w.cfg.WriteBehind <= 0 {
@@ -478,6 +479,12 @@ func (w *worker) scheduleIdleFlush() {
 	}
 }
 
+// syncWB mirrors the write-behind run length (in blocks) into the atomic
+// the sampler reads.
+func (w *worker) syncWB() {
+	w.m.wbBacklog.Store(int64(len(w.wb)) / int64(w.cfg.BlockBytes))
+}
+
 // flushWB pushes the pending run to the device as one WriteAt.
 func (w *worker) flushWB() error {
 	if len(w.wb) == 0 {
@@ -486,6 +493,7 @@ func (w *worker) flushWB() error {
 	run := w.wb
 	off := w.wbStart * int64(w.cfg.BlockBytes)
 	w.wb = w.wb[:0]
+	w.syncWB()
 	sp := w.cfg.Trace.Begin("disk", "flush", w.id)
 	err := w.withRetry(func() error { return w.deviceWrite(run, off) })
 	sp.End(obs.Attr{Key: "blocks", Val: int64(len(run) / w.cfg.BlockBytes)})
@@ -622,6 +630,8 @@ func (w *worker) sleep(d time.Duration) error {
 // Device; the fault injector sits here so every other layer sees faults
 // exactly as it would see real ones.
 func (w *worker) deviceRead(dst []byte, off int64) error {
+	start := time.Now()
+	defer func() { w.m.busyNanos.Add(time.Since(start).Nanoseconds()) }()
 	if w.inj != nil {
 		w.inj.jitter()
 		if w.inj.failRead() {
@@ -635,10 +645,13 @@ func (w *worker) deviceRead(dst []byte, off int64) error {
 	}
 	w.m.reads.Add(1)
 	w.m.bytesRead.Add(int64(len(dst)))
+	w.m.readNanos.Add(time.Since(start).Nanoseconds())
 	return nil
 }
 
 func (w *worker) deviceWrite(src []byte, off int64) error {
+	start := time.Now()
+	defer func() { w.m.busyNanos.Add(time.Since(start).Nanoseconds()) }()
 	if w.inj != nil {
 		w.inj.jitter()
 		if fail, torn := w.inj.failWrite(); fail {
@@ -657,6 +670,7 @@ func (w *worker) deviceWrite(src []byte, off int64) error {
 	}
 	w.m.writes.Add(1)
 	w.m.bytesWritten.Add(int64(len(src)))
+	w.m.writeNanos.Add(time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -670,4 +684,13 @@ type counters struct {
 	prefetchHits, writeHits atomic.Int64
 	coalesced, flushes      atomic.Int64
 	queueMax                atomic.Int64
+	// Device-time accounting: readNanos/writeNanos sum the duration of
+	// successful device transfers (the basis for measured throughput),
+	// busyNanos sums all device-op time including failed attempts (the
+	// basis for the busy-fraction utilization track). wbBacklog mirrors the
+	// goroutine-owned write-behind run length in blocks so the sampler can
+	// read it without racing the worker.
+	readNanos, writeNanos atomic.Int64
+	busyNanos             atomic.Int64
+	wbBacklog             atomic.Int64
 }

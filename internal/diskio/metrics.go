@@ -21,6 +21,15 @@ type DiskStats struct {
 	Coalesced, Flushes int64
 	// QueueMax is the deepest observed demand queue.
 	QueueMax int64
+	// ReadNanos/WriteNanos sum the device time of successful transfers —
+	// BytesRead/ReadNanos is this disk's measured read bandwidth.
+	// BusyNanos sums all device-op time, failed attempts included.
+	ReadNanos, WriteNanos int64
+	BusyNanos             int64
+	// QueueLen and WBBacklog are instantaneous: the demand queue depth and
+	// the write-behind run length (blocks) at snapshot time.
+	QueueLen  int64
+	WBBacklog int64
 }
 
 // Add accumulates o into s (QueueMax takes the max).
@@ -40,11 +49,19 @@ func (s *DiskStats) Add(o DiskStats) {
 	if o.QueueMax > s.QueueMax {
 		s.QueueMax = o.QueueMax
 	}
+	s.ReadNanos += o.ReadNanos
+	s.WriteNanos += o.WriteNanos
+	s.BusyNanos += o.BusyNanos
+	s.QueueLen += o.QueueLen
+	s.WBBacklog += o.WBBacklog
 }
 
 // Snapshot is the whole engine's metrics at one instant.
 type Snapshot struct {
 	PerDisk []DiskStats
+	// PoolInUse is the number of block buffers currently checked out of
+	// the engine's buffer pool.
+	PoolInUse int64
 }
 
 // Aggregate sums the per-disk stats.
@@ -59,7 +76,7 @@ func (s Snapshot) Aggregate() DiskStats {
 // Metrics snapshots every disk's counters. Safe to call at any time,
 // including while transfers are in flight.
 func (e *Engine) Metrics() Snapshot {
-	snap := Snapshot{PerDisk: make([]DiskStats, len(e.workers))}
+	snap := Snapshot{PerDisk: make([]DiskStats, len(e.workers)), PoolInUse: e.pool.inUse.Load()}
 	for i, w := range e.workers {
 		snap.PerDisk[i] = DiskStats{
 			Reads:           w.m.reads.Load(),
@@ -75,6 +92,11 @@ func (e *Engine) Metrics() Snapshot {
 			Coalesced:       w.m.coalesced.Load(),
 			Flushes:         w.m.flushes.Load(),
 			QueueMax:        w.m.queueMax.Load(),
+			ReadNanos:       w.m.readNanos.Load(),
+			WriteNanos:      w.m.writeNanos.Load(),
+			BusyNanos:       w.m.busyNanos.Load(),
+			QueueLen:        int64(len(w.demand)),
+			WBBacklog:       w.m.wbBacklog.Load(),
 		}
 	}
 	return snap

@@ -250,7 +250,7 @@ func (s *Sorter) Resume(st State) core.Region {
 		group := runs[:k]
 		final := k == len(runs) // the final merge's output needs no sidecar
 		sp := s.cfg.Trace.Begin("sort", s.mergeSpanName(), 0)
-		merged := s.merge(group, final)
+		merged := s.merge(sp, group, final)
 		sp.End(obs.Attr{Key: "n", Val: int64(merged.N)}, obs.Attr{Key: "arity", Val: int64(k)})
 		runs = append(append([]Run(nil), runs[k:]...), merged)
 		s.met.Passes++
@@ -358,7 +358,9 @@ func (s *Sorter) formRun(inOff, pos, want int) Run {
 
 // merge merges the group of runs into one fresh run. The output gets a
 // block-minima sidecar unless final (no later merge will consume it).
-func (s *Sorter) merge(group []Run, final bool) Run {
+// parent is the enclosing merge span; sub-phase spans (guide-build) are
+// recorded as its children.
+func (s *Sorter) merge(parent obs.Active, group []Run, final bool) Run {
 	total := 0
 	level := 0
 	for _, r := range group {
@@ -370,7 +372,7 @@ func (s *Sorter) merge(group []Run, final bool) Run {
 	if s.cfg.Striped {
 		return s.mergeStriped(group, total, level)
 	}
-	return s.mergeGuided(group, total, level, final)
+	return s.mergeGuided(parent, group, total, level, final)
 }
 
 // ---------------------------------------------------------------------------
@@ -397,13 +399,13 @@ type gCursor struct {
 	gi, so int
 }
 
-func (s *Sorter) mergeGuided(group []Run, total, level int, final bool) Run {
+func (s *Sorter) mergeGuided(parent obs.Active, group []Run, total, level int, final bool) Run {
 	p := s.arr.Params()
 
 	// Build the guide from the runs' minima sidecars, thinned so it fits
 	// guideCap. Thinning keeps every thin-th minimum per run; a kept entry
 	// then guides a span of thin blocks.
-	sp := s.cfg.Trace.Begin("sort", "guide-build", 0)
+	sp := parent.Child("sort", "guide-build", 0)
 	totalBlocks := 0
 	nblocks := make([]int, len(group))
 	for i, r := range group {

@@ -7,15 +7,19 @@ import (
 	"strconv"
 )
 
-// chromeEvent is one entry of the Chrome trace_event format's JSON array
-// ("X" complete events and "M" metadata events are the only kinds we
-// emit). ts and dur are microseconds; pid is the node (coordinator = 0,
-// worker w = w+1) and tid the per-layer worker/disk id, which is how the
-// viewer groups spans into process and thread tracks.
+// chromeEvent is one entry of the Chrome trace_event format's JSON array.
+// We emit "X" complete events for phases, "M" metadata events for process
+// names, "C" counter events for utilization tracks, and "s"/"f" flow events
+// for coordinator→worker message edges. ts and dur are microseconds; pid is
+// the node (coordinator = 0, worker w = w+1) and tid the per-layer
+// worker/disk id, which is how the viewer groups spans into process and
+// thread tracks.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
+	ID   string         `json:"id,omitempty"` // flow-event binding id (hex)
+	BP   string         `json:"bp,omitempty"` // "e": bind flow finish to enclosing slice
 	Ts   float64        `json:"ts"`
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
@@ -24,13 +28,22 @@ type chromeEvent struct {
 }
 
 type chromeTrace struct {
-	TraceEvents []chromeEvent `json:"traceEvents"`
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
 }
 
 // WriteChromeTrace writes the spans as Chrome trace_event JSON, loadable
 // in Perfetto / chrome://tracing. Node 0 is labeled "coordinator" and node
 // n "worker n-1" via process_name metadata events.
 func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return WriteChromeTraceDropped(w, spans, 0)
+}
+
+// WriteChromeTraceDropped is WriteChromeTrace plus a span-loss warning:
+// when dropped > 0 the trace carries a "spans_dropped" metadata event and
+// an otherData footer, so a truncated timeline announces itself instead of
+// silently looking complete.
+func WriteChromeTraceDropped(w io.Writer, spans []Span, dropped int64) error {
 	nodes := map[int]bool{}
 	for _, s := range spans {
 		nodes[s.Node] = true
@@ -41,7 +54,7 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 	}
 	sort.Ints(nodeList)
 
-	evs := make([]chromeEvent, 0, len(spans)+len(nodeList))
+	evs := make([]chromeEvent, 0, len(spans)+len(nodeList)+1)
 	for _, n := range nodeList {
 		name := "coordinator"
 		if n > 0 {
@@ -54,25 +67,78 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			Args: map[string]any{"name": name},
 		})
 	}
+	if dropped > 0 {
+		evs = append(evs, chromeEvent{
+			Name: "spans_dropped",
+			Ph:   "M",
+			Args: map[string]any{"count": dropped},
+		})
+	}
 	for _, s := range spans {
-		ev := chromeEvent{
-			Name: s.Name,
-			Cat:  s.Layer,
-			Ph:   "X",
-			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
-			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
-			Pid:  s.Node,
-			Tid:  s.ID,
-		}
-		if len(s.Attrs) > 0 {
-			args := make(map[string]any, len(s.Attrs))
-			for _, a := range s.Attrs {
-				args[a.Key] = a.Val
+		switch {
+		case s.Flow != 0:
+			ph, bp := "s", ""
+			if !s.FlowOut {
+				ph, bp = "f", "e"
 			}
-			ev.Args = args
+			evs = append(evs, chromeEvent{
+				Name: s.Name,
+				Cat:  s.Layer,
+				Ph:   ph,
+				BP:   bp,
+				ID:   strconv.FormatUint(s.Flow, 16),
+				Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+				Pid:  s.Node,
+				Tid:  s.ID,
+			})
+		case s.Layer == LayerCounter:
+			var val int64
+			if len(s.Attrs) > 0 {
+				val = s.Attrs[0].Val
+			}
+			evs = append(evs, chromeEvent{
+				Name: s.Name,
+				Cat:  LayerCounter,
+				Ph:   "C",
+				Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+				Pid:  s.Node,
+				Tid:  s.ID,
+				Args: map[string]any{"value": val},
+			})
+		default:
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  s.Layer,
+				Ph:   "X",
+				Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+				Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+				Pid:  s.Node,
+				Tid:  s.ID,
+			}
+			n := len(s.Attrs)
+			if s.SpanID != 0 {
+				n += 2
+			}
+			if n > 0 {
+				args := make(map[string]any, n)
+				for _, a := range s.Attrs {
+					args[a.Key] = a.Val
+				}
+				if s.SpanID != 0 {
+					args["span_id"] = s.SpanID
+					if s.Parent != 0 {
+						args["parent"] = s.Parent
+					}
+				}
+				ev.Args = args
+			}
+			evs = append(evs, ev)
 		}
-		evs = append(evs, ev)
+	}
+	tr := chromeTrace{TraceEvents: evs}
+	if dropped > 0 {
+		tr.OtherData = map[string]any{"spansDropped": dropped}
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: evs})
+	return enc.Encode(tr)
 }

@@ -24,6 +24,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,17 +36,32 @@ type Attr struct {
 	Val int64  `json:"val"`
 }
 
+// LayerCounter marks a Span as one sample of a utilization counter track
+// (queue depth, busy %, backlog, ...) rather than a phase. Counter spans
+// have Dur 0, carry their value as the single attribute "value", never feed
+// the duration histograms, and export as Chrome "C" events.
+const LayerCounter = "counter"
+
 // Span is one completed phase. Start is an offset from the owning tracer's
 // epoch (monotonic), not a wall-clock time, so spans from different
 // processes can be rebased onto one timeline with a single shift.
+//
+// SpanID/Parent give spans within one process a causality tree; Flow marks
+// the span as a cross-process flow endpoint (a coordinator→worker message
+// edge) instead of a phase. All three are scoped per process: the analyzer
+// keys them by (Node, SpanID), so merging worker spans needs no renumbering.
 type Span struct {
-	Layer string        `json:"layer"` // "sort", "disk", "cluster"
-	Name  string        `json:"name"`  // phase name, e.g. "distribute-pass"
-	Node  int           `json:"node"`  // 0 = this process/coordinator, w+1 = cluster worker w
-	ID    int           `json:"id"`    // worker/disk id within the layer
-	Start time.Duration `json:"start"` // offset from the tracer epoch
-	Dur   time.Duration `json:"dur"`   // span duration
-	Attrs []Attr        `json:"attrs,omitempty"`
+	Layer   string        `json:"layer"` // "sort", "disk", "cluster", LayerCounter
+	Name    string        `json:"name"`  // phase name, e.g. "distribute-pass"
+	Node    int           `json:"node"`  // 0 = this process/coordinator, w+1 = cluster worker w
+	ID      int           `json:"id"`    // worker/disk id within the layer
+	SpanID  uint64        `json:"span_id,omitempty"`
+	Parent  uint64        `json:"parent,omitempty"`   // SpanID of the enclosing span, 0 = root
+	Flow    uint64        `json:"flow,omitempty"`     // non-zero: flow-event endpoint, not a phase
+	FlowOut bool          `json:"flow_out,omitempty"` // true = producing side ("s"), false = consuming ("f")
+	Start   time.Duration `json:"start"`              // offset from the tracer epoch
+	Dur     time.Duration `json:"dur"`                // span duration
+	Attrs   []Attr        `json:"attrs,omitempty"`
 }
 
 // Observer receives live phase events as they happen — the hook behind the
@@ -122,6 +138,8 @@ func (h *hist) observe(d time.Duration) {
 type Tracer struct {
 	epoch time.Time
 	obs   Observer
+	seq   atomic.Uint64 // span-ID allocator, scoped to this process
+	res   atomic.Pointer[resSource]
 
 	mu      sync.Mutex
 	buf     []Span
@@ -157,44 +175,214 @@ func (t *Tracer) Epoch() time.Time {
 }
 
 // Active is an in-flight span. It is a value, so Begin/End allocates
-// nothing until the span is recorded into the ring.
+// nothing until the span is recorded into the ring (resource attribution,
+// when enabled, allocates its baseline snapshot).
 type Active struct {
-	t     *Tracer
-	layer string
-	name  string
-	id    int
-	start time.Duration
+	t      *Tracer
+	layer  string
+	name   string
+	id     int
+	spanID uint64
+	parent uint64
+	start  time.Duration
+	base   []Attr // resource-source snapshot at Begin; nil when attribution is off
 }
 
-// Begin starts a span. On a nil tracer it returns an inert Active whose
-// End is a no-op.
+// resSource pairs the cumulative snapshot function with the set of span
+// layers it attributes; nil layers means every layer.
+type resSource struct {
+	fn     func() []Attr
+	layers map[string]bool
+}
+
+func (r *resSource) covers(layer string) bool {
+	return r.layers == nil || r.layers[layer]
+}
+
+// SetResourceSource installs a cumulative resource snapshot function. When
+// set, every Begin snapshots fn() and every End appends the key-wise deltas
+// (zero deltas elided) to the span's attributes — so each phase carries the
+// bytes, I/Os, frames, and allocations it was responsible for. fn must be
+// safe for concurrent use and should return keys in a stable order.
+//
+// The optional layers restrict attribution to spans of those layers; with
+// none given every span is attributed. High-frequency micro-spans (the
+// per-flush "disk" layer emits tens of thousands per sort) make two
+// snapshots each, so callers attribute the coarse phase layers ("sort",
+// "cluster") and leave the micro layers bare.
+//
+// Nil fn removes the source. No-op on a nil tracer.
+func (t *Tracer) SetResourceSource(fn func() []Attr, layers ...string) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.res.Store(nil)
+		return
+	}
+	src := &resSource{fn: fn}
+	if len(layers) > 0 {
+		src.layers = make(map[string]bool, len(layers))
+		for _, l := range layers {
+			src.layers[l] = true
+		}
+	}
+	t.res.Store(src)
+}
+
+// Begin starts a root span. On a nil tracer it returns an inert Active
+// whose End is a no-op.
 func (t *Tracer) Begin(layer, name string, id int) Active {
+	return t.begin(layer, name, id, 0)
+}
+
+func (t *Tracer) begin(layer, name string, id int, parent uint64) Active {
 	if t == nil {
 		return Active{}
 	}
 	if t.obs != nil {
 		t.obs.SpanStart(layer, name, id)
 	}
-	return Active{t: t, layer: layer, name: name, id: id, start: time.Since(t.epoch)}
+	a := Active{
+		t:      t,
+		layer:  layer,
+		name:   name,
+		id:     id,
+		spanID: t.seq.Add(1),
+		parent: parent,
+		start:  time.Since(t.epoch),
+	}
+	if src := t.res.Load(); src != nil && src.covers(layer) {
+		a.base = src.fn()
+	}
+	return a
 }
 
-// End completes the span, attaching the given attributes.
+// Child starts a span parented under a. On an inert Active (nil tracer)
+// the child is inert too.
+func (a Active) Child(layer, name string, id int) Active {
+	if a.t == nil {
+		return Active{}
+	}
+	return a.t.begin(layer, name, id, a.spanID)
+}
+
+// SpanID returns the span's process-scoped ID (0 for an inert Active).
+func (a Active) SpanID() uint64 { return a.spanID }
+
+// End completes the span, attaching the given attributes plus — when a
+// resource source is installed — the resource deltas since Begin.
 func (a Active) End(attrs ...Attr) {
 	if a.t == nil {
 		return
 	}
+	if a.base != nil {
+		if src := a.t.res.Load(); src != nil {
+			attrs = appendResourceDeltas(attrs, a.base, src.fn())
+		}
+	}
 	s := Span{
-		Layer: a.layer,
-		Name:  a.name,
-		ID:    a.id,
-		Start: a.start,
-		Dur:   time.Since(a.t.epoch) - a.start,
-		Attrs: attrs,
+		Layer:  a.layer,
+		Name:   a.name,
+		ID:     a.id,
+		SpanID: a.spanID,
+		Parent: a.parent,
+		Start:  a.start,
+		Dur:    time.Since(a.t.epoch) - a.start,
+		Attrs:  attrs,
 	}
 	a.t.record(s)
 	if a.t.obs != nil {
 		a.t.obs.SpanEnd(s)
 	}
+}
+
+// appendResourceDeltas appends cur-base per key, matching positionally when
+// the source returns a stable layout (the cheap, common case) and falling
+// back to a key lookup when it does not. Zero deltas are elided.
+func appendResourceDeltas(attrs, base, cur []Attr) []Attr {
+	for i, c := range cur {
+		var b int64
+		var found bool
+		if i < len(base) && base[i].Key == c.Key {
+			b, found = base[i].Val, true
+		} else {
+			for _, ba := range base {
+				if ba.Key == c.Key {
+					b, found = ba.Val, true
+					break
+				}
+			}
+		}
+		d := c.Val
+		if found {
+			d = c.Val - b
+		}
+		if d != 0 {
+			attrs = append(attrs, Attr{Key: c.Key, Val: d})
+		}
+	}
+	return attrs
+}
+
+// FlowPoint records one endpoint of a cross-process flow edge: the
+// producing side (out=true, a coordinator handing work to a worker) or the
+// consuming side (out=false, the worker picking it up). Both sides must
+// derive the same flow ID (see FlowID) for the viewer and analyzer to
+// connect them. Flow points are instants: Dur 0, no histogram entry.
+func (t *Tracer) FlowPoint(layer, name string, id int, flow uint64, out bool) {
+	if t == nil || flow == 0 {
+		return
+	}
+	t.record(Span{
+		Layer:   layer,
+		Name:    name,
+		ID:      id,
+		SpanID:  t.seq.Add(1),
+		Flow:    flow,
+		FlowOut: out,
+		Start:   time.Since(t.epoch),
+	})
+}
+
+// FlowID derives a deterministic non-zero flow identifier from the given
+// parts (FNV-1a). Coordinator and worker compute it independently from the
+// same (phase, epoch, worker) tuple, so no IDs cross the wire.
+func FlowID(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0xff // part separator so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Sample records one utilization counter-track sample (LayerCounter span
+// with the value as its single attribute). Samples land in the span ring
+// and export as Chrome "C" counter events, but never touch the duration
+// histograms or the live Observer.
+func (t *Tracer) Sample(name string, val int64) {
+	if t == nil {
+		return
+	}
+	t.record(Span{
+		Layer:  LayerCounter,
+		Name:   name,
+		SpanID: t.seq.Add(1),
+		Start:  time.Since(t.epoch),
+		Attrs:  []Attr{{Key: "value", Val: val}},
+	})
 }
 
 func (t *Tracer) record(s Span) {
@@ -207,13 +395,17 @@ func (t *Tracer) record(s Span) {
 		t.full = true
 		t.dropped++
 	}
-	k := statKey{s.Layer, s.Name}
-	h := t.hists[k]
-	if h == nil {
-		h = &hist{}
-		t.hists[k] = h
+	// Counter samples and flow instants are not phases: keep them out of
+	// the duration histograms.
+	if s.Layer != LayerCounter && s.Flow == 0 {
+		k := statKey{s.Layer, s.Name}
+		h := t.hists[k]
+		if h == nil {
+			h = &hist{}
+			t.hists[k] = h
+		}
+		h.observe(s.Dur)
 	}
-	h.observe(s.Dur)
 	t.mu.Unlock()
 }
 

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestChildParenting(t *testing.T) {
+	tr := New(8, nil)
+	root := tr.Begin("sort", "distribute-pass", 0)
+	if root.SpanID() == 0 {
+		t.Fatal("root SpanID is 0")
+	}
+	child := root.Child("disk", "flush", 2)
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1] // child ends first
+	if c.Name != "flush" || r.Name != "distribute-pass" {
+		t.Fatalf("unexpected order: %s, %s", c.Name, r.Name)
+	}
+	if c.Parent != r.SpanID {
+		t.Fatalf("child.Parent = %d, want root SpanID %d", c.Parent, r.SpanID)
+	}
+	if r.Parent != 0 {
+		t.Fatalf("root.Parent = %d, want 0", r.Parent)
+	}
+	if c.SpanID == r.SpanID || c.SpanID == 0 {
+		t.Fatalf("bad child SpanID %d (root %d)", c.SpanID, r.SpanID)
+	}
+}
+
+func TestChildOfInertActiveIsInert(t *testing.T) {
+	var tr *Tracer
+	a := tr.Begin("sort", "x", 0)
+	c := a.Child("sort", "y", 0)
+	c.End()
+	a.End()
+	if c.SpanID() != 0 {
+		t.Fatal("inert child has a SpanID")
+	}
+}
+
+func TestResourceAttribution(t *testing.T) {
+	tr := New(8, nil)
+	var bytesRead atomic.Int64
+	tr.SetResourceSource(func() []Attr {
+		return []Attr{
+			{Key: "disk.read_bytes", Val: bytesRead.Load()},
+			{Key: "disk.write_bytes", Val: 0}, // never moves: must be elided
+		}
+	})
+	a := tr.Begin("sort", "run-formation", 0)
+	bytesRead.Add(4096)
+	a.End(Attr{"runs", 3})
+
+	s := tr.Spans()[0]
+	want := []Attr{{"runs", 3}, {"disk.read_bytes", 4096}}
+	if len(s.Attrs) != len(want) {
+		t.Fatalf("attrs = %v, want %v", s.Attrs, want)
+	}
+	for i := range want {
+		if s.Attrs[i] != want[i] {
+			t.Fatalf("attrs[%d] = %v, want %v", i, s.Attrs[i], want[i])
+		}
+	}
+
+	// After removing the source, spans carry only their explicit attrs.
+	tr.SetResourceSource(nil)
+	b := tr.Begin("sort", "bare", 0)
+	bytesRead.Add(100)
+	b.End()
+	if got := tr.Spans()[1].Attrs; got != nil {
+		t.Fatalf("attrs after source removal = %v, want none", got)
+	}
+}
+
+func TestAppendResourceDeltas(t *testing.T) {
+	base := []Attr{{"a", 10}, {"b", 5}}
+	// Reordered current layout exercises the key-lookup fallback; "c" is
+	// new (no baseline) and lands with its full value.
+	cur := []Attr{{"b", 9}, {"a", 10}, {"c", 7}}
+	got := appendResourceDeltas([]Attr{{"n", 1}}, base, cur)
+	want := []Attr{{"n", 1}, {"b", 4}, {"c", 7}} // a's delta 0 elided
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFlowPointAndFlowID(t *testing.T) {
+	id := FlowID("exchange", "3", "1")
+	if id == 0 {
+		t.Fatal("FlowID returned 0")
+	}
+	if FlowID("ab", "c") == FlowID("a", "bc") {
+		t.Fatal("FlowID ignores part boundaries")
+	}
+	if FlowID("exchange", "3", "1") != id {
+		t.Fatal("FlowID not deterministic")
+	}
+
+	tr := New(8, nil)
+	tr.FlowPoint("cluster", "flow-exchange", 1, id, true)
+	tr.FlowPoint("cluster", "flow-exchange", 1, id, false)
+	tr.FlowPoint("cluster", "flow-none", 1, 0, true) // flow 0: dropped
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d flow spans, want 2", len(spans))
+	}
+	if !spans[0].FlowOut || spans[1].FlowOut {
+		t.Fatalf("flow directions wrong: %+v", spans)
+	}
+	if spans[0].Flow != id || spans[1].Flow != id {
+		t.Fatalf("flow ids differ: %+v", spans)
+	}
+	// Flow instants must not pollute the phase histograms.
+	if hists := tr.Hists(); len(hists) != 0 {
+		t.Fatalf("flow points fed histograms: %+v", hists)
+	}
+}
+
+func TestSampleCounterTrack(t *testing.T) {
+	tr := New(8, nil)
+	tr.Sample("disk0.queue", 3)
+	tr.Sample("disk0.queue", 5)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d samples, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Layer != LayerCounter || s.Dur != 0 {
+			t.Fatalf("bad counter span %+v", s)
+		}
+		if len(s.Attrs) != 1 || s.Attrs[0].Key != "value" {
+			t.Fatalf("bad counter attrs %+v", s.Attrs)
+		}
+	}
+	if hists := tr.Hists(); len(hists) != 0 {
+		t.Fatalf("counter samples fed histograms: %+v", hists)
+	}
+}
+
+func TestSamplerKindsAndMetrics(t *testing.T) {
+	tr := New(64, nil)
+	var cum atomic.Int64
+	gauges := []Gauge{
+		{Name: "depth", Kind: GaugeInstant, Fn: func() int64 { return 7 }},
+		{Name: "bps", Kind: GaugeRate, Fn: cum.Load},
+	}
+	s := StartSampler(tr, time.Millisecond, gauges)
+	if s == nil {
+		t.Fatal("sampler did not start")
+	}
+	cum.Add(1 << 20)
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+
+	var depth, bps int
+	for _, sp := range tr.Spans() {
+		switch sp.Name {
+		case "depth":
+			depth++
+			if sp.Attrs[0].Val != 7 {
+				t.Fatalf("instant gauge sampled %d, want 7", sp.Attrs[0].Val)
+			}
+		case "bps":
+			bps++
+			if sp.Attrs[0].Val < 0 {
+				t.Fatalf("negative rate %d", sp.Attrs[0].Val)
+			}
+		}
+	}
+	if depth == 0 || bps == 0 {
+		t.Fatalf("sampler recorded depth=%d bps=%d samples", depth, bps)
+	}
+
+	ms := s.Metrics()
+	if len(ms) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if m.Name != "balancesort_util" || len(m.Labels) != 1 || m.Labels[0].Name != "track" {
+			t.Fatalf("bad util metric %+v", m)
+		}
+	}
+}
+
+func TestSamplerNilSafety(t *testing.T) {
+	if s := StartSampler(nil, time.Millisecond, []Gauge{{Name: "x", Fn: func() int64 { return 0 }}}); s != nil {
+		t.Fatal("sampler started on nil tracer")
+	}
+	if s := StartSampler(New(8, nil), 0, []Gauge{{Name: "x", Fn: func() int64 { return 0 }}}); s != nil {
+		t.Fatal("sampler started with zero interval")
+	}
+	if s := StartSampler(New(8, nil), time.Millisecond, nil); s != nil {
+		t.Fatal("sampler started with no gauges")
+	}
+	var s *Sampler
+	s.Stop()
+	if s.Metrics() != nil {
+		t.Fatal("nil sampler Metrics() != nil")
+	}
+}
+
+func TestRuntimeGaugesAndAllocAttrs(t *testing.T) {
+	gs := RuntimeGauges()
+	if len(gs) != 2 {
+		t.Fatalf("got %d runtime gauges", len(gs))
+	}
+	for _, g := range gs {
+		if v := g.Fn(); v < 0 {
+			t.Fatalf("%s = %d", g.Name, v)
+		}
+	}
+	a1 := AllocAttrs()
+	junk := make([]byte, 1<<20)
+	_ = junk[len(junk)-1]
+	a2 := AllocAttrs()
+	if len(a1) != 2 || len(a2) != 2 {
+		t.Fatalf("AllocAttrs shape: %v %v", a1, a2)
+	}
+	if a2[0].Val < a1[0].Val {
+		t.Fatalf("alloc.bytes went backwards: %d -> %d", a1[0].Val, a2[0].Val)
+	}
+}
+
+func TestChromeTraceDroppedFooter(t *testing.T) {
+	tr := New(8, nil)
+	tr.Begin("sort", "p", 0).End()
+	var buf bytes.Buffer
+	if err := WriteChromeTraceDropped(&buf, tr.Spans(), 42); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"spans_dropped"`) || !strings.Contains(out, `"spansDropped":42`) {
+		t.Fatalf("trace missing drop markers:\n%s", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"time"
 )
@@ -17,18 +18,36 @@ type Server struct {
 	ln      net.Listener
 	srv     *http.Server
 	sources []Source
+	named   map[string]Source
 	tracers map[string]*Tracer
 }
 
 // NewServer creates an unstarted server.
 func NewServer() *Server {
-	return &Server{tracers: make(map[string]*Tracer)}
+	return &Server{tracers: make(map[string]*Tracer), named: make(map[string]Source)}
 }
 
 // AddSource registers a metrics producer polled on every scrape.
 func (s *Server) AddSource(src Source) {
 	s.mu.Lock()
 	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// SetSource registers (or replaces) a metrics producer under a key — for
+// per-sort sources like the utilization sampler, where each new sort must
+// supersede the previous one's gauges rather than pile up. A nil src
+// removes the key.
+func (s *Server) SetSource(key string, src Source) {
+	s.mu.Lock()
+	if s.named == nil {
+		s.named = make(map[string]Source)
+	}
+	if src == nil {
+		delete(s.named, key)
+	} else {
+		s.named[key] = src
+	}
 	s.mu.Unlock()
 }
 
@@ -102,6 +121,14 @@ func (s *Server) Close() error {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sources := append([]Source(nil), s.sources...)
+	namedKeys := make([]string, 0, len(s.named))
+	for k := range s.named {
+		namedKeys = append(namedKeys, k)
+	}
+	sort.Strings(namedKeys)
+	for _, k := range namedKeys {
+		sources = append(sources, s.named[k])
+	}
 	keys := make([]string, 0, len(s.tracers))
 	for k := range s.tracers {
 		keys = append(keys, k)
@@ -117,6 +144,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, src := range sources {
 		ms = append(ms, src()...)
 	}
+	// Span-ring overflow is data loss for the trace; make it a first-class
+	// scrape signal rather than something only the trace footer reveals.
+	var droppedTotal int64
+	for _, t := range tracers {
+		droppedTotal += t.Dropped()
+	}
+	ms = append(ms, Metric{
+		Name:  "balancesort_spans_dropped_total",
+		Type:  "counter",
+		Help:  "Spans lost to span-ring overflow across all registered tracers.",
+		Value: float64(droppedTotal),
+	})
 	// Sum identical (layer, event) counters across tracers before emitting:
 	// with one tracer per concurrent job, the same label set shows up in
 	// many registries, and duplicate series would break the exposition.

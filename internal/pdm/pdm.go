@@ -447,6 +447,15 @@ func (a *Array) ParallelIO(ops []Op) {
 	a.mu.Unlock()
 }
 
+// IOCounts returns the scalar model-I/O tallies without copying the
+// per-disk histograms — cheap enough for per-span resource attribution to
+// call on every span open and close.
+func (a *Array) IOCounts() (ios, blocksRead, blocksWritten int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats.IOs, a.stats.BlocksRead, a.stats.BlocksWritten
+}
+
 // Stats returns a snapshot of the I/O counters.
 func (a *Array) Stats() Stats {
 	a.mu.Lock()

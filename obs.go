@@ -43,6 +43,14 @@ type ObsConfig struct {
 	// Observer, when non-nil, receives phase events live. Setting it
 	// enables the tracing machinery even when Trace is false.
 	Observer Observer
+	// Sample, when positive, runs a background utilization sampler at this
+	// interval for the duration of the sort: per-disk queue depth, busy
+	// fraction, write-behind backlog, buffer-pool occupancy, goroutines,
+	// and heap land as Chrome counter tracks in the trace and as
+	// balancesort_util gauges on Server's /metrics. Setting it enables the
+	// tracing machinery even when Trace is false. Sampling never changes
+	// what the sort computes (pinned by the parity tests).
+	Sample time.Duration
 	// Server, when non-nil, exposes this sort's phase histograms and event
 	// counters on the server's /metrics endpoint for the duration of the
 	// sort (see StartObsServer).
@@ -58,7 +66,7 @@ type ObsConfig struct {
 // tracer builds the tracer this configuration calls for — nil (free,
 // structural no-op) when tracing is fully off.
 func (c ObsConfig) tracer() *obs.Tracer {
-	if !c.Trace && c.Observer == nil {
+	if !c.Trace && c.Observer == nil && c.Sample <= 0 {
 		return nil
 	}
 	return obs.New(c.SpanCapacity, c.Observer)
@@ -108,13 +116,15 @@ func (t *Trace) Dropped() int64 {
 
 // WriteChrome writes the timeline in Chrome trace_event JSON — load the
 // file at ui.perfetto.dev or chrome://tracing. A nil Trace writes a valid
-// empty trace.
+// empty trace. When the span ring overflowed, the trace carries a
+// "spans_dropped" metadata event and an otherData footer announcing the
+// loss.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
 		return err
 	}
-	return obs.WriteChromeTrace(w, t.tr.Spans())
+	return obs.WriteChromeTraceDropped(w, t.tr.Spans(), t.tr.Dropped())
 }
 
 // PhaseTotals sums the recorded span durations per "layer/name" phase —

@@ -11,6 +11,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,6 +29,7 @@ type chromeTestEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
 	Ph   string         `json:"ph"`
+	ID   string         `json:"id"`
 	Ts   *float64       `json:"ts"`
 	Dur  *float64       `json:"dur"`
 	Pid  *int           `json:"pid"`
@@ -51,6 +54,16 @@ func parseChromeTrace(t *testing.T, data []byte) chromeTestTrace {
 			}
 			if *e.Ts < 0 || *e.Dur < 0 {
 				t.Fatalf("complete event %d has negative time: %+v", i, e)
+			}
+		case "C":
+			// Counter sample: needs a timestamp and a value argument.
+			if e.Ts == nil || e.Args["value"] == nil {
+				t.Fatalf("counter event %d missing ts/value: %+v", i, e)
+			}
+		case "s", "f":
+			// Flow edge endpoint: needs a timestamp and a binding id.
+			if e.Ts == nil || e.ID == "" {
+				t.Fatalf("flow event %d missing ts/id: %+v", i, e)
 			}
 		case "M":
 			// Process metadata; name payload lives in args.
@@ -77,9 +90,10 @@ func TestStartObsServerDisabled(t *testing.T) {
 	}
 }
 
-// TestSortFileObsParity pins the tentpole guarantee: with tracing and the
-// metrics endpoint enabled, the model parallel-I/O counts and the sorted
-// output are byte-identical to an observability-off run.
+// TestSortFileObsParity pins the tentpole guarantee: with tracing, span
+// resource attribution, utilization sampling, and the metrics endpoint all
+// enabled, the model parallel-I/O counts and the sorted output are
+// byte-identical to an observability-off run.
 func TestSortFileObsParity(t *testing.T) {
 	dir := t.TempDir()
 	inPath := filepath.Join(dir, "in.dat")
@@ -103,7 +117,7 @@ func TestSortFileObsParity(t *testing.T) {
 	}
 	defer srv.Close()
 	on := base
-	on.Obs = ObsConfig{Trace: true, Server: srv}
+	on.Obs = ObsConfig{Trace: true, Server: srv, Sample: time.Millisecond}
 	onOut := filepath.Join(dir, "on.dat")
 	onRes, err := SortFile(inPath, onOut, filepath.Join(dir, "scratch-on"), on)
 	if err != nil {
@@ -131,6 +145,39 @@ func TestSortFileObsParity(t *testing.T) {
 	totals := onRes.Trace.PhaseTotals()
 	if totals["sort/distribute-pass"] <= 0 {
 		t.Fatalf("PhaseTotals has no positive distribute-pass time: %v", totals)
+	}
+
+	// Attribution: at least one phase span must carry resource deltas, and
+	// the phase spans must form a causality tree (run-formation parented
+	// under its distribute-pass).
+	var attributed, counters, parented bool
+	byID := make(map[uint64]string)
+	for _, s := range onRes.Trace.Spans() {
+		if s.SpanID != 0 {
+			byID[s.SpanID] = s.Name
+		}
+	}
+	for _, s := range onRes.Trace.Spans() {
+		for _, a := range s.Attrs {
+			if a.Key == "io.bytes_read" || a.Key == "recs.moved" {
+				attributed = true
+			}
+		}
+		if s.Layer == "counter" {
+			counters = true
+		}
+		if s.Name == "run-formation" && byID[s.Parent] == "distribute-pass" {
+			parented = true
+		}
+	}
+	if !attributed {
+		t.Fatal("no span carries resource-attribution deltas")
+	}
+	if !counters {
+		t.Fatal("sampling enabled but no counter samples recorded")
+	}
+	if !parented {
+		t.Fatal("run-formation span is not parented under distribute-pass")
 	}
 
 	// The /metrics endpoint must expose the sort's phase histograms.
@@ -199,7 +246,7 @@ func TestClusterTraceMergedTimeline(t *testing.T) {
 	defer cancel()
 	res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{
 		Workers: addrs,
-		Obs:     ObsConfig{Trace: true},
+		Obs:     ObsConfig{Trace: true, Sample: time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +269,24 @@ func TestClusterTraceMergedTimeline(t *testing.T) {
 	}
 	have := make(map[key]int)
 	pids := make(map[int]bool)
+	flowOut := make(map[string]bool) // flow id -> seen "s" on the coordinator
 	for _, e := range tr.TraceEvents {
+		if e.Ph == "s" && *e.Pid == 0 {
+			flowOut[e.ID] = true
+		}
+	}
+	var flowBound, counterSamples int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "f":
+			if flowOut[e.ID] && *e.Pid > 0 {
+				flowBound++
+			}
+			continue
+		case "C":
+			counterSamples++
+			continue
+		}
 		if e.Ph != "X" {
 			continue
 		}
@@ -230,6 +294,17 @@ func TestClusterTraceMergedTimeline(t *testing.T) {
 		if e.Cat == "cluster" {
 			have[key{*e.Pid, e.Name}]++
 		}
+	}
+	// Causality edges: coordinator "s" points must bind to worker "f"
+	// points through identical derived flow ids — for W workers across the
+	// pivots/plan/gather/local-sort/drain edges that is at least W edges.
+	if flowBound < W {
+		t.Fatalf("only %d coordinator→worker flow edges bound (want >= %d)", flowBound, W)
+	}
+	// Coordinator-side sampling was on: the merged trace must carry
+	// utilization counter tracks.
+	if counterSamples == 0 {
+		t.Fatal("sampling enabled but merged trace has no counter events")
 	}
 	for pid := 0; pid <= W; pid++ {
 		if !pids[pid] {
@@ -250,5 +325,107 @@ func TestClusterTraceMergedTimeline(t *testing.T) {
 	}
 	if res.Trace.Dropped() != 0 {
 		t.Fatalf("trace dropped %d spans; ring too small for this test", res.Trace.Dropped())
+	}
+}
+
+// TestClusterLiveScrape runs a 2-worker cluster sort while hammering every
+// observability endpoint from concurrent goroutines — worker /metrics,
+// worker pprof, coordinator /metrics — with sampling and attribution on.
+// Under -race this pins that live scraping never races the sorting path,
+// and that the sort's output is still byte-identical to the reference.
+func TestClusterLiveScrape(t *testing.T) {
+	dir := t.TempDir()
+	const W = 2
+	addrs := make([]string, W)
+	obsAddrs := make([]string, W)
+	for i := 0; i < W; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		obsAddrs[i] = oln.Addr().String()
+		oln.Close() // we only needed a free port for ObsAddr
+		addrs[i] = ln.Addr().String()
+		scratch := filepath.Join(dir, fmt.Sprintf("w%d", i))
+		if err := os.MkdirAll(scratch, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		opt := WorkerOptions{
+			ScratchDir: scratch,
+			Sort:       clusterShardConfig(),
+			ObsAddr:    obsAddrs[i],
+			Sample:     time.Millisecond,
+		}
+		go func() {
+			defer close(done)
+			_ = ServeWorker(ctx, ln, opt)
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+	}
+
+	srv, err := StartObsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Scrapers: poll every endpoint until the sort completes.
+	scrapeCtx, stopScrape := context.WithCancel(context.Background())
+	defer stopScrape()
+	var scraped int64
+	var wg sync.WaitGroup
+	urls := []string{"http://" + srv.Addr() + "/metrics"}
+	for _, oa := range obsAddrs {
+		urls = append(urls,
+			"http://"+oa+"/metrics",
+			"http://"+oa+"/debug/pprof/goroutine?debug=1")
+	}
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			for scrapeCtx.Err() == nil {
+				resp, err := http.Get(u)
+				if err != nil {
+					// The worker's obs server may not be listening yet.
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				atomic.AddInt64(&scraped, 1)
+				time.Sleep(time.Millisecond)
+			}
+		}(u)
+	}
+
+	inPath, refPath := writeClusterInput(t, dir, 60_000, 29)
+	outPath := filepath.Join(dir, "out.dat")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{
+		Workers: addrs,
+		Obs:     ObsConfig{Trace: true, Sample: time.Millisecond, Server: srv},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopScrape()
+	wg.Wait()
+	requireSameBytes(t, refPath, outPath)
+	if res.Trace == nil {
+		t.Fatal("no trace from scraped run")
+	}
+	if atomic.LoadInt64(&scraped) == 0 {
+		t.Fatal("no endpoint was ever scraped during the sort")
 	}
 }

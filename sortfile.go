@@ -187,6 +187,7 @@ func balanceSortFile(ctx context.Context, inPath, outPath, scratchDir string, cf
 	if jnl != nil {
 		defer jnl.Close()
 	}
+	defer startSortObs(cfg, arr)()
 
 	dc := cfg.diskConfig()
 	if jnl != nil {
@@ -255,8 +256,10 @@ func runAndDrain(ds *core.DiskSorter, arr *pdm.Array, done []core.Region, work [
 		return nil, fmt.Errorf("balancesort: internal error: wrote %d of %d records", written, n)
 	}
 
+	ioStats := ioStatsFrom(arr.IOMetrics())
 	res = &Result{
-		IO:                 ioStatsFrom(arr.IOMetrics()),
+		IO:                 ioStats,
+		MeasuredThroughput: measuredThroughput(ioStats),
 		IOs:                m.IOs,
 		IOLowerBound:       core.LowerBoundIOs(n, arr.Params()),
 		PRAMTime:           m.PRAMTime,
