@@ -43,6 +43,20 @@ type ChaosSpec = cluster.ChaosSpec
 // ClusterConfig.Join.
 type ClusterJoin = cluster.JoinSpec
 
+// StragglerError is the typed error for a worker that stayed alive but
+// fell past its phase deadline budget without progress — the latency dual
+// of WorkerLostError. errors.As works on it across the process boundary.
+type StragglerError = cluster.StragglerError
+
+// ClusterStraggler configures the progress-rate straggler detector and
+// the hedged shard-sort re-execution path; see ClusterConfig.Straggler.
+type ClusterStraggler = cluster.StragglerConfig
+
+// ClusterStall slows one worker by a multiplicative factor from a chosen
+// coordinator phase on — the latency fault injector behind `-chaos-stall`;
+// see ClusterConfig.Stall.
+type ClusterStall = cluster.StallSpec
+
 // ErrCoordinatorChaosKill is the sentinel ClusterSortFile returns when
 // ChaosSpec.Coordinator simulated a coordinator crash — the point where a
 // real deployment would call ResumeClusterSortFile.
@@ -94,6 +108,20 @@ type ClusterConfig struct {
 	// bumped, bucket placement is re-planned over W+1 workers, and the
 	// output stays byte-identical.
 	Join *ClusterJoin
+	// Straggler configures the progress-rate failure detector: per-phase
+	// deadline budgets (derived from the plan cost model and the median
+	// finisher when not pinned), demotion of a stalled worker to the
+	// failover path, and — with Hedge set — speculative re-execution of a
+	// straggling shard sort on the fastest finished peer, first result
+	// wins. The zero value disables detection entirely (liveness-only
+	// heartbeats, the pre-v6 behaviour).
+	Straggler ClusterStraggler
+	// Stall, when non-nil, slows one worker by a multiplicative factor
+	// from the start of the named coordinator phase — the latency chaos
+	// harness behind `-chaos-stall`. Unlike Chaos the victim stays alive
+	// and keeps answering heartbeats; only the Straggler detector can get
+	// the job off its critical path.
+	Stall *ClusterStall
 	// JournalPath, when non-empty, appends a crash-consistent journal of
 	// phase transitions, scatter extents, worker losses, and failovers —
 	// the audit trail for a recovery decision.
@@ -149,6 +177,8 @@ func ClusterSortFile(ctx context.Context, inPath, outPath string, cfg ClusterCon
 		Heartbeat:   cfg.Heartbeat,
 		Chaos:       cfg.Chaos,
 		Join:        cfg.Join,
+		Straggler:   cfg.Straggler,
+		Stall:       cfg.Stall,
 		JournalPath: cfg.JournalPath,
 		Trace:       tr,
 		Sample:      cfg.Obs.Sample,
@@ -175,6 +205,7 @@ func ResumeClusterSortFile(ctx context.Context, inPath, outPath string, cfg Clus
 		Workers:     cfg.Workers,
 		Dial:        cfg.dial(),
 		Heartbeat:   cfg.Heartbeat,
+		Straggler:   cfg.Straggler,
 		JournalPath: cfg.JournalPath,
 		Trace:       tr,
 		Sample:      cfg.Obs.Sample,

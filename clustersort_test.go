@@ -69,10 +69,10 @@ func clusterShardConfig() Config {
 	return Config{Disks: 4, BlockSize: 64, Memory: 1 << 16}
 }
 
-func writeClusterInput(t *testing.T, dir string, n int, seed uint64) (string, string) {
+func writeClusterInput(t *testing.T, dir string, w Workload, n int, seed uint64) (string, string) {
 	t.Helper()
 	inPath := filepath.Join(dir, "in.dat")
-	recs := NewWorkload(Uniform, n, seed)
+	recs := NewWorkload(w, n, seed)
 	if err := WriteRecordFile(inPath, recs); err != nil {
 		t.Fatal(err)
 	}
@@ -106,45 +106,58 @@ func requireSameBytes(t *testing.T, refPath, outPath string) {
 
 // TestClusterMatchesSortFile: an in-process 4-worker cluster, each shard
 // sorted through the real file-backed SortFile path, must produce output
-// byte-identical to a single-process SortFile of the same input.
+// byte-identical to a single-process SortFile of the same input — for a
+// uniform key space and for a duplicate-heavy one, where correctness
+// leans entirely on the deterministic (Key, Loc) tiebreak surviving the
+// scatter/exchange/gather reshuffles.
 func TestClusterMatchesSortFile(t *testing.T) {
-	dir := t.TempDir()
-	const W = 4
-	addrs := make([]string, W)
-	for i := 0; i < W; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		addrs[i] = ln.Addr().String()
-		scratch := filepath.Join(dir, fmt.Sprintf("w%d", i))
-		if err := os.MkdirAll(scratch, 0o755); err != nil {
-			t.Fatal(err)
-		}
-		ctx, cancel := context.WithCancel(context.Background())
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			_ = ServeWorker(ctx, ln, WorkerOptions{ScratchDir: scratch, Sort: clusterShardConfig()})
-		}()
-		t.Cleanup(func() {
-			cancel()
-			<-done
+	for _, tc := range []struct {
+		name string
+		w    Workload
+	}{
+		{"uniform", Uniform},
+		{"few-distinct", FewDistinct},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			const W = 4
+			addrs := make([]string, W)
+			for i := 0; i < W; i++ {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				addrs[i] = ln.Addr().String()
+				scratch := filepath.Join(dir, fmt.Sprintf("w%d", i))
+				if err := os.MkdirAll(scratch, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					_ = ServeWorker(ctx, ln, WorkerOptions{ScratchDir: scratch, Sort: clusterShardConfig()})
+				}()
+				t.Cleanup(func() {
+					cancel()
+					<-done
+				})
+			}
+
+			inPath, refPath := writeClusterInput(t, dir, tc.w, 100_000, 42)
+			outPath := filepath.Join(dir, "out.dat")
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{Workers: addrs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Records != 100_000 || res.Workers != W {
+				t.Fatalf("result %+v", res)
+			}
+			requireSameBytes(t, refPath, outPath)
 		})
 	}
-
-	inPath, refPath := writeClusterInput(t, dir, 100_000, 42)
-	outPath := filepath.Join(dir, "out.dat")
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-	res, err := ClusterSortFile(ctx, inPath, outPath, ClusterConfig{Workers: addrs})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Records != 100_000 || res.Workers != W {
-		t.Fatalf("result %+v", res)
-	}
-	requireSameBytes(t, refPath, outPath)
 }
 
 // TestClusterOSProcesses is the acceptance scenario: four separate worker
@@ -201,7 +214,7 @@ func TestClusterOSProcesses(t *testing.T) {
 		}
 	}
 
-	inPath, refPath := writeClusterInput(t, dir, 1<<20, 7)
+	inPath, refPath := writeClusterInput(t, dir, Uniform, 1<<20, 7)
 	outPath := filepath.Join(dir, "out.dat")
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
@@ -248,7 +261,7 @@ func TestClusterChaosMatchesSortFile(t *testing.T) {
 		})
 	}
 
-	inPath, refPath := writeClusterInput(t, dir, 100_000, 99)
+	inPath, refPath := writeClusterInput(t, dir, Uniform, 100_000, 99)
 	outPath := filepath.Join(dir, "out.dat")
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -354,6 +367,30 @@ func TestTypedErrorRoundTrips(t *testing.T) {
 		}
 		if !errors.Is(err, cause) {
 			t.Fatal("errors.Is lost the transport error through Unwrap")
+		}
+	})
+	t.Run("cluster.StragglerError", func(t *testing.T) {
+		cause := errors.New("no progress for 3 ticks")
+		orig := &cluster.StragglerError{
+			Worker: 2, Addr: "127.0.0.1:9", Phase: "local-sort",
+			Budget: 800 * time.Millisecond, Err: cause,
+		}
+		err := fmt.Errorf("cluster sort: %w", orig)
+		var viaAlias *StragglerError
+		var viaPkg *cluster.StragglerError
+		if !errors.As(err, &viaAlias) || !errors.As(err, &viaPkg) {
+			t.Fatalf("errors.As failed: %v", err)
+		}
+		if viaAlias.Worker != 2 || viaAlias.Phase != "local-sort" || viaAlias.Budget != 800*time.Millisecond {
+			t.Fatalf("recovered %+v", viaAlias)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatal("errors.Is lost the detector's observation through Unwrap")
+		}
+		// A straggler is live, not lost: the types must stay distinct.
+		var lost *WorkerLostError
+		if errors.As(err, &lost) {
+			t.Fatal("StragglerError also matched *WorkerLostError")
 		}
 	})
 	t.Run("cluster.ClusterDegradedError", func(t *testing.T) {

@@ -59,7 +59,7 @@ func main() {
 		journal    = flag.Bool("journal", false, "journal every sort pass so the sort can be resumed (needs -scratch)")
 		noChecksum = flag.Bool("nochecksum", false, "disable the per-block CRC32C checksums on the scratch disks")
 		scrubAfter = flag.Bool("scrubafter", false, "scrub the scratch array after sorting and report the sweep")
-		timeout    = flag.Duration("timeout", 0, "cancel the file sort after this long (0 = no deadline)")
+		timeout    = flag.Duration("timeout", 0, "bound the run: cancel a file or cluster sort, or drain the job server, after this long (0 = no deadline)")
 
 		// Engine selection (with -infile and inside -serve/-join sorts).
 		engine   = flag.String("engine", "", "file-sort engine: auto|balancesort|guidesort|stripedmerge|inmem (empty = balancesort; auto asks the cost-model planner)")
@@ -77,18 +77,23 @@ func main() {
 		jitter      = flag.Duration("jitter", 0, "inject up to this much per-op device latency")
 
 		// Cluster mode (coordinator/worker Balance Sort over TCP).
-		join      = flag.String("join", "", "serve as a cluster worker on this listen address (e.g. 127.0.0.1:0)")
-		addrFile  = flag.String("addrfile", "", "with -join: write the actual listen address to this file")
-		clusterWs = flag.String("cluster", "", "coordinate a cluster sort over these comma-separated worker addresses (with -infile/-outfile)")
-		cbuckets  = flag.Int("cbuckets", 0, "cluster bucket count S (0 = 4x workers)")
-		xblock    = flag.Int("xblock", 0, "cluster exchange block size in records (0 = 2048)")
-		inMem     = flag.Bool("inmem", false, "with -join: sort worker shards in memory instead of the file-backed engine")
-		dropAfter = flag.Int("dropafter", 0, "with -join: force-close a peer connection once after this many sent blocks (fault injection)")
-		chaosKill = flag.String("chaos-kill", "", "with -cluster: kill worker W at coordinator phase P, as phase:worker (e.g. exchange:2); append :hang to hang it instead; coordinator@P kills the coordinator itself")
-		chaosJoin = flag.String("chaos-join", "", "with -cluster: hold the last -cluster address back and join it as a new worker at this coordinator phase (e.g. exchange)")
-		hbEvery   = flag.Duration("heartbeat", 0, "with -cluster: heartbeat ping interval (0 = 500ms default, negative disables the failure detector)")
-		cjournal  = flag.String("cjournal", "", "with -cluster: append the coordinator's phase/loss/failover journal to this file")
-		cresume   = flag.Bool("cresume", false, "with -cluster: resume a crashed coordinator's job from the -cjournal phase-commit log instead of starting over")
+		join       = flag.String("join", "", "serve as a cluster worker on this listen address (e.g. 127.0.0.1:0)")
+		addrFile   = flag.String("addrfile", "", "with -join: write the actual listen address to this file")
+		clusterWs  = flag.String("cluster", "", "coordinate a cluster sort over these comma-separated worker addresses (with -infile/-outfile)")
+		cbuckets   = flag.Int("cbuckets", 0, "cluster bucket count S (0 = 4x workers)")
+		xblock     = flag.Int("xblock", 0, "cluster exchange block size in records (0 = 2048)")
+		inMem      = flag.Bool("inmem", false, "with -join: sort worker shards in memory instead of the file-backed engine")
+		dropAfter  = flag.Int("dropafter", 0, "with -join: force-close a peer connection once after this many sent blocks (fault injection)")
+		chaosKill  = flag.String("chaos-kill", "", "with -cluster: kill worker W at coordinator phase P, as phase:worker (e.g. exchange:2); append :hang to hang it instead; coordinator@P kills the coordinator itself")
+		chaosJoin  = flag.String("chaos-join", "", "with -cluster: hold the last -cluster address back and join it as a new worker at this coordinator phase (e.g. exchange)")
+		chaosStall = flag.String("chaos-stall", "", "with -cluster: slow worker W by a multiplicative factor from coordinator phase P on, as phase:worker[:factor] (e.g. local-sort:2:10, default factor 10); the worker stays alive — pair with -straggle/-hedge to mitigate")
+		straggle   = flag.Bool("straggle", false, "with -cluster: enable the progress-rate straggler detector (phase deadline budgets; a stalled worker is demoted to the failover path)")
+		hedge      = flag.Bool("hedge", false, "with -cluster: speculatively re-run a straggling shard sort on the fastest finished worker, first result wins (implies -straggle)")
+		softBudget = flag.Duration("straggle-soft", 0, "with -straggle: hedge a shard sort that exceeds this budget (0 = derive from the median finisher and the plan cost model)")
+		hardBudget = flag.Duration("straggle-hard", 0, "with -straggle: demote a worker whose phase exceeds this budget (0 = derive from the median finisher and the plan cost model)")
+		hbEvery    = flag.Duration("heartbeat", 0, "with -cluster: heartbeat ping interval (0 = 500ms default, negative disables the failure detector)")
+		cjournal   = flag.String("cjournal", "", "with -cluster: append the coordinator's phase/loss/failover journal to this file")
+		cresume    = flag.Bool("cresume", false, "with -cluster: resume a crashed coordinator's job from the -cjournal phase-commit log instead of starting over")
 
 		// Sort-as-a-service job server (-serve).
 		serveAddr    = flag.String("serve", "", "run the multi-tenant sort job server on this address (e.g. 127.0.0.1:8080); needs -data-dir")
@@ -223,10 +228,22 @@ func main() {
 			addr, *dataDir, *serveWorkers, memB, diskB)
 
 		// SIGTERM/SIGINT drains: stop admitting, let running jobs reach a
-		// journal commit point, leave everything resumable, exit 0.
+		// journal commit point, leave everything resumable, exit 0. A
+		// -timeout deadline drains the same way, so a scripted run bounds
+		// the server's lifetime exactly like a file sort's.
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-		<-sig
+		var deadline <-chan time.Time
+		if *timeout > 0 {
+			t := time.NewTimer(*timeout)
+			defer t.Stop()
+			deadline = t.C
+		}
+		select {
+		case <-sig:
+		case <-deadline:
+			log.Printf("-timeout %v reached", *timeout)
+		}
 		log.Printf("draining: no new admissions; running jobs stop at their next journal commit")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 		defer cancel()
@@ -290,6 +307,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		stall, err := parseChaosStall(*chaosStall)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var joinSpec *balancesort.ClusterJoin
 		if *chaosJoin != "" {
 			if len(workers) < 2 {
@@ -306,8 +327,15 @@ func main() {
 		}
 		ccfg := balancesort.ClusterConfig{
 			Workers: workers, Buckets: *cbuckets, BlockRecs: *xblock,
-			Heartbeat: hb, Chaos: chaos, Join: joinSpec, JournalPath: *cjournal,
-			Obs: obsCfg(srv),
+			Heartbeat: hb, Chaos: chaos, Join: joinSpec, Stall: stall,
+			Straggler: balancesort.ClusterStraggler{
+				Enabled:    *straggle || *hedge,
+				Hedge:      *hedge,
+				SoftBudget: *softBudget,
+				HardBudget: *hardBudget,
+			},
+			JournalPath: *cjournal,
+			Obs:         obsCfg(srv),
 		}
 		start := time.Now()
 		var res *balancesort.ClusterResult
@@ -661,6 +689,30 @@ func runHierarchy(recs []balancesort.Record, model string, h int, alpha float64,
 	fmt.Printf("  bucket balance:  %.2fx even share; log skew %.2fx\n", res.MaxBucketFrac, res.MaxLogSkew)
 	fmt.Printf("  recursion depth: %d (%d distribution passes)\n", res.Depth, res.Passes)
 	fmt.Println("  verification:    OK")
+}
+
+// parseChaosStall decodes -chaos-stall's phase:worker[:factor] syntax.
+func parseChaosStall(s string) (*balancesort.ClusterStall, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("-chaos-stall %q: want phase:worker or phase:worker:factor", s)
+	}
+	w, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("-chaos-stall %q: bad worker id: %v", s, err)
+	}
+	spec := &balancesort.ClusterStall{Phase: parts[0], Worker: w}
+	if len(parts) == 3 {
+		f, err := strconv.Atoi(parts[2])
+		if err != nil || f < 2 {
+			return nil, fmt.Errorf("-chaos-stall %q: factor must be an integer >= 2", s)
+		}
+		spec.Factor = f
+	}
+	return spec, nil
 }
 
 // parseChaosKill decodes -chaos-kill's phase:worker[:hang] syntax, plus the

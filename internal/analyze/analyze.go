@@ -101,9 +101,39 @@ type Report struct {
 	// Bottlenecks ranks the phases by wall-clock cost, worst first, each
 	// with the reason it cost what it did.
 	Bottlenecks []Bottleneck `json:"bottlenecks"`
+	// Stragglers is non-nil when the trace records straggler detections or
+	// hedged shard re-executions — tail-latency events that explain a phase
+	// window no resource-utilization row can.
+	Stragglers *StragglerReport `json:"stragglers,omitempty"`
 	// SpansDropped carries the trace's own loss warning; a non-zero value
 	// means the timeline (and so this report) is incomplete.
 	SpansDropped int64 `json:"spans_dropped,omitempty"`
+}
+
+// StragglerReport summarizes the straggler detector's activity: demotions
+// (zero-length "straggler" marker spans) and hedged shard-sort
+// re-executions ("hedge" spans with victim/target/armed args).
+type StragglerReport struct {
+	Detected []StragglerEvent `json:"detected,omitempty"`
+	Hedges   []HedgeEvent     `json:"hedges,omitempty"`
+}
+
+// StragglerEvent is one demotion: a worker expelled to the failover path
+// after blowing its phase deadline budget.
+type StragglerEvent struct {
+	Worker   int     `json:"worker"`
+	AtUS     float64 `json:"at_us"`     // offset from trace start
+	BudgetMS float64 `json:"budget_ms"` // the budget it fell past
+}
+
+// HedgeEvent is one hedged re-execution: the victim's shard speculatively
+// re-sorted on the target, first finisher wins.
+type HedgeEvent struct {
+	Victim  int     `json:"victim"`
+	Target  int     `json:"target"`
+	Armed   bool    `json:"armed"` // false: the hedge failed before arming
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
 }
 
 // PhaseReport covers one coordinator phase window.
@@ -244,9 +274,14 @@ func Analyze(t *Trace, coordPid int) *Report {
 		}
 		iv := interval{e.Ts, e.Ts + e.Dur}
 		if e.Cat == "cluster" {
-			if e.Pid == coordPid {
+			switch {
+			case e.Pid == coordPid && (e.Name == "hedge" || e.Name == "straggler"):
+				// Straggler-detector spans run concurrently with the phase
+				// they rescue; they feed the straggler section, not the
+				// strictly-sequential critical path.
+			case e.Pid == coordPid:
 				coordPhases = append(coordPhases, e)
-			} else {
+			default:
 				workerSets[e.Pid] = append(workerSets[e.Pid], iv)
 			}
 		}
@@ -256,6 +291,7 @@ func Analyze(t *Trace, coordPid int) *Report {
 		}
 		trackIv[track] = append(trackIv[track], iv)
 	}
+	collectStragglers(rep, spans, lo)
 	if len(spans) == 0 {
 		return rep
 	}
@@ -335,6 +371,42 @@ func Analyze(t *Trace, coordPid int) *Report {
 	return rep
 }
 
+// collectStragglers fills the report's straggler section from the
+// coordinator's "straggler" and "hedge" marker spans.
+func collectStragglers(rep *Report, spans []Event, lo float64) {
+	argInt := func(e Event, key string) int {
+		if v, ok := e.Args[key].(float64); ok {
+			return int(v)
+		}
+		return -1
+	}
+	var sr StragglerReport
+	for _, e := range spans {
+		if e.Cat != "cluster" {
+			continue
+		}
+		switch e.Name {
+		case "straggler":
+			ev := StragglerEvent{Worker: argInt(e, "worker"), AtUS: e.Ts - lo}
+			if v, ok := e.Args["budget-ms"].(float64); ok {
+				ev.BudgetMS = v
+			}
+			sr.Detected = append(sr.Detected, ev)
+		case "hedge":
+			sr.Hedges = append(sr.Hedges, HedgeEvent{
+				Victim:  argInt(e, "victim"),
+				Target:  argInt(e, "target"),
+				Armed:   argInt(e, "armed") == 1,
+				StartUS: e.Ts - lo,
+				DurUS:   e.Dur,
+			})
+		}
+	}
+	if len(sr.Detected) > 0 || len(sr.Hedges) > 0 {
+		rep.Stragglers = &sr
+	}
+}
+
 func pct(part, whole float64) float64 {
 	if whole <= 0 {
 		return 0
@@ -390,6 +462,21 @@ func WriteText(w io.Writer, rep *Report) {
 		for _, b := range rep.Bottlenecks {
 			fmt.Fprintf(w, "  #%d %s — %.1f ms (%.1f%% of total): %s\n",
 				b.Rank, b.Phase, b.CostUS/1000, b.PctOfTotal, b.Reason)
+		}
+	}
+	if s := rep.Stragglers; s != nil {
+		fmt.Fprintf(w, "\nstragglers:\n")
+		for _, d := range s.Detected {
+			fmt.Fprintf(w, "  worker %d demoted at %.1f ms (budget %.0f ms blown)\n",
+				d.Worker, d.AtUS/1000, d.BudgetMS)
+		}
+		for _, h := range s.Hedges {
+			verdict := "failed before arming"
+			if h.Armed {
+				verdict = "armed"
+			}
+			fmt.Fprintf(w, "  hedge: worker %d re-ran worker %d's shard at %.1f ms for %.1f ms (%s)\n",
+				h.Target, h.Victim, h.StartUS/1000, h.DurUS/1000, verdict)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"balancesort/internal/balance"
 	"balancesort/internal/obs"
 	"balancesort/internal/pdm"
+	"balancesort/internal/plan"
 	"balancesort/internal/record"
 )
 
@@ -41,6 +42,16 @@ type SortSpec struct {
 	// dual of failover's removed one — and reseeds the cluster under a new
 	// epoch. It requires an all-v4 cluster; otherwise it is ignored.
 	Join *JoinSpec
+	// Straggler configures the progress-rate failure detector, the phase
+	// deadline budgets, and the hedged shard-sort re-execution. The zero
+	// value disables all three; see StragglerConfig.
+	Straggler StragglerConfig
+	// Stall, when non-nil, injects one slowdown: the named worker keeps
+	// answering heartbeats but does every unit of work Factor times slower
+	// from the moment the coordinator enters the named phase — the latency
+	// dual of Chaos's kill/hang. It requires an all-v6 cluster; otherwise
+	// it is ignored.
+	Stall *StallSpec
 	// JournalPath, when nonempty, appends the coordinator's recovery
 	// state — per-worker partition extents after the scatter, each phase
 	// entered, each loss, each completed failover — to a checksummed
@@ -85,6 +96,76 @@ func (h Heartbeat) withDefaults() Heartbeat {
 		h.MissBudget = 3
 	}
 	return h
+}
+
+// StragglerConfig tunes the v6 straggler mitigation: a progress-rate
+// failure detector that runs alongside the liveness heartbeat. The
+// heartbeat can only see a dead or hung worker; this detector sees a live
+// worker that answers every ping yet makes no useful progress — a
+// throttled disk, a paging host, a half-broken NIC — and bounds how long
+// such a worker may hold a phase barrier hostage.
+//
+// Every barrier phase gets a deadline budget. An explicit HardBudget wins;
+// otherwise the budget is derived once at least half the active workers
+// have finished the phase, as BudgetFactor times the median finisher's
+// phase time, floored by MinBudget and capped by BudgetFactor times the
+// internal/plan cost model's predicted single-node wall-clock for the
+// shard — so one fast outlier cannot condemn honest peers, and one slow
+// cohort cannot stretch the budget without bound. A worker past its
+// deadline earns a single grace extension if its progress counters (the
+// v6 pong trailer) advanced recently; past that it is demoted to the
+// failover path with a typed *StragglerError, exactly as if it had died.
+//
+// During the local-sort phase a gentler remedy runs first when Hedge is
+// set: the straggler's shard sort is speculatively re-executed on the
+// fastest finished peer (see SortSpec.Stall and the hedge messages), the
+// first finisher wins, and the loser is cancelled — the job pays one
+// redundant shard sort instead of a full failover epoch.
+type StragglerConfig struct {
+	// Enabled turns the detector (and budgets, and demotion) on.
+	Enabled bool
+	// Hedge allows speculative re-execution of a straggling local sort on
+	// the fastest idle worker. Requires an all-v6 cluster; ignored
+	// otherwise.
+	Hedge bool
+	// SoftBudget is the local-sort deadline past which the hedge fires.
+	// Zero derives it like the hard budget.
+	SoftBudget time.Duration
+	// HardBudget is the per-phase deadline past which a straggler is
+	// demoted. Zero derives it from the median finisher and the plan
+	// model.
+	HardBudget time.Duration
+	// MinBudget floors every derived budget so short phases on small
+	// inputs cannot demote a healthy worker over scheduling jitter.
+	// Default 2s.
+	MinBudget time.Duration
+	// BudgetFactor scales the median finisher's phase time (and the plan
+	// model's ceiling) into a budget. Default 4.
+	BudgetFactor float64
+}
+
+func (s StragglerConfig) withDefaults() StragglerConfig {
+	if s.MinBudget <= 0 {
+		s.MinBudget = 2 * time.Second
+	}
+	if s.BudgetFactor <= 0 {
+		s.BudgetFactor = 4
+	}
+	return s
+}
+
+// StallSpec is one injected slowdown for the chaos harness: the latency
+// dual of ChaosSpec's kill and hang. The victim stays connected and keeps
+// answering heartbeats — only the progress detector can see it.
+type StallSpec struct {
+	// Phase is the coordinator phase (a CoordinatorPhases name) at whose
+	// start the stall fires.
+	Phase string
+	// Worker is the victim's ID.
+	Worker int
+	// Factor is the slowdown multiplier: every unit of work takes Factor
+	// times as long. Values below 2 default to 10.
+	Factor int
 }
 
 // ChaosSpec is one injected fault for the chaos harness.
@@ -167,6 +248,20 @@ func (s SortSpec) withDefaults() (SortSpec, error) {
 			return s, fmt.Errorf("cluster: join has no address")
 		}
 	}
+	s.Straggler = s.Straggler.withDefaults()
+	if st := s.Stall; st != nil {
+		if st.Worker < 0 || st.Worker >= w {
+			return s, fmt.Errorf("cluster: stall targets worker %d of %d", st.Worker, w)
+		}
+		if !isCoordinatorPhase(st.Phase) {
+			return s, fmt.Errorf("cluster: stall phase %q is not a coordinator phase", st.Phase)
+		}
+		cp := *st
+		if cp.Factor < 2 {
+			cp.Factor = 10
+		}
+		s.Stall = &cp
+	}
 	return s, nil
 }
 
@@ -228,6 +323,13 @@ type RecoveryStats struct {
 	// the joiners were assigned.
 	Joins         int   `json:"joins,omitempty"`
 	JoinedWorkers []int `json:"joined_workers,omitempty"`
+	// Stragglers are workers demoted by the progress-rate detector for
+	// falling past a phase deadline budget — a subset of LostWorkers.
+	// HedgeWins counts speculative shard sorts that finished before the
+	// straggler they covered; HedgeLosses, hedges the straggler outran.
+	Stragglers  []int `json:"stragglers,omitempty"`
+	HedgeWins   int   `json:"hedge_wins,omitempty"`
+	HedgeLosses int   `json:"hedge_losses,omitempty"`
 	// Resumed marks a job completed by a restarted coordinator replaying
 	// its journal; ResumePhase is the last phase the journal had entered
 	// before the crash.
@@ -265,6 +367,7 @@ type link struct {
 	meter *netMeter // nil-safe; counts the link's frames and wire bytes
 	ch    chan frameMsg
 	done  chan struct{} // closed when the job ends; unblocks a stuck reader
+	wmu   sync.Mutex    // serializes writers: phase driver, watcher, hedge
 }
 
 func newLink(id int, conn net.Conn, cfg DialConfig, meter *netMeter) *link {
@@ -292,6 +395,8 @@ func newLink(id int, conn net.Conn, cfg DialConfig, meter *netMeter) *link {
 }
 
 func (l *link) send(typ byte, payload []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
 	setWriteDeadline(l.conn, l.cfg)
 	if err := writeFrame(l.conn, typ, payload); err != nil {
 		return err
@@ -316,6 +421,7 @@ type coordinator struct {
 	vers     []int   // negotiated protocol version per worker
 	failover bool    // all workers v3: losses trigger recovery, not failure
 	elastic  bool    // all workers v4: join and resume are available
+	progress bool    // all workers v6: progress pongs, stall chaos, hedging
 	joined   bool    // the configured Join already fired
 
 	mu       sync.Mutex
@@ -339,7 +445,31 @@ type coordinator struct {
 
 	epoch      uint32
 	chaosFired bool
+	stallFired bool
 	rec        RecoveryStats
+
+	// Straggler-detector state. The pmu domain is touched by the phase
+	// driver, the heartbeat monitors (progress pongs), and the per-phase
+	// watcher goroutine; it is never held together with mu.
+	pmu       sync.Mutex
+	prog      map[int]progTrack // per-worker progress, fed by the monitors
+	phaseT0   time.Time         // when the current phase was entered
+	doneAt    map[int]time.Time // worker -> barrier completion, this phase
+	focus     int               // sequential-phase fetch target, -1 outside drain
+	focusT0   time.Time         // when the current fetch began
+	watchStop chan struct{}     // retires the current phase watcher
+	watchWG   sync.WaitGroup    // watchers and hedge supervisors
+	predicted time.Duration     // plan-model ceiling for one phase budget
+
+	// hctx outlives monCtx's availability conditions (heartbeats may be
+	// disabled) and bounds the hedge supervisor's dial and reads.
+	hctx    context.Context
+	hcancel context.CancelFunc
+
+	hmu    sync.Mutex
+	hedged *hedgeRun // the job's (single) hedged shard sort, nil before
+
+	owners []uint32 // bucket -> owning worker ID, current epoch's plan
 
 	// First computed (or journal-replayed) pivot set and histogram digest.
 	// Pivots are a pure function of the merged histogram, and the merged
@@ -356,6 +486,36 @@ type coordinator struct {
 	bl           *balance.Balancer
 	expectRecv   []uint64
 	expectGather []uint64
+}
+
+// progTrack is one worker's latest progress report, decoded from the v6
+// pong trailer. at is when the (phase, units) pair last changed — the
+// detector's notion of "recent progress".
+type progTrack struct {
+	have  bool
+	phase uint8
+	units uint64
+	at    time.Time
+}
+
+// hedgeRun is the coordinator's side of one speculative shard-sort
+// re-execution: the victim's gather set is re-collected and re-sorted on
+// target over a dedicated connection, racing the victim's own sort. At
+// most one hedge runs per job; the race is decided exactly once (covered
+// xor lost), and a supervisor failure (failed) just abandons the hedge —
+// the barrier keeps waiting for the victim.
+type hedgeRun struct {
+	victim, target int
+	epoch          uint32
+	won            chan struct{} // closed by the supervisor: mHedgeDone validated
+	recs           uint64        // set before won closes
+
+	// Under hmu from here down.
+	conn    net.Conn
+	br      *bufio.Reader
+	covered bool // hedge won the race; the victim's shard drains from conn
+	beaten  bool // victim's own mSortDone arrived first
+	failed  bool // supervisor error: hedge abandoned, no verdict
 }
 
 // Sort externally sorts inPath into outPath across the cluster: it scatters
@@ -397,6 +557,14 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortStat
 		jobID:   uint64(time.Now().UnixNano()),
 		deadErr: make(map[int]error),
 		lostSig: make(chan struct{}, 1),
+		prog:    make(map[int]progTrack),
+	}
+	c.hctx, c.hcancel = context.WithCancel(ctx)
+	if spec.Straggler.Enabled {
+		// The plan model's predicted single-node wall-clock for the whole
+		// input is a generous per-phase ceiling for any one worker's 1/W
+		// shard of it, whatever the phase.
+		c.predicted = time.Duration(plan.PhaseBudgetSeconds(c.n, record.EncodedSize) * float64(time.Second))
 	}
 	if c.tr != nil {
 		// Every coordinator span closes with its network and allocation
@@ -408,10 +576,14 @@ func Sort(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortStat
 		defer smp.Stop()
 	}
 	defer func() {
+		c.stopPhaseWatch()
 		if c.monCancel != nil {
 			c.monCancel()
 			c.monWG.Wait()
 		}
+		c.hcancel()
+		c.closeHedge()
+		c.watchWG.Wait()
 		for _, l := range c.links {
 			if l != nil {
 				l.conn.Close()
@@ -484,13 +656,16 @@ func (c *coordinator) finish(ctx context.Context, err error) (*SortStats, error)
 		}
 		switch {
 		case errors.Is(err, errRejoin):
+			c.stopPhaseWatch()
 			err = c.admitJoin(ctx)
 		case errors.Is(err, errFailover):
+			c.stopPhaseWatch()
 			err = c.recoverLost(ctx)
 		default:
 			return nil, err
 		}
 	}
+	c.stopPhaseWatch()
 	c.journal(journalEvent{Event: "done", Epoch: c.epoch})
 
 	// Collect worker traces and merge them into the job timeline before
@@ -530,7 +705,7 @@ func (c *coordinator) finish(ctx context.Context, err error) (*SortStats, error)
 		stats.GatherRecords[w] = int(c.expectGather[w])
 	}
 	c.mu.Lock()
-	if len(c.deadErr) > 0 || c.rec.Joins > 0 || c.rec.Resumed {
+	if len(c.deadErr) > 0 || c.rec.Joins > 0 || c.rec.Resumed || c.rec.HedgeWins+c.rec.HedgeLosses > 0 {
 		rec := c.rec
 		rec.ActiveWorkers = append([]int(nil), c.rec.ActiveWorkers...)
 		rec.JoinedWorkers = append([]int(nil), c.rec.JoinedWorkers...)
@@ -582,12 +757,16 @@ func (c *coordinator) connect(ctx context.Context) error {
 	}
 	c.failover = true
 	c.elastic = true
+	c.progress = true
 	for _, v := range c.vers {
 		if v < 3 {
 			c.failover = false
 		}
 		if v < 4 {
 			c.elastic = false
+		}
+		if v < 6 {
+			c.progress = false
 		}
 	}
 	return nil
@@ -663,10 +842,13 @@ func (c *coordinator) lost(i int, err error) error {
 func (c *coordinator) lostAsync(i int, err error) { _ = c.lost(i, err) }
 
 // asLost wraps err as a *WorkerLostError naming worker i, unless it
-// already is one.
+// already carries a typed identity — a lost worker's, or a demoted
+// straggler's (the demotion IS a loss to the failover machinery, but the
+// caller-visible type must say "slow", not "dead").
 func (c *coordinator) asLost(i int, err error) error {
 	var wl *WorkerLostError
-	if errors.As(err, &wl) {
+	var st *StragglerError
+	if errors.As(err, &wl) || errors.As(err, &st) {
 		return err
 	}
 	return &WorkerLostError{Worker: i, Addr: c.spec.Workers[i], Err: err}
@@ -729,6 +911,49 @@ func (c *coordinator) deadSendErr(i int) error {
 	return err
 }
 
+// triage handles the frames every wait on worker i must absorb: transport
+// losses, peer-loss reports, worker errors, and debris left over from an
+// epoch a failover aborted. skip=true means the frame was consumed
+// internally and the caller should keep reading.
+func (c *coordinator) triage(i int, fr frameMsg) (typ byte, payload []byte, skip bool, err error) {
+	if fr.err != nil {
+		return 0, nil, false, c.lost(i, fr.err)
+	}
+	switch fr.typ {
+	case mPeerLost:
+		var pl msgPeerLost
+		if err := pl.decode(fr.payload); err != nil {
+			return 0, nil, false, err
+		}
+		t := int(pl.Worker)
+		if t < 0 || t >= c.W {
+			return 0, nil, false, fmt.Errorf("cluster: worker %d reported peer %d lost", i, t)
+		}
+		if c.isDead(t) {
+			return 0, nil, true, nil // duplicate report of a loss already being handled
+		}
+		return 0, nil, false, c.lost(t, &WorkerLostError{Worker: t, Addr: pl.Addr, Err: errors.New(pl.Text)})
+	case mError:
+		var e msgError
+		if derr := e.decode(fr.payload); derr != nil {
+			return 0, nil, false, derr
+		}
+		return 0, nil, false, wireToError(&e)
+	case mRescatterAck:
+		var a msgRescatterAck
+		if err := a.decode(fr.payload); err != nil {
+			return 0, nil, false, err
+		}
+		if a.Epoch != c.epoch {
+			return 0, nil, true, nil // ack of a superseded recovery exchange
+		}
+		return fr.typ, fr.payload, false, nil
+	case mPong:
+		return 0, nil, true, nil // straggler from an aborted recovery exchange
+	}
+	return fr.typ, fr.payload, false, nil
+}
+
 // recvFrom returns the next frame from worker i, handling losses, peer-loss
 // reports, worker errors, and frames left over from an epoch a failover
 // aborted. It blocks until a frame or any loss signal arrives.
@@ -740,45 +965,42 @@ func (c *coordinator) recvFrom(i int) (byte, []byte, error) {
 	for {
 		select {
 		case fr := <-l.ch:
-			if fr.err != nil {
-				return 0, nil, c.lost(i, fr.err)
+			typ, payload, skip, err := c.triage(i, fr)
+			if err != nil {
+				return 0, nil, err
 			}
-			switch fr.typ {
-			case mPeerLost:
-				var pl msgPeerLost
-				if err := pl.decode(fr.payload); err != nil {
-					return 0, nil, err
-				}
-				t := int(pl.Worker)
-				if t < 0 || t >= c.W {
-					return 0, nil, fmt.Errorf("cluster: worker %d reported peer %d lost", i, t)
-				}
-				if c.isDead(t) {
-					continue // duplicate report of a loss already being handled
-				}
-				return 0, nil, c.lost(t, &WorkerLostError{Worker: t, Addr: pl.Addr, Err: errors.New(pl.Text)})
-			case mError:
-				var e msgError
-				if derr := e.decode(fr.payload); derr != nil {
-					return 0, nil, derr
-				}
-				return 0, nil, wireToError(&e)
-			case mRescatterAck:
-				var a msgRescatterAck
-				if err := a.decode(fr.payload); err != nil {
-					return 0, nil, err
-				}
-				if a.Epoch != c.epoch {
-					continue // ack of a superseded recovery exchange
-				}
-				return fr.typ, fr.payload, nil
-			case mPong:
-				continue // straggler from an aborted recovery exchange
-			default:
-				return fr.typ, fr.payload, nil
+			if skip {
+				continue
 			}
+			return typ, payload, nil
 		case <-c.lostSig:
 			return 0, nil, errFailover
+		}
+	}
+}
+
+// recvPoll is recvFrom without the blocking: ok=false reports that worker
+// i has no frame ready. The barrier loops use it to take finishes in
+// completion order rather than worker order, so a straggler early in the
+// iteration cannot hide its peers' progress from the phase watcher.
+func (c *coordinator) recvPoll(i int) (typ byte, payload []byte, ok bool, err error) {
+	if c.isDead(i) {
+		return 0, nil, false, c.deadSendErr(i)
+	}
+	l := c.links[i]
+	for {
+		select {
+		case fr := <-l.ch:
+			typ, payload, skip, err := c.triage(i, fr)
+			if err != nil {
+				return 0, nil, false, err
+			}
+			if skip {
+				continue
+			}
+			return typ, payload, true, nil
+		default:
+			return 0, nil, false, nil
 		}
 	}
 }
@@ -814,6 +1036,8 @@ func (c *coordinator) enterPhase(name string) error {
 		return ErrCoordinatorChaosKill
 	}
 	c.maybeChaos(name)
+	c.maybeStall(name)
+	c.beginPhaseWatch(name)
 	if j := c.spec.Join; j != nil && !c.joined && c.elastic && j.Phase == name {
 		c.joined = true
 		return errRejoin
@@ -836,6 +1060,589 @@ func (c *coordinator) maybeChaos(phase string) {
 	}
 	if !c.isDead(ch.Worker) {
 		_ = c.links[ch.Worker].send(mCrash, (&msgCrash{Mode: mode}).encode())
+	}
+}
+
+// maybeStall fires the configured slowdown if this is its phase — the
+// latency analogue of maybeChaos, under the same fire-once, epoch-0 rules.
+// v6-only: only the progress detector can see a stalled-but-ponging
+// worker, so injecting one into an older cluster would just hang the job.
+func (c *coordinator) maybeStall(phase string) {
+	st := c.spec.Stall
+	if st == nil || c.stallFired || st.Phase != phase || !c.progress || c.epoch != 0 {
+		return
+	}
+	c.stallFired = true
+	if !c.isDead(st.Worker) {
+		_ = c.links[st.Worker].send(mCrash, (&msgCrash{Mode: crashStall, Factor: uint32(st.Factor)}).encode())
+	}
+}
+
+// beginPhaseWatch resets the per-phase completion table and (for barrier
+// phases, with the detector enabled) arms a watcher goroutine that
+// enforces the phase's deadline budget. Scatter is exempt: it is
+// coordinator-push with no per-worker barrier, so a stall there surfaces
+// at the histogram barrier (or as a transport write timeout).
+func (c *coordinator) beginPhaseWatch(name string) {
+	c.pmu.Lock()
+	if c.watchStop != nil {
+		close(c.watchStop)
+		c.watchStop = nil
+	}
+	c.phaseT0 = time.Now()
+	c.doneAt = make(map[int]time.Time)
+	c.focus = -1
+	arm := c.spec.Straggler.Enabled && name != "scatter"
+	var stop chan struct{}
+	if arm {
+		stop = make(chan struct{})
+		c.watchStop = stop
+	}
+	c.pmu.Unlock()
+	if arm {
+		c.watchWG.Add(1)
+		go c.watchPhase(name, stop)
+	}
+}
+
+// stopPhaseWatch retires the current phase watcher, if any. Called when
+// the pipeline unwinds to recovery (the phase it watched is being
+// abandoned) and at job end.
+func (c *coordinator) stopPhaseWatch() {
+	c.pmu.Lock()
+	if c.watchStop != nil {
+		close(c.watchStop)
+		c.watchStop = nil
+	}
+	c.pmu.Unlock()
+}
+
+// setWatchFocus marks worker i as the one the coordinator is currently
+// blocked on in a sequential phase like drain, where peers not yet
+// fetched are idle through no fault of their own: the watcher then blames
+// only the focused worker for elapsed budget.
+func (c *coordinator) setWatchFocus(i int) {
+	c.pmu.Lock()
+	c.focus = i
+	c.focusT0 = time.Now()
+	c.pmu.Unlock()
+}
+
+// notePhaseDone records worker i's barrier completion in the current
+// phase, for the watcher's dynamic budgets and the hedge's target choice.
+func (c *coordinator) notePhaseDone(i int) {
+	c.pmu.Lock()
+	if _, ok := c.doneAt[i]; !ok {
+		c.doneAt[i] = time.Now()
+	}
+	c.pmu.Unlock()
+}
+
+// noteProgress folds one v6 pong trailer into the progress table,
+// timestamping only actual advancement so the watcher's grace check reads
+// "made progress recently", not "answered a ping recently".
+func (c *coordinator) noteProgress(i int, pg msgProgress) {
+	c.pmu.Lock()
+	t := c.prog[i]
+	if !t.have || t.phase != pg.Phase || t.units != pg.Units {
+		t.at = time.Now()
+	}
+	t.have, t.phase, t.units = true, pg.Phase, pg.Units
+	c.prog[i] = t
+	c.pmu.Unlock()
+}
+
+// progressWithin reports whether worker i's progress counters advanced in
+// the last grace window. Without v6 pongs there is no progress evidence,
+// so no grace.
+func (c *coordinator) progressWithin(i int, now time.Time, grace time.Duration) bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	t, ok := c.prog[i]
+	return ok && t.have && now.Sub(t.at) <= grace
+}
+
+// watchPhase is the progress-rate failure detector for one barrier phase.
+// Each tick it derives the phase's deadline budget, hedges a straggling
+// local sort past the soft budget, and demotes a worker past the hard
+// budget — after one grace extension if its progress counters advanced
+// recently — to the failover path via a typed *StragglerError.
+func (c *coordinator) watchPhase(phase string, stop chan struct{}) {
+	defer c.watchWG.Done()
+	st := c.spec.Straggler
+	tick := c.spec.Heartbeat.Interval / 2
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	extended := make(map[int]time.Duration) // worker -> extended deadline
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tk.C:
+		}
+		now := time.Now()
+		c.pmu.Lock()
+		t0 := c.phaseT0
+		focus, focusT0 := c.focus, c.focusT0
+		durs := make([]time.Duration, 0, len(c.doneAt))
+		done := make(map[int]bool, len(c.doneAt))
+		var doneShards []uint64
+		for i, at := range c.doneAt {
+			durs = append(durs, at.Sub(t0))
+			done[i] = true
+			if (phase == "local-sort" || phase == "drain") && i < len(c.expectGather) {
+				doneShards = append(doneShards, c.expectGather[i])
+			}
+		}
+		c.pmu.Unlock()
+		activeList := c.active()
+		if phase == "drain" {
+			// Drain fetches shards one worker at a time: only the worker the
+			// coordinator is currently blocked on can be at fault, and until
+			// the first fetch begins there is nobody to blame.
+			if focus < 0 {
+				continue
+			}
+			activeList = []int{focus}
+			t0 = focusT0 // the budget covers this fetch, not the whole drain
+		}
+		hard := c.phaseBudget(st, durs, len(activeList))
+		soft := st.SoftBudget
+		if soft <= 0 {
+			soft = hard
+		}
+		elapsed := now.Sub(t0)
+		var unfinished []int
+		for _, i := range activeList {
+			if !done[i] {
+				unfinished = append(unfinished, i)
+			}
+		}
+		// Hedge only a lone outlier: every peer has sorted and exactly one
+		// worker is still running past the soft budget. Counters cannot
+		// reliably rank two still-sorting workers (a sort is one coarse work
+		// unit), so spending the job's single hedge while several workers are
+		// legitimately busy risks wasting it on a healthy one.
+		if phase == "local-sort" && st.Hedge && c.progress && soft > 0 && elapsed > soft &&
+			len(unfinished) == 1 {
+			c.maybeHedge(unfinished[0], done)
+		}
+		var cands []int
+		limits := make(map[int]time.Duration)
+		for _, i := range activeList {
+			if done[i] {
+				continue
+			}
+			if c.hedgeInFlightFor(i) {
+				continue // give the hedge its chance before demoting
+			}
+			limit := hard
+			if st.HardBudget <= 0 {
+				limit = c.scaleShardBudget(phase, i, doneShards, hard)
+			}
+			if e, ok := extended[i]; ok {
+				limit = e
+			}
+			if limit <= 0 || elapsed <= limit {
+				continue
+			}
+			grace := 2 * c.spec.Heartbeat.Interval
+			if hard/4 > grace {
+				grace = hard / 4
+			}
+			if _, ok := extended[i]; !ok && c.progressWithin(i, now, grace) {
+				extended[i] = elapsed + grace
+				continue
+			}
+			cands = append(cands, i)
+			limits[i] = limit
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		// In an all-to-all phase every healthy worker is eventually blocked
+		// at the barrier behind the one straggler, so several workers blow
+		// the budget together. Demote only the furthest-behind unfinished
+		// worker — and if that worker is still inside its grace extension
+		// (a throttled worker inches forward, earning grace, while the
+		// healthy peers it blocks sit flat), hold this sweep rather than
+		// shoot a bystander. The failover that follows reruns the phase,
+		// and if a second straggler remains the fresh watcher will find it.
+		v := c.straggliest(unfinished)
+		if _, ok := limits[v]; !ok {
+			continue
+		}
+		c.demote(v, phase, limits[v])
+		return
+	}
+}
+
+// straggliest picks the most-behind worker among cands by the v6 progress
+// counters: lowest worker phase first, then fewest work units, then lowest
+// ID for determinism. Workers that never reported progress sort first.
+func (c *coordinator) straggliest(cands []int) int {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	v := cands[0]
+	vt := c.prog[v]
+	for _, i := range cands[1:] {
+		t := c.prog[i]
+		behind := false
+		switch {
+		case t.have != vt.have:
+			behind = !t.have
+		case t.phase != vt.phase:
+			behind = t.phase < vt.phase
+		case t.units != vt.units:
+			behind = t.units < vt.units
+		}
+		if behind {
+			v, vt = i, t
+		}
+	}
+	return v
+}
+
+// phaseBudget derives the phase's hard deadline: the explicit HardBudget
+// when set; otherwise, once at least half the active workers have
+// finished, BudgetFactor times the median finisher's phase time, floored
+// by MinBudget and capped by BudgetFactor times the plan model's
+// prediction. Zero means "no verdict yet".
+func (c *coordinator) phaseBudget(st StragglerConfig, durs []time.Duration, active int) time.Duration {
+	if st.HardBudget > 0 {
+		return st.HardBudget
+	}
+	if len(durs) == 0 || len(durs)*2 < active {
+		return 0
+	}
+	b := time.Duration(st.BudgetFactor * float64(medianDur(durs)))
+	if b < st.MinBudget {
+		b = st.MinBudget
+	}
+	if c.predicted > 0 {
+		if ceil := time.Duration(st.BudgetFactor * float64(c.predicted)); ceil > st.MinBudget && b > ceil {
+			b = ceil
+		}
+	}
+	return b
+}
+
+// scaleShardBudget stretches a derived local-sort or drain deadline for a
+// worker whose planned shard outweighs the median finisher's: the budget
+// is derived from the median finisher's time, and under bucket skew the
+// biggest shard legitimately sorts (and drains) proportionally slower —
+// that is load imbalance, not a straggle, and demoting the big worker
+// only re-spreads its shard and amplifies the skew. Explicit budgets are
+// the operator's absolute verdict and are never scaled (the caller gates
+// on HardBudget). expectGather is safe to read here: it is written during
+// the plan, which happens before the local-sort and drain watchers are
+// armed, and watchers are retired before any re-plan.
+func (c *coordinator) scaleShardBudget(phase string, i int, doneShards []uint64, hard time.Duration) time.Duration {
+	if hard <= 0 || (phase != "local-sort" && phase != "drain") ||
+		i >= len(c.expectGather) || len(doneShards) == 0 {
+		return hard
+	}
+	m := medianU64(doneShards)
+	if m == 0 {
+		// The median finisher's shard was empty (extreme duplicate skew can
+		// put every record in one worker's buckets): its time says nothing
+		// about how long real work takes, so a derived deadline has no
+		// baseline — issue no verdict for a worker that actually holds data.
+		if c.expectGather[i] > 0 {
+			return 0
+		}
+		return hard
+	}
+	if s := float64(c.expectGather[i]) / float64(m); s > 1 {
+		return time.Duration(float64(hard) * s)
+	}
+	return hard
+}
+
+func medianU64(v []uint64) uint64 {
+	s := append([]uint64(nil), v...)
+	for i := 1; i < len(s); i++ { // insertion sort: W is small
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func medianDur(durs []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), durs...)
+	for i := 1; i < len(s); i++ { // insertion sort: W is small
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// demote expels a live-but-stalled worker to the failover path: the same
+// machinery that absorbs a death absorbs a demotion, it just carries a
+// *StragglerError so the caller (and jobs.Classify) can tell "slow" from
+// "dead".
+func (c *coordinator) demote(i int, phase string, budget time.Duration) {
+	c.pmu.Lock()
+	t, haveProg := c.prog[i]
+	c.pmu.Unlock()
+	detail := "no progress reports"
+	if haveProg && t.have {
+		detail = fmt.Sprintf("last progress %v ago (%s, %d units)",
+			time.Since(t.at).Round(time.Millisecond), WorkerPhases[int(t.phase)%len(WorkerPhases)], t.units)
+	}
+	c.mu.Lock()
+	c.rec.Stragglers = append(c.rec.Stragglers, i)
+	epoch := c.epoch
+	c.mu.Unlock()
+	c.tr.Count("cluster", "stragglers-detected", 0, 1)
+	// A zero-length marker span: analyze keys its straggler section on it.
+	c.tr.Begin("cluster", "straggler", 0).End(
+		obs.Attr{Key: "worker", Val: int64(i)},
+		obs.Attr{Key: "budget-ms", Val: budget.Milliseconds()},
+	)
+	c.journal(journalEvent{Event: "straggler", Epoch: epoch, Phase: phase, Worker: i})
+	c.lostAsync(i, &StragglerError{
+		Worker: i, Addr: c.addr(i), Phase: phase, Budget: budget,
+		Err: fmt.Errorf("no barrier completion after %v; %s", budget, detail),
+	})
+}
+
+// maybeHedge starts the job's one hedged shard-sort re-execution against
+// victim, if none ran yet and a target exists: the fastest idle worker —
+// the earliest barrier finisher when one is known, otherwise the peer
+// with the most reported progress.
+func (c *coordinator) maybeHedge(victim int, done map[int]bool) {
+	c.hmu.Lock()
+	if c.hedged != nil {
+		c.hmu.Unlock()
+		return
+	}
+	target := c.pickHedgeTarget(victim, done)
+	if target < 0 {
+		c.hmu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	epoch := c.epoch
+	c.mu.Unlock()
+	hr := &hedgeRun{victim: victim, target: target, epoch: epoch, won: make(chan struct{})}
+	c.hedged = hr
+	c.hmu.Unlock()
+	c.watchWG.Add(1)
+	go c.superviseHedge(hr)
+}
+
+func (c *coordinator) pickHedgeTarget(victim int, done map[int]bool) int {
+	c.pmu.Lock()
+	doneAt := make(map[int]time.Time, len(c.doneAt))
+	for i, at := range c.doneAt {
+		doneAt[i] = at
+	}
+	prog := make(map[int]progTrack, len(c.prog))
+	for i, t := range c.prog {
+		prog[i] = t
+	}
+	c.pmu.Unlock()
+	best := -1
+	var bestAt time.Time
+	for _, i := range c.active() {
+		if i == victim || !done[i] {
+			continue
+		}
+		if at, ok := doneAt[i]; ok && (best < 0 || at.Before(bestAt)) {
+			best, bestAt = i, at
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	var bestProg progTrack
+	for _, i := range c.active() {
+		if i == victim {
+			continue
+		}
+		t := prog[i]
+		if best < 0 || t.phase > bestProg.phase || (t.phase == bestProg.phase && t.units > bestProg.units) {
+			best, bestProg = i, t
+		}
+	}
+	return best
+}
+
+// superviseHedge drives one hedge: dial the target on a dedicated
+// connection, arm it with mHedgeHello/mHedgeHelloAck, only then order
+// every active worker (the victim included — its control reader stays
+// responsive, and its resend path is not stall-throttled) to re-send the
+// victim's buckets as phase-3 streams, and wait for mHedgeDone. Closing
+// won publishes the verdict to the sort barrier, which decides the race.
+// Any failure just abandons the hedge; the job never depends on it.
+func (c *coordinator) superviseHedge(hr *hedgeRun) {
+	defer c.watchWG.Done()
+	sp := c.tr.Begin("cluster", "hedge", 0)
+	outcome := "failed"
+	defer func() {
+		sp.End(
+			obs.Attr{Key: "victim", Val: int64(hr.victim)},
+			obs.Attr{Key: "target", Val: int64(hr.target)},
+			obs.Attr{Key: "armed", Val: boolAttr(outcome == "armed")},
+		)
+	}()
+	fail := func() {
+		c.hmu.Lock()
+		if !hr.covered && !hr.beaten {
+			hr.failed = true
+		}
+		conn := hr.conn
+		c.hmu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	victimRecs := c.expectGather[hr.victim]
+	var buckets []uint32
+	for b, o := range c.owners {
+		if int(o) == hr.victim {
+			buckets = append(buckets, uint32(b))
+		}
+	}
+	conn, err := c.spec.Dial.dial(c.hctx, hr.target, c.addr(hr.target))
+	if err != nil {
+		fail()
+		return
+	}
+	// A job-end or explicit closeHedge must be able to cut a read that has
+	// no deadline (the sort can take arbitrarily long).
+	stopCut := context.AfterFunc(c.hctx, func() { conn.Close() })
+	defer stopCut()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	c.hmu.Lock()
+	if hr.beaten { // the victim finished while we were dialing
+		c.hmu.Unlock()
+		conn.Close()
+		return
+	}
+	hr.conn, hr.br = conn, br
+	c.hmu.Unlock()
+	hh := &msgHedgeHello{
+		JobID: c.jobID, Epoch: hr.epoch, Victim: uint32(hr.victim),
+		Recs: victimRecs, Buckets: buckets,
+	}
+	setOpDeadline(conn, c.spec.Dial)
+	if err := writeFrame(conn, mHedgeHello, hh.encode()); err != nil {
+		fail()
+		return
+	}
+	setOpDeadline(conn, c.spec.Dial)
+	typ, _, err := readFrame(br)
+	if err != nil || typ != mHedgeHelloAck {
+		fail()
+		return
+	}
+	// The target is armed: order the resends. Serializing the broadcast
+	// after the ack means no phase-3 block can reach an unarmed target.
+	hs := (&msgHedgeSend{
+		Epoch: hr.epoch, Victim: uint32(hr.victim), Target: uint32(hr.target), Buckets: buckets,
+	}).encode()
+	for _, i := range c.active() {
+		_ = c.links[i].send(mHedgeSend, hs) // best effort: a missing sender just starves the hedge
+	}
+	clearDeadline(conn)
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != mHedgeDone {
+		fail()
+		return
+	}
+	var m msgCount
+	if err := m.decode(payload); err != nil || m.Count != victimRecs {
+		fail()
+		return
+	}
+	hr.recs = m.Count
+	outcome = "armed"
+	close(hr.won)
+}
+
+// currentHedge returns the hedge belonging to the current epoch, if any.
+// Main-goroutine only (epoch is read bare).
+func (c *coordinator) currentHedge() *hedgeRun {
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	if c.hedged != nil && c.hedged.epoch == c.epoch {
+		return c.hedged
+	}
+	return nil
+}
+
+// hedgeInFlightFor reports an undecided hedge covering worker i — the
+// watcher suspends demotion while one runs.
+func (c *coordinator) hedgeInFlightFor(i int) bool {
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	hr := c.hedged
+	return hr != nil && hr.victim == i && !hr.covered && !hr.beaten && !hr.failed
+}
+
+// hedgeTakeover decides the race in the hedge's favor if it finished
+// first, exactly once: covered means the victim's shard is served from
+// the hedge connection at drain.
+func (c *coordinator) hedgeTakeover(hr *hedgeRun) bool {
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	if hr.covered {
+		return true
+	}
+	if hr.beaten || hr.failed {
+		return false
+	}
+	select {
+	case <-hr.won:
+		hr.covered = true
+		return true
+	default:
+		return false
+	}
+}
+
+// hedgeBeaten decides the race in the victim's favor: its own mSortDone
+// arrived first. Closing the hedge connection aborts the target's
+// speculative work.
+func (c *coordinator) hedgeBeaten(hr *hedgeRun) {
+	c.hmu.Lock()
+	if hr.covered || hr.beaten {
+		c.hmu.Unlock()
+		return
+	}
+	hr.beaten = true
+	conn := hr.conn
+	already := hr.failed
+	c.hmu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if !already {
+		c.tr.Count("cluster", "hedge-losses", 0, 1)
+		c.mu.Lock()
+		c.rec.HedgeLosses++
+		c.mu.Unlock()
+	}
+}
+
+// closeHedge tears down the hedge connection at job end or on a failover
+// unwind (the epoch bump makes the worker side abandon it anyway).
+func (c *coordinator) closeHedge() {
+	c.hmu.Lock()
+	var conn net.Conn
+	if c.hedged != nil {
+		conn = c.hedged.conn
+	}
+	c.hmu.Unlock()
+	if conn != nil {
+		conn.Close()
 	}
 }
 
@@ -895,6 +1702,79 @@ func (c *coordinator) scatter(ctx context.Context) error {
 	return nil
 }
 
+// collectBarrier gathers one want-typed frame from every active worker,
+// in completion order rather than worker order, so one straggler cannot
+// hide its peers' finishes from the phase watcher (whose dynamic budgets
+// and hedge-target choice feed off notePhaseDone). onFrame validates and
+// folds worker i's payload; folding must be order-independent, which
+// every barrier here is (sums, per-worker slots, count checks). With
+// hedge set (the local-sort barrier), a won hedge satisfies the victim's
+// slot: first finisher wins, the loser is cancelled.
+func (c *coordinator) collectBarrier(want byte, what string, hedge bool, onFrame func(i int, payload []byte) error) error {
+	pending := c.active()
+	for len(pending) > 0 {
+		if c.failover && c.pendingLoss() {
+			return errFailover
+		}
+		var hr *hedgeRun
+		if hedge {
+			hr = c.currentHedge()
+		}
+		progressed := false
+		var next []int
+		for _, i := range pending {
+			if hr != nil && hr.victim == i && c.hedgeTakeover(hr) {
+				// The hedge finished first: cancel the victim's sort (best
+				// effort — if the cancel cannot be delivered the victim
+				// just computes a shard nobody drains) and cover its slot.
+				_ = c.links[i].send(mSortCancel, nil)
+				c.tr.Count("cluster", "hedge-wins", 0, 1)
+				c.mu.Lock()
+				c.rec.HedgeWins++
+				epoch := c.epoch
+				c.mu.Unlock()
+				c.journal(journalEvent{Event: "hedge", Epoch: epoch, Phase: "local-sort", Worker: i, Addr: c.addr(hr.target)})
+				c.notePhaseDone(i)
+				progressed = true
+				continue
+			}
+			typ, payload, ok, err := c.recvPoll(i)
+			if err != nil {
+				return phaseErr(what, i, err)
+			}
+			if !ok {
+				next = append(next, i)
+				continue
+			}
+			if typ != want {
+				return fmt.Errorf("cluster: expected message %d from worker %d, got %d", want, i, typ)
+			}
+			if err := onFrame(i, payload); err != nil {
+				return err
+			}
+			c.notePhaseDone(i)
+			if hr != nil && hr.victim == i {
+				c.hedgeBeaten(hr)
+			}
+			progressed = true
+		}
+		pending = next
+		if len(pending) == 0 || progressed {
+			continue
+		}
+		// Nothing ready: sleep a beat. A loss signal ends the lull early;
+		// frames and hedge verdicts are picked up on the next sweep.
+		t := time.NewTimer(time.Millisecond)
+		select {
+		case <-c.lostSig:
+			t.Stop()
+			return errFailover
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
 // pipeline runs the post-scatter phases for the current epoch. Any return
 // of errFailover unwinds to the recovery loop in run.
 func (c *coordinator) pipeline(ctx context.Context) error {
@@ -922,11 +1802,7 @@ func (c *coordinator) histogramPhase() error {
 	}
 	sp := c.tr.Begin("cluster", "histogram-merge", 0)
 	merged := make([]uint64, histBins)
-	for _, i := range c.active() {
-		payload, err := c.expectFrom(i, mHistogram)
-		if err != nil {
-			return phaseErr("histogram from worker", i, err)
-		}
+	err := c.collectBarrier(mHistogram, "histogram from worker", false, func(i int, payload []byte) error {
 		var h msgHistogram
 		if err := h.decode(payload); err != nil {
 			return err
@@ -934,6 +1810,10 @@ func (c *coordinator) histogramPhase() error {
 		for b, v := range h.Bins {
 			merged[b] += v
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	c.pivots = pickPivots(merged, uint64(c.n), c.S)
 	digest := histDigest(merged)
@@ -970,11 +1850,7 @@ func (c *coordinator) planPhase() error {
 
 	// Per-bucket record counts from every surviving worker.
 	counts := make([][]uint64, c.W)
-	for _, i := range activeList {
-		payload, err := c.expectFrom(i, mCounts)
-		if err != nil {
-			return phaseErr("counts from worker", i, err)
-		}
+	err := c.collectBarrier(mCounts, "counts from worker", false, func(i int, payload []byte) error {
 		var m msgCounts
 		if err := m.decode(payload); err != nil {
 			return err
@@ -990,6 +1866,10 @@ func (c *coordinator) planPhase() error {
 			return fmt.Errorf("cluster: worker %d partitioned %d of %d records", i, total, c.perWorker[i])
 		}
 		counts[i] = m.PerBucket
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	// Balance-Sort placement: enumerate every block each worker will form
@@ -1089,6 +1969,7 @@ func (c *coordinator) planPhase() error {
 	c.streamLen = len(stream)
 	c.expectRecv = expectRecv
 	c.expectGather = expectGather
+	c.owners = owners
 	sp.End(obs.Attr{Key: "blocks", Val: int64(len(stream))}, obs.Attr{Key: "buckets", Val: int64(c.S)},
 		obs.Attr{Key: "disks", Val: int64(H)})
 	return nil
@@ -1099,11 +1980,7 @@ func (c *coordinator) exchangePhase() error {
 		return err
 	}
 	sp := c.tr.Begin("cluster", "exchange", 0)
-	for _, i := range c.active() {
-		payload, err := c.expectFrom(i, mPhaseDone)
-		if err != nil {
-			return phaseErr("exchange on worker", i, err)
-		}
+	err := c.collectBarrier(mPhaseDone, "exchange on worker", false, func(i int, payload []byte) error {
 		var d msgPhaseDone
 		if err := d.decode(payload); err != nil {
 			return err
@@ -1113,6 +1990,10 @@ func (c *coordinator) exchangePhase() error {
 				i, d.BlocksRecv, c.expectRecv[i])
 		}
 		c.journalWDone("exchange", i)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	sp.End(obs.Attr{Key: "blocks", Val: int64(c.streamLen)})
 	return nil
@@ -1129,11 +2010,7 @@ func (c *coordinator) gatherPhase() error {
 		}
 		c.flowOut("gather", i)
 	}
-	for _, i := range c.active() {
-		payload, err := c.expectFrom(i, mPhaseDone)
-		if err != nil {
-			return phaseErr("gather on worker", i, err)
-		}
+	err := c.collectBarrier(mPhaseDone, "gather on worker", false, func(i int, payload []byte) error {
 		var d msgPhaseDone
 		if err := d.decode(payload); err != nil {
 			return err
@@ -1143,6 +2020,10 @@ func (c *coordinator) gatherPhase() error {
 				i, d.RecsRecv, c.expectGather[i])
 		}
 		c.journalWDone("gather", i)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	sp.End()
 	return nil
@@ -1159,11 +2040,7 @@ func (c *coordinator) sortPhase() error {
 		}
 		c.flowOut("local-sort", i)
 	}
-	for _, i := range c.active() {
-		payload, err := c.expectFrom(i, mSortDone)
-		if err != nil {
-			return phaseErr("local sort on worker", i, err)
-		}
+	err := c.collectBarrier(mSortDone, "local sort on worker", true, func(i int, payload []byte) error {
 		var m msgCount
 		if err := m.decode(payload); err != nil {
 			return err
@@ -1172,6 +2049,10 @@ func (c *coordinator) sortPhase() error {
 			return fmt.Errorf("cluster: worker %d sorted %d of %d records", i, m.Count, c.expectGather[i])
 		}
 		c.journalWDone("local-sort", i)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	sp.End()
 	return nil
@@ -1209,6 +2090,24 @@ func (c *coordinator) drainShards() (err error) {
 	first := true
 	written := uint64(0)
 	for _, i := range c.active() {
+		if hr := c.currentHedge(); hr != nil && hr.victim == i && c.hedgeTakeover(hr) {
+			// The victim's sort was cancelled when the hedge won; its shard
+			// — byte-identical, being the same record multiset under the
+			// same total order — is served by the target over the hedge
+			// connection, at the victim's position in the drain order. A
+			// failure here demotes the *target* (its speculative copy is
+			// what proved unusable) and reruns the epoch without a hedge.
+			c.setWatchFocus(hr.target)
+			got, derr := c.drainHedge(hr, w, &prev, &first)
+			if derr != nil {
+				return phaseErr("draining hedged shard for worker", i, c.lost(hr.target, derr))
+			}
+			written += got
+			c.journalWDone("drain", i)
+			c.notePhaseDone(i)
+			continue
+		}
+		c.setWatchFocus(i)
 		if err := c.sendTo(i, mFetch, nil); err != nil {
 			return phaseErr("fetch from worker", i, err)
 		}
@@ -1250,6 +2149,7 @@ func (c *coordinator) drainShards() (err error) {
 		}
 		written += got
 		c.journalWDone("drain", i)
+		c.notePhaseDone(i)
 	}
 	if written != uint64(c.n) {
 		return fmt.Errorf("cluster: drained %d of %d records", written, c.n)
@@ -1260,6 +2160,58 @@ func (c *coordinator) drainShards() (err error) {
 	return out.Close()
 }
 
+// drainHedge pulls the hedged copy of the victim's sorted shard from the
+// target over the dedicated hedge connection, running the same sortedness
+// and conservation checks the normal drain does.
+func (c *coordinator) drainHedge(hr *hedgeRun, w *bufio.Writer, prev *record.Record, first *bool) (uint64, error) {
+	c.hmu.Lock()
+	conn, br := hr.conn, hr.br
+	c.hmu.Unlock()
+	defer conn.Close()
+	setOpDeadline(conn, c.spec.Dial)
+	if err := writeFrame(conn, mFetch, nil); err != nil {
+		return 0, err
+	}
+	want := c.expectGather[hr.victim]
+	var got uint64
+	for {
+		setOpDeadline(conn, c.spec.Dial)
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return got, err
+		}
+		c.net.in(len(payload))
+		if typ == mFetchDone {
+			var m msgCount
+			if derr := m.decode(payload); derr != nil {
+				return got, derr
+			}
+			if m.Count != got || got != want {
+				return got, fmt.Errorf("cluster: hedged shard drained %d records, reported %d, expected %d",
+					got, m.Count, want)
+			}
+			return got, nil
+		}
+		if typ != mRecords {
+			return got, fmt.Errorf("cluster: unexpected message %d while draining hedged shard", typ)
+		}
+		recs, derr := decodeRecords(payload)
+		if derr != nil {
+			return got, derr
+		}
+		for _, rec := range recs {
+			if !*first && rec.Less(*prev) {
+				return got, fmt.Errorf("cluster: output not sorted at hedged shard of worker %d", hr.victim)
+			}
+			*prev, *first = rec, false
+		}
+		if _, werr := w.Write(payload); werr != nil {
+			return got, werr
+		}
+		got += uint64(len(recs))
+	}
+}
+
 // recoverLost is the failover path: snapshot the dead set, check quorum,
 // open a new epoch on every survivor, re-stream the dead workers' chunk
 // extents round-robin across the survivors, and wait for every survivor to
@@ -1268,6 +2220,7 @@ func (c *coordinator) drainShards() (err error) {
 // to post-scatter is a complete recovery from loss at any phase.
 func (c *coordinator) recoverLost(ctx context.Context) error {
 	t0 := time.Now()
+	c.closeHedge() // the epoch bump orphans any in-flight hedge
 	sp := c.tr.Begin("cluster", "failover", 0)
 	defer func() {
 		c.mu.Lock()
@@ -1628,7 +2581,7 @@ func (c *coordinator) monitor(ctx context.Context, i int) {
 			return
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(hb.Interval))
-		typ, _, err := readFrame(br)
+		typ, payload, err := readFrame(br)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -1650,6 +2603,12 @@ func (c *coordinator) monitor(ctx context.Context, i int) {
 		}
 		if typ == mPong {
 			misses = 0
+			// v6 pongs carry a progress trailer; older ones decode with
+			// Have == false and feed the detector nothing.
+			var pg msgProgress
+			if pg.decode(payload) == nil && pg.Have {
+				c.noteProgress(i, pg)
+			}
 		}
 		if sleepCtx(ctx, hb.Interval) != nil {
 			return
@@ -1682,6 +2641,9 @@ func (c *coordinator) collectTrace(i int) error {
 			c.tr.Merge(m.Spans, shift, i+1)
 		case mTraceDone:
 			return nil
+		case mSortDone:
+			// Hedge debris: the victim's own finish, beaten to the barrier
+			// by the hedge after the cancel was already in flight.
 		default:
 			return fmt.Errorf("cluster: unexpected message %d during trace collection", typ)
 		}
@@ -1697,7 +2659,7 @@ func (c *coordinator) collectTrace(i int) error {
 // per-worker phase completions ("wdone"), membership growth ("join"), and
 // the terminal "done".
 type journalEvent struct {
-	Event   string   `json:"event"` // "start" | "phase" | "scatter-done" | "pivots" | "wdone" | "lost" | "failover" | "join" | "join-failed" | "resume" | "reseed" | "done"
+	Event   string   `json:"event"` // "start" | "phase" | "scatter-done" | "pivots" | "wdone" | "lost" | "straggler" | "hedge" | "failover" | "join" | "join-failed" | "resume" | "reseed" | "done"
 	Epoch   uint32   `json:"epoch"`
 	Phase   string   `json:"phase,omitempty"`
 	Worker  int      `json:"worker,omitempty"`

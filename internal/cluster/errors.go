@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // WorkerLostError reports a worker that the cluster could not reach after
@@ -43,9 +44,39 @@ func (e *ClusterDegradedError) Error() string {
 
 func (e *ClusterDegradedError) Unwrap() error { return e.Err }
 
+// StragglerError reports a worker that stayed alive — it kept answering
+// heartbeats — but fell past its phase deadline budget without making
+// progress, and was demoted to the failover path. It is the latency dual
+// of WorkerLostError: the worker is reachable, just uselessly slow. A job
+// that survives the demotion never surfaces it (the failover rebuild
+// absorbs it, reported via RecoveryStats); it reaches the caller only when
+// the demotion breaks quorum, wrapped in a ClusterDegradedError, or when
+// failover is disabled. jobs.Classify maps it to a retryable status.
+type StragglerError struct {
+	Worker int           // the straggling worker's ID in the job
+	Addr   string        // its address (still reachable, unlike a lost worker)
+	Phase  string        // the coordinator phase that blew its budget
+	Budget time.Duration // the deadline budget the worker fell past
+	Err    error         // detail: what the detector last observed
+}
+
+func (e *StragglerError) Error() string {
+	return fmt.Sprintf("cluster: worker %d (%s) straggling in %s past budget %v: %v",
+		e.Worker, e.Addr, e.Phase, e.Budget, e.Err)
+}
+
+func (e *StragglerError) Unwrap() error { return e.Err }
+
 // errorToWire flattens err into a msgError, preserving WorkerLostError's
-// identity across the process boundary.
+// and StragglerError's identity across the process boundary.
 func errorToWire(self int, err error) *msgError {
+	var straggler *StragglerError
+	if errors.As(err, &straggler) {
+		return &msgError{
+			Code: ecStraggler, Worker: uint32(straggler.Worker), Addr: straggler.Addr,
+			Text: straggler.Err.Error(), Phase: straggler.Phase, Budget: uint64(straggler.Budget),
+		}
+	}
 	var lost *WorkerLostError
 	if errors.As(err, &lost) {
 		return &msgError{Code: ecWorkerLost, Worker: uint32(lost.Worker), Addr: lost.Addr, Text: lost.Err.Error()}
@@ -59,6 +90,11 @@ func wireToError(m *msgError) error {
 	switch m.Code {
 	case ecWorkerLost:
 		return &WorkerLostError{Worker: int(m.Worker), Addr: m.Addr, Err: errors.New(m.Text)}
+	case ecStraggler:
+		return &StragglerError{
+			Worker: int(m.Worker), Addr: m.Addr, Phase: m.Phase,
+			Budget: time.Duration(m.Budget), Err: errors.New(m.Text),
+		}
 	default:
 		return fmt.Errorf("cluster: worker %d: %s", m.Worker, m.Text)
 	}

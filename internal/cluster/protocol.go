@@ -38,8 +38,20 @@ import (
 // the span-count word. A v5 worker only emits the extended encoding when
 // the session settled on version 5, so a v<5 coordinator still receives
 // byte-identical v4 trace chunks; a v5 decoder reads both forms.
+//
+// Version 6 added the straggler-mitigation wire surface: an optional
+// progress trailer on mPong (per-phase work counters, so the coordinator
+// can detect a live-but-stalled worker), the crashStall chaos mode with an
+// optional slowdown factor on mCrash, the hedged shard-sort messages
+// (mHedgeHello/mHedgeHelloAck on a dedicated coordinator->target
+// connection, mHedgeSend on every control link, mHedgeDone, mSortCancel),
+// and the ecStraggler error code with an optional phase/budget trailer on
+// mError. All of it degrades: a v6 worker only appends the pong trailer
+// when the session settled on version 6, hedging and stall injection are
+// disabled for the whole job unless every worker negotiated v6, and the
+// v<6 encodings stay byte-identical.
 const (
-	protocolVersion    = 5
+	protocolVersion    = 6
 	minProtocolVersion = 2
 )
 
@@ -82,6 +94,12 @@ const (
 	mJoin        // coordinator -> new worker: attach mid-job as an added virtual disk
 	mResume      // restarted coordinator -> worker: re-open the job's control link
 	mResumeState // worker -> coordinator: the epoch-tagged shard state it still holds
+	// v6 messages below. A v<6 peer never sees them on the wire.
+	mHedgeHello    // coordinator -> hedge target: re-run a straggler's shard sort
+	mHedgeHelloAck // hedge target -> coordinator: hedge session armed
+	mHedgeSend     // coordinator -> every worker: resend a victim's gather blocks to the target
+	mHedgeDone     // hedge target -> coordinator: hedged shard sorted, record count follows
+	mSortCancel    // coordinator -> straggler: hedge won, abandon the shard sort
 )
 
 // Hello flag bits.
@@ -540,27 +558,171 @@ func (m *msgPing) decode(p []byte) error {
 	return r.done()
 }
 
+// msgProgress is the v6 mPong payload: the echoed ping sequence followed
+// by the worker's per-phase progress counters. A v<6 worker answers with
+// the bare 8-byte echo, which decodes with Have == false, so the
+// coordinator's progress detector silently degrades to liveness-only for
+// that worker. Units is a monotone count of work items finished in the
+// current phase (records scanned, blocks stored, chunks sent, ...): the
+// detector only compares successive values of the same worker, so the
+// unit does not have to mean the same thing across phases or peers.
+type msgProgress struct {
+	Seq        uint64
+	Have       bool  // trailer present: the worker speaks v6
+	Phase      uint8 // index into WorkerPhases
+	Units      uint64
+	ShardRecs  uint64 // records scattered into the shard
+	RecvBlocks uint64 // exchange blocks received
+	GatherRecs uint64 // gather records received
+}
+
+func (m *msgProgress) encode() []byte {
+	var w wcur
+	w.u64(m.Seq)
+	if m.Have {
+		w.u8(m.Phase)
+		w.u64(m.Units)
+		w.u64(m.ShardRecs)
+		w.u64(m.RecvBlocks)
+		w.u64(m.GatherRecs)
+	}
+	return w.b
+}
+
+func (m *msgProgress) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Seq = r.u64()
+	m.Have = false
+	if !r.bad && r.off < len(r.b) {
+		m.Have = true
+		m.Phase = r.u8()
+		m.Units = r.u64()
+		m.ShardRecs = r.u64()
+		m.RecvBlocks = r.u64()
+		m.GatherRecs = r.u64()
+	}
+	return r.done()
+}
+
+// msgHedgeHello opens the coordinator's dedicated hedge connection to the
+// target worker: re-collect the victim's buckets (about to be re-sent as
+// phase-3 blocks by every active worker) and sort them as a speculative
+// copy of the victim's shard. The target answers mHedgeHelloAck, later
+// mHedgeDone with the sorted count, and finally serves the shard over the
+// same connection via mFetch. The connection doubling as the hedge's
+// lifetime handle is the cancellation protocol: the coordinator closing it
+// aborts the hedge, and a failover epoch bump closes it from the worker
+// side.
+type msgHedgeHello struct {
+	JobID   uint64
+	Epoch   uint32
+	Victim  uint32   // the straggler whose shard is being re-run
+	Recs    uint64   // exact records the hedged shard must contain
+	Buckets []uint32 // the buckets the victim owns, ascending
+}
+
+func (m *msgHedgeHello) encode() []byte {
+	var w wcur
+	w.u64(m.JobID)
+	w.u32(m.Epoch)
+	w.u32(m.Victim)
+	w.u64(m.Recs)
+	w.u32(uint32(len(m.Buckets)))
+	for _, b := range m.Buckets {
+		w.u32(b)
+	}
+	return w.b
+}
+
+func (m *msgHedgeHello) decode(p []byte) error {
+	r := rcur{b: p}
+	m.JobID = r.u64()
+	m.Epoch = r.u32()
+	m.Victim = r.u32()
+	m.Recs = r.u64()
+	n := int(r.u32())
+	if n < 0 || n > (len(p)-r.off+3)/4 {
+		return fmt.Errorf("cluster: hedge hello claims %d buckets in %d bytes", n, len(p))
+	}
+	m.Buckets = make([]uint32, 0, n)
+	for i := 0; i < n && !r.bad; i++ {
+		m.Buckets = append(m.Buckets, r.u32())
+	}
+	return r.done()
+}
+
+// msgHedgeSend orders one worker to re-send the listed buckets' gather
+// blocks to the hedge target as phase-3 mBlock frames (fresh streams, so
+// the receiver's per-stream dedup makes retransmission safe). The bucket
+// list rides the message so re-senders never have to consult their own
+// plan state from another goroutine.
+type msgHedgeSend struct {
+	Epoch   uint32
+	Victim  uint32
+	Target  uint32
+	Buckets []uint32
+}
+
+func (m *msgHedgeSend) encode() []byte {
+	var w wcur
+	w.u32(m.Epoch)
+	w.u32(m.Victim)
+	w.u32(m.Target)
+	w.u32(uint32(len(m.Buckets)))
+	for _, b := range m.Buckets {
+		w.u32(b)
+	}
+	return w.b
+}
+
+func (m *msgHedgeSend) decode(p []byte) error {
+	r := rcur{b: p}
+	m.Epoch = r.u32()
+	m.Victim = r.u32()
+	m.Target = r.u32()
+	n := int(r.u32())
+	if n < 0 || n > (len(p)-r.off+3)/4 {
+		return fmt.Errorf("cluster: hedge send claims %d buckets in %d bytes", n, len(p))
+	}
+	m.Buckets = make([]uint32, 0, n)
+	for i := 0; i < n && !r.bad; i++ {
+		m.Buckets = append(m.Buckets, r.u32())
+	}
+	return r.done()
+}
+
 // Chaos modes carried by msgCrash.
 const (
-	crashKill uint8 = iota // drop the session and close every connection
-	crashHang              // go silent: stop ponging and stop making progress
+	crashKill  uint8 = iota // drop the session and close every connection
+	crashHang               // go silent: stop ponging and stop making progress
+	crashStall              // v6: keep ponging but slow every unit of work by Factor
 )
 
-// msgCrash is the chaos-harness injection: the worker dies or hangs the
-// instant its control reader sees it, whatever phase the job is in.
+// msgCrash is the chaos-harness injection: the worker dies, hangs, or
+// slows down the instant its control reader sees it, whatever phase the
+// job is in. Factor is appended only for crashStall, which only an all-v6
+// cluster ever sends, so the kill/hang encoding is unchanged.
 type msgCrash struct {
-	Mode uint8
+	Mode   uint8
+	Factor uint32 // crashStall only: every work unit takes Factor times as long
 }
 
 func (m *msgCrash) encode() []byte {
 	var w wcur
 	w.u8(m.Mode)
+	if m.Mode == crashStall {
+		w.u32(m.Factor)
+	}
 	return w.b
 }
 
 func (m *msgCrash) decode(p []byte) error {
 	r := rcur{b: p}
 	m.Mode = r.u8()
+	m.Factor = 0
+	if m.Mode == crashStall && r.off < len(r.b) {
+		m.Factor = r.u32()
+	}
 	return r.done()
 }
 
@@ -849,14 +1011,19 @@ func (m *msgBlockAck) decode(p []byte) error {
 const (
 	ecGeneric uint32 = iota
 	ecWorkerLost
+	ecStraggler // v6: a live worker demoted for falling past its phase budget
 )
 
-// msgError propagates a fatal job error in either direction.
+// msgError propagates a fatal job error in either direction. The Phase and
+// Budget fields ride a trailer appended only for ecStraggler — a code only
+// v6-aware peers ever produce — so the v2 encoding is unchanged.
 type msgError struct {
 	Code   uint32
 	Worker uint32
 	Addr   string
 	Text   string
+	Phase  string // ecStraggler only: the coordinator phase that blew its budget
+	Budget uint64 // ecStraggler only: the phase deadline budget, in nanoseconds
 }
 
 func (m *msgError) encode() []byte {
@@ -865,6 +1032,10 @@ func (m *msgError) encode() []byte {
 	w.u32(m.Worker)
 	w.str(m.Addr)
 	w.str(m.Text)
+	if m.Code == ecStraggler {
+		w.str(m.Phase)
+		w.u64(m.Budget)
+	}
 	return w.b
 }
 
@@ -874,6 +1045,11 @@ func (m *msgError) decode(p []byte) error {
 	m.Worker = r.u32()
 	m.Addr = r.str()
 	m.Text = r.str()
+	m.Phase, m.Budget = "", 0
+	if m.Code == ecStraggler && !r.bad && r.off < len(r.b) {
+		m.Phase = r.str()
+		m.Budget = r.u64()
+	}
 	return r.done()
 }
 

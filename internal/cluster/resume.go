@@ -10,6 +10,7 @@ import (
 
 	"balancesort/internal/obs"
 	"balancesort/internal/pdm"
+	"balancesort/internal/plan"
 	"balancesort/internal/record"
 )
 
@@ -149,8 +150,13 @@ func Resume(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortSt
 		epoch:      st.maxEpoch,
 		deadErr:    make(map[int]error),
 		lostSig:    make(chan struct{}, 1),
+		prog:       make(map[int]progTrack),
 		wantPivots: st.pivots,
 		wantDigest: st.digest,
+	}
+	c.hctx, c.hcancel = context.WithCancel(ctx)
+	if spec.Straggler.Enabled {
+		c.predicted = time.Duration(plan.PhaseBudgetSeconds(c.n, record.EncodedSize) * float64(time.Second))
 	}
 	if len(st.assign) > 0 {
 		c.chunks = (c.n + scatterChunk - 1) / scatterChunk
@@ -161,10 +167,14 @@ func Resume(ctx context.Context, inPath, outPath string, spec SortSpec) (*SortSt
 		}
 	}
 	defer func() {
+		c.stopPhaseWatch()
 		if c.monCancel != nil {
 			c.monCancel()
 			c.monWG.Wait()
 		}
+		c.hcancel()
+		c.closeHedge()
+		c.watchWG.Wait()
 		for _, l := range c.links {
 			if l != nil {
 				l.conn.Close()

@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"balancesort/internal/obs"
+	"balancesort/internal/pdm"
+	"balancesort/internal/record"
+)
+
+func TestStragglerErrorIdentity(t *testing.T) {
+	inner := errors.New("no barrier completion after 300ms")
+	err := fmt.Errorf("local-sort: %w", &StragglerError{
+		Worker: 2, Addr: "10.0.0.2:7000", Phase: "local-sort",
+		Budget: 300 * time.Millisecond, Err: inner,
+	})
+
+	var slow *StragglerError
+	if !errors.As(err, &slow) {
+		t.Fatal("errors.As failed through a wrap layer")
+	}
+	if slow.Worker != 2 || slow.Addr != "10.0.0.2:7000" || slow.Phase != "local-sort" {
+		t.Fatalf("recovered %+v", slow)
+	}
+	if slow.Budget != 300*time.Millisecond {
+		t.Fatalf("budget %v survived as %v", 300*time.Millisecond, slow.Budget)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatal("errors.Is failed to reach the detector's observation through Unwrap")
+	}
+	// A straggler is emphatically not a lost worker: the two types must
+	// stay distinguishable under errors.As.
+	var lost *WorkerLostError
+	if errors.As(err, &lost) {
+		t.Fatal("StragglerError also matched *WorkerLostError")
+	}
+}
+
+// TestStragglerErrorSurvivesWire: a StragglerError flattened to a msgError
+// on one side of the TCP connection must reconstruct as the same typed
+// error — phase and budget included — on the other.
+func TestStragglerErrorSurvivesWire(t *testing.T) {
+	orig := &StragglerError{
+		Worker: 1, Addr: "peer:9", Phase: "exchange",
+		Budget: 750 * time.Millisecond, Err: errors.New("progress flat for 3 ticks"),
+	}
+	wrapped := fmt.Errorf("job: %w", orig)
+
+	m := errorToWire(0, wrapped)
+	if m.Code != ecStraggler {
+		t.Fatalf("wire code %d, want ecStraggler", m.Code)
+	}
+	var back msgError
+	if err := back.decode(m.encode()); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := wireToError(&back)
+
+	var slow *StragglerError
+	if !errors.As(rebuilt, &slow) {
+		t.Fatalf("rebuilt error %T is not a *StragglerError", rebuilt)
+	}
+	if slow.Worker != 1 || slow.Addr != "peer:9" || slow.Phase != "exchange" {
+		t.Fatalf("rebuilt %+v", slow)
+	}
+	if slow.Budget != 750*time.Millisecond {
+		t.Fatalf("budget lost on the wire: %v", slow.Budget)
+	}
+}
+
+// TestHedgeBlockDedup drives the phase-3 hedge stream through storeBlock
+// directly: a retransmitted hedge block must be a stored-nothing no-op
+// (hedged output would otherwise gain duplicate records), and a hedge
+// stream arriving with no armed hedge — a zombie sender from an abandoned
+// hedge — must be dropped as stale.
+func TestHedgeBlockDedup(t *testing.T) {
+	w := NewWorker(WorkerConfig{ScratchDir: t.TempDir()})
+	s, err := newSession(w, &msgHello{JobID: 1, Worker: 0, Workers: 4, S: 8, BlockRecs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.teardown()
+	data := make([]byte, 4*record.EncodedSize)
+
+	// No hedge armed: the stream is debris from an epoch this worker never
+	// agreed to cover, and must be rejected like a stale-epoch block.
+	stale, err := s.storeBlock(&msgBlock{Phase: 3, Src: 2, Bucket: 0, Seq: 0, Data: data}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale {
+		t.Fatal("phase-3 block accepted with no armed hedge")
+	}
+
+	f, err := os.Create(filepath.Join(t.TempDir(), "hedge-in.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s.mu.Lock()
+	s.hedge = &hedgeState{victim: 2, epoch: 0, want: 8, file: f}
+	s.mu.Unlock()
+
+	store := func(seq uint32) bool {
+		t.Helper()
+		stale, err := s.storeBlock(&msgBlock{Phase: 3, Src: 2, Bucket: 0, Seq: seq, Data: data}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stale
+	}
+	if store(0) {
+		t.Fatal("armed hedge rejected its first block")
+	}
+	// Retransmission after a lost ack: same (phase, src, bucket, seq).
+	if store(0) {
+		t.Fatal("retransmission misreported as stale")
+	}
+	if store(1) {
+		t.Fatal("armed hedge rejected its second block")
+	}
+	s.mu.Lock()
+	recs, size := s.hedge.recs, s.hedge.size
+	s.mu.Unlock()
+	if recs != 8 {
+		t.Fatalf("hedge holds %d records after a retransmit, want 8 (dedup failed)", recs)
+	}
+	if size != int64(2*len(data)) {
+		t.Fatalf("hedge file grew to %d bytes, want %d", size, 2*len(data))
+	}
+}
+
+// TestScaleShardBudget: a derived local-sort deadline must stretch with
+// the worker's planned shard volume relative to the median finisher's —
+// under bucket skew the biggest shard legitimately sorts slower, and
+// demoting it would only re-spread the skew. When every finisher's shard
+// was empty (extreme duplicate skew), the derived budget has no baseline
+// and must issue no verdict for a worker that actually holds data.
+func TestScaleShardBudget(t *testing.T) {
+	c := &coordinator{expectGather: []uint64{100, 100, 1000, 0}}
+	hard := 200 * time.Millisecond
+	finished := []uint64{100, 100}
+
+	if got := c.scaleShardBudget("local-sort", 0, finished, hard); got != hard {
+		t.Fatalf("median-sized shard scaled: %v", got)
+	}
+	if got := c.scaleShardBudget("local-sort", 2, finished, hard); got != 10*hard {
+		t.Fatalf("10x shard budget = %v, want %v", got, 10*hard)
+	}
+	if got := c.scaleShardBudget("drain", 2, finished, hard); got != 10*hard {
+		t.Fatalf("drain must scale like local-sort, got %v", got)
+	}
+	if got := c.scaleShardBudget("exchange", 2, finished, hard); got != hard {
+		t.Fatalf("exchange scaled by shard size: %v", got)
+	}
+	// Every finisher's shard empty: no verdict for a loaded worker, but an
+	// equally-empty worker keeps the plain deadline.
+	empty := []uint64{0, 0}
+	if got := c.scaleShardBudget("local-sort", 2, empty, hard); got != 0 {
+		t.Fatalf("no-baseline budget = %v, want 0 (no verdict)", got)
+	}
+	if got := c.scaleShardBudget("local-sort", 3, empty, hard); got != hard {
+		t.Fatalf("empty-shard worker budget = %v, want %v", got, hard)
+	}
+	if got := c.scaleShardBudget("local-sort", 2, nil, hard); got != hard {
+		t.Fatalf("no finishers must leave the budget alone, got %v", got)
+	}
+}
+
+// TestStallChaosMatrix slows one of four workers 20000x at the start of
+// every coordinator phase. The worker stays alive and keeps ponging — only
+// the progress-rate detector can see it. Each run must demote the
+// straggler past its hard budget, fail over, record the demotion, and
+// still produce byte-identical sorted output. The factor is huge because
+// the stall is multiplicative on real work time: drain moves a worker's
+// shard in a handful of ~100µs chunks, and the stall must still dwarf
+// the budget on a fast machine — and the budget itself is a full second
+// so a loaded CI machine cannot push a healthy worker past it in the
+// post-failover epoch.
+func TestStallChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall chaos matrix is slow under -short")
+	}
+	traceDir := os.Getenv("CHAOS_TRACE")
+	for i, phase := range CoordinatorPhases {
+		victim := i % 4
+		t.Run(phase, func(t *testing.T) {
+			var tr *obs.Tracer
+			if traceDir != "" {
+				tr = obs.New(0, nil)
+				// Deferred so the trace survives a t.Fatal inside the run:
+				// CI uploads these as the post-mortem for a failed matrix.
+				defer func() {
+					f, err := os.Create(filepath.Join(traceDir, "chaos-stall-"+phase+".json"))
+					if err != nil {
+						t.Errorf("chaos trace: %v", err)
+						return
+					}
+					defer f.Close()
+					if err := obs.WriteChromeTrace(f, tr.Spans()); err != nil {
+						t.Errorf("chaos trace: %v", err)
+					}
+				}()
+			}
+			addrs := startWorkers(t, 4, fastWorker)
+			stats := runClusterSort(t, addrs, 20000, int64(200+i), false, SortSpec{
+				BlockRecs: 128,
+				Dial:      fastDial,
+				Heartbeat: fastHeartbeat(),
+				Stall:     &StallSpec{Phase: phase, Worker: victim, Factor: 20001},
+				Straggler: StragglerConfig{Enabled: true, HardBudget: time.Second},
+				Trace:     tr,
+			})
+			checkRecovery(t, stats, 4, victim)
+			checkBalanceBound(t, stats.X)
+			found := false
+			for _, w := range stats.Recovery.Stragglers {
+				if w == victim {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("victim %d missing from Stragglers %v (demotion not attributed to the detector)",
+					victim, stats.Recovery.Stragglers)
+			}
+		})
+	}
+}
+
+// TestStallHedgeWins stalls a worker's local sort 5000x with hedging on.
+// The soft budget fires a speculative re-run of the victim's shard on the
+// fastest idle peer, the hedge finishes first, the victim's sort is
+// cancelled, and the job completes with no failover at all — and still
+// byte-identical output.
+func TestStallHedgeWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hedge race is slow under -short")
+	}
+	const victim = 1
+	addrs := startWorkers(t, 4, fastWorker)
+	jpath := filepath.Join(t.TempDir(), "cluster.journal")
+	stats := runClusterSort(t, addrs, 20000, 83, false, SortSpec{
+		BlockRecs: 128,
+		Dial:      fastDial,
+		Heartbeat: fastHeartbeat(),
+		Stall:     &StallSpec{Phase: "local-sort", Worker: victim, Factor: 5000},
+		Straggler: StragglerConfig{
+			Enabled:    true,
+			Hedge:      true,
+			SoftBudget: 150 * time.Millisecond,
+			// A hard budget the race can never reach: a hedge win must
+			// rescue the job on its own, not lean on demotion.
+			HardBudget: time.Minute,
+		},
+		JournalPath: jpath,
+	})
+	rec := stats.Recovery
+	if rec == nil {
+		t.Fatal("hedge win left no recovery record")
+	}
+	if rec.HedgeWins != 1 {
+		t.Fatalf("HedgeWins = %d, want 1 (%+v)", rec.HedgeWins, rec)
+	}
+	if len(rec.LostWorkers) != 0 || rec.Failovers != 0 {
+		t.Fatalf("hedge win escalated to failover: %+v", rec)
+	}
+
+	entries, err := pdm.LoadJournal(jpath)
+	if err != nil {
+		t.Fatalf("load journal: %v", err)
+	}
+	sawHedge := false
+	for _, e := range entries {
+		var ev journalEvent
+		if err := json.Unmarshal(e.Payload, &ev); err != nil {
+			t.Fatalf("journal entry %d: %v", e.Seq, err)
+		}
+		if ev.Event == "hedge" && ev.Worker == victim {
+			sawHedge = true
+		}
+	}
+	if !sawHedge {
+		t.Fatal("journal never recorded the hedge win")
+	}
+}
+
+// TestStallHedgeFallbackDemote: hedging only covers the local sort. A
+// stall in any other phase under a hedge-enabled config must fall back to
+// the demotion path — the hedge machinery must not suppress it.
+func TestStallHedgeFallbackDemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall demotion is slow under -short")
+	}
+	const victim = 3
+	addrs := startWorkers(t, 4, fastWorker)
+	stats := runClusterSort(t, addrs, 20000, 89, false, SortSpec{
+		BlockRecs: 128,
+		Dial:      fastDial,
+		Heartbeat: fastHeartbeat(),
+		Stall:     &StallSpec{Phase: "exchange", Worker: victim, Factor: 2001},
+		Straggler: StragglerConfig{
+			Enabled:    true,
+			Hedge:      true,
+			SoftBudget: 150 * time.Millisecond,
+			HardBudget: time.Second,
+		},
+	})
+	checkRecovery(t, stats, 4, victim)
+	if stats.Recovery.HedgeWins != 0 {
+		t.Fatalf("a hedge claimed a win outside local-sort: %+v", stats.Recovery)
+	}
+	found := false
+	for _, w := range stats.Recovery.Stragglers {
+		if w == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim %d missing from Stragglers %v", victim, stats.Recovery.Stragglers)
+	}
+}

@@ -335,6 +335,18 @@ func (w *Worker) handleConn(ctx context.Context, conn net.Conn) {
 			return
 		}
 		s.serveMonitor(conn, br)
+	case mHedgeHello:
+		var hh msgHedgeHello
+		if err := hh.decode(payload); err != nil {
+			conn.Close()
+			return
+		}
+		s := w.current()
+		if s == nil || s.jobID != hh.JobID || s.version < 6 {
+			conn.Close()
+			return
+		}
+		s.runHedge(conn, br, &hh)
 	default:
 		conn.Close()
 	}
@@ -446,7 +458,7 @@ func (w *Worker) runAttach(ctx context.Context, conn net.Conn, br *bufio.Reader,
 	}
 	s.version = ver
 	if parked != nil {
-		s.shardRecs = parked.shardRecs
+		s.setShardRecs(parked.shardRecs)
 		s.epoch = parked.epoch
 	}
 	w.mu.Lock()
@@ -610,10 +622,36 @@ type session struct {
 	ctlConn        net.Conn
 	conns          map[net.Conn]struct{} // peer data conns: closed on abort and on epoch reset
 	monConns       map[net.Conn]struct{} // monitor conns: closed on abort only
+	hedge          *hedgeState           // armed hedge re-execution, nil when none
+	sortCancel     context.CancelFunc    // cancels the in-flight shard sort (hedge won)
+	sortCanceled   bool                  // coordinator sent mSortCancel: never send mSortDone
 
 	sentNet     atomic.Int64 // blocks pushed over the network, feeds DropAfterBlocks
 	dropOnce    sync.Once
 	pongsServed atomic.Int64 // feeds PongDelayCount
+
+	// Progress state the monitor goroutine reads for the v6 pong trailer.
+	// workUnits is a monotone count of work items finished (records
+	// scanned, blocks moved, chunks streamed); phaseIdx indexes
+	// WorkerPhases; stallFactor is the crashStall slowdown multiplier.
+	workUnits   atomic.Uint64
+	phaseIdx    atomic.Int32
+	shardRecsA  atomic.Uint64 // mirrors shardRecs for the monitor goroutine
+	stallFactor atomic.Int64
+}
+
+// hedgeState is a worker's side of one hedged shard-sort: it re-collects a
+// straggling peer's gather blocks as phase-3 streams and sorts them into a
+// speculative copy of that peer's shard. It lives under the session mutex;
+// an epoch reset or abort disarms it (and closes the hedge connection,
+// which is registered like any peer conn).
+type hedgeState struct {
+	victim int
+	epoch  uint32
+	want   uint64 // exact records the hedged shard must contain
+	file   *os.File
+	size   int64
+	recs   uint64
 }
 
 func newSession(w *Worker, h *msgHello) (*session, error) {
@@ -667,6 +705,13 @@ func newSession(w *Worker, h *msgHello) (*session, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// setShardRecs records the shard size for the job goroutine and mirrors it
+// for the monitor goroutine's progress trailer.
+func (s *session) setShardRecs(n uint64) {
+	s.shardRecs = n
+	s.shardRecsA.Store(n)
 }
 
 func (s *session) shardPath() string  { return filepath.Join(s.dir, "in.shard") }
@@ -867,6 +912,16 @@ func (s *session) resetEpoch(m *msgRescatter) error {
 	s.exSize, s.gaSize = 0, 0
 	s.recvBlocks, s.recvGatherRecs = 0, 0
 	s.recvErr = nil
+	if s.hedge != nil {
+		// The hedge belonged to the dead epoch; its connection is in
+		// s.conns and closes below, which unwinds runHedge.
+		s.hedge.file.Close()
+		s.hedge = nil
+	}
+	s.sortCanceled = false
+	if s.sortCancel != nil {
+		s.sortCancel()
+	}
 	if s.pending != nil && s.pending.Epoch <= m.Epoch {
 		s.pending = nil
 	}
@@ -929,11 +984,37 @@ func (s *session) readCtl(ctl *wlink) {
 				s.setHung()
 				continue
 			}
+			if mc.Mode == crashStall {
+				// Stall: keep ponging, keep participating, but make every
+				// unit of work Factor times slower from here on.
+				s.stallFactor.Store(int64(mc.Factor))
+				continue
+			}
 			// Kill: simulate sudden process death — detach from the worker
 			// and close every connection without a word on any of them.
 			s.w.clearSession(s)
 			s.abort(errors.New("cluster: chaos kill"))
 			return
+		case mSortCancel:
+			// The coordinator's hedge won: stop the in-flight shard sort
+			// now, and forward the frame so a job goroutine blocked waiting
+			// for mFetch learns it will never be drained.
+			s.mu.Lock()
+			s.sortCanceled = true
+			if s.sortCancel != nil {
+				s.sortCancel()
+			}
+			s.mu.Unlock()
+			s.pushCtl(frameMsg{typ: typ, payload: payload})
+		case mHedgeSend:
+			var hs msgHedgeSend
+			if err := hs.decode(payload); err != nil {
+				s.pushCtl(frameMsg{err: err})
+				return
+			}
+			// Re-send off the control reader: a hedge is speculative, so
+			// its deliveries must never block or fail the job.
+			go s.runHedgeResend(&hs)
 		case mRescatter:
 			var m msgRescatter
 			if err := m.decode(payload); err != nil {
@@ -1076,11 +1157,224 @@ func (s *session) serveMonitor(conn net.Conn, br *bufio.Reader) {
 				return
 			}
 		}
+		if s.version >= 6 {
+			// v6: the pong carries the progress counters the coordinator's
+			// straggler detector rates. A stalled worker keeps ponging —
+			// that is the point: it is alive, just not advancing.
+			var ping msgPing
+			if err := ping.decode(payload); err != nil {
+				return
+			}
+			s.mu.Lock()
+			recvBlocks, gatherRecs := s.recvBlocks, s.recvGatherRecs
+			s.mu.Unlock()
+			payload = (&msgProgress{
+				Seq: ping.Seq, Have: true,
+				Phase:      uint8(s.phaseIdx.Load()),
+				Units:      s.workUnits.Load(),
+				ShardRecs:  s.shardRecsA.Load(),
+				RecvBlocks: recvBlocks,
+				GatherRecs: gatherRecs,
+			}).encode()
+		}
 		setOpDeadline(conn, s.dial)
 		if err := writeFrame(conn, mPong, payload); err != nil {
 			return
 		}
 	}
+}
+
+// runHedge is the hedge target's side of a speculative shard re-execution:
+// arm the phase-3 receive state, collect the straggler's gather blocks as
+// every active worker re-sends them, sort them with the same local sorter
+// a first-run shard uses, report mHedgeDone, and serve the sorted shard
+// over the same connection when the coordinator fetches it. Everything is
+// best-effort: the hedge losing the race (the coordinator closes the
+// connection), an epoch bump, or any local error simply abandons the hedge
+// without touching the job.
+func (s *session) runHedge(conn net.Conn, br *bufio.Reader, m *msgHedgeHello) {
+	s.registerConn(conn)
+	defer func() {
+		s.unregisterConn(conn)
+		conn.Close()
+	}()
+	file, err := os.Create(filepath.Join(s.dir, "hedge.dat"))
+	if err != nil {
+		return
+	}
+	st := &hedgeState{victim: int(m.Victim), epoch: m.Epoch, want: m.Recs, file: file}
+	s.mu.Lock()
+	if s.aborted || s.epoch != m.Epoch || s.hedge != nil {
+		s.mu.Unlock()
+		file.Close()
+		return
+	}
+	s.hedge = st
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.hedge == st {
+			s.hedge = nil
+		}
+		s.mu.Unlock()
+		file.Close()
+	}()
+	setOpDeadline(conn, s.dial)
+	if err := writeFrame(conn, mHedgeHelloAck, nil); err != nil {
+		return
+	}
+	// The coordinator's only further frame on this connection is the
+	// mFetch after we report mHedgeDone; a read error before that means
+	// the hedge lost and was abandoned. Either way the watch doubles as
+	// the cancellation signal for the collect wait and the sort.
+	hctx, hcancel := context.WithCancel(s.ectx())
+	defer hcancel()
+	fetchCh := make(chan bool, 1)
+	go func() {
+		clearDeadline(conn)
+		typ, _, rerr := readFrame(br)
+		ok := rerr == nil && typ == mFetch
+		if !ok {
+			hcancel()
+		}
+		fetchCh <- ok
+	}()
+	stopWake := context.AfterFunc(hctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stopWake()
+	sp := s.trace.Begin("cluster", "hedge-sort", s.self)
+	defer sp.End(
+		obs.Attr{Key: "victim", Val: int64(m.Victim)},
+		obs.Attr{Key: "records", Val: int64(m.Recs)},
+	)
+	s.mu.Lock()
+	for st.recs < m.Recs && !s.aborted && s.hedge == st && s.recvErr == nil && hctx.Err() == nil {
+		s.cond.Wait()
+	}
+	ok := st.recs == m.Recs && !s.aborted && s.hedge == st && s.recvErr == nil && hctx.Err() == nil
+	s.mu.Unlock()
+	if !ok || st.file.Sync() != nil {
+		return
+	}
+	scratch := filepath.Join(s.dir, "hedgescratch")
+	if os.MkdirAll(scratch, 0o755) != nil {
+		return
+	}
+	sorted := filepath.Join(s.dir, "hedge-sorted.dat")
+	if m.Recs == 0 {
+		f, cerr := os.Create(sorted)
+		if cerr != nil {
+			return
+		}
+		f.Close()
+	} else if s.w.cfg.SortShard(hctx, filepath.Join(s.dir, "hedge.dat"), sorted, scratch) != nil {
+		return
+	}
+	fst, err := os.Stat(sorted)
+	if err != nil || fst.Size() != int64(m.Recs)*int64(record.EncodedSize) {
+		return
+	}
+	setOpDeadline(conn, s.dial)
+	if writeFrame(conn, mHedgeDone, (&msgCount{Count: m.Recs}).encode()) != nil {
+		return
+	}
+	if !<-fetchCh {
+		return
+	}
+	// Stream the hedged shard exactly like a drain: record chunks, then
+	// the count. The coordinator verifies sortedness and byte identity.
+	f, err := os.Open(sorted)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	fr := bufio.NewReaderSize(f, 1<<16)
+	buf := make([]byte, scatterChunk*record.EncodedSize)
+	left := m.Recs
+	for left > 0 {
+		n := uint64(scatterChunk)
+		if n > left {
+			n = left
+		}
+		chunk := buf[:n*record.EncodedSize]
+		if _, err := readFull(fr, chunk); err != nil {
+			return
+		}
+		setOpDeadline(conn, s.dial)
+		if writeFrame(conn, mRecords, chunk) != nil {
+			return
+		}
+		s.net.out(len(chunk))
+		left -= n
+	}
+	setOpDeadline(conn, s.dial)
+	_ = writeFrame(conn, mFetchDone, (&msgCount{Count: m.Recs}).encode())
+}
+
+// runHedgeResend re-sends this worker's stored exchange blocks for the
+// victim's buckets to the hedge target, as phase-3 streams: the same
+// dial/deliver/ack/dedup machinery the gather phase uses, with fresh
+// (phase, src) stream keys so retransmission after a dropped connection
+// stays idempotent. It runs off the control reader and swallows every
+// error — a hedge that cannot be fed is simply a lost hedge, never a
+// failed job. It is deliberately not subject to the crashStall throttle:
+// the stall models a slow data path (scan, sort, stream), while the resend
+// is a small positional re-read of already-spilled blocks.
+func (s *session) runHedgeResend(m *msgHedgeSend) {
+	ctx := s.ectx()
+	s.mu.Lock()
+	if s.aborted || s.epoch != m.Epoch {
+		s.mu.Unlock()
+		return
+	}
+	exFile := s.exFile
+	index := make(map[uint32][]blockLoc, len(m.Buckets))
+	for _, b := range m.Buckets {
+		index[b] = append([]blockLoc(nil), s.exIndex[int(b)]...)
+	}
+	s.mu.Unlock()
+	if int(m.Target) == s.self {
+		for _, b := range m.Buckets {
+			for i, loc := range index[b] {
+				data := make([]byte, loc.bytes)
+				if _, err := exFile.ReadAt(data, loc.off); err != nil {
+					return
+				}
+				blk := &msgBlock{Phase: 3, Src: uint32(s.self), Bucket: b, Seq: uint32(i), Data: data}
+				if stale, err := s.storeBlock(blk, m.Epoch); err != nil || stale {
+					return
+				}
+			}
+		}
+		return
+	}
+	ch := make(chan outBlock, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.sendLoop(ctx, m.Epoch, 3, int(m.Target), ch)
+	}()
+feed:
+	for _, b := range m.Buckets {
+		for i, loc := range index[b] {
+			data := make([]byte, loc.bytes)
+			if _, err := exFile.ReadAt(data, loc.off); err != nil {
+				break feed
+			}
+			select {
+			case ch <- outBlock{bucket: b, seq: uint32(i), data: data}:
+			case <-ctx.Done():
+				break feed
+			case <-s.done:
+				break feed
+			}
+		}
+	}
+	close(ch)
+	<-done
 }
 
 // storeBlock persists one received (or self-delivered) block, exactly once.
@@ -1117,16 +1411,32 @@ func (s *session) storeBlock(b *msgBlock, epoch uint32) (stale bool, err error) 
 		}
 		s.gaSize += int64(len(b.Data))
 		s.recvGatherRecs += uint64(len(b.Data) / record.EncodedSize)
+	case 3:
+		// Hedge stream: a straggler's gather blocks re-sent to this worker.
+		// Without an armed hedge for this epoch the sender is a zombie from
+		// an abandoned hedge; drop the connection like a stale epoch.
+		st := s.hedge
+		if st == nil || st.epoch != epoch {
+			return true, nil
+		}
+		if _, err := st.file.WriteAt(b.Data, st.size); err != nil {
+			return false, err
+		}
+		st.size += int64(len(b.Data))
+		st.recs += uint64(len(b.Data) / record.EncodedSize)
 	default:
 		return false, fmt.Errorf("cluster: block phase %d", b.Phase)
 	}
 	s.last[sk] = dedupEntry{epoch: epoch, key: key}
+	s.workUnits.Add(1)
 	s.cond.Broadcast()
 	switch b.Phase {
 	case 1:
 		s.trace.Count("cluster", "blocks-received", s.self, 1)
 	case 2:
 		s.trace.Count("cluster", "records-gathered", s.self, int64(len(b.Data)/record.EncodedSize))
+	case 3:
+		s.trace.Count("cluster", "hedge-blocks-received", s.self, 1)
 	}
 	return false, nil
 }
@@ -1348,6 +1658,7 @@ func (s *session) deliver(conn net.Conn, br *bufio.Reader, phase uint8, blk *out
 	if a.Phase != phase || a.Bucket != blk.bucket || a.Seq != blk.seq {
 		return fmt.Errorf("cluster: ack for block %d/%d, sent %d/%d", a.Bucket, a.Seq, blk.bucket, blk.seq)
 	}
+	s.workUnits.Add(1)
 	return nil
 }
 
@@ -1437,6 +1748,7 @@ func (s *session) pipeline(ctl *wlink) error {
 	}
 
 	// Histogram over the shard.
+	s.phaseIdx.Store(1) // histogram
 	spHist := s.trace.Begin("cluster", "histogram", s.self)
 	bins, err := s.scanHistogram()
 	if err != nil {
@@ -1461,6 +1773,7 @@ func (s *session) pipeline(ctl *wlink) error {
 		return fmt.Errorf("cluster: %d pivots for S=%d", len(pv.Pivots), s.s)
 	}
 	s.pivots = pv.Pivots
+	s.phaseIdx.Store(2) // partition-counts
 	spCounts := s.trace.Begin("cluster", "partition-counts", s.self)
 	cnts, err := s.scanCounts()
 	if err != nil {
@@ -1488,6 +1801,7 @@ func (s *session) pipeline(ctl *wlink) error {
 
 	// Exchange: partition the shard into balancer-placed blocks while
 	// receiving everyone else's.
+	s.phaseIdx.Store(3) // exchange
 	spEx := s.trace.Begin("cluster", "exchange", s.self)
 	sent, err := s.runSenders(1, s.produceExchange)
 	if err != nil {
@@ -1513,6 +1827,7 @@ func (s *session) pipeline(ctl *wlink) error {
 		return err
 	}
 	s.flowIn("gather")
+	s.phaseIdx.Store(4) // gather
 	spGather := s.trace.Begin("cluster", "gather", s.self)
 	sent, err = s.runSenders(2, s.produceGather)
 	if err != nil {
@@ -1535,15 +1850,27 @@ func (s *session) pipeline(ctl *wlink) error {
 		return err
 	}
 	s.flowIn("local-sort")
+	s.phaseIdx.Store(5) // shard-sort
 	spSort := s.trace.Begin("cluster", "shard-sort", s.self)
 	count, err := s.sortShard()
 	if err != nil {
 		if s.interrupted() {
 			return errInterrupted
 		}
+		if s.sortWasCanceled() {
+			// The coordinator's hedge won mid-sort: this shard will never
+			// be asked for. Stay in the job for the endgame (trace, bye).
+			spSort.End(obs.Attr{Key: "canceled", Val: 1})
+			return s.awaitEnd(ctl)
+		}
 		return fmt.Errorf("cluster: worker %d local sort: %w", s.self, err)
 	}
 	spSort.End(obs.Attr{Key: "records", Val: int64(count)})
+	if s.sortWasCanceled() {
+		// The cancel landed after the sort finished but before the report:
+		// the hedge already won, so the report would only be debris.
+		return s.awaitEnd(ctl)
+	}
 	if count != plan.ExpectGatherRecs {
 		return fmt.Errorf("cluster: worker %d sorted %d of %d records", s.self, count, plan.ExpectGatherRecs)
 	}
@@ -1551,21 +1878,46 @@ func (s *session) pipeline(ctl *wlink) error {
 		return err
 	}
 
-	// Drain the sorted shard back to the coordinator.
-	if _, err := s.expectCtl(ctl, mFetch); err != nil {
-		return err
+	// Drain the sorted shard back to the coordinator — unless the hedge
+	// won the race against our mSortDone, in which case mSortCancel (not
+	// mFetch) arrives and the shard is never drained.
+	for {
+		typ, payload, err := s.recvCtl(ctl)
+		if err != nil {
+			return err
+		}
+		if typ == mError {
+			var e msgError
+			if derr := e.decode(payload); derr != nil {
+				return derr
+			}
+			return wireToError(&e)
+		}
+		if typ == mSortCancel {
+			return s.awaitEnd(ctl)
+		}
+		if typ == mFetch {
+			break
+		}
+		return fmt.Errorf("cluster: expected message %d, got %d", mFetch, typ)
 	}
 	s.flowIn("drain")
+	s.phaseIdx.Store(6) // drain
 	spDrain := s.trace.Begin("cluster", "drain", s.self)
 	if err := s.sendSorted(ctl, count); err != nil {
 		return err
 	}
 	spDrain.End(obs.Attr{Key: "records", Val: int64(count)})
 
-	// The coordinator may now collect this worker's trace; then Bye (or
-	// the coordinator just closing the connection) ends the job. A
-	// re-scatter can still land here: another worker died while the
-	// coordinator was draining a later shard.
+	return s.awaitEnd(ctl)
+}
+
+// awaitEnd is the pipeline's endgame: the coordinator may collect this
+// worker's trace; then Bye (or the coordinator just closing the
+// connection) ends the job. A re-scatter can still land here: another
+// worker died while the coordinator was draining a later shard. A stray
+// mSortCancel is hedge debris and is ignored.
+func (s *session) awaitEnd(ctl *wlink) error {
 	for {
 		typ, _, err := s.recvCtl(ctl)
 		if errors.Is(err, errInterrupted) {
@@ -1579,10 +1931,19 @@ func (s *session) pipeline(ctl *wlink) error {
 			if err := s.sendTrace(ctl); err != nil {
 				return err
 			}
+		case mSortCancel:
 		default:
 			return fmt.Errorf("cluster: unexpected message %d after drain", typ)
 		}
 	}
+}
+
+// sortWasCanceled reports whether the coordinator sent mSortCancel because
+// its hedged re-execution of this worker's shard finished first.
+func (s *session) sortWasCanceled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sortCanceled
 }
 
 // phaseFail triages a phase error. Interruption wins: the epoch is being
@@ -1625,6 +1986,7 @@ func (s *session) phaseFail(ctl *wlink, err error) error {
 // post-scatter state, append the re-streamed chunks to the shard, and ack.
 // A newer re-scatter arriving mid-recovery preempts the current one.
 func (s *session) doRecover(ctl *wlink) error {
+	s.phaseIdx.Store(0) // back to scatter-recv: the new epoch re-feeds the shard
 	var m msgRescatter
 	for {
 		f, err := s.recvCtlRaw(ctl)
@@ -1699,7 +2061,7 @@ restart:
 			if err := finish(); err != nil {
 				return err
 			}
-			s.shardRecs = got
+			s.setShardRecs(got)
 			a := msgRescatterAck{Epoch: m.Epoch, ShardRecs: got}
 			return ctl.send(mRescatterAck, a.encode())
 		case mRescatter:
@@ -1707,7 +2069,7 @@ restart:
 			if err := finish(); err != nil {
 				return err
 			}
-			s.shardRecs = got
+			s.setShardRecs(got)
 			if err := m.decode(f.payload); err != nil {
 				return err
 			}
@@ -1754,6 +2116,7 @@ func (s *session) flowIn(phase string) {
 // while scattering) flushes what arrived — those records are ours to keep —
 // and hands control to doRecover.
 func (s *session) recvScatter(ctl *wlink) error {
+	s.phaseIdx.Store(0) // scatter-recv
 	shard, err := os.Create(s.shardPath())
 	if err != nil {
 		return err
@@ -1766,7 +2129,7 @@ func (s *session) recvScatter(ctl *wlink) error {
 			ferr := bw.Flush()
 			cerr := shard.Close()
 			if errors.Is(err, errInterrupted) && ferr == nil && cerr == nil {
-				s.shardRecs = got
+				s.setShardRecs(got)
 			}
 			return err
 		}
@@ -1776,11 +2139,17 @@ func (s *session) recvScatter(ctl *wlink) error {
 				shard.Close()
 				return fmt.Errorf("cluster: scatter chunk of %d bytes", len(payload))
 			}
+			chunkStart := time.Now()
 			if _, err := bw.Write(payload); err != nil {
 				shard.Close()
 				return err
 			}
 			got += uint64(len(payload) / record.EncodedSize)
+			s.workUnits.Add(1)
+			if err := s.throttleWork(s.ectx(), time.Since(chunkStart)); err != nil {
+				shard.Close()
+				return err
+			}
 		case mScatterDone:
 			var c msgCount
 			if err := c.decode(payload); err != nil {
@@ -1798,7 +2167,7 @@ func (s *session) recvScatter(ctl *wlink) error {
 			if err := shard.Close(); err != nil {
 				return err
 			}
-			s.shardRecs = got
+			s.setShardRecs(got)
 			return nil
 		default:
 			shard.Close()
@@ -1808,7 +2177,11 @@ func (s *session) recvScatter(ctl *wlink) error {
 }
 
 // scanShard streams the shard file, invoking fn with each record's key.
+// The whole pass counts as work units for the progress detector, and a
+// crashStall-injected session pays the slowdown here — the scan is the
+// compute backbone of the histogram, partition, and exchange phases.
 func (s *session) scanShard(fn func(key uint64, raw []byte) error) error {
+	start := time.Now()
 	f, err := os.Open(s.shardPath())
 	if err != nil {
 		return err
@@ -1823,8 +2196,31 @@ func (s *session) scanShard(fn func(key uint64, raw []byte) error) error {
 		if err := fn(binary.LittleEndian.Uint64(buf[0:8]), buf); err != nil {
 			return err
 		}
+		s.workUnits.Add(1)
 	}
-	return nil
+	return s.throttleWork(s.ectx(), time.Since(start))
+}
+
+// throttleWork is the crashStall chaos mode's engine: after a unit of work
+// that took elapsed, sleep (factor-1)×elapsed, so the session behaves like
+// a machine running factor times slower without ever going silent. The
+// sleep wakes promptly on epoch cancellation (demotion, hedge loss) or
+// session abort.
+func (s *session) throttleWork(ctx context.Context, elapsed time.Duration) error {
+	f := s.stallFactor.Load()
+	if f <= 1 || elapsed <= 0 {
+		return nil
+	}
+	t := time.NewTimer(time.Duration(f-1) * elapsed)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return s.abortReason()
+	}
 }
 
 func (s *session) scanHistogram() ([]uint64, error) {
@@ -1917,6 +2313,7 @@ func (s *session) produceExchange(emit func(dest int, blk outBlock) error) error
 // produceGather pushes every stored exchange block to its bucket's owner,
 // in ascending bucket order.
 func (s *session) produceGather(emit func(dest int, blk outBlock) error) error {
+	start := time.Now()
 	s.mu.Lock()
 	index := make(map[int][]blockLoc, len(s.exIndex))
 	for b, locs := range s.exIndex {
@@ -1936,11 +2333,13 @@ func (s *session) produceGather(emit func(dest int, blk outBlock) error) error {
 			}
 		}
 	}
-	return nil
+	return s.throttleWork(s.ectx(), time.Since(start))
 }
 
 // sortShard runs the configured local sorter over the gathered records,
-// under the epoch context so a failover cancels it promptly.
+// under the epoch context so a failover cancels it promptly — and under a
+// per-sort cancel so the coordinator's mSortCancel (its hedge won) stops a
+// straggling sort without killing the session.
 func (s *session) sortShard() (uint64, error) {
 	s.mu.Lock()
 	size := s.gaSize
@@ -1961,7 +2360,26 @@ func (s *session) sortShard() (uint64, error) {
 	if err := os.MkdirAll(sortScratch, 0o755); err != nil {
 		return 0, err
 	}
-	if err := s.w.cfg.SortShard(s.ectx(), s.gatherPath(), s.sortedPath(), sortScratch); err != nil {
+	ctx, cancel := context.WithCancel(s.ectx())
+	defer cancel()
+	s.mu.Lock()
+	if s.sortCanceled {
+		s.mu.Unlock()
+		return 0, context.Canceled
+	}
+	s.sortCancel = cancel
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.sortCancel = nil
+		s.mu.Unlock()
+	}()
+	start := time.Now()
+	if err := s.w.cfg.SortShard(ctx, s.gatherPath(), s.sortedPath(), sortScratch); err != nil {
+		return 0, err
+	}
+	s.workUnits.Add(1)
+	if err := s.throttleWork(ctx, time.Since(start)); err != nil {
 		return 0, err
 	}
 	st, err := os.Stat(s.sortedPath())
@@ -1989,6 +2407,7 @@ func (s *session) sendSorted(ctl *wlink, count uint64) error {
 		if s.interrupted() {
 			return errInterrupted
 		}
+		chunkStart := time.Now()
 		m := uint64(scatterChunk)
 		if m > left {
 			m = left
@@ -2001,6 +2420,10 @@ func (s *session) sendSorted(ctl *wlink, count uint64) error {
 			return err
 		}
 		left -= m
+		s.workUnits.Add(1)
+		if err := s.throttleWork(s.ectx(), time.Since(chunkStart)); err != nil {
+			return err
+		}
 	}
 	return ctl.send(mFetchDone, (&msgCount{Count: count}).encode())
 }

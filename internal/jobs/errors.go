@@ -93,6 +93,7 @@ const (
 	CodeCorruptInput = "corrupt_input"  // 422: input or scratch data failed integrity checks
 	CodeDiskFailed   = "disk_failed"    // 503: a scratch disk is permanently down
 	CodeWorkerLost   = "worker_lost"    // 502: a cluster worker vanished mid-job
+	CodeStraggler    = "straggler"      // 503: a cluster worker stalled past its phase budget
 	CodeInternal     = "internal_error" // 500: anything else
 )
 
@@ -101,8 +102,11 @@ const (
 // code). This is the single mapping table of the API: it distinguishes
 // corrupt input (*pdm.CorruptBlockError, *pdm.TruncatedDiskError → 422)
 // from capacity (QuotaError → 429, BudgetError → 507) from internal
-// failure (*diskio.DiskFailedError → 503, *cluster.WorkerLostError → 502,
-// everything else → 500), however deeply the typed error is wrapped.
+// failure (*diskio.DiskFailedError → 503, *cluster.StragglerError → 503
+// retryable, *cluster.WorkerLostError → 502, everything else → 500),
+// however deeply the typed error is wrapped. The straggler case precedes
+// the lost one: a demotion that breaks quorum wraps both, and "too slow,
+// retry elsewhere" (503) is the more actionable verdict.
 func Classify(err error) (status int, code string) {
 	var (
 		quota     *QuotaError
@@ -110,6 +114,7 @@ func Classify(err error) (status int, code string) {
 		corrupt   *pdm.CorruptBlockError
 		truncated *pdm.TruncatedDiskError
 		failed    *diskio.DiskFailedError
+		straggler *cluster.StragglerError
 		lost      *cluster.WorkerLostError
 	)
 	switch {
@@ -131,6 +136,8 @@ func Classify(err error) (status int, code string) {
 		return http.StatusUnprocessableEntity, CodeCorruptInput
 	case errors.As(err, &failed):
 		return http.StatusServiceUnavailable, CodeDiskFailed
+	case errors.As(err, &straggler):
+		return http.StatusServiceUnavailable, CodeStraggler
 	case errors.As(err, &lost):
 		return http.StatusBadGateway, CodeWorkerLost
 	case errors.Is(err, context.Canceled):

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"testing"
+	"time"
 
 	"balancesort/internal/cluster"
 	"balancesort/internal/diskio"
@@ -36,6 +37,12 @@ func TestClassifyTable(t *testing.T) {
 		{"truncated disk", wrap(&pdm.TruncatedDiskError{Disk: 1, Path: "d1.bin", WantBlocks: 9}), http.StatusUnprocessableEntity, CodeCorruptInput},
 		{"disk failed", wrap(&diskio.DiskFailedError{Disk: 3, Trips: 5, Err: errors.New("io")}), http.StatusServiceUnavailable, CodeDiskFailed},
 		{"worker lost", wrap(&cluster.WorkerLostError{Worker: 2, Addr: "10.0.0.2:7101", Err: errors.New("eof")}), http.StatusBadGateway, CodeWorkerLost},
+		{"straggler", wrap(&cluster.StragglerError{Worker: 1, Addr: "10.0.0.1:7101", Phase: "local-sort", Budget: 2 * time.Second, Err: errors.New("no progress")}), http.StatusServiceUnavailable, CodeStraggler},
+		// A quorum-breaking demotion wraps both typed errors; the straggler
+		// classification must win so clients see the retryable latency fault.
+		{"degraded by straggler", wrap(&cluster.ClusterDegradedError{Lost: []int{1, 2}, Workers: 4, Quorum: 3,
+			Err: &cluster.StragglerError{Worker: 2, Addr: "w2:1", Phase: "exchange", Budget: time.Second, Err: errors.New("flat")}}),
+			http.StatusServiceUnavailable, CodeStraggler},
 		{"canceled", wrap(context.Canceled), statusClientClosedRequest, CodeCanceled},
 		{"deadline", wrap(context.DeadlineExceeded), http.StatusGatewayTimeout, CodeInternal},
 		{"unknown", wrap(errors.New("oops")), http.StatusInternalServerError, CodeInternal},

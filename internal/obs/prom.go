@@ -125,6 +125,45 @@ func WritePhaseHistograms(w io.Writer, name string, hs []HistSnapshot) error {
 	return err
 }
 
+// stragglerOutcomes maps the cluster layer's straggler-detector event
+// counters onto the outcome label of balancesort_stragglers_total.
+var stragglerOutcomes = map[string]string{
+	"stragglers-detected": "detected",   // demoted to the failover path
+	"hedge-wins":          "hedge_win",  // hedge finished first, victim cancelled
+	"hedge-losses":        "hedge_loss", // victim finished first, hedge discarded
+}
+
+// stragglerMetric maps one (layer, event) counter onto a sample of the
+// dedicated balancesort_stragglers_total family, or false if the counter
+// is not a straggler-detector event. Kept separate from the generic
+// events_total family so a "stragglers firing" alert needs no knowledge
+// of the tracer's internal event vocabulary.
+func stragglerMetric(layer, event string, val int64) (Metric, bool) {
+	outcome, ok := stragglerOutcomes[event]
+	if layer != "cluster" || !ok {
+		return Metric{}, false
+	}
+	return Metric{
+		Name:   "balancesort_stragglers_total",
+		Type:   "counter",
+		Help:   "Straggler detections and hedged re-execution outcomes.",
+		Labels: []Label{{"outcome", outcome}},
+		Value:  float64(val),
+	}, true
+}
+
+// StragglerMetrics renders a tracer's straggler-detector counters as the
+// balancesort_stragglers_total family (empty when the job saw none).
+func StragglerMetrics(t *Tracer) []Metric {
+	var ms []Metric
+	for _, c := range t.Counts() {
+		if m, ok := stragglerMetric(c.Layer, c.Name, c.Val); ok {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
 // TracerMetrics renders a tracer's event counters as one counter family.
 func TracerMetrics(t *Tracer) []Metric {
 	counts := t.Counts()

@@ -181,6 +181,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Value:  float64(eventTotals[k]),
 		})
 	}
+	// The straggler detector's counters additionally surface as their own
+	// family, so tail-latency alerting keys on a stable metric name.
+	for _, k := range eventOrder {
+		if m, ok := stragglerMetric(k.layer, k.name, eventTotals[k]); ok {
+			ms = append(ms, m)
+		}
+	}
 	if err := WriteMetrics(w, ms); err != nil {
 		return
 	}

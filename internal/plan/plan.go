@@ -262,6 +262,26 @@ func predict(engine string, g Geometry, p pdm.Params, t Throughput) Prediction {
 	return pr
 }
 
+// PhaseBudgetSeconds predicts the single-node wall-clock of sorting
+// `records` records of `recordBytes` width at a nominal geometry (D=4
+// disks, 64-record blocks, a 64Ki-record memory) and default throughput.
+// The cluster's straggler detector uses it as an absolute ceiling on
+// derived per-phase deadline budgets: no phase of a healthy worker's
+// shard should take longer than a whole local sort of the full input,
+// so a budget extrapolated from a handful of fast finishers can never
+// balloon past physical plausibility. It never fails — an invalid or
+// empty geometry yields 0, which callers treat as "no ceiling".
+func PhaseBudgetSeconds(records, recordBytes int) float64 {
+	if records <= 0 {
+		return 0
+	}
+	p, err := Choose(Geometry{N: records, D: 4, B: 64, M: 1 << 16, RecordBytes: recordBytes}, Throughput{})
+	if err != nil {
+		return 0
+	}
+	return p.Predicted().Seconds
+}
+
 // mergePasses is ⌈log_arity(runs)⌉ for runs ≥ 1.
 func mergePasses(runs, arity int) int {
 	if runs <= 1 {

@@ -240,7 +240,7 @@ func TestClusterTraceMergedTimeline(t *testing.T) {
 		})
 	}
 
-	inPath, refPath := writeClusterInput(t, dir, 60_000, 23)
+	inPath, refPath := writeClusterInput(t, dir, Uniform, 60_000, 23)
 	outPath := filepath.Join(dir, "out.dat")
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -408,7 +408,7 @@ func TestClusterLiveScrape(t *testing.T) {
 		}(u)
 	}
 
-	inPath, refPath := writeClusterInput(t, dir, 60_000, 29)
+	inPath, refPath := writeClusterInput(t, dir, Uniform, 60_000, 29)
 	outPath := filepath.Join(dir, "out.dat")
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()

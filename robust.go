@@ -27,6 +27,15 @@ import (
 // The checksums, the journal fsyncs, and the scrub are all host-side work:
 // model parallel-I/O counts are byte-for-byte identical with them on or
 // off (pinned by TestSortFileRobustParity).
+//
+// Cluster mode layers the distributed duals on top of these: a vanished
+// worker surfaces as *WorkerLostError (the analogue of a failed disk) and
+// a live-but-stalled worker as *StragglerError — a *latency* fault with no
+// single-node counterpart here, because a slow local disk only stretches
+// the wall clock, while a slow worker stalls every barrier phase of the
+// whole cluster. ClusterConfig.Straggler configures its detection and the
+// hedged re-execution that routes around it; DESIGN.md §5i maps the
+// mechanism back onto this file's failed-disk recovery model.
 
 // RobustConfig tunes the integrity and recovery machinery of file-backed
 // sorts.

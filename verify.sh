@@ -42,4 +42,7 @@ echo "== go test -race (cluster churn matrix: worker kills, coordinator kill+res
 go test -race -count=1 -run 'Chaos|Degraded|Flap|FailoverJournal|Join|Resume|Dedup' ./internal/cluster/
 go test -race -count=1 -run 'ServerCluster' ./internal/jobs/
 
+echo "== go test -race (straggler matrix: stalls at every phase, hedged re-execution, and demotion fallback) =="
+go test -race -count=1 -run 'Stall|Straggler|Hedge' ./internal/cluster/
+
 echo "verify.sh: all checks passed"
